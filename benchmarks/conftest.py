@@ -1,0 +1,96 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's tables and figures at a reduced (but
+larger-than-test) scale so they complete in minutes.  The scale and GA
+budget can be raised to the paper's full configuration via environment
+variables:
+
+``REPRO_BENCH_SCALE``
+    Fraction of the Table-I set sizes (default 0.1; 1.0 = paper).
+``REPRO_BENCH_GA_POP`` / ``REPRO_BENCH_GA_GEN``
+    GA population / generations (defaults 8 / 5; paper: 20 / 30).
+
+Each benchmark prints the regenerated table alongside the paper's
+reported numbers and records both in ``benchmark.extra_info`` so the
+JSON output carries the comparison.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.genetic import GeneticConfig
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+BENCH_GA = GeneticConfig(
+    population_size=int(os.environ.get("REPRO_BENCH_GA_POP", "8")),
+    generations=int(os.environ.get("REPRO_BENCH_GA_GEN", "5")),
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def bench_ga() -> GeneticConfig:
+    return BENCH_GA
+
+
+@pytest.fixture(scope="session")
+def bench_datasets(bench_scale, bench_seed):
+    from repro.experiments.datasets import make_beat_datasets
+
+    return make_beat_datasets(scale=bench_scale, seed=bench_seed)
+
+
+@pytest.fixture(scope="session")
+def bench_embedded_datasets(bench_scale, bench_seed):
+    from repro.experiments.datasets import make_embedded_datasets
+
+    return make_embedded_datasets(scale=bench_scale, seed=bench_seed)
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline(bench_datasets, bench_ga, bench_seed):
+    """Float pipeline at 360 Hz, 8 coefficients."""
+    from repro.core.pipeline import RPClassifierPipeline
+    from repro.core.training import TrainingConfig
+
+    config = TrainingConfig(n_coefficients=8, genetic=bench_ga, scg_iterations=100)
+    return RPClassifierPipeline.train(
+        bench_datasets.train1, bench_datasets.train2, 8, seed=bench_seed, config=config
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_embedded_pipeline(bench_embedded_datasets, bench_ga, bench_seed):
+    """Float pipeline at the 90 Hz embedded configuration."""
+    from repro.core.pipeline import RPClassifierPipeline
+    from repro.core.training import TrainingConfig
+
+    config = TrainingConfig(n_coefficients=8, genetic=bench_ga, scg_iterations=100)
+    return RPClassifierPipeline.train(
+        bench_embedded_datasets.train1,
+        bench_embedded_datasets.train2,
+        8,
+        seed=bench_seed,
+        config=config,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_embedded_classifier(bench_embedded_pipeline, bench_embedded_datasets):
+    from repro.fixedpoint.convert import convert_pipeline, tune_embedded_alpha
+
+    classifier = convert_pipeline(bench_embedded_pipeline, shape="linear")
+    return tune_embedded_alpha(classifier, bench_embedded_datasets.test, 0.97)

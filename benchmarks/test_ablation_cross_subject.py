@@ -1,0 +1,47 @@
+"""Ablation — intra- vs inter-patient generalization.
+
+The paper's protocol trains and tests on the same record pool; the
+subject-oriented protocol (de Chazal et al., paper reference [13])
+holds patients out.  MIT-BIH studies consistently report a large gap
+between the two; this benchmark reproduces that gap on the synthetic
+substrate, contextualizing the paper's class-oriented numbers.
+"""
+
+import pytest
+
+from repro.experiments.cross_subject import (
+    CrossSubjectConfig,
+    format_cross_subject,
+    run_cross_subject,
+)
+
+
+@pytest.fixture(scope="module")
+def cross_subject_results(bench_seed, bench_ga):
+    config = CrossSubjectConfig(seed=bench_seed, genetic=bench_ga, scg_iterations=100)
+    return run_cross_subject(config)
+
+
+def test_cross_subject_gap(benchmark, cross_subject_results, bench_seed, bench_ga):
+    config = CrossSubjectConfig(
+        seed=bench_seed + 1,
+        genetic=bench_ga,
+        n_train_subjects=6,
+        n_test_subjects=3,
+        scg_iterations=100,
+    )
+    benchmark.pedantic(run_cross_subject, args=(config,), rounds=1, iterations=1)
+
+    results = cross_subject_results
+    benchmark.extra_info["results"] = results
+    print("\n=== Intra- vs inter-patient generalization ===")
+    print(format_cross_subject(results))
+
+    # Both protocols meet the ARR target (alpha re-tuned per stream).
+    assert results["intra"]["arr"] >= 96.5
+    assert results["inter"]["arr"] >= 96.5
+    # The generalization gap exists and has the expected sign.
+    assert results["gap"]["ndr"] > 0.0
+    # Held-out subjects remain far above chance: the projection +
+    # morphology features do transfer, just less cleanly.
+    assert results["inter"]["ndr"] > 30.0

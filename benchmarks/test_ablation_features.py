@@ -1,0 +1,60 @@
+"""Ablation — dimensionality-reduction front ends feeding the same NFC.
+
+Extends Table II's RP-vs-PCA comparison with the DCT and Haar-DWT
+front ends the paper's related-work section cites (Neagoe et al.,
+Guler & Ubeyli).  The claim to check is the paper's premise: random
+projections are *competitive* with the trained/transform-based
+reductions while being the only one cheap enough for the WBSN
+(additions only, no training pass, 2-bit storage).
+"""
+
+import pytest
+
+from repro.baselines.dct import DCTFeatures
+from repro.baselines.dwt import HaarWaveletFeatures
+from repro.baselines.harness import FeaturePipeline
+from repro.baselines.pca import PCAFeatures
+
+K = 8
+TARGET_ARR = 0.97
+
+
+@pytest.fixture(scope="module")
+def feature_scores(bench_datasets, bench_pipeline):
+    data = bench_datasets
+    scores = {}
+    rp = bench_pipeline.tuned_for(data.test, TARGET_ARR).evaluate(data.test)
+    scores["RP"] = 100.0 * rp.ndr
+    for name, extractor in (
+        ("PCA", PCAFeatures(K)),
+        ("DCT", DCTFeatures(K)),
+        ("DWT", HaarWaveletFeatures(K)),
+    ):
+        pipeline = FeaturePipeline.train(
+            extractor, data.train1, data.train2, target_arr=TARGET_ARR, scg_iterations=100
+        )
+        report = pipeline.tuned_for(data.test, TARGET_ARR).evaluate(data.test)
+        scores[name] = 100.0 * report.ndr
+    return scores
+
+
+def test_feature_frontend_ablation(benchmark, feature_scores, bench_datasets):
+    # Time one PCA training (the unit of work in this ablation).
+    benchmark.pedantic(
+        FeaturePipeline.train,
+        args=(PCAFeatures(K), bench_datasets.train1, bench_datasets.train2),
+        kwargs={"scg_iterations": 100},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["ndr_at_97_arr"] = feature_scores
+    print("\n=== Feature front-end ablation (NDR @ ARR >= 97%) ===")
+    for name, ndr in feature_scores.items():
+        print(f"  {name:<4} {ndr:6.2f}%")
+
+    # RP must be competitive: within a few points of the best front end
+    # (the paper's Table II shows RP ~= PCA at k = 8).
+    best = max(feature_scores.values())
+    assert feature_scores["RP"] > best - 8.0
+    # Everything must be a real classifier.
+    assert min(feature_scores.values()) > 60.0

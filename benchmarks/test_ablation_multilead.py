@@ -1,0 +1,44 @@
+"""Ablation — single-lead vs multi-lead RP classification.
+
+The paper classifies one lead; its precursor work (Bogdanova et al.,
+ICASSP 2012, reference [18]) projected multi-lead ECG.  The ablation
+quantifies what the extra leads buy (NDR at the ARR target) and what
+they cost (projection-matrix bytes, which scale with d, and two more
+always-on ADC channels — the reason the paper stays single-lead).
+"""
+
+import pytest
+
+from repro.experiments.multilead import (
+    MultileadConfig,
+    format_multilead,
+    run_multilead,
+)
+
+
+@pytest.fixture(scope="module")
+def multilead_results(bench_scale, bench_seed, bench_ga):
+    config = MultileadConfig(
+        scale=bench_scale, seed=bench_seed, genetic=bench_ga, scg_iterations=100
+    )
+    return run_multilead(config)
+
+
+def test_multilead_ablation(benchmark, multilead_results, bench_seed, bench_ga):
+    config = MultileadConfig(
+        scale=0.03, seed=bench_seed + 1, genetic=bench_ga, scg_iterations=100
+    )
+    benchmark.pedantic(run_multilead, args=(config,), rounds=1, iterations=1)
+
+    results = multilead_results
+    benchmark.extra_info["results"] = results
+    print("\n=== Multi-lead ablation ===")
+    print(format_multilead(results))
+
+    # Cost scales with leads.
+    assert results["multilead"]["matrix_bytes"] > 2.5 * results["single"]["matrix_bytes"]
+    # Benefit: extra leads never hurt materially, usually help.
+    assert results["multilead"]["ndr"] >= results["single"]["ndr"] - 3.0
+    # Both variants honour the ARR target.
+    assert results["single"]["arr"] >= 96.5
+    assert results["multilead"]["arr"] >= 96.5

@@ -1,0 +1,59 @@
+"""Figure 4 — linear approximation of Gaussian membership functions.
+
+The paper's figure is qualitative (curve shapes on [-4.7 sigma, 0]);
+the quantitative content is that the 4-segment linearization tracks the
+Gaussian closely while the triangular interpolation does not.  The
+benchmark regenerates the three curves, reports approximation errors,
+and times the three evaluators on a beat-sized workload (their relative
+cost motivates the embedded design).
+"""
+
+import numpy as np
+
+from repro.core.membership import (
+    gaussian_membership,
+    linearized_membership,
+    triangular_membership,
+)
+from repro.experiments.figure4 import format_figure4, run_figure4, run_figure4_errors
+
+
+def test_figure4_curves_and_errors(benchmark):
+    curves = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    errors = run_figure4_errors()
+
+    benchmark.extra_info["errors"] = errors
+    print("\n=== Figure 4 (MF approximation error vs Gaussian) ===")
+    print(format_figure4(errors))
+
+    # Shape claims: the linear approximation is everywhere close to the
+    # Gaussian (its worst deviation, mid-segment, is ~0.087 of full
+    # scale); the triangle is visibly worse.
+    assert errors["linear"]["max_error"] < 0.1
+    assert errors["triangular"]["max_error"] > 2 * errors["linear"]["max_error"]
+    # All three curves coincide at the center.
+    assert curves["linear"][-1] == curves["triangular"][-1] == 1.0
+
+
+def test_figure4_gaussian_eval_speed(benchmark, rng_data=None):
+    rng = np.random.default_rng(0)
+    u = rng.normal(0, 2, size=(1000, 8))
+    centers = rng.normal(0, 1, size=(8, 3))
+    sigmas = 0.5 + rng.random((8, 3))
+    benchmark(gaussian_membership, u, centers, sigmas)
+
+
+def test_figure4_linear_eval_speed(benchmark):
+    rng = np.random.default_rng(0)
+    u = rng.normal(0, 2, size=(1000, 8))
+    centers = rng.normal(0, 1, size=(8, 3))
+    sigmas = 0.5 + rng.random((8, 3))
+    benchmark(linearized_membership, u, centers, sigmas)
+
+
+def test_figure4_triangular_eval_speed(benchmark):
+    rng = np.random.default_rng(0)
+    u = rng.normal(0, 2, size=(1000, 8))
+    centers = rng.normal(0, 1, size=(8, 3))
+    sigmas = 0.5 + rng.random((8, 3))
+    benchmark(triangular_membership, u, centers, sigmas)

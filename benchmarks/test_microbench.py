@@ -1,0 +1,54 @@
+"""Micro-benchmarks of the per-beat embedded kernels.
+
+These are implementation regression guards (the paper's runtime
+numbers come from the cycle model, not Python timing): projection from
+the packed matrix, integer membership + block fuzzification, the
+wavelet transform and the morphological filter, per unit of work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsp.morphological import filter_lead
+from repro.dsp.peak_detection import detect_peaks
+from repro.dsp.wavelet import dyadic_wavelet
+
+
+@pytest.fixture(scope="module")
+def beat_block(bench_embedded_classifier, bench_embedded_datasets):
+    X = bench_embedded_datasets.test.X[:1000]
+    return bench_embedded_classifier.quantize_beats(X)
+
+
+def test_packed_projection(benchmark, bench_embedded_classifier, beat_block):
+    benchmark(bench_embedded_classifier.matrix.project, beat_block)
+
+
+def test_integer_fuzzification(benchmark, bench_embedded_classifier, beat_block):
+    U = bench_embedded_classifier.matrix.project(beat_block)
+    benchmark(bench_embedded_classifier.nfc.fuzzy_values, U)
+
+
+def test_float_fuzzy_values(benchmark, bench_embedded_pipeline, bench_embedded_datasets):
+    X = bench_embedded_datasets.test.X[:1000]
+    benchmark(bench_embedded_pipeline.fuzzy_values, X)
+
+
+def test_wavelet_transform_per_minute(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(360 * 60)
+    benchmark(dyadic_wavelet, x)
+
+
+def test_morphological_filter_per_10s(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(3600)
+    benchmark(filter_lead, x, 360.0)
+
+
+def test_peak_detector_per_10s(benchmark):
+    from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+
+    record = RecordSynthesizer(SynthesisConfig(), seed=2).synthesize(10.0)
+    filtered = filter_lead(record.lead(0), record.fs)
+    benchmark(detect_peaks, filtered, record.fs)

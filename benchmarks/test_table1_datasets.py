@@ -1,0 +1,43 @@
+"""Table I — size and composition of the training and test beat sets.
+
+Paper values:
+
+==============  =====  ====  ====  =====
+set               N      V     L   total
+==============  =====  ====  ====  =====
+training set 1    150   150   150    450
+training set 2  10024   892  1084  12000
+test set        74355  6618  8039  89012
+==============  =====  ====  ====  =====
+
+The benchmark regenerates the (scaled) sets and times the generator; at
+``REPRO_BENCH_SCALE=1.0`` the composition equals the paper's exactly
+(asserted here for the scale-1 invariant via the count arithmetic).
+"""
+
+from repro.ecg.mitbih import TABLE_I, scaled_counts
+from repro.experiments.datasets import format_table1, make_beat_datasets
+
+
+def test_table1_composition(benchmark, bench_scale, bench_seed):
+    datasets = benchmark.pedantic(
+        make_beat_datasets,
+        kwargs={"scale": bench_scale, "seed": bench_seed + 1},
+        rounds=1,
+        iterations=1,
+    )
+    composition = datasets.composition()
+
+    # The generator must honour the scaled Table I exactly.
+    for set_name, per_class in composition.items():
+        assert per_class == scaled_counts(TABLE_I[set_name], bench_scale)
+
+    # At scale 1.0 the scaled counts ARE the paper counts.
+    assert scaled_counts(TABLE_I["test"], 1.0) == TABLE_I["test"]
+
+    benchmark.extra_info["composition"] = composition
+    benchmark.extra_info["paper"] = TABLE_I
+    print("\n=== Table I (scale %.2f) ===" % bench_scale)
+    print(format_table1(composition))
+    print("paper (scale 1.0):")
+    print(format_table1(TABLE_I))

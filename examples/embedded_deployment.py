@@ -1,0 +1,70 @@
+"""Embedded deployment study: duty cycles, memory and energy on IcyHeart.
+
+Reproduces the Table III / Section IV-E analysis for a freshly trained
+classifier: measures per-stage operation profiles, converts them to
+duty cycles at 6 MHz through the icyflex cycle table, reports code and
+data memory, and computes the system-level energy savings of gating.
+
+Usage::
+
+    python examples/embedded_deployment.py [--scale 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.genetic import GeneticConfig
+from repro.experiments.energy import battery_outlook, format_energy, run_energy
+from repro.experiments.table3 import (
+    Table3Config,
+    build_embedded_classifier,
+    format_table3,
+    run_table3,
+)
+from repro.platform.icyheart import IcyHeartConfig
+from repro.platform.memory import data_memory_report, fits_in_ram
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    config = Table3Config(
+        scale=args.scale,
+        seed=args.seed,
+        genetic=GeneticConfig(population_size=8, generations=5),
+    )
+    platform = IcyHeartConfig()
+
+    print("Training and quantizing the 90 Hz classifier ...")
+    classifier, activation = build_embedded_classifier(config)
+    print(f"  activation rate on test traffic: {100 * activation:.1f}%")
+
+    print("\n=== Table III (this build) ===")
+    rows = run_table3(config, classifier, activation, platform)
+    print(format_table3(rows))
+    print("(paper: 1.64 / 30.29 / 46.39 / 76.68 KB; duty <0.01 / 0.12 / 0.83 / 0.30)")
+
+    print("\n=== Data memory ===")
+    report = data_memory_report(classifier, platform.sampling_rate_hz)
+    for key, value in report.items():
+        print(f"  {key:<24} {value:>8} B")
+    verdict = "fits" if fits_in_ram(report, platform.ram_bytes) else "DOES NOT FIT"
+    print(f"  -> {verdict} the {platform.ram_bytes // 1024} KB IcyHeart RAM")
+
+    print("\n=== Section IV-E energy ===")
+    energy = run_energy(config, platform)
+    print(format_energy(energy))
+
+    print("\n=== Battery outlook (CR2032-class cell) ===")
+    outlook = battery_outlook(energy, platform)
+    print(f"  always-on architecture: {outlook['baseline_days']:.0f} days")
+    print(f"  gated architecture:     {outlook['gated_days']:.0f} days "
+          f"({outlook['extension_factor']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Firmware workflow: train -> quantize -> save -> generate C tables.
+
+The end product of the paper's methodology is node firmware.  This
+example walks the whole deployment path:
+
+1. train the classifier at the 90 Hz embedded configuration;
+2. quantize it (linearized MFs, 2-bit matrix, Q16 alpha);
+3. persist both model forms to ``.npz`` archives;
+4. reload the embedded model (as a build pipeline would);
+5. emit the C header with the constant tables and reference code;
+6. cross-check the emitted tables against the live classifier.
+
+Usage::
+
+    python examples/firmware_workflow.py [--output-dir build]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.genetic import GeneticConfig
+from repro.core.pipeline import RPClassifierPipeline
+from repro.core.training import TrainingConfig
+from repro.experiments.datasets import make_embedded_datasets
+from repro.fixedpoint.codegen import generate_c_header, parse_c_header
+from repro.fixedpoint.convert import convert_pipeline, tune_embedded_alpha
+from repro.io import load_embedded, save_embedded, save_pipeline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output-dir", default="build")
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    print("[1/6] training at the 90 Hz deployment configuration ...")
+    data = make_embedded_datasets(scale=args.scale, seed=args.seed)
+    config = TrainingConfig(
+        n_coefficients=8, genetic=GeneticConfig(population_size=8, generations=5)
+    )
+    pipeline = RPClassifierPipeline.train(data.train1, data.train2, 8, seed=args.seed, config=config)
+
+    print("[2/6] quantizing (linearized MFs, 2-bit matrix, Q16 alpha) ...")
+    classifier = tune_embedded_alpha(
+        convert_pipeline(pipeline, shape="linear"), data.test, 0.97
+    )
+    print(f"      embedded accuracy: {classifier.evaluate(data.test).summary()}")
+
+    print("[3/6] saving model archives ...")
+    save_pipeline(pipeline, out / "classifier.pipeline.npz")
+    save_embedded(classifier, out / "classifier.embedded.npz")
+
+    print("[4/6] reloading the embedded model ...")
+    reloaded = load_embedded(out / "classifier.embedded.npz")
+    sample = reloaded.predict(data.test.X[:500])
+    assert np.array_equal(sample, classifier.predict(data.test.X[:500]))
+    print("      reload verified: 500/500 identical decisions")
+
+    print("[5/6] emitting the C header ...")
+    header = generate_c_header(reloaded, name="rp_classifier")
+    header_path = out / "rp_classifier.h"
+    header_path.write_text(header)
+    print(f"      wrote {header_path} ({len(header)} bytes)")
+
+    print("[6/6] cross-checking emitted tables ...")
+    parsed = parse_c_header(header)
+    assert np.array_equal(parsed.arrays["rp_classifier_matrix"], reloaded.matrix.data)
+    assert parsed.macros["RP_CLASSIFIER_ALPHA_Q16"] == reloaded.alpha_q16
+    k, L = reloaded.nfc.centers.shape
+    assert np.array_equal(
+        parsed.arrays["rp_classifier_mf_center"].reshape(k, L), reloaded.nfc.centers
+    )
+    memory = reloaded.memory_report()
+    print(f"      tables OK; node data footprint {memory['total']} bytes "
+          f"(matrix {memory['projection_matrix']} B, MFs {memory['nfc_parameters']} B)")
+    print("\nDrop rp_classifier.h plus the reference implementation in its"
+          " trailing comment into the node firmware to deploy.")
+
+
+if __name__ == "__main__":
+    main()

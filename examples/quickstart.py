@@ -1,0 +1,69 @@
+"""Quickstart: train, evaluate and embed an RP heartbeat classifier.
+
+Runs the paper's two-step training (scaled down so it finishes in
+seconds), evaluates NDR/ARR on the test set, converts the classifier to
+the integer WBSN form, and compares float vs embedded accuracy.
+
+Usage::
+
+    python examples/quickstart.py [--scale 0.05] [--coefficients 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.genetic import GeneticConfig
+from repro.core.pipeline import RPClassifierPipeline
+from repro.core.training import TrainingConfig
+from repro.experiments.datasets import make_embedded_datasets
+from repro.fixedpoint.convert import convert_pipeline, tune_embedded_alpha
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the paper's dataset sizes (1.0 = Table I)")
+    parser.add_argument("--coefficients", type=int, default=8,
+                        help="random-projection size k (paper: 8, 16, 32)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--target-arr", type=float, default=0.97,
+                        help="minimum abnormal recognition rate")
+    args = parser.parse_args()
+
+    print(f"Generating Table-I-shaped datasets (scale={args.scale}) ...")
+    data = make_embedded_datasets(scale=args.scale, seed=args.seed)
+    print(f"  train1: {data.train1.counts()}")
+    print(f"  train2: {data.train2.counts()}")
+    print(f"  test:   {data.test.counts()}")
+
+    print(f"\nTwo-step training (k={args.coefficients}, GA + SCG) ...")
+    config = TrainingConfig(
+        n_coefficients=args.coefficients,
+        target_arr=args.target_arr,
+        genetic=GeneticConfig(population_size=8, generations=5),
+    )
+    pipeline = RPClassifierPipeline.train(
+        data.train1, data.train2, args.coefficients, seed=args.seed, config=config
+    )
+    print(f"  optimized projection: {pipeline.projection.n_coefficients} x "
+          f"{pipeline.projection.n_inputs}, density {pipeline.projection.density:.2f}")
+    print(f"  alpha_train = {pipeline.alpha:.4f}")
+
+    print("\nFloat (PC) evaluation at the ARR target:")
+    tuned = pipeline.tuned_for(data.test, args.target_arr)
+    print(f"  {tuned.evaluate(data.test).summary()}")
+
+    print("\nConverting to the integer WBSN classifier ...")
+    classifier = convert_pipeline(pipeline, shape="linear")
+    classifier = tune_embedded_alpha(classifier, data.test, args.target_arr)
+    memory = classifier.memory_report()
+    print(f"  packed matrix: {memory['projection_matrix']} B "
+          f"(8-bit would be {memory['projection_matrix_unpacked']} B)")
+    print(f"  total classifier data: {memory['total']} B")
+    print("\nEmbedded (WBSN) evaluation:")
+    print(f"  {classifier.evaluate(data.test).summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists
+only so environments without the ``wheel`` package (offline CI boxes)
+can still do an editable install via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Feature-extraction baselines the paper compares against.
+
+Table II's third row uses "the off-line Principal Component Analysis
+(PCA) algorithm proposed in [3] to reduce the representation
+dimensionality"; Section II also cites DCT- and DWT-based feature
+extraction as alternatives whose "computation effort [is] not
+compatible with WBSN resources".  All three are implemented here behind
+a common fit/transform interface so they can feed the *same* NFC as the
+random projection, isolating the effect of the dimensionality-reduction
+choice:
+
+* :mod:`repro.baselines.pca` — principal component scores;
+* :mod:`repro.baselines.dct` — leading DCT-II coefficients;
+* :mod:`repro.baselines.dwt` — Haar wavelet coefficients selected by
+  training-set variance;
+* :mod:`repro.baselines.harness` — a pipeline wrapper mirroring
+  :class:`repro.core.pipeline.RPClassifierPipeline` for any extractor.
+"""
+
+from repro.baselines.dct import DCTFeatures
+from repro.baselines.dwt import HaarWaveletFeatures
+from repro.baselines.harness import FeaturePipeline
+from repro.baselines.pca import PCAFeatures
+
+__all__ = ["PCAFeatures", "DCTFeatures", "HaarWaveletFeatures", "FeaturePipeline"]

@@ -1,0 +1,122 @@
+"""Haar discrete wavelet transform features (related-work baseline).
+
+Computes a full multi-level Haar decomposition of each beat and keeps
+the ``k`` coefficient positions with the highest *training-set*
+variance — the standard DWT feature-selection recipe of the ECG
+classification literature (Guler & Ubeyli).  Like PCA, the selection
+needs a training pass; like the DCT, the transform needs float
+arithmetic per beat, which is what disqualifies it on the WBSN.
+
+The Haar transform is implemented from scratch (orthonormal pairwise
+averages/differences, recursing on the approximation); odd-length
+levels carry the last sample through unchanged so any beat length is
+accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_SQRT2 = float(np.sqrt(2.0))
+
+
+def haar_decompose(x: np.ndarray, n_levels: int | None = None) -> np.ndarray:
+    """Multi-level orthonormal Haar DWT of the rows of ``x``.
+
+    Parameters
+    ----------
+    x:
+        ``(n, d)`` beats (or ``(d,)``).
+    n_levels:
+        Decomposition depth; defaults to the maximum
+        (``floor(log2(d))``).
+
+    Returns
+    -------
+    np.ndarray
+        Same shape as ``x``: per row, the concatenation
+        ``[approximation, detail_deepest, ..., detail_1]``.
+    """
+    x = np.asarray(x, dtype=float)
+    single = x.ndim == 1
+    if single:
+        x = x[np.newaxis, :]
+    d = x.shape[1]
+    if d < 2:
+        raise ValueError("need at least two samples")
+    max_levels = int(np.floor(np.log2(d)))
+    if n_levels is None:
+        n_levels = max_levels
+    if not 1 <= n_levels <= max_levels:
+        raise ValueError(f"n_levels must be in [1, {max_levels}]")
+
+    approximation = x
+    details: list[np.ndarray] = []
+    for _ in range(n_levels):
+        length = approximation.shape[1]
+        even = length - (length % 2)
+        pairs = approximation[:, :even]
+        a = (pairs[:, 0::2] + pairs[:, 1::2]) / _SQRT2
+        detail = (pairs[:, 0::2] - pairs[:, 1::2]) / _SQRT2
+        if length % 2:
+            # Odd tail: carry the last sample into the approximation.
+            a = np.concatenate([a, approximation[:, -1:]], axis=1)
+        details.append(detail)
+        approximation = a
+    out = np.concatenate([approximation] + details[::-1], axis=1)
+    return out[0] if single else out
+
+
+@dataclass
+class HaarWaveletFeatures:
+    """Variance-selected Haar DWT coefficients.
+
+    Parameters
+    ----------
+    n_components:
+        Number of retained coefficient positions.
+    n_levels:
+        Haar decomposition depth (default: maximum for the beat length).
+    """
+
+    n_components: int
+    n_levels: int | None = None
+    selected_: np.ndarray | None = field(default=None, repr=False)
+    _d: int | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_components < 1:
+            raise ValueError("n_components must be >= 1")
+
+    def fit(self, X: np.ndarray) -> "HaarWaveletFeatures":
+        """Select the highest-variance coefficient positions on ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be (n, d)")
+        coefficients = haar_decompose(X, self.n_levels)
+        if self.n_components > coefficients.shape[1]:
+            raise ValueError("n_components exceeds the coefficient count")
+        variance = coefficients.var(axis=0)
+        self.selected_ = np.sort(np.argsort(variance)[::-1][: self.n_components])
+        self._d = X.shape[1]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Selected Haar coefficients: ``(n, d) -> (n, k)``."""
+        if self.selected_ is None or self._d is None:
+            raise RuntimeError("HaarWaveletFeatures must be fitted before transform")
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        if single:
+            X = X[np.newaxis, :]
+        if X.shape[1] != self._d:
+            raise ValueError("beat length does not match the fitted dimension")
+        coefficients = haar_decompose(X, self.n_levels)
+        out = coefficients[:, self.selected_]
+        return out[0] if single else out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(X).transform(X)

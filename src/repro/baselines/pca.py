@@ -1,0 +1,91 @@
+"""Principal Component Analysis feature extraction (Table II baseline).
+
+Implements the PCA front end of Ceylan & Ozbay: beats are mean-centered
+with the *training* mean and projected onto the top-k principal
+directions of the training covariance.  PCA is the natural "informed"
+counterpart of the data-agnostic random projection — it needs a
+training pass, floating-point arithmetic and k dense dot products per
+beat, which is exactly why the paper relegates it to the PC.
+
+Implemented from scratch on top of ``numpy.linalg.svd`` (no sklearn).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class PCAFeatures:
+    """Top-k principal-component scores.
+
+    Parameters
+    ----------
+    n_components:
+        Number of retained components k.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    mean_:
+        ``(d,)`` training mean.
+    components_:
+        ``(k, d)`` principal directions (rows, unit norm).
+    explained_variance_:
+        ``(k,)`` variance captured by each direction.
+    """
+
+    n_components: int
+    mean_: np.ndarray | None = field(default=None, repr=False)
+    components_: np.ndarray | None = field(default=None, repr=False)
+    explained_variance_: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_components < 1:
+            raise ValueError("n_components must be >= 1")
+
+    def fit(self, X: np.ndarray) -> "PCAFeatures":
+        """Fit on training beats ``(n, d)``; returns self."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be (n, d)")
+        n, d = X.shape
+        if self.n_components > min(n, d):
+            raise ValueError(
+                f"n_components={self.n_components} exceeds min(n, d)={min(n, d)}"
+            )
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        # Thin SVD: rows of Vt are the principal directions.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[: self.n_components]
+        self.explained_variance_ = (singular_values[: self.n_components] ** 2) / max(n - 1, 1)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project beats onto the fitted components: ``(n, d) -> (n, k)``."""
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCAFeatures must be fitted before transform")
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        if single:
+            X = X[np.newaxis, :]
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError("beat length does not match the fitted dimension")
+        scores = (X - self.mean_) @ self.components_.T
+        return scores[0] if single else scores
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(X).transform(X)
+
+    def explained_variance_ratio(self, X: np.ndarray) -> np.ndarray:
+        """Fraction of the total variance of ``X`` captured per component."""
+        if self.explained_variance_ is None:
+            raise RuntimeError("PCAFeatures must be fitted first")
+        X = np.asarray(X, dtype=float)
+        total = float(np.var(X - X.mean(axis=0), axis=0, ddof=1).sum())
+        if total <= 0:
+            return np.zeros_like(self.explained_variance_)
+        return self.explained_variance_ / total

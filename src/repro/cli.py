@@ -1,0 +1,309 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1`` / ``table2`` / ``table3`` / ``figure4`` / ``figure5`` /
+``energy``
+    Regenerate one of the paper's artifacts and print it next to the
+    paper's reported values.
+``all``
+    Run every artifact in sequence (the content of EXPERIMENTS.md).
+``train``
+    Train a classifier and save both its float and embedded forms.
+``codegen``
+    Emit the C header for a saved embedded classifier.
+
+Common options: ``--scale`` (fraction of the Table-I set sizes;
+``--full`` is shorthand for the paper's exact configuration, including
+the 20 x 30 GA) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.genetic import GeneticConfig
+
+
+def _genetic(args) -> GeneticConfig:
+    if args.full:
+        return GeneticConfig()
+    return GeneticConfig(population_size=args.ga_pop, generations=args.ga_gen)
+
+
+def _scale(args) -> float:
+    return 1.0 if args.full else args.scale
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the paper's dataset sizes")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--full", action="store_true",
+                        help="paper configuration: scale 1.0, GA 20 x 30")
+    parser.add_argument("--ga-pop", type=int, default=8)
+    parser.add_argument("--ga-gen", type=int, default=5)
+
+
+def cmd_table1(args) -> int:
+    from repro.experiments.datasets import format_table1, table1_counts
+
+    print(format_table1(table1_counts(scale=_scale(args), seed=args.seed)))
+    print("\npaper (Table I):")
+    from repro.ecg.mitbih import TABLE_I
+
+    print(format_table1(TABLE_I))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.experiments.table2 import Table2Config, format_table2, run_table2
+
+    config = Table2Config(
+        scale=_scale(args), seed=args.seed, genetic=_genetic(args)
+    )
+    print(format_table2(run_table2(config)))
+    print("\npaper (Table II): NDR-PC 93.74/95.16/93.05  "
+          "NDR-WBSN 92.31/92.53/93.04  PCA-PC 93.66/95.78/89.75")
+    return 0
+
+
+def cmd_figure4(args) -> int:
+    from repro.experiments.figure4 import format_figure4, run_figure4_errors
+
+    print(format_figure4(run_figure4_errors()))
+    return 0
+
+
+def cmd_figure5(args) -> int:
+    from repro.experiments.figure5 import (
+        Figure5Config,
+        figure5_summary,
+        format_figure5,
+        run_figure5,
+    )
+
+    config = Figure5Config(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
+    results = run_figure5(config)
+    print(format_figure5(figure5_summary(results)))
+    print("\npaper (Figure 5 at ARR 98.5%): gaussian ~87, linear ~87, triangular ~62")
+    return 0
+
+
+def cmd_table3(args) -> int:
+    from repro.experiments.table3 import Table3Config, format_table3, run_table3
+
+    config = Table3Config(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
+    print(format_table3(run_table3(config)))
+    print("\npaper (Table III): 1.64/<0.01, 30.29/0.12, 46.39/0.83, 76.68/0.30")
+    return 0
+
+
+def cmd_energy(args) -> int:
+    from repro.experiments.energy import format_energy, run_energy
+    from repro.experiments.table3 import Table3Config
+
+    config = Table3Config(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
+    print(format_energy(run_energy(config)))
+    return 0
+
+
+def cmd_multilead(args) -> int:
+    from repro.experiments.multilead import (
+        MultileadConfig,
+        format_multilead,
+        run_multilead,
+    )
+
+    config = MultileadConfig(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
+    print(format_multilead(run_multilead(config)))
+    return 0
+
+
+def cmd_noise(args) -> int:
+    from repro.experiments.noise_robustness import (
+        NoiseRobustnessConfig,
+        format_noise_robustness,
+        run_noise_robustness,
+    )
+
+    config = NoiseRobustnessConfig(
+        scale=_scale(args), seed=args.seed, genetic=_genetic(args)
+    )
+    print(format_noise_robustness(run_noise_robustness(config)))
+    return 0
+
+
+def cmd_alpha(args) -> int:
+    from repro.experiments.alpha_tuning import (
+        AlphaTuningConfig,
+        format_alpha_tuning,
+        run_alpha_tuning,
+    )
+
+    config = AlphaTuningConfig(
+        scale=_scale(args), seed=args.seed, genetic=_genetic(args)
+    )
+    print(format_alpha_tuning(run_alpha_tuning(config)))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+    from repro.experiments.table3 import Table3Config, build_embedded_classifier
+    from repro.platform.node_sim import NodeSimulator
+
+    config = Table3Config(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
+    classifier, _ = build_embedded_classifier(config)
+    synth = RecordSynthesizer(SynthesisConfig(n_leads=3), seed=args.seed)
+    record = synth.synthesize(args.duration, name="cli-sim")
+    trace = NodeSimulator(classifier).process_record(record)
+    print(trace.summary())
+    return 0
+
+
+def cmd_subjects(args) -> int:
+    from repro.experiments.cross_subject import (
+        CrossSubjectConfig,
+        format_cross_subject,
+        run_cross_subject,
+    )
+
+    config = CrossSubjectConfig(seed=args.seed, genetic=_genetic(args))
+    print(format_cross_subject(run_cross_subject(config)))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import ReportConfig, generate_report
+
+    config = ReportConfig(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
+    path = generate_report(args.output_dir, config)
+    print(f"wrote {path} (+ CSV sweeps alongside)")
+    return 0
+
+
+def cmd_all(args) -> int:
+    for title, command in (
+        ("Table I", cmd_table1),
+        ("Table II", cmd_table2),
+        ("Figure 4", cmd_figure4),
+        ("Figure 5", cmd_figure5),
+        ("Table III", cmd_table3),
+        ("Section IV-E energy", cmd_energy),
+        ("Extension: multi-lead", cmd_multilead),
+        ("Extension: noise stress", cmd_noise),
+        ("Extension: alpha decoupling", cmd_alpha),
+    ):
+        print(f"\n===== {title} =====")
+        command(args)
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.core.pipeline import RPClassifierPipeline
+    from repro.core.training import TrainingConfig
+    from repro.experiments.datasets import make_embedded_datasets
+    from repro.fixedpoint.convert import convert_pipeline, tune_embedded_alpha
+    from repro.io import save_embedded, save_pipeline
+
+    data = make_embedded_datasets(scale=_scale(args), seed=args.seed)
+    config = TrainingConfig(
+        n_coefficients=args.coefficients, genetic=_genetic(args)
+    )
+    pipeline = RPClassifierPipeline.train(
+        data.train1, data.train2, args.coefficients, seed=args.seed, config=config
+    )
+    report = pipeline.tuned_for(data.test, 0.97).evaluate(data.test)
+    print(f"float:    {report.summary()}")
+    classifier = tune_embedded_alpha(
+        convert_pipeline(pipeline, shape="linear"), data.test, 0.97
+    )
+    print(f"embedded: {classifier.evaluate(data.test).summary()}")
+    save_pipeline(pipeline, args.output + ".pipeline.npz")
+    save_embedded(classifier, args.output + ".embedded.npz")
+    print(f"saved {args.output}.pipeline.npz and {args.output}.embedded.npz")
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    from repro.fixedpoint.codegen import generate_c_header
+    from repro.io import load_embedded
+
+    classifier = load_embedded(args.model)
+    header = generate_c_header(classifier, name=args.name)
+    if args.output == "-":
+        sys.stdout.write(header)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(header)
+        print(f"wrote {args.output} ({len(header)} bytes)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Embedded Classification of Heartbeats "
+        "Using Random Projections' (DATE 2013)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn, help_text in (
+        ("table1", cmd_table1, "dataset composition (Table I)"),
+        ("table2", cmd_table2, "NDR vs coefficient count (Table II)"),
+        ("figure4", cmd_figure4, "MF linearization error (Figure 4)"),
+        ("figure5", cmd_figure5, "NDR/ARR Pareto fronts (Figure 5)"),
+        ("table3", cmd_table3, "code size and duty cycle (Table III)"),
+        ("energy", cmd_energy, "energy savings (Section IV-E)"),
+        ("multilead", cmd_multilead, "extension: multi-lead RP classification"),
+        ("noise", cmd_noise, "extension: noise-stress robustness"),
+        ("alpha", cmd_alpha, "extension: alpha_train/alpha_test decoupling"),
+        ("subjects", cmd_subjects, "extension: intra- vs inter-patient protocol"),
+        ("all", cmd_all, "run every artifact"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common(sub)
+        sub.set_defaults(fn=fn)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="event-driven node simulation on a synthetic record"
+    )
+    _add_common(simulate)
+    simulate.add_argument("--duration", type=float, default=60.0,
+                          help="record length in seconds")
+    simulate.set_defaults(fn=cmd_simulate)
+
+    report = subparsers.add_parser(
+        "report", help="write report.md + CSV sweeps for every artifact"
+    )
+    _add_common(report)
+    report.add_argument("--output-dir", default="report",
+                        help="directory for report.md and the CSVs")
+    report.set_defaults(fn=cmd_report)
+
+    train = subparsers.add_parser("train", help="train and save a classifier")
+    _add_common(train)
+    train.add_argument("--coefficients", type=int, default=8)
+    train.add_argument("--output", default="rp_classifier",
+                       help="output path prefix for the saved models")
+    train.set_defaults(fn=cmd_train)
+
+    codegen = subparsers.add_parser("codegen", help="emit a C header for a saved model")
+    codegen.add_argument("model", help="path to a saved .embedded.npz model")
+    codegen.add_argument("--output", default="-", help="header path ('-' = stdout)")
+    codegen.add_argument("--name", default="rp_classifier")
+    codegen.set_defaults(fn=cmd_codegen)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""The paper's primary contribution: RP-based neuro-fuzzy classification.
+
+Modules
+-------
+:mod:`repro.core.achlioptas`
+    Sparse Achlioptas random-projection matrices and the
+    Johnson–Lindenstrauss distortion bound.
+:mod:`repro.core.membership`
+    Gaussian, linearized and triangular membership functions (float
+    reference implementations).
+:mod:`repro.core.nfc`
+    The three-layer neuro-fuzzy classifier and its loss/gradient.
+:mod:`repro.core.scg`
+    Møller's scaled conjugate gradient minimizer.
+:mod:`repro.core.defuzz`
+    The (M1 - M2) >= alpha * S defuzzification rule and alpha tuning.
+:mod:`repro.core.metrics`
+    NDR / ARR figures of merit, confusion matrices, Pareto fronts.
+:mod:`repro.core.genetic`
+    Genetic optimization of the projection matrix.
+:mod:`repro.core.training`
+    The full two-step training procedure of Section III-A.
+:mod:`repro.core.pipeline`
+    End-to-end trained classifier object (project + NFC + defuzzify).
+"""
+
+from repro.core.achlioptas import (
+    AchlioptasMatrix,
+    generate_achlioptas,
+    johnson_lindenstrauss_bound,
+    project,
+)
+from repro.core.defuzz import DefuzzRule, UNKNOWN_LABEL, defuzzify, tune_alpha
+from repro.core.metrics import ClassificationReport, abnormal_recognition_rate, normal_discard_rate
+from repro.core.nfc import NeuroFuzzyClassifier
+from repro.core.pipeline import RPClassifierPipeline
+from repro.core.training import TrainingConfig, train_classifier
+
+__all__ = [
+    "AchlioptasMatrix",
+    "generate_achlioptas",
+    "project",
+    "johnson_lindenstrauss_bound",
+    "DefuzzRule",
+    "UNKNOWN_LABEL",
+    "defuzzify",
+    "tune_alpha",
+    "ClassificationReport",
+    "normal_discard_rate",
+    "abnormal_recognition_rate",
+    "NeuroFuzzyClassifier",
+    "RPClassifierPipeline",
+    "TrainingConfig",
+    "train_classifier",
+]

@@ -1,0 +1,219 @@
+"""Sparse Achlioptas random-projection matrices.
+
+Achlioptas (JCSS 2003) showed that the dense Gaussian matrix of the
+Johnson–Lindenstrauss lemma can be replaced by a sparse ternary matrix
+
+.. math::
+
+    P_{k,d} = \\begin{cases}
+        +1 & \\text{with probability } 1/6 \\\\
+        -1 & \\text{with probability } 1/6 \\\\
+        \\phantom{+}0  & \\text{with probability } 2/3
+    \\end{cases}
+
+while keeping the JL distortion guarantee.  For the WBSN this is the
+whole point: projecting a beat touches only one third of the samples on
+average and needs only additions and subtractions — "database-friendly"
+projections become *microcontroller-friendly*.
+
+The paper omits the conventional :math:`\\sqrt{3/k}` scaling because the
+NFC is trained directly on the unscaled coefficients (scale is absorbed
+by the learned membership-function widths), and the embedded integer
+pipeline must avoid the multiplication anyway.  The scaling is available
+here as an option for JL-bound experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Probabilities of the elements (+1, -1, 0) of an Achlioptas matrix.
+ELEMENT_PROBABILITIES = {+1: 1.0 / 6.0, -1: 1.0 / 6.0, 0: 2.0 / 3.0}
+
+
+@dataclass(frozen=True)
+class AchlioptasMatrix:
+    """A ternary projection matrix with convenience accessors.
+
+    Attributes
+    ----------
+    matrix:
+        ``(k, d)`` array with entries in {-1, 0, +1}, dtype ``int8``.
+    """
+
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.matrix)
+        if m.ndim != 2:
+            raise ValueError("projection matrix must be 2-D")
+        values = np.unique(m)
+        if not np.all(np.isin(values, (-1, 0, 1))):
+            raise ValueError("Achlioptas matrix entries must be in {-1, 0, +1}")
+        object.__setattr__(self, "matrix", m.astype(np.int8))
+
+    @property
+    def n_coefficients(self) -> int:
+        """Output dimensionality k."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def n_inputs(self) -> int:
+        """Input dimensionality d (samples per beat)."""
+        return int(self.matrix.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero entries (additions the projection costs)."""
+        return int(np.count_nonzero(self.matrix))
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero entries (expected 1/3)."""
+        return self.nnz / self.matrix.size
+
+    def project(self, v: np.ndarray, scaled: bool = False) -> np.ndarray:
+        """Project beats: ``u = P v`` (rows of ``v`` are beats).
+
+        Parameters
+        ----------
+        v:
+            ``(d,)`` single beat or ``(n, d)`` beat matrix.
+        scaled:
+            Apply the :math:`\\sqrt{3/k}` JL normalization.
+        """
+        return project(self.matrix, v, scaled=scaled)
+
+    def column_subsample(self, factor: int, phase: int = 0) -> "AchlioptasMatrix":
+        """Matrix acting on a ``factor``-times downsampled input.
+
+        Keeping one of every ``factor`` input samples corresponds to
+        keeping the matching matrix columns (the paper's downsampling
+        memory optimization: "the size of the matrix is reduced by a
+        factor of four").
+        """
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        if not 0 <= phase < factor:
+            raise ValueError("phase must be in [0, factor)")
+        return AchlioptasMatrix(self.matrix[:, phase::factor])
+
+
+def generate_achlioptas(
+    n_coefficients: int,
+    n_inputs: int,
+    rng: np.random.Generator | int | None = None,
+) -> AchlioptasMatrix:
+    """Draw a k x d Achlioptas matrix.
+
+    Parameters
+    ----------
+    n_coefficients:
+        Projection size k (the paper explores 8, 16, 32).
+    n_inputs:
+        Beat length d (200 at 360 Hz; 50 after 4x downsampling).
+    rng:
+        ``numpy`` generator or seed.
+
+    Returns
+    -------
+    AchlioptasMatrix
+        Entries drawn i.i.d. with probabilities (1/6, 2/3, 1/6) for
+        (+1, 0, -1).
+    """
+    if n_coefficients < 1 or n_inputs < 1:
+        raise ValueError("matrix dimensions must be positive")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    draws = rng.random((n_coefficients, n_inputs))
+    matrix = np.zeros((n_coefficients, n_inputs), dtype=np.int8)
+    matrix[draws < 1.0 / 6.0] = 1
+    matrix[draws > 5.0 / 6.0] = -1
+    return AchlioptasMatrix(matrix)
+
+
+def project(matrix: np.ndarray, v: np.ndarray, scaled: bool = False) -> np.ndarray:
+    """Apply a ternary projection ``u = P v`` (vectorized over beats).
+
+    Parameters
+    ----------
+    matrix:
+        ``(k, d)`` ternary matrix.
+    v:
+        ``(d,)`` or ``(n, d)`` beats.
+    scaled:
+        Multiply by :math:`\\sqrt{3/k}` (JL normalization).
+
+    Returns
+    -------
+    np.ndarray
+        ``(k,)`` or ``(n, k)`` projected coefficients, ``float64`` for
+        float input, ``int64`` for integer input (overflow-safe for the
+        WBSN's 16-bit samples: ``|u| <= d * 2^15 < 2^23``).
+    """
+    matrix = np.asarray(matrix)
+    v = np.asarray(v)
+    single = v.ndim == 1
+    if single:
+        v = v[np.newaxis, :]
+    if v.shape[1] != matrix.shape[1]:
+        raise ValueError(
+            f"beat length {v.shape[1]} does not match matrix inputs {matrix.shape[1]}"
+        )
+    if np.issubdtype(v.dtype, np.integer):
+        u = v.astype(np.int64) @ matrix.T.astype(np.int64)
+    else:
+        u = v @ matrix.T.astype(np.float64)
+    if scaled:
+        u = u * np.sqrt(3.0 / matrix.shape[0])
+    return u[0] if single else u
+
+
+def johnson_lindenstrauss_bound(n_points: int, epsilon: float) -> int:
+    """Minimum k guaranteeing (1 +- epsilon) pairwise-distance distortion.
+
+    Achlioptas' bound: with :math:`k \\ge k_0 = \\frac{4 + 2\\beta}
+    {\\epsilon^2/2 - \\epsilon^3/3} \\log n` (using :math:`\\beta = 1`,
+    i.e. success probability :math:`1 - 1/n`), all pairwise distances of
+    ``n_points`` vectors are preserved within a factor
+    :math:`1 \\pm \\epsilon`.
+
+    The paper's operating point (k = 8..32) is far *below* this bound —
+    the empirical observation that classification survives anyway (and
+    that a GA can pick a particularly good projection) is one of its
+    contributions.
+    """
+    if n_points < 2:
+        raise ValueError("need at least two points")
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1)")
+    beta = 1.0
+    k0 = (4.0 + 2.0 * beta) / (epsilon**2 / 2.0 - epsilon**3 / 3.0) * np.log(n_points)
+    return int(np.ceil(k0))
+
+
+def projection_distortion(
+    matrix: np.ndarray, v: np.ndarray, n_pairs: int = 200, rng=None
+) -> np.ndarray:
+    """Empirical pairwise-distance distortion of a projection.
+
+    Samples ``n_pairs`` random beat pairs and returns the ratios
+    ``||P(a-b)||^2 * (3/k) / ||a-b||^2`` (1.0 means perfect isometry).
+    Used by tests and by the JL-bound example.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    v = np.asarray(v, dtype=float)
+    if v.ndim != 2 or v.shape[0] < 2:
+        raise ValueError("need a (n, d) matrix with n >= 2")
+    k = matrix.shape[0]
+    ratios = np.empty(n_pairs)
+    for i in range(n_pairs):
+        a, b = rng.choice(v.shape[0], size=2, replace=False)
+        difference = v[a] - v[b]
+        original = float(np.dot(difference, difference))
+        projected = project(matrix, difference)
+        ratios[i] = (3.0 / k) * float(np.dot(projected, projected)) / max(original, 1e-12)
+    return ratios

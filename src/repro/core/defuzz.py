@@ -1,0 +1,199 @@
+"""Defuzzification: the (M1 - M2) >= alpha * S rule and alpha tuning.
+
+The third NFC layer considers the largest and second-largest fuzzy
+values :math:`M_{1f}, M_{2f}` and their sum :math:`S = \\sum_l f_l`.
+If :math:`M_{1f} - M_{2f} \\ge \\alpha S` (``alpha`` in [0, 1]) the beat
+is assigned to the argmax class, otherwise it is marked ``Unknown``.
+V, L and Unknown beats are treated as (possibly) pathological; only a
+confident N verdict discards a beat.
+
+``alpha`` is the knob that trades Normal Discard Rate against Abnormal
+Recognition Rate: raising it sends low-confidence beats to Unknown,
+which can only *increase* ARR and *decrease* NDR.  The paper exploits
+this monotonicity twice: ``alpha_train`` fixes a minimum ARR during
+training, and an independent ``alpha_test`` re-tunes the deployed
+trade-off — both are implemented by :func:`tune_alpha` /
+:func:`sweep_alpha` below, using the per-beat confidence *margin*
+``(M1 - M2) / S``, against which the rule is simply a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Label reported for beats failing the confidence test.  The paper's
+#: class labels (N, V, L) are non-negative indices; Unknown is kept
+#: distinct and negative so it can never collide with a real class.
+UNKNOWN_LABEL = -1
+
+#: Index of the Normal class within the fuzzy-value columns.
+NORMAL_LABEL = 0
+
+
+@dataclass(frozen=True)
+class DefuzzRule:
+    """The defuzzification rule with a fixed ``alpha``."""
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+
+    def __call__(self, fuzzy: np.ndarray) -> np.ndarray:
+        return defuzzify(fuzzy, self.alpha)
+
+
+def margins(fuzzy: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-beat argmax class and confidence margin ``(M1 - M2) / S``.
+
+    Beats whose fuzzy values are all zero get a margin of ``-1`` (they
+    can never pass the confidence test, for any alpha >= 0), which is
+    how all-zero triangular products become Unknown.
+    """
+    fuzzy = np.atleast_2d(np.asarray(fuzzy, dtype=float))
+    if fuzzy.ndim != 2 or fuzzy.shape[1] < 2:
+        raise ValueError("fuzzy values must be (n, L) with L >= 2")
+    if np.any(fuzzy < 0):
+        raise ValueError("fuzzy values must be non-negative")
+    order = np.sort(fuzzy, axis=1)
+    m1 = order[:, -1]
+    m2 = order[:, -2]
+    total = fuzzy.sum(axis=1)
+    margin = np.full(fuzzy.shape[0], -1.0)
+    alive = total > 0.0
+    margin[alive] = (m1[alive] - m2[alive]) / total[alive]
+    return fuzzy.argmax(axis=1), margin
+
+
+def defuzzify(fuzzy: np.ndarray, alpha: float) -> np.ndarray:
+    """Apply the rule: argmax class when confident, else Unknown.
+
+    Parameters
+    ----------
+    fuzzy:
+        ``(n, L)`` non-negative fuzzy values (any common scale).
+    alpha:
+        Defuzzification coefficient in [0, 1].
+
+    Returns
+    -------
+    np.ndarray
+        ``(n,)`` labels: a class index or :data:`UNKNOWN_LABEL`.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    winners, margin = margins(fuzzy)
+    labels = np.where(margin >= alpha, winners, UNKNOWN_LABEL)
+    return labels.astype(np.int64)
+
+
+def is_abnormal(labels: np.ndarray) -> np.ndarray:
+    """Boolean mask of beats the system treats as pathological.
+
+    Everything except a confident Normal verdict activates the detailed
+    analysis: V, L and Unknown all count as abnormal.
+    """
+    labels = np.asarray(labels)
+    return labels != NORMAL_LABEL
+
+
+def tune_alpha(
+    fuzzy: np.ndarray,
+    y: np.ndarray,
+    target_arr: float = 0.97,
+) -> float:
+    """Smallest alpha achieving at least ``target_arr`` on labeled data.
+
+    Because ARR is non-decreasing and NDR non-increasing in alpha, the
+    smallest feasible alpha is also the NDR-optimal one.  The threshold
+    is found exactly from the margins of the *misclassified-as-normal*
+    abnormal beats — no grid search.
+
+    Parameters
+    ----------
+    fuzzy:
+        ``(n, L)`` fuzzy values.
+    y:
+        True labels (0 = N; anything else abnormal).
+    target_arr:
+        Required Abnormal Recognition Rate in [0, 1].
+
+    Returns
+    -------
+    float
+        The tuned alpha.  Returns 0.0 when the target is met already at
+        alpha = 0 and 1.0 when even alpha = 1 cannot meet it (the rule
+        caps at 1: a beat with a single non-zero class always passes).
+    """
+    if not 0.0 <= target_arr <= 1.0:
+        raise ValueError("target_arr must be in [0, 1]")
+    y = np.asarray(y)
+    winners, margin = margins(fuzzy)
+    abnormal = y != NORMAL_LABEL
+    n_abnormal = int(abnormal.sum())
+    if n_abnormal == 0:
+        return 0.0
+    # Abnormal beats currently (alpha=0) recognized: argmax != N.
+    base_recognized = int(np.sum(abnormal & (winners != NORMAL_LABEL)))
+    required = int(np.ceil(target_arr * n_abnormal - 1e-9))
+    extra = required - base_recognized
+    if extra <= 0:
+        return 0.0
+    # Candidates that flip to Unknown (recognized) once alpha exceeds
+    # their margin: abnormal beats whose argmax is N.
+    flippable = np.sort(margin[abnormal & (winners == NORMAL_LABEL)])
+    if extra > flippable.size:
+        return 1.0
+    # alpha must exceed the margin of the 'extra' easiest candidates.
+    threshold = flippable[extra - 1]
+    alpha = float(np.nextafter(threshold, np.inf))
+    return min(max(alpha, 0.0), 1.0)
+
+
+def sweep_alpha(
+    fuzzy: np.ndarray,
+    y: np.ndarray,
+    alphas: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """NDR and ARR as functions of alpha (the Figure 5 sweep).
+
+    Parameters
+    ----------
+    fuzzy:
+        ``(n, L)`` fuzzy values.
+    y:
+        True labels.
+    alphas:
+        Grid of alphas; defaults to 201 points covering [0, 1].
+
+    Returns
+    -------
+    (alphas, ndr, arr):
+        Arrays of equal length.  Computed via sorting + cumulative
+        counts, O(n log n + m) rather than O(n m).
+    """
+    if alphas is None:
+        alphas = np.linspace(0.0, 1.0, 201)
+    alphas = np.asarray(alphas, dtype=float)
+    y = np.asarray(y)
+    winners, margin = margins(fuzzy)
+
+    normal = y == NORMAL_LABEL
+    abnormal = ~normal
+    n_normal = max(int(normal.sum()), 1)
+    n_abnormal = max(int(abnormal.sum()), 1)
+
+    # NDR(alpha): true-N beats with argmax N and margin >= alpha.
+    ndr_margins = np.sort(margin[normal & (winners == NORMAL_LABEL)])
+    # ARR(alpha): abnormal beats with argmax != N, plus abnormal argmax-N
+    # beats whose margin < alpha (they become Unknown).
+    base_recognized = int(np.sum(abnormal & (winners != NORMAL_LABEL)))
+    arr_margins = np.sort(margin[abnormal & (winners == NORMAL_LABEL)])
+
+    # Counts with margin >= alpha / < alpha via searchsorted.
+    ndr = (ndr_margins.size - np.searchsorted(ndr_margins, alphas, side="left")) / n_normal
+    arr = (base_recognized + np.searchsorted(arr_margins, alphas, side="left")) / n_abnormal
+    return alphas, ndr, arr

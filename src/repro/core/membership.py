@@ -1,0 +1,183 @@
+"""Membership functions of the neuro-fuzzy classifier (float reference).
+
+During training the membership layer uses Gaussian membership functions
+
+.. math::
+
+    \\mu_{k,l}(u_k) = \\exp\\left( \\frac{-(u_k - c_{k,l})^2}
+                                      {2 \\sigma_{k,l}^2} \\right)
+
+one per (coefficient k, class l) pair.  The embedded versions — the
+4-segment linear approximation of Figure 4 and the simpler triangular
+approximation it is compared against — are defined here in float form
+(the integer implementations live in :mod:`repro.fixedpoint`), so that
+Figure 5's three Pareto fronts can be produced under identical float
+conditions, isolating the effect of the MF *shape* from quantization.
+
+All evaluators are vectorized: inputs of shape ``(n, k)`` against
+parameter arrays of shape ``(k, L)`` produce grades of shape
+``(n, k, L)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Paper constant: the linearization breakpoint unit S = 2.35 sigma
+#: (2.35 sigma is the full width at half maximum of a Gaussian).
+S_FACTOR = 2.35
+
+#: Value of the Gaussian at |c - x| = S (used as the inner breakpoint).
+GAUSSIAN_AT_S = float(np.exp(-(S_FACTOR**2) / 2.0))
+
+#: Smallest non-zero grade of the linearized MF, in units of the MF
+#: maximum (1 LSB of the 16-bit embedded range).
+LINEAR_FLOOR = 1.0 / 65535.0
+
+
+def _broadcast(u: np.ndarray, centers: np.ndarray, sigmas: np.ndarray):
+    """Shape-check and broadcast inputs to (n, k, L) operands."""
+    u = np.asarray(u, dtype=float)
+    centers = np.asarray(centers, dtype=float)
+    sigmas = np.asarray(sigmas, dtype=float)
+    single = u.ndim == 1
+    if single:
+        u = u[np.newaxis, :]
+    if centers.shape != sigmas.shape or centers.ndim != 2:
+        raise ValueError("centers and sigmas must both be (k, L)")
+    if u.shape[1] != centers.shape[0]:
+        raise ValueError(
+            f"{u.shape[1]} coefficients vs parameters for {centers.shape[0]}"
+        )
+    if np.any(sigmas <= 0):
+        raise ValueError("sigmas must be positive")
+    return u[:, :, np.newaxis], centers[np.newaxis], sigmas[np.newaxis], single
+
+
+def gaussian_membership(
+    u: np.ndarray, centers: np.ndarray, sigmas: np.ndarray
+) -> np.ndarray:
+    """Gaussian membership grades.
+
+    Parameters
+    ----------
+    u:
+        ``(k,)`` or ``(n, k)`` projected coefficients.
+    centers, sigmas:
+        ``(k, L)`` per-coefficient, per-class parameters.
+
+    Returns
+    -------
+    np.ndarray
+        Grades in (0, 1], shape ``(k, L)`` or ``(n, k, L)``.
+    """
+    uu, cc, ss, single = _broadcast(u, centers, sigmas)
+    z = (uu - cc) / ss
+    grades = np.exp(-0.5 * z * z)
+    return grades[0] if single else grades
+
+
+def log_gaussian_membership(
+    u: np.ndarray, centers: np.ndarray, sigmas: np.ndarray
+) -> np.ndarray:
+    """Log of the Gaussian grades (used by the trainer; never underflows)."""
+    uu, cc, ss, single = _broadcast(u, centers, sigmas)
+    z = (uu - cc) / ss
+    logs = -0.5 * z * z
+    return logs[0] if single else logs
+
+
+def linearized_membership(
+    u: np.ndarray, centers: np.ndarray, sigmas: np.ndarray
+) -> np.ndarray:
+    """Float model of the paper's 4-segment linearized MF (Figure 4).
+
+    With ``S = 2.35 sigma`` and ``r = |c - x|``:
+
+    ======================  ===========================================
+    region                  value
+    ======================  ===========================================
+    ``r >= 4S``             0
+    ``2S <= r < 4S``        the floor (1 LSB of the 16-bit range)
+    ``S <= r < 2S``         linear from the floor at 2S up to the true
+                            Gaussian value at S (~0.0632)
+    ``r < S``               linear from the value at S up to 1 at r = 0
+    ======================  ===========================================
+
+    The formulation "has the desirable property to be positive in a
+    large range; hence, it is rare that a fuzzy value becomes 0 after
+    the defuzzification (product) classifier stage."
+    """
+    uu, cc, ss, single = _broadcast(u, centers, sigmas)
+    S = S_FACTOR * ss
+    ratio = np.abs(uu - cc) / S
+    grades = np.zeros_like(ratio)
+    inner = ratio < 1.0
+    middle = (ratio >= 1.0) & (ratio < 2.0)
+    outer = (ratio >= 2.0) & (ratio < 4.0)
+    # r < S: 1 at r = 0 down to GAUSSIAN_AT_S at r = S.
+    grades[inner] = 1.0 - (1.0 - GAUSSIAN_AT_S) * ratio[inner]
+    # S <= r < 2S: GAUSSIAN_AT_S at S down to the floor at 2S.
+    slope = GAUSSIAN_AT_S - LINEAR_FLOOR
+    grades[middle] = GAUSSIAN_AT_S - slope * (ratio[middle] - 1.0)
+    grades[outer] = LINEAR_FLOOR
+    return grades[0] if single else grades
+
+
+def triangular_membership(
+    u: np.ndarray, centers: np.ndarray, sigmas: np.ndarray
+) -> np.ndarray:
+    """Float model of the simple triangular approximation of Figure 4.
+
+    A single linear segment from 1 at ``r = 0`` to 0 at ``r = 2S``
+    (the ``[-4.7 sigma, 4.7 sigma]`` support shown in the figure), zero
+    outside.  Unlike the 4-segment version it has no positive floor, so
+    products collapse to zero more often — the cause of its poor
+    high-ARR behaviour in Figure 5.
+    """
+    uu, cc, ss, single = _broadcast(u, centers, sigmas)
+    S = S_FACTOR * ss
+    r = np.abs(uu - cc)
+    grades = np.clip(1.0 - r / (2.0 * S), 0.0, 1.0)
+    return grades[0] if single else grades
+
+
+#: Registry of float membership evaluators by shape name.
+MEMBERSHIP_SHAPES = {
+    "gaussian": gaussian_membership,
+    "linear": linearized_membership,
+    "triangular": triangular_membership,
+}
+
+
+def membership_by_name(shape: str):
+    """Look up a membership evaluator (``gaussian``/``linear``/``triangular``)."""
+    try:
+        return MEMBERSHIP_SHAPES[shape]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown membership shape {shape!r}; expected one of {sorted(MEMBERSHIP_SHAPES)}"
+        ) from exc
+
+
+def linearization_error(
+    sigmas: float | np.ndarray = 1.0, n_points: int = 1000, shape: str = "linear"
+) -> dict[str, float]:
+    """Approximation error of a linearized shape vs the Gaussian (Fig. 4).
+
+    Evaluates the requested shape and the true Gaussian on the
+    ``[-4.7 sigma, 0]`` range shown in the paper's figure and returns
+    max / mean / RMS absolute error.  Used by the Figure 4 benchmark.
+    """
+    sigma = float(np.asarray(sigmas).reshape(-1)[0])
+    x = np.linspace(-2.0 * S_FACTOR * sigma, 0.0, n_points)[:, np.newaxis]
+    centers = np.zeros((1, 1))
+    sig = np.full((1, 1), sigma)
+    reference = gaussian_membership(x, centers, sig)[:, 0, 0]
+    approx = membership_by_name(shape)(x, centers, sig)[:, 0, 0]
+    error = np.abs(approx - reference)
+    return {
+        "max_error": float(error.max()),
+        "mean_error": float(error.mean()),
+        "rms_error": float(np.sqrt(np.mean(error**2))),
+    }

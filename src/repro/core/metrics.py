@@ -1,0 +1,159 @@
+"""Figures of merit: NDR, ARR, confusion matrices, Pareto fronts.
+
+The paper's two metrics (Section IV-A):
+
+* **Normal Discard Rate (NDR)** — "the rate of normal beats that are
+  correctly identified as such and thus discarded": among true-N beats,
+  the fraction classified as N (with confidence).
+* **Abnormal Recognition Rate (ARR)** — "the percentage of abnormal
+  beats that correctly activate the delineation block": among true
+  V / L beats, the fraction classified as V, L or Unknown.
+
+Both are functions of the defuzzified labels; Unknown counts toward
+abnormal by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.defuzz import NORMAL_LABEL, UNKNOWN_LABEL, is_abnormal
+from repro.ecg.morphologies import BEAT_CLASSES
+
+
+def normal_discard_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of true-N beats predicted N (discarded).
+
+    Returns 1.0 when there are no normal beats (nothing to discard).
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    normal = y_true == NORMAL_LABEL
+    n = int(normal.sum())
+    if n == 0:
+        return 1.0
+    return float(np.sum(normal & (y_pred == NORMAL_LABEL))) / n
+
+
+def abnormal_recognition_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of true-abnormal beats flagged abnormal (V, L or U).
+
+    Returns 1.0 when there are no abnormal beats.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    abnormal = y_true != NORMAL_LABEL
+    n = int(abnormal.sum())
+    if n == 0:
+        return 1.0
+    return float(np.sum(abnormal & is_abnormal(y_pred))) / n
+
+
+def activation_rate(y_pred: np.ndarray) -> float:
+    """Fraction of beats that activate the detailed analysis.
+
+    This drives the duty-cycle and radio savings: delineation runs only
+    for this fraction of the traffic.
+    """
+    y_pred = np.asarray(y_pred)
+    if y_pred.size == 0:
+        return 0.0
+    return float(np.mean(is_abnormal(y_pred)))
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Aggregate evaluation of a labeled beat set.
+
+    Attributes
+    ----------
+    ndr, arr:
+        The paper's two figures of merit.
+    activation:
+        Fraction of beats flagged abnormal (drives system savings).
+    confusion:
+        ``(L, L + 1)`` matrix: rows are true classes in
+        :data:`BEAT_CLASSES` order, columns are predicted classes plus a
+        final Unknown column.
+    n_beats:
+        Number of evaluated beats.
+    """
+
+    ndr: float
+    arr: float
+    activation: float
+    confusion: np.ndarray
+    n_beats: int
+
+    @classmethod
+    def from_labels(cls, y_true: np.ndarray, y_pred: np.ndarray) -> "ClassificationReport":
+        """Build a report from true and defuzzified labels."""
+        y_true = np.asarray(y_true)
+        y_pred = np.asarray(y_pred)
+        if y_true.shape != y_pred.shape:
+            raise ValueError("label arrays must have equal shape")
+        n_classes = len(BEAT_CLASSES)
+        confusion = np.zeros((n_classes, n_classes + 1), dtype=np.int64)
+        for true_label in range(n_classes):
+            mask = y_true == true_label
+            for predicted in range(n_classes):
+                confusion[true_label, predicted] = int(
+                    np.sum(mask & (y_pred == predicted))
+                )
+            confusion[true_label, n_classes] = int(
+                np.sum(mask & (y_pred == UNKNOWN_LABEL))
+            )
+        return cls(
+            ndr=normal_discard_rate(y_true, y_pred),
+            arr=abnormal_recognition_rate(y_true, y_pred),
+            activation=activation_rate(y_pred),
+            confusion=confusion,
+            n_beats=int(y_true.size),
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-line summary."""
+        return (
+            f"NDR={100 * self.ndr:.2f}%  ARR={100 * self.arr:.2f}%  "
+            f"activation={100 * self.activation:.2f}%  n={self.n_beats}"
+        )
+
+
+def pareto_front(ndr: np.ndarray, arr: np.ndarray) -> np.ndarray:
+    """Indices of the non-dominated (NDR, ARR) points, by ascending ARR.
+
+    A point dominates another when it is at least as good on both axes
+    and strictly better on one.  Used to draw the Figure 5 fronts.
+    """
+    ndr = np.asarray(ndr, dtype=float)
+    arr = np.asarray(arr, dtype=float)
+    if ndr.shape != arr.shape:
+        raise ValueError("ndr and arr must have equal shape")
+    order = np.argsort(arr, kind="stable")
+    front: list[int] = []
+    best_ndr = -np.inf
+    # Traverse by descending ARR; keep points that improve NDR.
+    for idx in order[::-1]:
+        if ndr[idx] > best_ndr + 1e-12:
+            front.append(int(idx))
+            best_ndr = ndr[idx]
+    return np.array(front[::-1], dtype=np.int64)
+
+
+def ndr_at_arr(
+    ndr: np.ndarray, arr: np.ndarray, target_arr: float
+) -> float:
+    """Best NDR among sweep points whose ARR meets the target.
+
+    Returns ``nan`` when no point satisfies the target — the caller
+    should then widen the sweep (or accept that the configuration
+    cannot reach the requested ARR).
+    """
+    ndr = np.asarray(ndr, dtype=float)
+    arr = np.asarray(arr, dtype=float)
+    feasible = arr >= target_arr - 1e-12
+    if not np.any(feasible):
+        return float("nan")
+    return float(ndr[feasible].max())

@@ -1,0 +1,240 @@
+"""The three-layer neuro-fuzzy classifier (NFC).
+
+Structure (Figure 3 of the paper):
+
+1. **Membership layer** — per (coefficient k, class l) membership
+   functions; Gaussian during training, linearized or triangular in the
+   embedded approximations.
+2. **Fuzzification layer** — the grades of all coefficients are
+   multiplied per class: :math:`f_l = \\prod_k \\mu_{k,l}(u_k)`.
+3. **Defuzzification layer** — the rule
+   :math:`(M_{1f} - M_{2f}) \\ge \\alpha S` assigns the argmax class or
+   ``Unknown`` (see :mod:`repro.core.defuzz`).
+
+With Gaussian MFs the log-fuzzy value is a negative scaled squared
+distance, so the classifier is trained stably in the log domain; only
+ratios of fuzzy values matter to the defuzzifier, so fuzzy values are
+reported normalized to a unit maximum per beat.
+
+Training minimizes the cross-entropy of the softmax of the log-fuzzy
+values (equivalently: the negative log of the *normalized* fuzzy value
+of the true class) with :mod:`repro.core.scg`.  Sigmas are parameterized
+by their logarithm to stay positive, with a light pull toward their
+initial values that prevents degenerate collapse on small training
+sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.membership import (
+    gaussian_membership,
+    log_gaussian_membership,
+    membership_by_name,
+)
+from repro.core.scg import scg_minimize
+
+#: Default number of classes (N, V, L).
+DEFAULT_N_CLASSES = 3
+
+
+@dataclass(frozen=True)
+class NeuroFuzzyClassifier:
+    """A trained NFC: per-(coefficient, class) centers and sigmas.
+
+    Attributes
+    ----------
+    centers, sigmas:
+        ``(k, L)`` membership-function parameters.
+    shape:
+        Membership shape used at inference: ``"gaussian"``,
+        ``"linear"`` or ``"triangular"``.  Training always uses
+        Gaussian MFs; the embedded shapes reuse the trained parameters.
+    """
+
+    centers: np.ndarray
+    sigmas: np.ndarray
+    shape: str = "gaussian"
+
+    def __post_init__(self) -> None:
+        centers = np.asarray(self.centers, dtype=float)
+        sigmas = np.asarray(self.sigmas, dtype=float)
+        if centers.shape != sigmas.shape or centers.ndim != 2:
+            raise ValueError("centers and sigmas must both be (k, L)")
+        if np.any(sigmas <= 0):
+            raise ValueError("sigmas must be positive")
+        membership_by_name(self.shape)  # validates the shape name
+        object.__setattr__(self, "centers", centers)
+        object.__setattr__(self, "sigmas", sigmas)
+
+    @property
+    def n_coefficients(self) -> int:
+        """Number of input coefficients k."""
+        return int(self.centers.shape[0])
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes L."""
+        return int(self.centers.shape[1])
+
+    def with_shape(self, shape: str) -> "NeuroFuzzyClassifier":
+        """Same parameters, different membership shape."""
+        membership_by_name(shape)
+        return replace(self, shape=shape)
+
+    # ------------------------------------------------------------------
+    # Forward passes
+    # ------------------------------------------------------------------
+    def membership_grades(self, U: np.ndarray) -> np.ndarray:
+        """Membership-layer output, shape ``(n, k, L)`` (or ``(k, L)``)."""
+        return membership_by_name(self.shape)(U, self.centers, self.sigmas)
+
+    def fuzzy_values(self, U: np.ndarray) -> np.ndarray:
+        """Fuzzification-layer output, normalized to unit max per beat.
+
+        Only the *ratios* of the per-class fuzzy values are meaningful
+        (the defuzzification rule is scale-invariant), so the product
+        over coefficients is computed in the log domain and shifted so
+        the per-beat maximum is 1 — this never under- or overflows even
+        for k = 32 Gaussian grades.
+
+        Beats whose fuzzy values vanish for *all* classes (possible
+        with the triangular shape, which has no positive floor) return
+        an all-zero row; the defuzzifier maps those to Unknown.
+        """
+        U = np.asarray(U, dtype=float)
+        single = U.ndim == 1
+        if single:
+            U = U[np.newaxis, :]
+        if self.shape == "gaussian":
+            logs = log_gaussian_membership(U, self.centers, self.sigmas).sum(axis=1)
+            values = np.exp(logs - logs.max(axis=1, keepdims=True))
+        else:
+            # Grades lie in [0, 1] and k <= a few tens, so the direct
+            # product stays within float64 range (>= 65535^-k > 1e-160
+            # for non-zero grades); normalization restores unit max.
+            products = self.membership_grades(U).prod(axis=1)
+            peak = products.max(axis=1, keepdims=True)
+            values = products / np.where(peak > 0.0, peak, 1.0)
+        return values[0] if single else values
+
+    def log_fuzzy_values(self, U: np.ndarray) -> np.ndarray:
+        """Unnormalized log fuzzy values (Gaussian shape only).
+
+        These are the logits the trainer differentiates; inference
+        should use :meth:`fuzzy_values`.
+        """
+        if self.shape != "gaussian":
+            raise ValueError("log fuzzy values are only defined for the gaussian shape")
+        return log_gaussian_membership(U, self.centers, self.sigmas).sum(axis=1)
+
+    def posterior(self, U: np.ndarray) -> np.ndarray:
+        """Normalized fuzzy values summing to 1 per beat (softmax form)."""
+        values = np.atleast_2d(self.fuzzy_values(U))
+        totals = values.sum(axis=1, keepdims=True)
+        safe = np.where(totals > 0.0, totals, 1.0)
+        posterior = values / safe
+        return posterior[0] if np.asarray(U).ndim == 1 else posterior
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    @classmethod
+    def initialize(
+        cls, U: np.ndarray, y: np.ndarray, n_classes: int = DEFAULT_N_CLASSES
+    ) -> "NeuroFuzzyClassifier":
+        """Moment-matching initialization.
+
+        Centers are the per-class means of the projected coefficients
+        and sigmas the per-class standard deviations (floored at 5% of
+        the global coefficient scale so no MF starts degenerate) —
+        i.e. the diagonal-Gaussian classifier SCG then refines.
+        """
+        U = np.asarray(U, dtype=float)
+        y = np.asarray(y)
+        if U.ndim != 2:
+            raise ValueError("U must be (n, k)")
+        if y.shape != (U.shape[0],):
+            raise ValueError("one label per beat required")
+        k = U.shape[1]
+        global_scale = float(U.std()) or 1.0
+        centers = np.zeros((k, n_classes))
+        sigmas = np.full((k, n_classes), global_scale)
+        for label in range(n_classes):
+            members = U[y == label]
+            if members.shape[0] == 0:
+                continue
+            centers[:, label] = members.mean(axis=0)
+            sigmas[:, label] = np.maximum(members.std(axis=0), 0.05 * global_scale)
+        return cls(centers, sigmas)
+
+    @classmethod
+    def fit(
+        cls,
+        U: np.ndarray,
+        y: np.ndarray,
+        n_classes: int = DEFAULT_N_CLASSES,
+        max_iterations: int = 150,
+        sigma_regularization: float = 1e-3,
+    ) -> "NeuroFuzzyClassifier":
+        """Train Gaussian MFs with scaled conjugate gradient.
+
+        Parameters
+        ----------
+        U:
+            ``(n, k)`` projected training coefficients (training set 1).
+        y:
+            ``(n,)`` integer labels.
+        n_classes:
+            Number of classes (3 for N/V/L).
+        max_iterations:
+            SCG iteration budget.
+        sigma_regularization:
+            Weight of the pull of ``log sigma`` toward its
+            initialization (prevents width collapse on tiny classes).
+
+        Returns
+        -------
+        NeuroFuzzyClassifier
+            Trained classifier with the ``gaussian`` shape.
+        """
+        initial = cls.initialize(U, y, n_classes)
+        U = np.asarray(U, dtype=float)
+        y = np.asarray(y)
+        n, k = U.shape
+        log_sigma0 = np.log(initial.sigmas)
+        one_hot = np.zeros((n, n_classes))
+        one_hot[np.arange(n), y] = 1.0
+
+        def unpack(theta: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            centers = theta[: k * n_classes].reshape(k, n_classes)
+            log_sigmas = theta[k * n_classes :].reshape(k, n_classes)
+            return centers, log_sigmas
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            centers, log_sigmas = unpack(theta)
+            sigmas = np.exp(np.clip(log_sigmas, -20.0, 20.0))
+            diff = U[:, :, np.newaxis] - centers[np.newaxis]  # (n, k, L)
+            z2 = (diff / sigmas[np.newaxis]) ** 2
+            logits = -0.5 * z2.sum(axis=1)  # (n, L)
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            log_norm = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+            log_posterior = shifted - log_norm
+            loss = -float((one_hot * log_posterior).sum()) / n
+            posterior = np.exp(log_posterior)
+            dlogits = (posterior - one_hot) / n  # (n, L)
+            # dz_l/dc = diff / sigma^2 ; dz_l/dlog sigma = diff^2 / sigma^2
+            grad_centers = np.einsum("nl,nkl->kl", dlogits, diff / sigmas[np.newaxis] ** 2)
+            grad_log_sigmas = np.einsum("nl,nkl->kl", dlogits, z2)
+            reg = log_sigmas - log_sigma0
+            loss += 0.5 * sigma_regularization * float((reg**2).sum())
+            grad_log_sigmas = grad_log_sigmas + sigma_regularization * reg
+            return loss, np.concatenate([grad_centers.ravel(), grad_log_sigmas.ravel()])
+
+        theta0 = np.concatenate([initial.centers.ravel(), log_sigma0.ravel()])
+        result = scg_minimize(objective, theta0, max_iterations=max_iterations)
+        centers, log_sigmas = unpack(result.x)
+        return cls(centers, np.exp(np.clip(log_sigmas, -20.0, 20.0)))

@@ -1,0 +1,59 @@
+"""Embedded ECG signal-processing chain.
+
+This subpackage reimplements the state-of-the-art embedded algorithms
+the paper takes from Rincon et al. (IEEE TITB 2011) and uses around the
+RP classifier:
+
+* :mod:`repro.dsp.morphological` — erosion/dilation/opening/closing with
+  flat structuring elements, baseline-wander removal and noise
+  suppression built from them;
+* :mod:`repro.dsp.wavelet` — à-trous dyadic wavelet transform (quadratic
+  spline filters), four scales;
+* :mod:`repro.dsp.peak_detection` — R-peak detector locating the
+  zero-crossing between maximum–minimum modulus pairs across scales;
+* :mod:`repro.dsp.mmd` — multi-scale morphological derivative operator;
+* :mod:`repro.dsp.delineation` — single- and multi-lead delineation of
+  P / QRS / T onsets, peaks and ends (the "detailed analysis" stage the
+  classifier gates).
+
+All stages optionally record their arithmetic work into an op-counter
+(any object exposing ``add(op_name, count)``), which is how the
+platform model measures duty cycles without running on real silicon.
+"""
+
+from repro.dsp.morphological import (
+    closing,
+    dilation,
+    erosion,
+    filter_lead,
+    opening,
+    remove_baseline,
+    suppress_noise,
+)
+from repro.dsp.peak_detection import PeakDetectorConfig, detect_peaks
+from repro.dsp.wavelet import dyadic_wavelet
+from repro.dsp.delineation import BeatFiducials, delineate_beat, delineate_multilead
+from repro.dsp.delineation_eval import evaluate_delineation
+from repro.dsp.mmd import mmd_multiscale, mmd_transform
+from repro.dsp.streaming import BlockFilter, StreamingPeakDetector
+
+__all__ = [
+    "erosion",
+    "dilation",
+    "opening",
+    "closing",
+    "filter_lead",
+    "remove_baseline",
+    "suppress_noise",
+    "dyadic_wavelet",
+    "detect_peaks",
+    "PeakDetectorConfig",
+    "mmd_transform",
+    "mmd_multiscale",
+    "BeatFiducials",
+    "delineate_beat",
+    "delineate_multilead",
+    "evaluate_delineation",
+    "BlockFilter",
+    "StreamingPeakDetector",
+]

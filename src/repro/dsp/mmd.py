@@ -1,0 +1,60 @@
+"""Multi-scale morphological derivative (MMD) operator.
+
+The delineation stage of Rincon et al. locates wave onsets and ends with
+a *multi-scale morphological derivative*: at scale ``s`` the operator
+
+.. math::
+
+    \\mathrm{MMD}_s x(n) = (x \\oplus B_s)(n) + (x \\ominus B_s)(n) - 2 x(n)
+
+(dilation plus erosion minus twice the signal, with a flat structuring
+element of ``2 s + 1`` samples) behaves like a second-derivative probe
+whose support grows with ``s``: it is strongly positive at concave
+corners (wave onsets/ends of positive waves) and strongly negative at
+convex corners (the peaks), while staying near zero on straight
+segments.  Evaluating it at a few scales and picking extremum locations
+yields noise-robust fiducial points with only comparisons and additions
+— the reason the operator suits WBSN processors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.morphological import dilation, erosion
+
+
+def mmd_transform(x: np.ndarray, scale: int, counter=None) -> np.ndarray:
+    """Multi-scale morphological derivative at one scale.
+
+    Parameters
+    ----------
+    x:
+        1-D signal segment.
+    scale:
+        Half-width ``s`` of the flat structuring element (its length is
+        ``2 s + 1`` samples).
+    counter:
+        Optional op-counter.
+
+    Returns
+    -------
+    np.ndarray
+        ``MMD_s x``, same length as ``x``.
+    """
+    if scale < 1:
+        raise ValueError("MMD scale must be >= 1")
+    x = np.asarray(x, dtype=float)
+    length = 2 * scale + 1
+    dilated = dilation(x, length, counter)
+    eroded = erosion(x, length, counter)
+    if counter is not None:
+        counter.add("add", x.size)
+        counter.add("sub", x.size)
+        counter.add("shift", x.size)  # the 2*x term as a left shift
+    return dilated + eroded - 2.0 * x
+
+
+def mmd_multiscale(x: np.ndarray, scales: tuple[int, ...], counter=None) -> np.ndarray:
+    """Stack of MMD responses at several scales, shape ``(len(scales), n)``."""
+    return np.stack([mmd_transform(x, s, counter) for s in scales], axis=0)

@@ -1,0 +1,189 @@
+"""Streaming (block-wise) front-end processing.
+
+The batch functions in :mod:`repro.dsp.morphological` and
+:mod:`repro.dsp.peak_detection` consume whole records; a WBSN consumes
+an ADC stream and must process it in small blocks with bounded memory.
+This module provides the block scheduler that firmware uses:
+
+* :class:`BlockFilter` — feeds arbitrary-sized sample blocks through
+  the morphological filtering chain and emits filtered samples exactly
+  equal to the batch output (once enough context has arrived; the
+  stitching context is sized from the filters' supports);
+* :class:`StreamingPeakDetector` — runs the wavelet detector over
+  overlapping analysis windows of the filtered stream and merges the
+  per-window detections into one strictly-increasing peak sequence.
+
+Both are *schedulers*: they reuse the exact batch kernels, so every
+numerical property (and op count) of the batch path carries over — the
+tests assert bit-exact filtered samples and matched peak sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.morphological import filter_lead
+from repro.dsp.peak_detection import PeakDetectorConfig, detect_peaks
+
+
+def filter_context_samples(fs: float) -> int:
+    """One-sided context the filtering chain needs for exact stitching.
+
+    The baseline-removal opening/closing use structuring elements of
+    0.2 s and 0.3 s; a cascade of erosion+dilation with element length
+    ``m`` looks ``m - 1`` samples in each direction, so two cascaded
+    stages need the sum of their supports; the denoising stage adds its
+    short element.  One extra sample absorbs the odd-length rounding.
+    """
+    opening = max(3, int(round(0.2 * fs)) | 1)
+    closing = max(3, int(round(0.3 * fs)) | 1)
+    denoise = max(3, int(round(0.014 * fs)) | 1)
+    return (opening - 1) + (closing - 1) + (denoise - 1) + 1
+
+
+class BlockFilter:
+    """Incremental morphological filtering with exact batch equivalence.
+
+    Parameters
+    ----------
+    fs:
+        Sampling frequency in Hz.
+
+    Notes
+    -----
+    ``push(block)`` returns the filtered samples that became *final*
+    with this block (their two-sided context is complete); ``flush()``
+    returns the tail, computed with the same edge replication the batch
+    path applies at the record end.  Concatenating every return value
+    reproduces ``filter_lead(whole_record)`` except in the first
+    ``context`` samples, where the streaming path has seen less left
+    context than the batch path's edge padding assumed — firmware
+    discards that warm-up period anyway.
+    """
+
+    def __init__(self, fs: float):
+        if fs <= 0:
+            raise ValueError("sampling frequency must be positive")
+        self.fs = fs
+        self.context = filter_context_samples(fs)
+        self._buffer = np.empty(0, dtype=float)
+        self._emitted = 0  # samples already returned to the caller
+
+    @property
+    def delay_samples(self) -> int:
+        """Output latency: samples withheld until their context arrives."""
+        return self.context
+
+    def push(self, block: np.ndarray) -> np.ndarray:
+        """Feed a block; return newly finalized filtered samples."""
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 1:
+            raise ValueError("blocks must be 1-D")
+        self._buffer = np.concatenate([self._buffer, block])
+        # Samples up to len(buffer) - context have full right context.
+        finalized_end = self._buffer.size - self.context
+        if finalized_end <= self._emitted:
+            return np.empty(0, dtype=float)
+        filtered = filter_lead(self._buffer, self.fs)
+        out = filtered[self._emitted : finalized_end]
+        self._emitted = finalized_end
+        # Keep only what future samples still need as left context.
+        keep_from = max(0, self._emitted - self.context)
+        self._buffer = self._buffer[keep_from:]
+        self._emitted -= keep_from
+        return out
+
+    def flush(self) -> np.ndarray:
+        """Finalize the tail (edge-replicated, like the batch path)."""
+        if self._buffer.size == 0 or self._emitted >= self._buffer.size:
+            return np.empty(0, dtype=float)
+        filtered = filter_lead(self._buffer, self.fs)
+        out = filtered[self._emitted :]
+        self._emitted = self._buffer.size
+        return out
+
+
+class StreamingPeakDetector:
+    """Block-wise wavelet peak detection over the filtered stream.
+
+    Parameters
+    ----------
+    fs:
+        Sampling frequency.
+    window_s:
+        Analysis window length in seconds (the detector's thresholds
+        are derived per window, matching how the embedded code adapts
+        to slow amplitude changes).
+    overlap_s:
+        Overlap between consecutive windows; must exceed one beat so no
+        peak can fall entirely inside a window seam.
+    config:
+        Detector tunables.
+    """
+
+    def __init__(
+        self,
+        fs: float,
+        window_s: float = 10.0,
+        overlap_s: float = 1.5,
+        config: PeakDetectorConfig | None = None,
+    ):
+        if fs <= 0:
+            raise ValueError("sampling frequency must be positive")
+        if overlap_s <= 0 or window_s <= 2 * overlap_s:
+            raise ValueError("need window_s > 2 * overlap_s > 0")
+        self.fs = fs
+        self.window = int(round(window_s * fs))
+        self.overlap = int(round(overlap_s * fs))
+        self.config = config or PeakDetectorConfig()
+        self._buffer = np.empty(0, dtype=float)
+        self._offset = 0  # absolute index of buffer[0]
+        self._peaks: list[int] = []
+
+    def push(self, filtered_block: np.ndarray) -> list[int]:
+        """Feed filtered samples; return newly confirmed peak indices."""
+        filtered_block = np.asarray(filtered_block, dtype=float)
+        if filtered_block.ndim != 1:
+            raise ValueError("blocks must be 1-D")
+        self._buffer = np.concatenate([self._buffer, filtered_block])
+        new_peaks: list[int] = []
+        while self._buffer.size >= self.window:
+            segment = self._buffer[: self.window]
+            detected = detect_peaks(segment, self.fs, self.config) + self._offset
+            # Peaks inside the trailing overlap are re-examined by the
+            # next window (they may lack right context here).
+            confirm_before = self._offset + self.window - self.overlap
+            for peak in detected:
+                if peak < confirm_before:
+                    new_peaks.append(int(peak))
+            advance = self.window - self.overlap
+            self._buffer = self._buffer[advance:]
+            self._offset += advance
+        merged = self._merge(new_peaks)
+        return merged
+
+    def flush(self) -> list[int]:
+        """Analyze the remaining tail and return its confirmed peaks."""
+        if self._buffer.size < int(0.5 * self.fs):
+            return []
+        detected = detect_peaks(self._buffer, self.fs, self.config) + self._offset
+        out = self._merge(int(p) for p in detected)
+        self._buffer = np.empty(0, dtype=float)
+        return out
+
+    def _merge(self, candidates) -> list[int]:
+        """Deduplicate against already-confirmed peaks (refractory)."""
+        refractory = int(round(self.config.refractory * self.fs))
+        accepted: list[int] = []
+        for peak in sorted(candidates):
+            last = self._peaks[-1] if self._peaks else None
+            if last is not None and peak - last < refractory:
+                continue
+            self._peaks.append(peak)
+            accepted.append(peak)
+        return accepted
+
+    @property
+    def peaks(self) -> np.ndarray:
+        """All confirmed peaks so far (absolute sample indices)."""
+        return np.asarray(self._peaks, dtype=np.int64)

@@ -1,0 +1,107 @@
+"""À-trous dyadic wavelet transform with quadratic-spline filters.
+
+The peak detector of Rincon et al. (itself derived from the classic
+Mallat / Martinez delineator) decomposes the ECG into four dyadic
+scales with the quadratic-spline wavelet, whose digital filters are
+
+* low-pass  ``h = (1/8) [1, 3, 3, 1]``
+* high-pass ``g = 2 [1, -1]``
+
+The transform is undecimated ("algorithme à trous"): at scale *j* the
+filters are upsampled by inserting ``2^(j-1) - 1`` zeros between taps.
+With this wavelet, each scale of the transform is proportional to a
+smoothed derivative of the input, so QRS complexes appear as
+maximum–minimum pairs whose zero crossing marks the R peak.
+
+Each scale's group delay is compensated so that the zero crossing of a
+symmetric peak is aligned with the peak sample itself, which keeps the
+detector phase-accurate across scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Quadratic-spline analysis filters.
+LOWPASS = np.array([1.0, 3.0, 3.0, 1.0]) / 8.0
+HIGHPASS = np.array([2.0, -2.0])
+
+
+def _upsample(filter_taps: np.ndarray, factor: int) -> np.ndarray:
+    """Insert ``factor - 1`` zeros between filter taps (à trous)."""
+    if factor == 1:
+        return filter_taps
+    upsampled = np.zeros((filter_taps.size - 1) * factor + 1)
+    upsampled[::factor] = filter_taps
+    return upsampled
+
+
+def _filter_same(x: np.ndarray, taps: np.ndarray, counter=None) -> np.ndarray:
+    """Convolve and trim to the input length (delay kept, trimmed later)."""
+    if counter is not None:
+        nonzero = int(np.count_nonzero(taps))
+        # A WBSN implementation skips the inserted zeros, and the
+        # quadratic-spline taps are power-of-two multiples, so each tap
+        # costs one shift-accumulate.
+        counter.add("mul", x.size * nonzero)
+        counter.add("add", x.size * (nonzero - 1))
+        counter.add("load", x.size * nonzero)
+        counter.add("store", x.size)
+    return np.convolve(x, taps, mode="full")[: x.size]
+
+
+def scale_delay(scale: int) -> int:
+    """Group delay (samples) of the cascade producing wavelet scale ``scale``.
+
+    With the quadratic-spline pair the delay of scale *j* (1-based) is
+    ``2^(j-1) + 2^(j-1) - 1 + sum of lowpass delays``; expanding the
+    cascade gives the familiar values 1, 3, 7, 15 for scales 1-4 (up to
+    the half-sample intrinsic offset of the odd-length equivalent
+    filter, absorbed into the integer compensation used here).
+    """
+    if scale < 1:
+        raise ValueError("scale index must be >= 1")
+    return (1 << scale) - 1
+
+
+def dyadic_wavelet(
+    x: np.ndarray, n_scales: int = 4, counter=None, compensate_delay: bool = True
+) -> np.ndarray:
+    """Compute the à-trous dyadic wavelet transform.
+
+    Parameters
+    ----------
+    x:
+        1-D input signal.
+    n_scales:
+        Number of dyadic scales (the detector uses 4).
+    counter:
+        Optional op-counter recording the embedded filtering work.
+    compensate_delay:
+        Shift each scale left by its group delay so wavelet features
+        align with the input samples (detectors rely on this).
+
+    Returns
+    -------
+    np.ndarray
+        Array of shape ``(n_scales, len(x))``; row ``j-1`` holds
+        :math:`W_{2^j} x`.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError("dyadic_wavelet expects a 1-D signal")
+    if n_scales < 1:
+        raise ValueError("n_scales must be >= 1")
+    scales = np.empty((n_scales, x.size))
+    approximation = x
+    for j in range(1, n_scales + 1):
+        factor = 1 << (j - 1)
+        g = _upsample(HIGHPASS, factor)
+        h = _upsample(LOWPASS, factor)
+        detail = _filter_same(approximation, g, counter)
+        if compensate_delay:
+            delay = scale_delay(j)
+            detail = np.concatenate([detail[delay:], np.repeat(detail[-1], delay)])
+        scales[j - 1] = detail
+        approximation = _filter_same(approximation, h, counter)
+    return scales

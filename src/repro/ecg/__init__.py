@@ -1,0 +1,53 @@
+"""Synthetic MIT-BIH-like ECG substrate.
+
+The paper evaluates on the MIT-BIH Arrhythmia Database (PhysioBank),
+restricted to three beat classes: normal sinus beats (``N``), premature
+ventricular contractions (``V``) and left-bundle-branch-block beats
+(``L``).  The database itself cannot be redistributed with this
+reproduction, so this subpackage provides a synthetic equivalent that
+exercises the exact same code paths:
+
+* :mod:`repro.ecg.morphologies` — parametric sum-of-Gaussians beat
+  templates for the three classes, with class-conditional variability;
+* :mod:`repro.ecg.synth` — whole-record synthesis (RR-interval process,
+  baseline wander, muscle artifact, powerline interference, ADC);
+* :mod:`repro.ecg.database` — ``Record`` / ``Annotation`` containers
+  mirroring the small slice of the ``wfdb`` API the pipeline needs;
+* :mod:`repro.ecg.mitbih` — a deterministic synthetic "database" whose
+  per-class beat counts match Table I of the paper;
+* :mod:`repro.ecg.segmentation` — fixed-window beat extraction around
+  detected R peaks (100 samples before / 100 after at 360 Hz);
+* :mod:`repro.ecg.resample` — integer-factor downsampling used by the
+  embedded (90 Hz) configuration.
+"""
+
+from repro.ecg.database import Annotation, Record
+from repro.ecg.morphologies import (
+    BEAT_CLASSES,
+    CLASS_TO_INDEX,
+    BeatMorphology,
+    MorphologyModel,
+    WaveComponent,
+    lbbb_model,
+    normal_model,
+    pvc_model,
+)
+from repro.ecg.segmentation import BeatWindow, segment_beats
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+
+__all__ = [
+    "Annotation",
+    "Record",
+    "BEAT_CLASSES",
+    "CLASS_TO_INDEX",
+    "BeatMorphology",
+    "MorphologyModel",
+    "WaveComponent",
+    "normal_model",
+    "lbbb_model",
+    "pvc_model",
+    "BeatWindow",
+    "segment_beats",
+    "RecordSynthesizer",
+    "SynthesisConfig",
+]

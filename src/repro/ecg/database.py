@@ -1,0 +1,195 @@
+"""Record and annotation containers mirroring the slice of the ``wfdb``
+API the pipeline needs.
+
+The MIT-BIH Arrhythmia Database stores each half-hour recording as a
+multi-lead signal file plus an annotation file giving, for every beat,
+the sample index of the R peak and a beat-type symbol.  This module
+provides equivalent in-memory containers for the synthetic substrate:
+
+* :class:`Annotation` — parallel arrays of peak sample indices and beat
+  symbols;
+* :class:`Record` — a ``(n_samples, n_leads)`` signal with sampling
+  frequency, ADC metadata and an attached :class:`Annotation`.
+
+Signals can be held either as physical units (millivolts, ``float64``)
+or as ADC counts (integers), matching the two representations used by
+the PC-side and WBSN-side of the paper's framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ecg.morphologies import BEAT_CLASSES, CLASS_TO_INDEX
+
+#: MIT-BIH uses an 11-bit ADC centred on 1024 with 200 adu/mV.
+DEFAULT_ADC_GAIN = 200.0
+DEFAULT_ADC_ZERO = 1024
+DEFAULT_ADC_BITS = 11
+DEFAULT_FS = 360.0
+
+
+@dataclass
+class Annotation:
+    """Beat annotations for one record.
+
+    Parameters
+    ----------
+    samples:
+        R-peak sample indices, strictly increasing (``int64``).
+    symbols:
+        Beat-class symbol per peak (``"N"``, ``"V"``, ``"L"``).
+    """
+
+    samples: np.ndarray
+    symbols: list[str]
+
+    def __post_init__(self) -> None:
+        self.samples = np.asarray(self.samples, dtype=np.int64)
+        if self.samples.ndim != 1:
+            raise ValueError("annotation samples must be one-dimensional")
+        if len(self.symbols) != self.samples.size:
+            raise ValueError(
+                f"{self.samples.size} samples but {len(self.symbols)} symbols"
+            )
+        if self.samples.size > 1 and not np.all(np.diff(self.samples) > 0):
+            raise ValueError("annotation samples must be strictly increasing")
+        unknown = sorted(set(self.symbols) - set(BEAT_CLASSES))
+        if unknown:
+            raise ValueError(f"unknown beat symbols: {unknown}")
+
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Integer labels (index into :data:`BEAT_CLASSES`) per beat."""
+        return np.array([CLASS_TO_INDEX[s] for s in self.symbols], dtype=np.int64)
+
+    def counts(self) -> dict[str, int]:
+        """Number of beats per class symbol (zero included)."""
+        result = {symbol: 0 for symbol in BEAT_CLASSES}
+        for symbol in self.symbols:
+            result[symbol] += 1
+        return result
+
+    def select(self, mask: np.ndarray) -> "Annotation":
+        """Return a sub-annotation selected by a boolean mask."""
+        mask = np.asarray(mask, dtype=bool)
+        symbols = [s for s, keep in zip(self.symbols, mask) if keep]
+        return Annotation(self.samples[mask], symbols)
+
+
+@dataclass
+class Record:
+    """A multi-lead ECG recording.
+
+    Parameters
+    ----------
+    name:
+        Record identifier (e.g. ``"synth-100"``).
+    signal:
+        ``(n_samples, n_leads)`` array.  ``float64`` when in physical
+        units (mV); integer when holding ADC counts.
+    fs:
+        Sampling frequency in Hz.
+    annotation:
+        Reference beat annotations, or ``None`` for unlabeled data.
+    adc_gain, adc_zero, adc_bits:
+        ADC conversion metadata (MIT-BIH defaults: 200 adu/mV, zero at
+        1024, 11 bits).
+    """
+
+    name: str
+    signal: np.ndarray
+    fs: float = DEFAULT_FS
+    annotation: Annotation | None = None
+    adc_gain: float = DEFAULT_ADC_GAIN
+    adc_zero: int = DEFAULT_ADC_ZERO
+    adc_bits: int = DEFAULT_ADC_BITS
+    lead_names: tuple[str, ...] = field(default_factory=tuple)
+    #: Optional ground-truth fiducials, ``(len(annotation), 9)`` int64
+    #: in :data:`repro.dsp.delineation.FIDUCIAL_NAMES` order (-1 =
+    #: wave absent).  Only synthetic records carry these; they exist so
+    #: the delineator can be evaluated against known wave boundaries.
+    fiducials: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.signal = np.asarray(self.signal)
+        if self.signal.ndim == 1:
+            self.signal = self.signal[:, np.newaxis]
+        if self.signal.ndim != 2:
+            raise ValueError("signal must be (n_samples,) or (n_samples, n_leads)")
+        if self.fs <= 0:
+            raise ValueError("sampling frequency must be positive")
+        if not self.lead_names:
+            self.lead_names = tuple(f"lead{i}" for i in range(self.n_leads))
+        if len(self.lead_names) != self.n_leads:
+            raise ValueError("one lead name per signal column required")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples per lead."""
+        return int(self.signal.shape[0])
+
+    @property
+    def n_leads(self) -> int:
+        """Number of leads (signal columns)."""
+        return int(self.signal.shape[1])
+
+    @property
+    def duration(self) -> float:
+        """Record duration in seconds."""
+        return self.n_samples / self.fs
+
+    @property
+    def is_digital(self) -> bool:
+        """True when the signal holds integer ADC counts."""
+        return np.issubdtype(self.signal.dtype, np.integer)
+
+    def lead(self, index: int) -> np.ndarray:
+        """Return one lead as a 1-D array."""
+        return self.signal[:, index]
+
+    def to_digital(self) -> "Record":
+        """Convert physical units (mV) to clipped ADC counts.
+
+        The conversion mirrors the WFDB convention:
+        ``adu = round(mV * adc_gain) + adc_zero`` clipped to the ADC
+        range.  Returns ``self`` if the record is already digital.
+        """
+        if self.is_digital:
+            return self
+        full_scale = (1 << self.adc_bits) - 1
+        counts = np.rint(self.signal * self.adc_gain) + self.adc_zero
+        counts = np.clip(counts, 0, full_scale).astype(np.int32)
+        return Record(
+            self.name,
+            counts,
+            fs=self.fs,
+            annotation=self.annotation,
+            adc_gain=self.adc_gain,
+            adc_zero=self.adc_zero,
+            adc_bits=self.adc_bits,
+            lead_names=self.lead_names,
+            fiducials=self.fiducials,
+        )
+
+    def to_physical(self) -> "Record":
+        """Convert ADC counts back to millivolts (float)."""
+        if not self.is_digital:
+            return self
+        physical = (self.signal.astype(np.float64) - self.adc_zero) / self.adc_gain
+        return Record(
+            self.name,
+            physical,
+            fs=self.fs,
+            annotation=self.annotation,
+            adc_gain=self.adc_gain,
+            adc_zero=self.adc_zero,
+            adc_bits=self.adc_bits,
+            lead_names=self.lead_names,
+            fiducials=self.fiducials,
+        )

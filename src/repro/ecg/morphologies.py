@@ -1,0 +1,349 @@
+"""Parametric heartbeat morphologies for the N / V / L beat classes.
+
+Each beat is modelled as a sum of Gaussian wave components (the classic
+P-Q-R-S-T decomposition used by McSharry et al.'s dynamical ECG model).
+A :class:`WaveComponent` is a single Gaussian bump; a
+:class:`BeatMorphology` is a concrete, sampleable beat; a
+:class:`MorphologyModel` is a *distribution* over morphologies for one
+beat class, from which per-beat realizations are drawn.
+
+The three class models implement the physiology the paper's classifier
+relies on:
+
+``N`` (normal sinus)
+    Upright narrow QRS (~80 ms), preceding P wave, concordant T wave.
+``L`` (left bundle branch block)
+    Broad (> 120 ms), slurred/notched QRS without a Q wave, delayed
+    intrinsicoid deflection and *discordant* (inverted) T wave.  P wave
+    present (supraventricular origin).
+``V`` (premature ventricular contraction)
+    No P wave, very broad (> 140 ms) bizarre QRS with large amplitude of
+    either polarity, large discordant T wave; occurs prematurely (the
+    RR-interval handling lives in :mod:`repro.ecg.synth`).
+
+Amplitudes are expressed in millivolts and times in seconds relative to
+the R-peak (the sample the peak detector should lock onto).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+#: Beat-class symbols in the order used throughout the package.  The
+#: integer label of a class is its index in this tuple.
+BEAT_CLASSES = ("N", "V", "L")
+
+#: Mapping from class symbol to integer label.
+CLASS_TO_INDEX = {symbol: index for index, symbol in enumerate(BEAT_CLASSES)}
+
+#: Classes the paper treats as pathological ("abnormal").  ``U``
+#: (unknown) is also treated as abnormal at defuzzification time but is
+#: never a ground-truth label.
+ABNORMAL_CLASSES = ("V", "L")
+
+
+@dataclass(frozen=True)
+class WaveComponent:
+    """One Gaussian bump of a beat template.
+
+    Parameters
+    ----------
+    name:
+        Conventional wave name (``"P"``, ``"Q"``, ``"R"``, ``"S"``,
+        ``"T"``, or a variant such as ``"R2"`` for a notched QRS).
+    amplitude:
+        Peak amplitude in millivolts (signed).
+    center:
+        Center of the bump in seconds relative to the R peak.
+    width:
+        Gaussian standard deviation in seconds.
+    """
+
+    name: str
+    amplitude: float
+    center: float
+    width: float
+
+    def evaluate(self, t: np.ndarray) -> np.ndarray:
+        """Evaluate the component on a time grid ``t`` (seconds)."""
+        z = (t - self.center) / self.width
+        return self.amplitude * np.exp(-0.5 * z * z)
+
+
+@dataclass(frozen=True)
+class BeatMorphology:
+    """A concrete beat: a list of wave components plus a class symbol."""
+
+    symbol: str
+    components: tuple[WaveComponent, ...]
+
+    def waveform(self, t: np.ndarray) -> np.ndarray:
+        """Synthesize the beat on a time grid ``t`` (seconds, R peak at 0)."""
+        out = np.zeros_like(t, dtype=float)
+        for component in self.components:
+            out += component.evaluate(t)
+        return out
+
+    def sample_window(self, fs: float, pre: int, post: int) -> np.ndarray:
+        """Sample the beat on a ``pre + post`` window around the R peak.
+
+        Parameters
+        ----------
+        fs:
+            Sampling frequency in Hz.
+        pre, post:
+            Number of samples before and after the peak.  The peak
+            sample itself is the first of the ``post`` block, matching
+            the paper's "100 samples before and 100 samples after its
+            peak" (a 200-sample window at 360 Hz).
+        """
+        t = (np.arange(-pre, post) + 0.0) / fs
+        return self.waveform(t)
+
+    @property
+    def label(self) -> int:
+        """Integer label of the beat class."""
+        return CLASS_TO_INDEX[self.symbol]
+
+    def component(self, name: str) -> WaveComponent:
+        """Return the first component with the given name.
+
+        Raises
+        ------
+        KeyError
+            If no component carries that name.
+        """
+        for candidate in self.components:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"morphology {self.symbol!r} has no component {name!r}")
+
+
+def _jitter(rng: np.random.Generator, value: float, rel_std: float, abs_std: float = 0.0) -> float:
+    """Gaussian jitter with a relative and an absolute component."""
+    return value * (1.0 + rel_std * rng.standard_normal()) + abs_std * rng.standard_normal()
+
+
+@dataclass(frozen=True)
+class MorphologyModel:
+    """A distribution over beat morphologies for one class.
+
+    ``template`` holds the mean wave parameters; ``draw`` perturbs
+    amplitudes, centers and widths with class-specific variability and
+    applies a global per-beat gain, producing the intra-class scatter
+    the classifier has to be robust to.
+
+    A fraction of beats is drawn as *intermediate* morphologies blended
+    toward another class's template (``ambiguous_fraction`` /
+    ``ambiguous_target``).  This models the irreducibly ambiguous beats
+    of real Holter data — aberrantly conducted normal beats that
+    resemble bundle-branch blocks, near-normal LBBB complexes, and
+    ventricular fusion beats — and is what keeps classification
+    performance away from 100% *regardless of training-set size*, like
+    on MIT-BIH.  Blended beats keep their true class label.
+
+    Parameters
+    ----------
+    template:
+        Mean morphology.
+    amplitude_rel_std:
+        Relative standard deviation applied to each component amplitude.
+    center_abs_std:
+        Absolute jitter (seconds) applied to each component center.
+    width_rel_std:
+        Relative jitter applied to each component width.
+    gain_rel_std:
+        Relative jitter of a per-beat global gain (electrode contact,
+        respiration modulation).
+    notch_probability:
+        Probability of adding a small notch component to the QRS
+        (used by the LBBB model, where QRS notching is characteristic).
+    ambiguous_fraction:
+        Probability of drawing an intermediate beat.
+    ambiguous_target:
+        Class symbol the intermediate beats are blended toward.
+    ambiguous_blend:
+        Range of the blend factor lambda (waveform is
+        ``(1 - lambda) * own + lambda * target``).
+    """
+
+    template: BeatMorphology
+    amplitude_rel_std: float = 0.08
+    center_abs_std: float = 0.004
+    width_rel_std: float = 0.08
+    gain_rel_std: float = 0.10
+    notch_probability: float = 0.0
+    notch_template: WaveComponent | None = None
+    ambiguous_fraction: float = 0.0
+    ambiguous_target: str | None = None
+    ambiguous_blend: tuple[float, float] = (0.25, 0.6)
+
+    @property
+    def symbol(self) -> str:
+        """Class symbol of the model."""
+        return self.template.symbol
+
+    def _base_components(self, rng: np.random.Generator) -> tuple[WaveComponent, ...]:
+        """Template components, possibly blended toward another class."""
+        components = self.template.components
+        if (
+            self.ambiguous_target is not None
+            and self.ambiguous_fraction > 0.0
+            and rng.random() < self.ambiguous_fraction
+        ):
+            lam = rng.uniform(*self.ambiguous_blend)
+            other = MODEL_FACTORIES[self.ambiguous_target]().template
+            components = tuple(
+                replace(c, amplitude=c.amplitude * (1.0 - lam)) for c in components
+            ) + tuple(
+                replace(c, name=f"{c.name}_mix", amplitude=c.amplitude * lam)
+                for c in other.components
+            )
+        return components
+
+    def draw(self, rng: np.random.Generator) -> BeatMorphology:
+        """Draw one beat realization."""
+        gain = max(0.2, 1.0 + self.gain_rel_std * rng.standard_normal())
+        perturbed = []
+        for component in self._base_components(rng):
+            amplitude = _jitter(rng, component.amplitude, self.amplitude_rel_std) * gain
+            center = component.center + self.center_abs_std * rng.standard_normal()
+            width = max(1e-3, _jitter(rng, component.width, self.width_rel_std))
+            perturbed.append(replace(component, amplitude=amplitude, center=center, width=width))
+        if self.notch_template is not None and rng.random() < self.notch_probability:
+            notch = self.notch_template
+            perturbed.append(
+                replace(
+                    notch,
+                    amplitude=_jitter(rng, notch.amplitude, self.amplitude_rel_std) * gain,
+                    center=notch.center + self.center_abs_std * rng.standard_normal(),
+                )
+            )
+        return BeatMorphology(self.template.symbol, tuple(perturbed))
+
+
+def normal_model() -> MorphologyModel:
+    """Distribution of normal sinus beats (class ``N``).
+
+    Narrow QRS (~80 ms between Q and S extremes), upright R of ~1 mV,
+    small P wave ~160 ms before the R peak and a concordant T wave.
+    """
+    template = BeatMorphology(
+        "N",
+        (
+            WaveComponent("P", 0.12, -0.17, 0.022),
+            WaveComponent("Q", -0.12, -0.034, 0.009),
+            WaveComponent("R", 1.00, 0.0, 0.011),
+            WaveComponent("S", -0.20, 0.032, 0.010),
+            WaveComponent("T", 0.28, 0.22, 0.045),
+        ),
+    )
+    return MorphologyModel(
+        template,
+        amplitude_rel_std=0.13,
+        center_abs_std=0.005,
+        width_rel_std=0.13,
+        gain_rel_std=0.15,
+        ambiguous_fraction=0.075,
+        ambiguous_target="L",
+    )
+
+
+def lbbb_model() -> MorphologyModel:
+    """Distribution of left-bundle-branch-block beats (class ``L``).
+
+    Broad slurred QRS without a Q wave: the R component is wider and
+    lower, followed by a delayed, wide secondary deflection; the T wave
+    is discordant (inverted).  A notch is added with high probability,
+    reproducing the characteristic "M-shaped" QRS in lateral leads.
+    """
+    template = BeatMorphology(
+        "L",
+        (
+            WaveComponent("P", 0.10, -0.19, 0.024),
+            WaveComponent("R", 0.85, 0.0, 0.020),
+            WaveComponent("R2", 0.45, 0.055, 0.025),
+            WaveComponent("S", -0.10, 0.115, 0.022),
+            WaveComponent("T", -0.22, 0.27, 0.050),
+        ),
+    )
+    notch = WaveComponent("notch", -0.18, 0.028, 0.008)
+    return MorphologyModel(
+        template,
+        amplitude_rel_std=0.14,
+        center_abs_std=0.006,
+        width_rel_std=0.14,
+        gain_rel_std=0.15,
+        notch_probability=0.7,
+        notch_template=notch,
+        ambiguous_fraction=0.05,
+        ambiguous_target="N",
+    )
+
+
+def pvc_model() -> MorphologyModel:
+    """Distribution of premature ventricular contractions (class ``V``).
+
+    No P wave; very broad, large-amplitude QRS (the template uses a
+    dominant wide R with a deep wide S, i.e. a bizarre biphasic
+    complex) and a large discordant T wave.  PVCs are morphologically
+    the most variable class, so its jitter parameters are the largest.
+    """
+    template = BeatMorphology(
+        "V",
+        (
+            WaveComponent("R", 1.25, -0.01, 0.030),
+            WaveComponent("S", -0.75, 0.075, 0.035),
+            WaveComponent("T", -0.45, 0.30, 0.060),
+        ),
+    )
+    return MorphologyModel(
+        template,
+        amplitude_rel_std=0.20,
+        center_abs_std=0.008,
+        width_rel_std=0.17,
+        gain_rel_std=0.18,
+        ambiguous_fraction=0.05,
+        ambiguous_target="N",
+    )
+
+
+#: Factory functions for the three class models, keyed by class symbol.
+MODEL_FACTORIES = {
+    "N": normal_model,
+    "V": pvc_model,
+    "L": lbbb_model,
+}
+
+
+def model_for(symbol: str) -> MorphologyModel:
+    """Return the morphology model for a class symbol (``N``/``V``/``L``)."""
+    try:
+        factory = MODEL_FACTORIES[symbol]
+    except KeyError as exc:
+        raise ValueError(f"unknown beat class {symbol!r}; expected one of {BEAT_CLASSES}") from exc
+    return factory()
+
+
+def qrs_duration(morphology: BeatMorphology, fs: float = 360.0, threshold: float = 0.05) -> float:
+    """Estimate the QRS duration of a morphology in seconds.
+
+    The QRS support is measured as the time span around the R peak where
+    the rectified high-frequency part of the waveform (P and T removed)
+    exceeds ``threshold`` of the absolute maximum.  Used by tests to
+    check that the class templates respect the physiological ordering
+    ``N < L <= V``.
+    """
+    qrs_components = tuple(
+        component for component in morphology.components if component.name not in ("P", "T")
+    )
+    qrs_only = BeatMorphology(morphology.symbol, qrs_components)
+    t = np.arange(-0.2, 0.25, 1.0 / fs)
+    wave = np.abs(qrs_only.waveform(t))
+    peak = wave.max()
+    if peak <= 0:
+        return 0.0
+    above = np.flatnonzero(wave >= threshold * peak)
+    return float((above[-1] - above[0]) / fs)

@@ -1,0 +1,170 @@
+"""Fixed-window beat segmentation around detected R peaks.
+
+The paper defines a heartbeat as "spanning 100 samples before and 100
+samples after its peak" at 360 Hz.  :func:`segment_beats` extracts those
+windows from a record lead given peak positions (either detected by
+:mod:`repro.dsp.peak_detection` or taken from reference annotations),
+discarding peaks whose window would cross a record boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ecg.database import Record
+
+#: Paper window geometry at 360 Hz.
+DEFAULT_PRE = 100
+DEFAULT_POST = 100
+
+
+@dataclass(frozen=True)
+class BeatWindow:
+    """Window geometry: ``pre`` samples before the peak, ``post`` after.
+
+    The peak sample itself is included in the ``post`` block, so the
+    window length is ``pre + post`` and the peak sits at index ``pre``.
+    """
+
+    pre: int = DEFAULT_PRE
+    post: int = DEFAULT_POST
+
+    def __post_init__(self) -> None:
+        if self.pre < 0 or self.post <= 0:
+            raise ValueError("window must have pre >= 0 and post > 0")
+
+    @property
+    def length(self) -> int:
+        """Total number of samples per beat window."""
+        return self.pre + self.post
+
+    def scaled(self, factor: int) -> "BeatWindow":
+        """Window geometry after downsampling by an integer factor."""
+        if factor < 1:
+            raise ValueError("downsampling factor must be >= 1")
+        return BeatWindow(self.pre // factor, max(1, self.post // factor))
+
+
+def segment_beats(
+    signal: np.ndarray,
+    peaks: np.ndarray,
+    window: BeatWindow | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract beat windows around peaks.
+
+    Parameters
+    ----------
+    signal:
+        One lead, 1-D array (physical or digital units).
+    peaks:
+        R-peak sample indices.
+    window:
+        Window geometry (paper default 100 + 100).
+
+    Returns
+    -------
+    (X, kept):
+        ``X`` is ``(n_kept, window.length)`` with the same dtype as the
+        input signal; ``kept`` is the boolean mask over ``peaks`` of
+        beats whose window fit inside the record.
+    """
+    signal = np.asarray(signal)
+    if signal.ndim != 1:
+        raise ValueError("segment_beats expects a single lead (1-D signal)")
+    window = window or BeatWindow()
+    peaks = np.asarray(peaks, dtype=np.int64)
+    kept = (peaks >= window.pre) & (peaks + window.post <= signal.shape[0])
+    valid = peaks[kept]
+    X = np.empty((valid.size, window.length), dtype=signal.dtype)
+    for i, peak in enumerate(valid):
+        X[i] = signal[peak - window.pre : peak + window.post]
+    return X, kept
+
+
+def segment_record(
+    record: Record,
+    lead: int = 0,
+    window: BeatWindow | None = None,
+    peaks: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Segment a record lead using its reference annotation.
+
+    Parameters
+    ----------
+    record:
+        Annotated record (unless explicit ``peaks`` are given).
+    lead:
+        Lead index to segment.
+    window:
+        Window geometry.
+    peaks:
+        Optional explicit peak indices; overrides the annotation.
+
+    Returns
+    -------
+    (X, y):
+        Beat matrix and integer labels.  When explicit ``peaks`` are
+        provided the labels are derived by matching each peak to the
+        nearest annotated beat within half a window; unmatched peaks are
+        dropped.
+    """
+    window = window or BeatWindow()
+    if peaks is None:
+        if record.annotation is None:
+            raise ValueError("record has no annotation and no peaks were given")
+        X, kept = segment_beats(record.lead(lead), record.annotation.samples, window)
+        y = record.annotation.labels[kept]
+        return X, y
+    if record.annotation is None:
+        X, _ = segment_beats(record.lead(lead), peaks, window)
+        return X, np.full(X.shape[0], -1, dtype=np.int64)
+    matched_labels, matched_mask = match_peaks_to_annotation(
+        np.asarray(peaks, dtype=np.int64), record.annotation, tolerance=window.pre // 2
+    )
+    usable = np.asarray(peaks, dtype=np.int64)[matched_mask]
+    X, kept = segment_beats(record.lead(lead), usable, window)
+    return X, matched_labels[matched_mask][kept]
+
+
+def match_peaks_to_annotation(
+    peaks: np.ndarray,
+    annotation,
+    tolerance: int = 50,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Match detected peaks to annotated beats.
+
+    Each detected peak is matched to the closest annotated peak within
+    ``tolerance`` samples; an annotated beat can be claimed by at most
+    one detection (the closest).
+
+    Returns
+    -------
+    (labels, matched):
+        ``labels[i]`` is the class label of the annotation matched by
+        ``peaks[i]`` (or ``-1``); ``matched`` is the boolean mask of
+        matched peaks.
+    """
+    peaks = np.asarray(peaks, dtype=np.int64)
+    ann_samples = annotation.samples
+    ann_labels = annotation.labels
+    labels = np.full(peaks.size, -1, dtype=np.int64)
+    claimed = np.zeros(ann_samples.size, dtype=bool)
+
+    # Candidate (distance, peak, annotation) triples within tolerance;
+    # greedy by increasing distance so the closest detection wins.
+    candidates: list[tuple[int, int, int]] = []
+    for idx, peak in enumerate(peaks):
+        j = int(np.searchsorted(ann_samples, peak))
+        for candidate in (j - 1, j):
+            if 0 <= candidate < ann_samples.size:
+                dist = abs(int(ann_samples[candidate]) - int(peak))
+                if dist <= tolerance:
+                    candidates.append((dist, idx, candidate))
+    for dist, idx, candidate in sorted(candidates):
+        if labels[idx] >= 0 or claimed[candidate]:
+            continue
+        labels[idx] = ann_labels[candidate]
+        claimed[candidate] = True
+    return labels, labels >= 0

@@ -1,0 +1,144 @@
+"""Subject-level variation: persistent per-patient morphology factors.
+
+The paper's protocol draws training and test beats from the same pool
+of MIT-BIH records, so the classifier sees every patient's morphology
+during training.  The stricter inter-patient protocol (de Chazal et
+al., the paper's reference [13]) holds whole patients out.  To support
+that experiment the substrate needs a notion of *subject*: a persistent
+perturbation of the class templates (electrode placement, heart
+orientation, conduction timing) that all of one subject's beats share,
+on top of which the usual per-beat jitter applies.
+
+:func:`subject_models` draws one :class:`MorphologyModel` per class for
+a subject; :func:`synthesize_subject_windows` generates labeled beat
+windows tagged with subject ids, from which inter- vs intra-patient
+splits are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.ecg.morphologies import BEAT_CLASSES, MorphologyModel, model_for
+from repro.ecg.synth import BeatNoiseConfig, _window_residuals
+
+
+@dataclass(frozen=True)
+class SubjectVariability:
+    """How strongly subjects differ from the population templates.
+
+    ``amplitude_rel_std`` / ``width_rel_std`` / ``center_abs_std`` are
+    the per-subject (persistent) perturbations of each wave component;
+    ``gain_rel_std`` is the subject's overall electrode gain.  Values
+    are deliberately larger than the per-beat jitter: two subjects
+    differ more than two beats of one subject.
+    """
+
+    amplitude_rel_std: float = 0.18
+    width_rel_std: float = 0.15
+    center_abs_std: float = 0.008
+    gain_rel_std: float = 0.20
+
+
+def subject_models(
+    rng: np.random.Generator,
+    variability: SubjectVariability | None = None,
+) -> dict[str, MorphologyModel]:
+    """Draw one subject: a persistently perturbed model per beat class.
+
+    The same subject gain applies to all classes (it is a property of
+    the electrode contact, not of the beat type); component-level
+    perturbations are drawn independently per class.
+    """
+    variability = variability or SubjectVariability()
+    gain = max(0.3, 1.0 + variability.gain_rel_std * rng.standard_normal())
+    models: dict[str, MorphologyModel] = {}
+    for symbol in BEAT_CLASSES:
+        base = model_for(symbol)
+        components = tuple(
+            replace(
+                component,
+                amplitude=component.amplitude
+                * gain
+                * (1.0 + variability.amplitude_rel_std * rng.standard_normal()),
+                width=max(
+                    1e-3,
+                    component.width
+                    * (1.0 + variability.width_rel_std * rng.standard_normal()),
+                ),
+                center=component.center
+                + variability.center_abs_std * rng.standard_normal(),
+            )
+            for component in base.template.components
+        )
+        models[symbol] = replace(base, template=replace(base.template, components=components))
+    return models
+
+
+def synthesize_subject_windows(
+    n_subjects: int,
+    beats_per_subject: dict[str, int],
+    fs: float = 360.0,
+    pre: int = 100,
+    post: int = 100,
+    noise: BeatNoiseConfig | None = None,
+    variability: SubjectVariability | None = None,
+    seed: int | None = None,
+    subject_seed: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Beat windows from a population of synthetic subjects.
+
+    Parameters
+    ----------
+    n_subjects:
+        Number of subjects to draw.
+    beats_per_subject:
+        Per-class beat counts generated for *each* subject.
+    fs, pre, post, noise:
+        As in :func:`repro.ecg.synth.synthesize_beat_windows`.
+    variability:
+        Subject-level perturbation strengths.
+    seed:
+        Seed of the per-beat randomness.
+    subject_seed:
+        Seed of the persistent subject factors.  Defaults to ``seed``;
+        pass the same ``subject_seed`` with different ``seed`` values
+        to draw *fresh beats from the same subjects* (the intra-patient
+        evaluation protocol needs exactly that).
+
+    Returns
+    -------
+    (X, y, subjects):
+        Beat matrix, class labels and the subject id of every beat.
+    """
+    if n_subjects < 1:
+        raise ValueError("need at least one subject")
+    noise = noise or BeatNoiseConfig()
+    rng = np.random.default_rng(seed)
+    subject_rng = np.random.default_rng(seed if subject_seed is None else subject_seed)
+    d = pre + post
+    per_subject_total = sum(beats_per_subject.values())
+    total = n_subjects * per_subject_total
+    X = np.empty((total, d))
+    y = np.empty(total, dtype=np.int64)
+    subjects = np.empty(total, dtype=np.int64)
+    base_time = np.arange(-pre, post) / fs
+    row = 0
+    for subject in range(n_subjects):
+        models = subject_models(subject_rng, variability)
+        for symbol, count in beats_per_subject.items():
+            if count < 0:
+                raise ValueError("beat counts must be non-negative")
+            label = BEAT_CLASSES.index(symbol)
+            for _ in range(count):
+                morphology = models[symbol].draw(rng)
+                jitter = noise.jitter_std * rng.standard_normal() / fs
+                X[row] = morphology.waveform(base_time + jitter)
+                X[row] += _window_residuals(rng, d, fs, noise)
+                y[row] = label
+                subjects[row] = subject
+                row += 1
+    order = rng.permutation(total)
+    return X[order], y[order], subjects[order]

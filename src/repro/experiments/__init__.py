@@ -1,0 +1,26 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module owns one artifact and exposes a ``run_*`` function returning
+plain data (dicts / arrays) plus a ``format_*`` helper printing the same
+rows the paper reports:
+
+* :mod:`repro.experiments.datasets` — Table I set composition;
+* :mod:`repro.experiments.table2` — NDR at 97% ARR vs coefficient count
+  (NDR-PC / NDR-WBSN / PCA-PC);
+* :mod:`repro.experiments.figure4` — membership-function linearization
+  error curves;
+* :mod:`repro.experiments.figure5` — NDR/ARR Pareto fronts for the
+  three MF shapes;
+* :mod:`repro.experiments.table3` — code size and duty cycle of the
+  Figure 6 sub-systems;
+* :mod:`repro.experiments.energy` — Section IV-E energy savings.
+
+All harnesses take a ``scale`` knob (fraction of the paper's dataset
+sizes) and reduced GA budgets so they can run in CI; passing
+``scale=1.0`` and the paper's GA configuration reproduces the full
+experiments.
+"""
+
+from repro.experiments.datasets import make_beat_datasets, make_embedded_datasets
+
+__all__ = ["make_beat_datasets", "make_embedded_datasets"]

@@ -1,0 +1,106 @@
+"""Section III-B claim: alpha_test decouples from alpha_train.
+
+"It is possible to tune the defuzzification coefficient alpha_test
+independently of the alpha_train chosen during the training phase,
+giving the opportunity to adjust the ratio of detected normal and
+abnormal beats."
+
+The experiment trains once, then compares two deployment policies over
+a grid of training-time ARR targets:
+
+* **frozen** — deploy with ``alpha_train`` as-is;
+* **re-tuned** — re-tune ``alpha_test`` on the test stream for the
+  deployment ARR target.
+
+The claim holds if the re-tuned NDR is (a) nearly independent of the
+training-time target and (b) never worse than the frozen policy at the
+deployment target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.defuzz import defuzzify, tune_alpha
+from repro.core.genetic import GeneticConfig
+from repro.core.metrics import abnormal_recognition_rate, normal_discard_rate
+from repro.core.pipeline import RPClassifierPipeline
+from repro.core.training import TrainingConfig, train_classifier
+from repro.experiments.datasets import make_beat_datasets
+
+#: Training-time ARR targets explored.  The top targets push into the
+#: regime where alpha_train must actually rise above zero, so the
+#: frozen-vs-retuned divergence is visible.
+DEFAULT_TRAIN_TARGETS = (0.90, 0.97, 0.99, 0.995)
+
+
+@dataclass(frozen=True)
+class AlphaTuningConfig:
+    """Knobs of the alpha-decoupling experiment."""
+
+    n_coefficients: int = 8
+    scale: float = 0.05
+    seed: int = 7
+    deploy_target_arr: float = 0.97
+    train_targets: tuple[float, ...] = DEFAULT_TRAIN_TARGETS
+    genetic: GeneticConfig = field(
+        default_factory=lambda: GeneticConfig(population_size=6, generations=4)
+    )
+    scg_iterations: int = 80
+
+
+def run_alpha_tuning(config: AlphaTuningConfig | None = None) -> dict[float, dict[str, float]]:
+    """Grid over training ARR targets.
+
+    Returns
+    -------
+    dict
+        Per training target: ``alpha_train``, frozen-policy NDR/ARR
+        and re-tuned-policy NDR/ARR on the test set (percent).
+    """
+    config = config or AlphaTuningConfig()
+    data = make_beat_datasets(scale=config.scale, seed=config.seed)
+
+    # One projection + NFC fit; only the alpha tuning differs per row
+    # (matching the paper: "across experiments, the defuzzification
+    # coefficient alpha_train was chosen to have a minimum ARR...").
+    training = TrainingConfig(
+        n_coefficients=config.n_coefficients,
+        target_arr=config.train_targets[0],
+        scg_iterations=config.scg_iterations,
+        genetic=config.genetic,
+    )
+    trained = train_classifier(data.train1, data.train2, training, seed=config.seed)
+    pipeline = RPClassifierPipeline.from_trained(trained)
+
+    fuzzy_train2 = pipeline.fuzzy_values(data.train2.X)
+    fuzzy_test = pipeline.fuzzy_values(data.test.X)
+
+    results: dict[float, dict[str, float]] = {}
+    for target in config.train_targets:
+        alpha_train = tune_alpha(fuzzy_train2, data.train2.y, target)
+        frozen_labels = defuzzify(fuzzy_test, alpha_train)
+        alpha_test = tune_alpha(fuzzy_test, data.test.y, config.deploy_target_arr)
+        retuned_labels = defuzzify(fuzzy_test, alpha_test)
+        results[target] = {
+            "alpha_train": alpha_train,
+            "frozen_ndr": 100.0 * normal_discard_rate(data.test.y, frozen_labels),
+            "frozen_arr": 100.0 * abnormal_recognition_rate(data.test.y, frozen_labels),
+            "retuned_ndr": 100.0 * normal_discard_rate(data.test.y, retuned_labels),
+            "retuned_arr": 100.0 * abnormal_recognition_rate(data.test.y, retuned_labels),
+        }
+    return results
+
+
+def format_alpha_tuning(results: dict[float, dict[str, float]]) -> str:
+    """Render the decoupling grid as fixed-width text."""
+    lines = [
+        f"{'train ARR':>10}{'a_train':>9}{'frozen NDR':>12}{'frozen ARR':>12}"
+        f"{'retuned NDR':>13}{'retuned ARR':>13}"
+    ]
+    for target, row in results.items():
+        lines.append(
+            f"{100 * target:>9.1f}%{row['alpha_train']:>9.4f}{row['frozen_ndr']:>12.2f}"
+            f"{row['frozen_arr']:>12.2f}{row['retuned_ndr']:>13.2f}{row['retuned_arr']:>13.2f}"
+        )
+    return "\n".join(lines)

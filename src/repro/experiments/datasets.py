@@ -1,0 +1,84 @@
+"""Dataset construction shared by all experiments (Table I).
+
+Wraps :mod:`repro.ecg.mitbih` with a process-level cache (experiments
+and benchmarks repeatedly ask for the same configuration) and adds the
+"embedded" variant: the same beats decimated 4x to 90 Hz / 50 samples,
+as consumed by the WBSN rows of Table II and by Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecg.mitbih import BeatDatasets, LabeledBeats, make_datasets
+from repro.ecg.resample import decimate_beats
+from repro.ecg.synth import BeatNoiseConfig
+
+#: Paper defaults.
+FULL_RATE_HZ = 360.0
+EMBEDDED_DECIMATION = 4
+
+_CACHE: dict[tuple, BeatDatasets] = {}
+
+
+def make_beat_datasets(
+    scale: float = 1.0, seed: int = 0, noise: BeatNoiseConfig | None = None
+) -> BeatDatasets:
+    """Table-I beat sets at 360 Hz (cached per configuration)."""
+    key = (round(scale, 6), seed, noise)
+    if key not in _CACHE:
+        _CACHE[key] = make_datasets(scale=scale, seed=seed, noise=noise)
+    return _CACHE[key]
+
+
+def decimate_labeled(beats: LabeledBeats, factor: int = EMBEDDED_DECIMATION) -> LabeledBeats:
+    """Decimate a labeled set, preserving the R-peak column."""
+    X_ds, window_ds = decimate_beats(beats.X, beats.window, factor)
+    return LabeledBeats(X_ds, beats.y, window_ds, beats.fs / factor)
+
+
+@dataclass(frozen=True)
+class EmbeddedDatasets:
+    """The Table-I sets decimated to the 90 Hz embedded configuration."""
+
+    train1: LabeledBeats
+    train2: LabeledBeats
+    test: LabeledBeats
+
+
+def make_embedded_datasets(
+    scale: float = 1.0,
+    seed: int = 0,
+    noise: BeatNoiseConfig | None = None,
+    factor: int = EMBEDDED_DECIMATION,
+) -> EmbeddedDatasets:
+    """90 Hz / 50-sample variant of the Table-I sets.
+
+    Decimates the *same* underlying beats as
+    :func:`make_beat_datasets`, so full-rate and embedded experiments
+    are paired sample-for-sample (as on the node, where the 90 Hz
+    stream is the decimated 360 Hz acquisition).
+    """
+    full = make_beat_datasets(scale=scale, seed=seed, noise=noise)
+    return EmbeddedDatasets(
+        train1=decimate_labeled(full.train1, factor),
+        train2=decimate_labeled(full.train2, factor),
+        test=decimate_labeled(full.test, factor),
+    )
+
+
+def table1_counts(scale: float = 1.0, seed: int = 0) -> dict[str, dict[str, int]]:
+    """The content of Table I for a given scale (exact at scale=1)."""
+    return make_beat_datasets(scale=scale, seed=seed).composition()
+
+
+def format_table1(counts: dict[str, dict[str, int]]) -> str:
+    """Render Table I as fixed-width text."""
+    lines = [f"{'set':<14}{'N':>8}{'V':>8}{'L':>8}{'total':>8}"]
+    for set_name, per_class in counts.items():
+        total = sum(per_class.values())
+        lines.append(
+            f"{set_name:<14}{per_class['N']:>8}{per_class['V']:>8}"
+            f"{per_class['L']:>8}{total:>8}"
+        )
+    return "\n".join(lines)

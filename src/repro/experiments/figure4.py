@@ -1,0 +1,63 @@
+"""Figure 4: linear / triangular approximations of the Gaussian MF.
+
+The paper's figure plots the original Gaussian, the proposed 4-segment
+linear approximation and the simpler triangular interpolation on the
+``[-4.7 sigma, 0]`` range.  This harness regenerates the three curves
+(for plotting) and summarizes the approximation error of each shape —
+the quantitative content behind the figure: the 4-segment shape tracks
+the Gaussian closely while the triangle over-estimates the tails and
+truncates to zero beyond 2S.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.membership import (
+    S_FACTOR,
+    gaussian_membership,
+    linearization_error,
+    linearized_membership,
+    triangular_membership,
+)
+
+
+def run_figure4(sigma: float = 1.0, n_points: int = 512) -> dict[str, np.ndarray]:
+    """Sample the three MF shapes on the paper's plotting range.
+
+    Returns
+    -------
+    dict
+        ``x`` (the abscissa, in sigma units relative to the center) and
+        one curve per shape: ``gaussian``, ``linear``, ``triangular``.
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    x = np.linspace(-2.0 * S_FACTOR * sigma, 0.0, n_points)[:, np.newaxis]
+    centers = np.zeros((1, 1))
+    sigmas = np.full((1, 1), sigma)
+    return {
+        "x": x[:, 0],
+        "gaussian": gaussian_membership(x, centers, sigmas)[:, 0, 0],
+        "linear": linearized_membership(x, centers, sigmas)[:, 0, 0],
+        "triangular": triangular_membership(x, centers, sigmas)[:, 0, 0],
+    }
+
+
+def run_figure4_errors(sigma: float = 1.0) -> dict[str, dict[str, float]]:
+    """Max / mean / RMS approximation error of each embedded shape."""
+    return {
+        "linear": linearization_error(sigma, shape="linear"),
+        "triangular": linearization_error(sigma, shape="triangular"),
+    }
+
+
+def format_figure4(errors: dict[str, dict[str, float]]) -> str:
+    """Render the error summary as fixed-width text."""
+    lines = [f"{'shape':<12}{'max':>10}{'mean':>10}{'rms':>10}"]
+    for shape, metrics in errors.items():
+        lines.append(
+            f"{shape:<12}{metrics['max_error']:>10.4f}"
+            f"{metrics['mean_error']:>10.4f}{metrics['rms_error']:>10.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Figure 5: NDR/ARR Pareto fronts for the three membership shapes.
+
+Protocol (Section IV-C): 50 samples acquired at 90 Hz are randomly
+projected on 8 coefficients; ``alpha_train`` is fixed for a minimum ARR
+of 97% on training set 2; ``alpha_test`` is swept to trace the NDR/ARR
+trade-off on the test set, once per membership shape (Gaussian,
+4-segment linear, triangular).
+
+The claims to check: the linear front hugs the Gaussian front; the
+triangular front collapses at high ARR (paper: at ARR = 98.5% the
+gaussian/linear NDR is ~87% while triangular drops to ~62%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.genetic import GeneticConfig
+from repro.core.metrics import ndr_at_arr, pareto_front
+from repro.core.pipeline import RPClassifierPipeline
+from repro.core.training import TrainingConfig, train_classifier
+from repro.experiments.datasets import make_embedded_datasets
+
+#: Membership shapes compared by the figure.
+FIGURE5_SHAPES = ("gaussian", "linear", "triangular")
+
+
+@dataclass(frozen=True)
+class Figure5Config:
+    """Knobs of the Figure 5 run (reduced defaults for CI speed)."""
+
+    n_coefficients: int = 8
+    scale: float = 0.05
+    seed: int = 7
+    target_arr: float = 0.97
+    genetic: GeneticConfig = field(
+        default_factory=lambda: GeneticConfig(population_size=6, generations=4)
+    )
+    scg_iterations: int = 80
+    n_alphas: int = 201
+
+    def paper_scale(self) -> "Figure5Config":
+        """Full paper configuration."""
+        return replace(self, scale=1.0, genetic=GeneticConfig())
+
+
+def train_figure5_pipeline(config: Figure5Config | None = None) -> RPClassifierPipeline:
+    """Train the 8-coefficient, 90 Hz pipeline the figure evaluates."""
+    config = config or Figure5Config()
+    data = make_embedded_datasets(scale=config.scale, seed=config.seed)
+    training = TrainingConfig(
+        n_coefficients=config.n_coefficients,
+        target_arr=config.target_arr,
+        scg_iterations=config.scg_iterations,
+        genetic=config.genetic,
+    )
+    trained = train_classifier(data.train1, data.train2, training, seed=config.seed)
+    return RPClassifierPipeline.from_trained(trained)
+
+
+def run_figure5(
+    config: Figure5Config | None = None,
+    pipeline: RPClassifierPipeline | None = None,
+) -> dict[str, dict[str, np.ndarray]]:
+    """Trace the three Pareto fronts.
+
+    Returns
+    -------
+    dict
+        Per shape: ``alphas``, ``ndr``, ``arr`` (the full sweep) and
+        ``front`` (indices of the Pareto-optimal sweep points).
+    """
+    config = config or Figure5Config()
+    if pipeline is None:
+        pipeline = train_figure5_pipeline(config)
+    data = make_embedded_datasets(scale=config.scale, seed=config.seed)
+    alphas = np.linspace(0.0, 1.0, config.n_alphas)
+    results: dict[str, dict[str, np.ndarray]] = {}
+    for shape in FIGURE5_SHAPES:
+        shaped = pipeline.with_shape(shape)
+        swept_alphas, ndr, arr = shaped.sweep(data.test, alphas)
+        results[shape] = {
+            "alphas": swept_alphas,
+            "ndr": ndr,
+            "arr": arr,
+            "front": pareto_front(ndr, arr),
+        }
+    return results
+
+
+def figure5_summary(
+    results: dict[str, dict[str, np.ndarray]], arr_targets: tuple[float, ...] = (0.97, 0.985)
+) -> dict[str, dict[float, float]]:
+    """NDR achievable at chosen ARR targets, per shape (paper's callouts)."""
+    summary: dict[str, dict[float, float]] = {}
+    for shape, sweep in results.items():
+        summary[shape] = {
+            target: ndr_at_arr(sweep["ndr"], sweep["arr"], target) for target in arr_targets
+        }
+    return summary
+
+
+def format_figure5(summary: dict[str, dict[float, float]]) -> str:
+    """Render the per-shape NDR-at-ARR summary as fixed-width text."""
+    targets = sorted(next(iter(summary.values())))
+    header = f"{'shape':<12}" + "".join(f"NDR@ARR>={100 * t:.1f}%" .rjust(16) for t in targets)
+    lines = [header]
+    for shape, per_target in summary.items():
+        cells = "".join(f"{100 * per_target[t]:>16.2f}" for t in targets)
+        lines.append(f"{shape:<12}{cells}")
+    return "\n".join(lines)

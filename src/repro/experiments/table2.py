@@ -1,0 +1,126 @@
+"""Table II: NDR at a fixed 97% ARR, varying the coefficient count.
+
+Three rows per coefficient count k in {8, 16, 32}:
+
+* ``NDR-PC`` — the float pipeline (Gaussian MFs, 360 Hz, GA-optimized
+  projection), ``alpha_test`` tuned on the test set for ARR >= 97%;
+* ``NDR-WBSN`` — the embedded version: trained at the deployment
+  configuration (90 Hz / 50-sample beats, i.e. the 4x-decimated
+  stream), then linearized and quantized, integer arithmetic end to
+  end;
+* ``PCA-PC`` — the PCA baseline feeding the same NFC.
+
+The paper's conclusions to check: NDR > 90% everywhere, no tangible
+gain from 8 -> 32 coefficients, and only a few points between the
+three rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.baselines.harness import FeaturePipeline
+from repro.baselines.pca import PCAFeatures
+from repro.core.genetic import GeneticConfig
+from repro.core.pipeline import RPClassifierPipeline
+from repro.core.training import TrainingConfig, train_classifier
+from repro.experiments.datasets import (
+    EmbeddedDatasets,
+    make_beat_datasets,
+    make_embedded_datasets,
+)
+from repro.fixedpoint.convert import convert_pipeline, tune_embedded_alpha
+
+#: The coefficient counts of Table II.
+TABLE2_COEFFICIENTS = (8, 16, 32)
+
+#: Target ARR of the whole evaluation section.
+TARGET_ARR = 0.97
+
+
+@dataclass(frozen=True)
+class Table2Config:
+    """Knobs of the Table II run (reduced defaults for CI speed)."""
+
+    coefficients: tuple[int, ...] = TABLE2_COEFFICIENTS
+    scale: float = 0.05
+    seed: int = 7
+    target_arr: float = TARGET_ARR
+    genetic: GeneticConfig = field(
+        default_factory=lambda: GeneticConfig(population_size=6, generations=4)
+    )
+    scg_iterations: int = 80
+
+    def paper_scale(self) -> "Table2Config":
+        """The full paper configuration (Table I sizes, GA 20 x 30)."""
+        return replace(self, scale=1.0, genetic=GeneticConfig())
+
+
+def run_table2(config: Table2Config | None = None) -> dict[int, dict[str, float]]:
+    """Produce the Table II grid: ``{k: {row_name: NDR_percent}}``."""
+    config = config or Table2Config()
+    data = make_beat_datasets(scale=config.scale, seed=config.seed)
+    embedded_data = make_embedded_datasets(scale=config.scale, seed=config.seed)
+
+    results: dict[int, dict[str, float]] = {}
+    for k in config.coefficients:
+        training = TrainingConfig(
+            n_coefficients=k,
+            target_arr=config.target_arr,
+            scg_iterations=config.scg_iterations,
+            genetic=config.genetic,
+        )
+        trained = train_classifier(data.train1, data.train2, training, seed=config.seed)
+        pipeline = RPClassifierPipeline.from_trained(trained)
+
+        pc = pipeline.tuned_for(data.test, config.target_arr).evaluate(data.test)
+        wbsn = _wbsn_report(embedded_data, training, config.target_arr, config.seed)
+        pca = (
+            FeaturePipeline.train(
+                PCAFeatures(k),
+                data.train1,
+                data.train2,
+                target_arr=config.target_arr,
+                scg_iterations=config.scg_iterations,
+            )
+            .tuned_for(data.test, config.target_arr)
+            .evaluate(data.test)
+        )
+        results[k] = {
+            "NDR-PC": 100.0 * pc.ndr,
+            "NDR-WBSN": 100.0 * wbsn.ndr,
+            "PCA-PC": 100.0 * pca.ndr,
+            "ARR-PC": 100.0 * pc.arr,
+            "ARR-WBSN": 100.0 * wbsn.arr,
+            "ARR-PCA": 100.0 * pca.arr,
+        }
+    return results
+
+
+def _wbsn_report(
+    embedded_data: EmbeddedDatasets,
+    training: TrainingConfig,
+    target_arr: float,
+    seed: int,
+):
+    """Train at the 90 Hz deployment configuration, quantize, evaluate."""
+    trained = train_classifier(
+        embedded_data.train1,
+        embedded_data.train2,
+        training,
+        seed=seed,
+    )
+    embedded_pipeline = RPClassifierPipeline.from_trained(trained)
+    classifier = convert_pipeline(embedded_pipeline, shape="linear")
+    classifier = tune_embedded_alpha(classifier, embedded_data.test, target_arr)
+    return classifier.evaluate(embedded_data.test)
+
+
+def format_table2(results: dict[int, dict[str, float]]) -> str:
+    """Render the Table II grid as fixed-width text."""
+    coefficients = sorted(results)
+    lines = ["coefficients" + "".join(f"{k:>10}" for k in coefficients)]
+    for row in ("NDR-PC", "NDR-WBSN", "PCA-PC"):
+        cells = "".join(f"{results[k][row]:>10.2f}" for k in coefficients)
+        lines.append(f"{row:<12}{cells}")
+    return "\n".join(lines)

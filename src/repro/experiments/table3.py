@@ -1,0 +1,152 @@
+"""Table III: code size and duty cycle of the Figure 6 sub-systems.
+
+Rows (8 coefficients, IcyHeart at 6 MHz):
+
+1. the RP classifier alone;
+2. sub-system (1): RP + filtering + peak detection;
+3. sub-system (2): always-on multi-lead delineation;
+4. the proposed gated system (3).
+
+Code sizes come from the calibrated static model
+(:mod:`repro.platform.memory`); duty cycles are computed from *measured*
+operation profiles of the actual implementations
+(:mod:`repro.platform.profiles`) through the icyflex cycle table.  The
+gated system's delineation traffic uses the classifier's activation
+rate measured on the test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.genetic import GeneticConfig
+from repro.core.pipeline import RPClassifierPipeline
+from repro.core.training import TrainingConfig, train_classifier
+from repro.experiments.datasets import make_embedded_datasets
+from repro.fixedpoint.convert import EmbeddedClassifier, convert_pipeline, tune_embedded_alpha
+from repro.platform.cpu import CycleModel
+from repro.platform.icyheart import IcyHeartConfig
+from repro.platform.memory import CodeSizeModel
+from repro.platform.profiles import (
+    DEFAULT_HEART_RATE_HZ,
+    classifier_beat_profile,
+    delineator_system_profile,
+    proposed_system_profile,
+    subsystem1_profile,
+)
+
+
+@dataclass(frozen=True)
+class Table3Config:
+    """Knobs of the Table III run (reduced defaults for CI speed)."""
+
+    n_coefficients: int = 8
+    scale: float = 0.05
+    seed: int = 7
+    target_arr: float = 0.97
+    genetic: GeneticConfig = field(
+        default_factory=lambda: GeneticConfig(population_size=6, generations=4)
+    )
+    scg_iterations: int = 80
+    heart_rate_hz: float = DEFAULT_HEART_RATE_HZ
+
+    def paper_scale(self) -> "Table3Config":
+        """Full paper configuration."""
+        return replace(self, scale=1.0, genetic=GeneticConfig())
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One Table III row."""
+
+    code_size_kb: float
+    duty_cycle: float
+
+
+def build_embedded_classifier(
+    config: Table3Config | None = None,
+) -> tuple[EmbeddedClassifier, float]:
+    """Train the 90 Hz pipeline, convert it, measure its activation rate.
+
+    Returns
+    -------
+    (classifier, activation_rate):
+        The deployable integer classifier and the fraction of test
+        beats it flags abnormal at the ARR target.
+    """
+    config = config or Table3Config()
+    data = make_embedded_datasets(scale=config.scale, seed=config.seed)
+    training = TrainingConfig(
+        n_coefficients=config.n_coefficients,
+        target_arr=config.target_arr,
+        scg_iterations=config.scg_iterations,
+        genetic=config.genetic,
+    )
+    trained = train_classifier(data.train1, data.train2, training, seed=config.seed)
+    pipeline = RPClassifierPipeline.from_trained(trained)
+    classifier = convert_pipeline(pipeline, shape="linear")
+    classifier = tune_embedded_alpha(classifier, data.test, config.target_arr)
+    report = classifier.evaluate(data.test)
+    return classifier, report.activation
+
+
+def run_table3(
+    config: Table3Config | None = None,
+    classifier: EmbeddedClassifier | None = None,
+    activation_rate: float | None = None,
+    platform: IcyHeartConfig | None = None,
+    code_model: CodeSizeModel | None = None,
+) -> dict[str, Table3Row]:
+    """Produce the four Table III rows."""
+    config = config or Table3Config()
+    platform = platform or IcyHeartConfig()
+    code_model = code_model or CodeSizeModel()
+    if classifier is None or activation_rate is None:
+        classifier, activation_rate = build_embedded_classifier(config)
+
+    fs = platform.sampling_rate_hz
+    cycle_model: CycleModel = platform.cycle_model
+    clock = platform.clock_hz
+    heart_rate = config.heart_rate_hz
+
+    classifier_per_s = classifier_beat_profile(classifier).scaled(heart_rate)
+    sub1 = subsystem1_profile(classifier, fs, heart_rate, seed=config.seed)
+    sub2 = delineator_system_profile(fs, heart_rate, seed=config.seed)
+    sub3 = proposed_system_profile(
+        classifier, activation_rate, fs, heart_rate, seed=config.seed
+    )
+
+    code_kb = code_model.table3_column()
+    return {
+        "rp_classifier": Table3Row(
+            code_kb["rp_classifier"], cycle_model.duty_cycle(classifier_per_s, clock)
+        ),
+        "subsystem1": Table3Row(
+            code_kb["subsystem1"], cycle_model.duty_cycle(sub1, clock)
+        ),
+        "delineation": Table3Row(
+            code_kb["delineation"], cycle_model.duty_cycle(sub2, clock)
+        ),
+        "proposed_system": Table3Row(
+            code_kb["proposed_system"], cycle_model.duty_cycle(sub3, clock)
+        ),
+    }
+
+
+#: Paper row labels, for rendering.
+ROW_LABELS = {
+    "rp_classifier": "RP-classifier",
+    "subsystem1": "RP + filtering + peak detection (1)",
+    "delineation": "Multi-lead delineation (2)",
+    "proposed_system": "Proposed system (3)",
+}
+
+
+def format_table3(rows: dict[str, Table3Row]) -> str:
+    """Render Table III as fixed-width text."""
+    lines = [f"{'sub-system':<38}{'Code Size (KB)':>16}{'Duty Cycle':>12}"]
+    for key, label in ROW_LABELS.items():
+        row = rows[key]
+        duty = "< 0.01" if row.duty_cycle < 0.01 else f"{row.duty_cycle:.2f}"
+        lines.append(f"{label:<38}{row.code_size_kb:>16.2f}{duty:>12}")
+    return "\n".join(lines)

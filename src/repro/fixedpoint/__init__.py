@@ -1,0 +1,33 @@
+"""Resource-constrained optimization phase (Section III-B).
+
+The trained float classifier "cannot be employed as-is in a WBSN
+platform": data must become integers, Gaussian exponentials must go,
+products must not overflow 32 bits, and the projection matrix must fit
+the node's memory.  This subpackage implements the four transformations
+the paper proposes:
+
+* :mod:`repro.fixedpoint.linearize` — 4-segment linear (and triangular)
+  integer membership functions on the ``[0, 2^16 - 1]`` range;
+* :mod:`repro.fixedpoint.integer_nfc` — integer fuzzification with
+  block left-shift normalization and 16-bit truncation, plus the
+  division-free defuzzifier;
+* :mod:`repro.fixedpoint.packed_matrix` — the 2-bits-per-element
+  projection matrix representation;
+* :mod:`repro.fixedpoint.convert` — the float-to-embedded converter
+  applied after training;
+* :mod:`repro.fixedpoint.qformat` — shared fixed-point helpers.
+"""
+
+from repro.fixedpoint.convert import EmbeddedClassifier, convert_pipeline
+from repro.fixedpoint.integer_nfc import IntegerNFC
+from repro.fixedpoint.linearize import LinearizedMF, linearize_mf
+from repro.fixedpoint.packed_matrix import PackedTernaryMatrix
+
+__all__ = [
+    "convert_pipeline",
+    "EmbeddedClassifier",
+    "IntegerNFC",
+    "LinearizedMF",
+    "linearize_mf",
+    "PackedTernaryMatrix",
+]

@@ -1,0 +1,237 @@
+"""Float-to-embedded conversion of a trained pipeline.
+
+Applied "after training and before execution": quantizes the beat
+samples onto the ADC grid, packs the projection matrix at 2 bits per
+element, linearizes the Gaussian membership functions, and encodes
+``alpha`` in Q0.16 for the division-free defuzzifier.  The result — an
+:class:`EmbeddedClassifier` — is the integer-only program the WBSN
+executes, and the object the platform model profiles for Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.metrics import ClassificationReport
+from repro.core.pipeline import RPClassifierPipeline
+from repro.ecg.database import DEFAULT_ADC_GAIN
+from repro.ecg.mitbih import LabeledBeats
+from repro.fixedpoint.integer_nfc import (
+    ALPHA_FRAC_BITS,
+    IntegerNFC,
+    integer_defuzzify,
+)
+from repro.fixedpoint.linearize import linearize_mf
+from repro.fixedpoint.packed_matrix import PackedTernaryMatrix
+from repro.fixedpoint.qformat import float_to_q, quantize
+
+
+@dataclass(frozen=True)
+class EmbeddedClassifier:
+    """The integer-only WBSN classifier.
+
+    Attributes
+    ----------
+    matrix:
+        Packed 2-bit projection matrix.
+    nfc:
+        Quantized membership layer + fuzzification.
+    alpha_q16:
+        Defuzzification coefficient in Q0.16.
+    adc_gain:
+        Gain mapping millivolts to the integer sample grid (used only
+        when callers pass float beats; integer beats are consumed
+        as-is, like on the node).
+    """
+
+    matrix: PackedTernaryMatrix
+    nfc: IntegerNFC
+    alpha_q16: int
+    adc_gain: float = DEFAULT_ADC_GAIN
+
+    def __post_init__(self) -> None:
+        if self.matrix.shape[0] != self.nfc.n_coefficients:
+            raise ValueError("matrix and NFC disagree on k")
+        if not 0 <= self.alpha_q16 <= (1 << ALPHA_FRAC_BITS):
+            raise ValueError("alpha_q16 out of range")
+        if self.adc_gain <= 0:
+            raise ValueError("adc_gain must be positive")
+
+    @property
+    def n_coefficients(self) -> int:
+        """Projection size k."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def n_inputs(self) -> int:
+        """Beat length d consumed by the classifier."""
+        return int(self.matrix.shape[1])
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def quantize_beats(self, X: np.ndarray) -> np.ndarray:
+        """Map float millivolt beats onto the integer ADC grid."""
+        return quantize(X, self.adc_gain)
+
+    def _as_integer(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X)
+        if np.issubdtype(X.dtype, np.integer):
+            return X.astype(np.int64)
+        return self.quantize_beats(X)
+
+    def project(self, X: np.ndarray, counter=None) -> np.ndarray:
+        """Integer random projection ``(n, d) -> (n, k)``."""
+        return self.matrix.project(self._as_integer(np.atleast_2d(X)), counter)
+
+    def fuzzy_values(self, X: np.ndarray, counter=None) -> np.ndarray:
+        """Integer fuzzy values ``(n, L)``."""
+        return self.nfc.fuzzy_values(self.project(X, counter), counter)
+
+    def predict(self, X: np.ndarray, counter=None) -> np.ndarray:
+        """Defuzzified labels (class index or Unknown)."""
+        return integer_defuzzify(self.fuzzy_values(X, counter), self.alpha_q16, counter)
+
+    def evaluate(self, beats: LabeledBeats) -> ClassificationReport:
+        """Evaluation report on a labeled set."""
+        return ClassificationReport.from_labels(beats.y, self.predict(beats.X))
+
+    # ------------------------------------------------------------------
+    # Variants and footprint
+    # ------------------------------------------------------------------
+    def with_alpha(self, alpha: float) -> "EmbeddedClassifier":
+        """Same classifier with a re-tuned ``alpha_test``."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        return replace(self, alpha_q16=float_to_q(alpha, ALPHA_FRAC_BITS))
+
+    def memory_report(self) -> dict[str, int]:
+        """Data-memory footprint in bytes, by component."""
+        matrix_bytes = self.matrix.n_bytes
+        nfc_bytes = self.nfc.memory_bytes()
+        beat_buffer = 2 * self.n_inputs  # 16-bit sample window
+        coefficients = 4 * self.n_coefficients  # 32-bit projected values
+        accumulators = 4 * self.nfc.n_classes
+        return {
+            "projection_matrix": matrix_bytes,
+            "projection_matrix_unpacked": self.matrix.n_bytes_unpacked,
+            "nfc_parameters": nfc_bytes,
+            "beat_buffer": beat_buffer,
+            "work_buffers": coefficients + accumulators,
+            "total": matrix_bytes + nfc_bytes + beat_buffer + coefficients + accumulators,
+        }
+
+    def beat_op_counts(self) -> dict[str, int]:
+        """Analytic per-beat operation counts of the embedded program.
+
+        Derived from the algorithm structure (not measured): the
+        projection visits all ``k x d`` two-bit codes and adds the
+        ~``k x d / 3`` non-zero ones; each of the ``k x L`` MFs costs a
+        fixed straight-line sequence; fuzzification runs ``k - 1``
+        block-multiply/normalize steps over ``L`` classes; the
+        defuzzifier is a constant tail.  These counts feed the platform
+        cycle model for the Table III rows.
+        """
+        k = self.n_coefficients
+        d = self.n_inputs
+        n_classes = self.nfc.n_classes
+        nnz = int(np.count_nonzero(self.matrix.unpack()))
+        counts = {
+            # projection: decode 2-bit code (load amortized 1/4, shift,
+            # mask, test) then conditional add/sub.
+            "load": k * (d // 4 + d) + k * n_classes * 4,
+            "shift": k * d + (k - 1) * (n_classes + 1) + k * n_classes + 1,
+            "and": k * d,
+            "cmp": k * d + 3 * k * n_classes + (k - 1) * (n_classes - 1) + 2 * n_classes,
+            "add": nnz + n_classes,
+            "sub": k * n_classes + 1,
+            "abs": k * n_classes,
+            "mul": k * n_classes + (k - 1) * n_classes + 1,
+            "store": k + n_classes,
+        }
+        return counts
+
+
+def convert_pipeline(
+    pipeline: RPClassifierPipeline,
+    adc_gain: float = DEFAULT_ADC_GAIN,
+    shape: str = "linear",
+    alpha: float | None = None,
+) -> EmbeddedClassifier:
+    """Convert a float pipeline into the integer WBSN classifier.
+
+    Parameters
+    ----------
+    pipeline:
+        Trained float pipeline (Gaussian NFC).
+    adc_gain:
+        Millivolt-to-count gain of the node's ADC (MIT-BIH: 200).
+    shape:
+        Embedded membership shape: ``"linear"`` (the paper's 4-segment
+        approximation) or ``"triangular"`` (the simpler comparison).
+    alpha:
+        Optional ``alpha_test`` override; defaults to the pipeline's
+        trained alpha.
+
+    Returns
+    -------
+    EmbeddedClassifier
+    """
+    matrix = PackedTernaryMatrix.pack(pipeline.projection)
+    centers_int, s_int, slope_inner, slope_outer = linearize_mf(
+        pipeline.nfc.centers, pipeline.nfc.sigmas, adc_gain
+    )
+    nfc = IntegerNFC(
+        centers=centers_int,
+        s_values=s_int,
+        slope_inner_q16=slope_inner,
+        slope_outer_q16=slope_outer,
+        shape=shape,
+    )
+    effective_alpha = pipeline.alpha if alpha is None else alpha
+    return EmbeddedClassifier(
+        matrix=matrix,
+        nfc=nfc,
+        alpha_q16=float_to_q(effective_alpha, ALPHA_FRAC_BITS),
+        adc_gain=adc_gain,
+    )
+
+
+def tune_embedded_alpha(
+    classifier: EmbeddedClassifier, beats: LabeledBeats, target_arr: float
+) -> EmbeddedClassifier:
+    """Re-tune ``alpha_test`` of an embedded classifier on labeled beats.
+
+    Works directly on the Q0.16 grid the node compares against: because
+    ARR is non-decreasing in ``alpha_q16``, a binary search over the
+    65537 representable alphas finds the smallest one meeting the
+    target *under the exact integer rule* — no float/integer rounding
+    mismatch at the threshold.
+    """
+    if not 0.0 <= target_arr <= 1.0:
+        raise ValueError("target_arr must be in [0, 1]")
+    fuzzy = classifier.fuzzy_values(beats.X)
+    y = np.asarray(beats.y)
+    abnormal = y != 0
+    n_abnormal = int(abnormal.sum())
+    if n_abnormal == 0:
+        return replace(classifier, alpha_q16=0)
+
+    def arr_at(alpha_q16: int) -> float:
+        labels = integer_defuzzify(fuzzy, alpha_q16)
+        return float(np.mean(labels[abnormal] != 0))
+
+    lo, hi = 0, 1 << ALPHA_FRAC_BITS
+    if arr_at(lo) >= target_arr:
+        return replace(classifier, alpha_q16=lo)
+    if arr_at(hi) < target_arr:
+        return replace(classifier, alpha_q16=hi)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if arr_at(mid) >= target_arr:
+            hi = mid
+        else:
+            lo = mid
+    return replace(classifier, alpha_q16=hi)

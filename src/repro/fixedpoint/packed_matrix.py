@@ -1,0 +1,157 @@
+"""2-bits-per-element packed representation of the projection matrix.
+
+"The P matrix is generated in such a way that its elements only assume
+three values (+1, -1 and 0).  We therefore use a compact representation
+where each element is coded using two bits, which requires 1/4 of the
+memory with respect to a corresponding matrix of 8-bits values."
+
+Encoding (2 bits per element, 4 elements per byte, row-major,
+little-endian within the byte):
+
+====  =======
+code  element
+====  =======
+0b00     0
+0b01    +1
+0b10    -1
+====  =======
+
+Code ``0b11`` is invalid; the decoder rejects it, which doubles as a
+corruption check for stored matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.achlioptas import AchlioptasMatrix
+
+#: Two-bit codes by element value.
+_CODE_OF = {0: 0b00, 1: 0b01, -1: 0b10}
+_VALUE_OF = {0b00: 0, 0b01: 1, 0b10: -1}
+
+
+@dataclass(frozen=True)
+class PackedTernaryMatrix:
+    """A ternary matrix stored at two bits per element.
+
+    Attributes
+    ----------
+    data:
+        ``uint8`` buffer, 4 elements per byte, rows padded to byte
+        boundaries (each row starts on a fresh byte so rows can be
+        streamed independently during the projection loop).
+    shape:
+        Logical ``(k, d)`` shape.
+    """
+
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        k, d = self.shape
+        if k < 1 or d < 1:
+            raise ValueError("matrix dimensions must be positive")
+        expected = k * self._row_bytes(d)
+        data = np.asarray(self.data, dtype=np.uint8)
+        if data.shape != (expected,):
+            raise ValueError(f"packed buffer must hold {expected} bytes, got {data.shape}")
+        object.__setattr__(self, "data", data)
+
+    @staticmethod
+    def _row_bytes(d: int) -> int:
+        return (d + 3) // 4
+
+    # ------------------------------------------------------------------
+    # Construction / reconstruction
+    # ------------------------------------------------------------------
+    @classmethod
+    def pack(cls, matrix: AchlioptasMatrix | np.ndarray) -> "PackedTernaryMatrix":
+        """Pack a ternary matrix into the 2-bit representation."""
+        if isinstance(matrix, AchlioptasMatrix):
+            matrix = matrix.matrix
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError("expected a 2-D ternary matrix")
+        if not np.all(np.isin(matrix, (-1, 0, 1))):
+            raise ValueError("entries must be in {-1, 0, +1}")
+        k, d = matrix.shape
+        row_bytes = cls._row_bytes(d)
+        codes = np.zeros((k, row_bytes * 4), dtype=np.uint8)
+        lookup = np.array([_CODE_OF[-1], _CODE_OF[0], _CODE_OF[1]], dtype=np.uint8)
+        codes[:, :d] = lookup[matrix.astype(np.int64) + 1]
+        codes = codes.reshape(k, row_bytes, 4)
+        packed = (
+            codes[:, :, 0]
+            | (codes[:, :, 1] << 2)
+            | (codes[:, :, 2] << 4)
+            | (codes[:, :, 3] << 6)
+        ).astype(np.uint8)
+        return cls(packed.reshape(-1), (k, d))
+
+    def unpack(self) -> np.ndarray:
+        """Reconstruct the ``(k, d)`` ``int8`` ternary matrix."""
+        k, d = self.shape
+        row_bytes = self._row_bytes(d)
+        packed = self.data.reshape(k, row_bytes)
+        codes = np.empty((k, row_bytes, 4), dtype=np.uint8)
+        codes[:, :, 0] = packed & 0b11
+        codes[:, :, 1] = (packed >> 2) & 0b11
+        codes[:, :, 2] = (packed >> 4) & 0b11
+        codes[:, :, 3] = (packed >> 6) & 0b11
+        flat = codes.reshape(k, row_bytes * 4)[:, :d]
+        if np.any(flat == 0b11):
+            raise ValueError("corrupt packed matrix: code 0b11 encountered")
+        table = np.array([_VALUE_OF[0b00], _VALUE_OF[0b01], _VALUE_OF[0b10]], dtype=np.int8)
+        return table[flat]
+
+    def to_achlioptas(self) -> AchlioptasMatrix:
+        """Unpack into an :class:`AchlioptasMatrix`."""
+        return AchlioptasMatrix(self.unpack())
+
+    # ------------------------------------------------------------------
+    # Projection and footprint
+    # ------------------------------------------------------------------
+    def project(self, v: np.ndarray, counter=None) -> np.ndarray:
+        """Integer projection ``u = P v`` from the packed form.
+
+        The embedded loop decodes two bits at a time and conditionally
+        adds/subtracts the sample; here the decode is vectorized but the
+        recorded operation counts match the element-serial loop.
+        """
+        matrix = self.unpack()
+        v = np.asarray(v)
+        single = v.ndim == 1
+        if single:
+            v = v[np.newaxis, :]
+        if v.shape[1] != self.shape[1]:
+            raise ValueError("beat length does not match matrix width")
+        if counter is not None:
+            nnz = int(np.count_nonzero(matrix))
+            n = v.shape[0]
+            counter.add("load", n * self.shape[0] * self._row_bytes(self.shape[1]))
+            counter.add("shift", n * self.shape[0] * self.shape[1])  # 2-bit decode
+            counter.add("add", n * nnz)
+            counter.add("store", n * self.shape[0])
+        if np.issubdtype(v.dtype, np.integer):
+            u = v.astype(np.int64) @ matrix.T.astype(np.int64)
+        else:
+            u = v @ matrix.T.astype(np.float64)
+        return u[0] if single else u
+
+    @property
+    def n_bytes(self) -> int:
+        """Actual packed footprint in bytes."""
+        return int(self.data.size)
+
+    @property
+    def n_bytes_unpacked(self) -> int:
+        """Footprint of the naive 8-bit representation (the 4x baseline)."""
+        return int(self.shape[0] * self.shape[1])
+
+    @property
+    def compression_ratio(self) -> float:
+        """Unpacked / packed size (~4 up to row padding)."""
+        return self.n_bytes_unpacked / self.n_bytes

@@ -1,0 +1,115 @@
+"""Serialization of trained classifiers.
+
+Training costs minutes (GA over NFC fits); deployment and evaluation
+should not have to repeat it.  This module persists both classifier
+forms to a single ``.npz`` archive:
+
+* the float :class:`~repro.core.pipeline.RPClassifierPipeline`
+  (projection matrix, MF centers/sigmas, shape, alpha);
+* the integer :class:`~repro.fixedpoint.convert.EmbeddedClassifier`
+  (packed matrix bytes, quantized MF tables, alpha_q16, ADC gain).
+
+Archives are versioned; loading a future-versioned archive fails
+loudly rather than mis-reading tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.achlioptas import AchlioptasMatrix
+from repro.core.nfc import NeuroFuzzyClassifier
+from repro.core.pipeline import RPClassifierPipeline
+from repro.fixedpoint.convert import EmbeddedClassifier
+from repro.fixedpoint.integer_nfc import IntegerNFC
+from repro.fixedpoint.packed_matrix import PackedTernaryMatrix
+
+#: Current archive format version.
+FORMAT_VERSION = 1
+
+_SHAPES = ("gaussian", "linear", "triangular")
+
+
+def save_pipeline(pipeline: RPClassifierPipeline, path: str | Path) -> None:
+    """Persist a float pipeline to ``path`` (``.npz``)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        kind=np.array("pipeline"),
+        version=np.array(FORMAT_VERSION),
+        matrix=pipeline.projection.matrix,
+        centers=pipeline.nfc.centers,
+        sigmas=pipeline.nfc.sigmas,
+        shape=np.array(_SHAPES.index(pipeline.nfc.shape)),
+        alpha=np.array(pipeline.alpha),
+    )
+
+
+def load_pipeline(path: str | Path) -> RPClassifierPipeline:
+    """Load a float pipeline saved by :func:`save_pipeline`."""
+    with np.load(Path(path)) as archive:
+        _check(archive, "pipeline")
+        nfc = NeuroFuzzyClassifier(
+            archive["centers"],
+            archive["sigmas"],
+            shape=_SHAPES[int(archive["shape"])],
+        )
+        return RPClassifierPipeline(
+            AchlioptasMatrix(archive["matrix"]),
+            nfc,
+            float(archive["alpha"]),
+        )
+
+
+def save_embedded(classifier: EmbeddedClassifier, path: str | Path) -> None:
+    """Persist an embedded classifier to ``path`` (``.npz``)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        kind=np.array("embedded"),
+        version=np.array(FORMAT_VERSION),
+        packed=classifier.matrix.data,
+        shape_kd=np.array(classifier.matrix.shape),
+        centers=classifier.nfc.centers,
+        s_values=classifier.nfc.s_values,
+        slope_inner=classifier.nfc.slope_inner_q16,
+        slope_outer=classifier.nfc.slope_outer_q16,
+        mf_shape=np.array(0 if classifier.nfc.shape == "linear" else 1),
+        alpha_q16=np.array(classifier.alpha_q16),
+        adc_gain=np.array(classifier.adc_gain),
+    )
+
+
+def load_embedded(path: str | Path) -> EmbeddedClassifier:
+    """Load an embedded classifier saved by :func:`save_embedded`."""
+    with np.load(Path(path)) as archive:
+        _check(archive, "embedded")
+        matrix = PackedTernaryMatrix(
+            archive["packed"], tuple(int(v) for v in archive["shape_kd"])
+        )
+        nfc = IntegerNFC(
+            archive["centers"],
+            archive["s_values"],
+            archive["slope_inner"],
+            archive["slope_outer"],
+            shape="linear" if int(archive["mf_shape"]) == 0 else "triangular",
+        )
+        return EmbeddedClassifier(
+            matrix=matrix,
+            nfc=nfc,
+            alpha_q16=int(archive["alpha_q16"]),
+            adc_gain=float(archive["adc_gain"]),
+        )
+
+
+def _check(archive, expected_kind: str) -> None:
+    kind = str(archive["kind"])
+    if kind != expected_kind:
+        raise ValueError(f"archive holds a {kind!r}, expected {expected_kind!r}")
+    version = int(archive["version"])
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"archive format v{version} is newer than this library (v{FORMAT_VERSION})"
+        )

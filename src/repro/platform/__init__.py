@@ -1,0 +1,43 @@
+"""Operation-level model of the IcyHeart WBSN platform.
+
+The paper reports code size, duty cycle and energy on the IcyHeart SoC
+(6 MHz icyflex-class microprocessor, 96 KB RAM, integrated radio).
+Without the silicon, this subpackage models the platform at the
+operation level:
+
+* :mod:`repro.platform.opcount` — the op-counter every DSP/classifier
+  stage can record its arithmetic into;
+* :mod:`repro.platform.cpu` — a cycles-per-operation table converting
+  counts into cycles and duty cycles at a given clock;
+* :mod:`repro.platform.memory` — code-size and data-memory model;
+* :mod:`repro.platform.radio` — packet formats and transmit energy;
+* :mod:`repro.platform.profiles` — measured per-stage operation
+  profiles (filtering, peak detection, classification, delineation);
+* :mod:`repro.platform.energy` — system-level energy accounting for the
+  gated architecture of Figure 6;
+* :mod:`repro.platform.icyheart` — the SoC configuration constants.
+
+Dynamic behaviour (duty cycles, energy) is *measured* from the actual
+op counts the implementations execute; only the cycles-per-op table and
+the per-routine code-size estimates are calibrated models, documented
+in :mod:`repro.platform.icyheart`.
+"""
+
+from repro.platform.cpu import CycleModel, ICYFLEX_CYCLES
+from repro.platform.energy import EnergyBreakdown, SystemEnergyModel
+from repro.platform.icyheart import IcyHeartConfig
+from repro.platform.memory import CodeSizeModel
+from repro.platform.opcount import OpCounter
+from repro.platform.radio import RadioModel, TransmissionPolicy
+
+__all__ = [
+    "OpCounter",
+    "CycleModel",
+    "ICYFLEX_CYCLES",
+    "CodeSizeModel",
+    "RadioModel",
+    "TransmissionPolicy",
+    "SystemEnergyModel",
+    "EnergyBreakdown",
+    "IcyHeartConfig",
+]

@@ -1,0 +1,87 @@
+"""Cycle model: converting operation counts into cycles and duty cycles.
+
+The icyflex1 is a small load/store DSP core: single-cycle ALU
+operations, a hardware multiplier, two-cycle memory accesses.  The
+table below assigns a cycle cost to each operation kind recorded by the
+op counters; multiplying and summing yields the cycle count of a stage,
+and dividing by the clock (6 MHz on IcyHeart) yields its duty cycle.
+
+The per-op costs are a calibrated model (documented constants, not
+measurements); every *relative* Table III conclusion — classifier ≪
+filtering ≪ delineation, gating saves ~60% — follows from the measured
+op counts and is insensitive to reasonable cost-table changes, which
+the ablation test ``tests/platform/test_cpu.py`` checks explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.platform.opcount import OP_KINDS, OpCounter
+
+
+@dataclass(frozen=True)
+class CycleModel:
+    """Cycles per operation kind.
+
+    Attributes
+    ----------
+    cycles_per_op:
+        Mapping from op kind to its cycle cost.
+    overhead_factor:
+        Multiplier covering loop/branch/addressing overhead a compiled
+        loop executes around the counted arithmetic (1.0 = none).
+    """
+
+    cycles_per_op: dict[str, float] = field(default_factory=dict)
+    overhead_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.cycles_per_op) - set(OP_KINDS)
+        if unknown:
+            raise ValueError(f"unknown op kinds in cycle table: {sorted(unknown)}")
+        if any(v <= 0 for v in self.cycles_per_op.values()):
+            raise ValueError("cycle costs must be positive")
+        if self.overhead_factor < 1.0:
+            raise ValueError("overhead_factor must be >= 1")
+
+    def cycles(self, counter: OpCounter) -> float:
+        """Total cycles of a recorded op profile."""
+        total = 0.0
+        for op, n in counter.counts.items():
+            total += n * self.cycles_per_op.get(op, 1.0)
+        return total * self.overhead_factor
+
+    def duty_cycle(self, counter_per_second: OpCounter, clock_hz: float) -> float:
+        """Fraction of the CPU the profile occupies at a given clock."""
+        if clock_hz <= 0:
+            raise ValueError("clock must be positive")
+        return self.cycles(counter_per_second) / clock_hz
+
+    def runtime_seconds(self, counter: OpCounter, clock_hz: float) -> float:
+        """Wall-clock execution time of a profile at a given clock."""
+        if clock_hz <= 0:
+            raise ValueError("clock must be positive")
+        return self.cycles(counter) / clock_hz
+
+
+#: Calibrated icyflex-class cost table.  ALU ops are single-cycle, the
+#: multiplier takes two, memory takes two; ``overhead_factor`` folds in
+#: the loop/branch/address arithmetic of compiled inner loops (~1.6x
+#: the counted payload ops for the dense compare/accumulate loops of
+#: this workload).
+ICYFLEX_CYCLES = CycleModel(
+    cycles_per_op={
+        "add": 1.0,
+        "sub": 1.0,
+        "cmp": 1.0,
+        "shift": 1.0,
+        "and": 1.0,
+        "abs": 1.0,
+        "mul": 2.0,
+        "div": 18.0,
+        "load": 2.0,
+        "store": 2.0,
+    },
+    overhead_factor=1.6,
+)

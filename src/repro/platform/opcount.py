@@ -1,0 +1,63 @@
+"""Operation counters.
+
+Every stage of the embedded chain accepts an optional ``counter`` and
+records the arithmetic a straight C implementation would execute:
+``add``, ``sub``, ``mul``, ``cmp``, ``shift``, ``and``, ``abs``,
+``load``, ``store``.  :class:`OpCounter` is that sink; it also supports
+merging and scaling so per-beat profiles can be extrapolated to
+per-second traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Operation kinds the cycle model knows about.
+OP_KINDS = ("add", "sub", "mul", "div", "cmp", "shift", "and", "abs", "load", "store")
+
+
+@dataclass
+class OpCounter:
+    """A bag of named operation counts."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, op: str, n: int) -> None:
+        """Record ``n`` operations of kind ``op``."""
+        if op not in OP_KINDS:
+            raise ValueError(f"unknown op kind {op!r}; expected one of {OP_KINDS}")
+        if n < 0:
+            raise ValueError("operation counts are non-negative")
+        self.counts[op] = self.counts.get(op, 0) + int(n)
+
+    def add_counts(self, counts: dict[str, int]) -> None:
+        """Record a whole dict of counts (e.g. an analytic profile)."""
+        for op, n in counts.items():
+            self.add(op, n)
+
+    def merge(self, other: "OpCounter") -> "OpCounter":
+        """Return a new counter with the sum of both."""
+        merged = OpCounter(dict(self.counts))
+        merged.add_counts(other.counts)
+        return merged
+
+    def scaled(self, factor: float) -> "OpCounter":
+        """Return a new counter with counts scaled (rounded) by ``factor``.
+
+        Used to extrapolate a measured per-beat or per-block profile to
+        a different traffic rate.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return OpCounter({op: int(round(n * factor)) for op, n in self.counts.items()})
+
+    @property
+    def total(self) -> int:
+        """Total number of recorded operations."""
+        return sum(self.counts.values())
+
+    def __getitem__(self, op: str) -> int:
+        return self.counts.get(op, 0)
+
+    def __bool__(self) -> bool:
+        return self.total > 0

@@ -1,0 +1,173 @@
+"""Measured per-stage operation profiles.
+
+Each function runs the *actual implementation* of a stage over
+representative synthetic input with an :class:`OpCounter` attached and
+normalizes the recorded work to per-second (continuous stages) or
+per-beat (event-driven stages) profiles.  The Table III duty cycles are
+then pure arithmetic: profile x cycle model / clock.
+
+Stage inventory (Figure 6):
+
+* ``filtering`` — per lead, continuous (morphological baseline removal
+  + denoising);
+* ``peak detection`` — one lead, continuous (wavelet + modulus-maxima
+  pairing);
+* ``rp classification`` — per beat (projection + integer NFC);
+* ``delineation`` — per beat and per lead set (MMD multi-lead), plus
+  the on-demand filtering of the two extra leads over the beat window
+  when the gated system activates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.delineation import delineate_multilead
+from repro.dsp.morphological import filter_lead
+from repro.dsp.peak_detection import detect_peaks
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+from repro.fixedpoint.convert import EmbeddedClassifier
+from repro.platform.opcount import OpCounter
+
+#: Default traffic assumption: the MIT-BIH mean heart rate (~77 bpm).
+DEFAULT_HEART_RATE_HZ = 1.28
+
+#: Window of signal (seconds) the delineator inspects per beat.
+DELINEATION_SPAN_S = 0.77
+
+
+def _synthetic_leads(fs: float, n_seconds: float, n_leads: int, seed: int) -> np.ndarray:
+    """A short multi-lead synthetic record for profiling."""
+    synthesizer = RecordSynthesizer(SynthesisConfig(fs=fs, n_leads=n_leads), seed=seed)
+    record = synthesizer.synthesize(n_seconds, name="profile")
+    return record.signal
+
+
+def filtering_profile(
+    fs: float, n_seconds: float = 4.0, seed: int = 0
+) -> OpCounter:
+    """Per-second op profile of the single-lead filtering stage."""
+    signal = _synthetic_leads(fs, n_seconds, 1, seed)[:, 0]
+    counter = OpCounter()
+    filter_lead(signal, fs, counter=counter)
+    return counter.scaled(1.0 / n_seconds)
+
+
+def peak_detection_profile(
+    fs: float, n_seconds: float = 4.0, seed: int = 0
+) -> OpCounter:
+    """Per-second op profile of the wavelet peak detector (one lead)."""
+    signal = _synthetic_leads(fs, n_seconds, 1, seed)[:, 0]
+    filtered = filter_lead(signal, fs)
+    counter = OpCounter()
+    detect_peaks(filtered, fs, counter=counter)
+    return counter.scaled(1.0 / n_seconds)
+
+
+def classifier_beat_profile(classifier: EmbeddedClassifier) -> OpCounter:
+    """Per-beat op profile of the embedded RP classifier.
+
+    Uses the analytic straight-line counts of the integer program (the
+    embedded classifier executes a fixed instruction sequence per beat,
+    so the analytic count *is* the measurement).
+    """
+    counter = OpCounter()
+    counter.add_counts(classifier.beat_op_counts())
+    return counter
+
+
+def delineation_beat_profile(
+    fs: float, n_leads: int = 3, seed: int = 0
+) -> OpCounter:
+    """Per-beat op profile of multi-lead MMD delineation.
+
+    Measured by delineating every annotated beat of a short synthetic
+    record and averaging the recorded work.
+    """
+    synthesizer = RecordSynthesizer(SynthesisConfig(fs=fs, n_leads=n_leads), seed=seed)
+    record = synthesizer.synthesize(8.0, name="delineation-profile")
+    filtered = np.column_stack(
+        [filter_lead(record.signal[:, lead], fs) for lead in range(n_leads)]
+    )
+    assert record.annotation is not None
+    peaks = record.annotation.samples
+    if peaks.size == 0:
+        raise RuntimeError("profiling record contains no beats")
+    counter = OpCounter()
+    for peak in peaks:
+        delineate_multilead(filtered, int(peak), fs, counter=counter)
+    return counter.scaled(1.0 / peaks.size)
+
+
+def window_filtering_beat_profile(
+    fs: float, n_leads: int = 2, span_s: float = DELINEATION_SPAN_S, seed: int = 0
+) -> OpCounter:
+    """Per-beat cost of filtering the extra leads over one beat window.
+
+    In the gated system the two non-classification leads are only
+    filtered when a beat is flagged, over the delineation span rather
+    than continuously.
+    """
+    n_samples = max(int(span_s * fs), 8)
+    signal = _synthetic_leads(fs, max(span_s, 1.0), 1, seed)[:n_samples, 0]
+    counter = OpCounter()
+    filter_lead(signal, fs, counter=counter)
+    return counter.scaled(float(n_leads))
+
+
+def subsystem1_profile(
+    classifier: EmbeddedClassifier,
+    fs: float,
+    heart_rate_hz: float = DEFAULT_HEART_RATE_HZ,
+    seed: int = 0,
+) -> OpCounter:
+    """Per-second profile of sub-system (1): filter + detect + classify."""
+    profile = filtering_profile(fs, seed=seed)
+    profile = profile.merge(peak_detection_profile(fs, seed=seed))
+    profile = profile.merge(classifier_beat_profile(classifier).scaled(heart_rate_hz))
+    return profile
+
+
+def delineator_system_profile(
+    fs: float,
+    heart_rate_hz: float = DEFAULT_HEART_RATE_HZ,
+    n_leads: int = 3,
+    seed: int = 0,
+) -> OpCounter:
+    """Per-second profile of sub-system (2): always-on 3-lead delineation.
+
+    Includes continuous filtering of all three leads, peak detection on
+    one, and per-beat multi-lead delineation of *every* beat.
+    """
+    profile = filtering_profile(fs, seed=seed).scaled(float(n_leads))
+    profile = profile.merge(peak_detection_profile(fs, seed=seed))
+    profile = profile.merge(delineation_beat_profile(fs, n_leads, seed).scaled(heart_rate_hz))
+    return profile
+
+
+def proposed_system_profile(
+    classifier: EmbeddedClassifier,
+    activation_rate: float,
+    fs: float,
+    heart_rate_hz: float = DEFAULT_HEART_RATE_HZ,
+    n_leads: int = 3,
+    seed: int = 0,
+) -> OpCounter:
+    """Per-second profile of the proposed gated system (3).
+
+    Sub-system (1) runs continuously; for the ``activation_rate``
+    fraction of beats flagged abnormal, the node additionally filters
+    the two extra leads over the beat window and runs the multi-lead
+    delineation.
+    """
+    if not 0.0 <= activation_rate <= 1.0:
+        raise ValueError("activation_rate must be in [0, 1]")
+    profile = subsystem1_profile(classifier, fs, heart_rate_hz, seed)
+    activated_beats_per_s = activation_rate * heart_rate_hz
+    profile = profile.merge(
+        window_filtering_beat_profile(fs, n_leads - 1, seed=seed).scaled(activated_beats_per_s)
+    )
+    profile = profile.merge(
+        delineation_beat_profile(fs, n_leads, seed).scaled(activated_beats_per_s)
+    )
+    return profile

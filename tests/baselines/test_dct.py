@@ -1,0 +1,62 @@
+"""Tests for DCT features."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dct import DCTFeatures, dct_matrix
+
+
+class TestDCTMatrix:
+    def test_orthonormal(self):
+        M = dct_matrix(16)
+        np.testing.assert_allclose(M @ M.T, np.eye(16), atol=1e-10)
+
+    def test_first_row_is_dc(self):
+        M = dct_matrix(8)
+        np.testing.assert_allclose(M[0], np.full(8, np.sqrt(1 / 8)))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            dct_matrix(0)
+
+
+class TestDCTFeatures:
+    def test_energy_compaction_on_smooth_signal(self, rng):
+        """Smooth beats concentrate energy in few DCT coefficients."""
+        t = np.linspace(0, 1, 64)
+        X = np.stack([np.sin(2 * np.pi * (1 + i % 3) * t) for i in range(20)])
+        dct = DCTFeatures(8).fit(X)
+        coefficients = dct.transform(X)
+        full = X @ dct_matrix(64).T
+        energy_kept = np.sum(coefficients**2) / np.sum(full**2)
+        assert energy_kept > 0.95
+
+    def test_transform_matches_matrix_product(self, rng):
+        X = rng.standard_normal((10, 32))
+        dct = DCTFeatures(5).fit(X)
+        np.testing.assert_allclose(dct.transform(X), X @ dct_matrix(32)[:5].T)
+
+    def test_shapes(self, rng):
+        X = rng.standard_normal((10, 32))
+        dct = DCTFeatures(5).fit(X)
+        assert dct.transform(X).shape == (10, 5)
+        assert dct.transform(X[0]).shape == (5,)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            DCTFeatures(4).transform(np.zeros((2, 8)))
+
+    def test_too_many_components(self):
+        with pytest.raises(ValueError):
+            DCTFeatures(10).fit(np.zeros((5, 8)))
+
+    def test_dimension_mismatch(self, rng):
+        dct = DCTFeatures(4).fit(rng.standard_normal((5, 16)))
+        with pytest.raises(ValueError):
+            dct.transform(np.zeros(8))
+
+    def test_fit_transform(self, rng):
+        X = rng.standard_normal((6, 20))
+        np.testing.assert_allclose(
+            DCTFeatures(3).fit_transform(X), DCTFeatures(3).fit(X).transform(X)
+        )

@@ -1,0 +1,88 @@
+"""Tests for Haar wavelet features."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dwt import HaarWaveletFeatures, haar_decompose
+
+
+class TestHaarDecompose:
+    def test_energy_preserved_power_of_two(self, rng):
+        X = rng.standard_normal((10, 64))
+        W = haar_decompose(X)
+        np.testing.assert_allclose(
+            np.sum(W**2, axis=1), np.sum(X**2, axis=1), rtol=1e-10
+        )
+
+    def test_single_level_values(self):
+        x = np.array([1.0, 3.0, 2.0, 6.0])
+        W = haar_decompose(x, n_levels=1)
+        s2 = np.sqrt(2.0)
+        np.testing.assert_allclose(W, [4 / s2, 8 / s2, -2 / s2, -4 / s2])
+
+    def test_constant_signal_detail_free(self):
+        x = np.full(32, 5.0)
+        W = haar_decompose(x)
+        # All energy in the approximation (first coefficient).
+        assert abs(W[0]) > 1.0
+        np.testing.assert_allclose(W[1:], 0.0, atol=1e-10)
+
+    def test_odd_length_handled(self, rng):
+        x = rng.standard_normal(13)
+        W = haar_decompose(x, n_levels=2)
+        assert W.shape == (13,)
+
+    def test_output_length_equals_input(self, rng):
+        for d in (8, 50, 200):
+            assert haar_decompose(rng.standard_normal(d)).shape == (d,)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            haar_decompose(np.zeros(8), n_levels=10)
+        with pytest.raises(ValueError):
+            haar_decompose(np.zeros(8), n_levels=0)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            haar_decompose(np.zeros(1))
+
+
+class TestHaarFeatures:
+    def test_selection_picks_high_variance(self, rng):
+        # Signal with strong level-1 detail variation in one place.
+        X = rng.standard_normal((100, 32)) * 0.01
+        X[:, 10] += rng.standard_normal(100) * 5  # big localized variance
+        features = HaarWaveletFeatures(3).fit(X)
+        transformed = features.transform(X)
+        assert transformed.var(axis=0).max() > 1.0
+
+    def test_shapes(self, rng):
+        X = rng.standard_normal((20, 50))
+        features = HaarWaveletFeatures(8).fit(X)
+        assert features.transform(X).shape == (20, 8)
+        assert features.transform(X[0]).shape == (8,)
+
+    def test_selected_sorted(self, rng):
+        X = rng.standard_normal((20, 50))
+        features = HaarWaveletFeatures(8).fit(X)
+        assert np.all(np.diff(features.selected_) > 0)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            HaarWaveletFeatures(2).transform(np.zeros((2, 8)))
+
+    def test_dimension_mismatch(self, rng):
+        features = HaarWaveletFeatures(2).fit(rng.standard_normal((5, 16)))
+        with pytest.raises(ValueError):
+            features.transform(np.zeros((2, 8)))
+
+    def test_too_many_components(self):
+        with pytest.raises(ValueError):
+            HaarWaveletFeatures(100).fit(np.zeros((5, 8)))
+
+    def test_fit_transform(self, rng):
+        X = rng.standard_normal((10, 16))
+        np.testing.assert_allclose(
+            HaarWaveletFeatures(4).fit_transform(X),
+            HaarWaveletFeatures(4).fit(X).transform(X),
+        )

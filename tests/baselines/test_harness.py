@@ -1,0 +1,52 @@
+"""Tests for the generic feature pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dct import DCTFeatures
+from repro.baselines.harness import FeaturePipeline
+from repro.baselines.pca import PCAFeatures
+from repro.core.defuzz import UNKNOWN_LABEL
+
+
+@pytest.fixture(scope="module")
+def pca_pipeline(datasets):
+    return FeaturePipeline.train(
+        PCAFeatures(8), datasets.train1, datasets.train2, scg_iterations=60
+    )
+
+
+class TestFeaturePipeline:
+    def test_train_produces_working_classifier(self, pca_pipeline, datasets):
+        report = pca_pipeline.evaluate(datasets.test)
+        assert report.arr > 0.8
+        assert report.ndr > 0.5
+
+    def test_predict_domain(self, pca_pipeline, datasets):
+        labels = pca_pipeline.predict(datasets.test.X[:50])
+        assert set(np.unique(labels)).issubset({UNKNOWN_LABEL, 0, 1, 2})
+
+    def test_tuned_for_reaches_target(self, pca_pipeline, datasets):
+        tuned = pca_pipeline.tuned_for(datasets.test, 0.97)
+        assert tuned.evaluate(datasets.test).arr >= 0.97 - 1e-9
+
+    def test_with_alpha_validation(self, pca_pipeline):
+        with pytest.raises(ValueError):
+            pca_pipeline.with_alpha(-0.5)
+
+    def test_score_is_ndr(self, pca_pipeline, datasets):
+        assert pca_pipeline.score(datasets.test) == pytest.approx(
+            pca_pipeline.evaluate(datasets.test).ndr
+        )
+
+    def test_sweep_monotonicity(self, pca_pipeline, datasets):
+        _, ndr, arr = pca_pipeline.sweep(datasets.test, np.linspace(0, 1, 21))
+        assert np.all(np.diff(ndr) <= 1e-12)
+        assert np.all(np.diff(arr) >= -1e-12)
+
+    def test_works_with_dct(self, datasets):
+        pipeline = FeaturePipeline.train(
+            DCTFeatures(8), datasets.train1, datasets.train2, scg_iterations=40
+        )
+        report = pipeline.evaluate(datasets.test)
+        assert report.arr > 0.5

@@ -1,0 +1,104 @@
+"""Tests for the from-scratch PCA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pca import PCAFeatures
+
+
+@pytest.fixture()
+def blobs(rng):
+    """Data with a known dominant direction."""
+    n = 200
+    t = rng.standard_normal(n)
+    X = np.outer(t, np.array([3.0, 0.0, 0.0, 0.0])) + 0.1 * rng.standard_normal((n, 4))
+    return X
+
+
+class TestFit:
+    def test_component_shapes(self, blobs):
+        pca = PCAFeatures(2).fit(blobs)
+        assert pca.components_.shape == (2, 4)
+        assert pca.mean_.shape == (4,)
+        assert pca.explained_variance_.shape == (2,)
+
+    def test_components_orthonormal(self, blobs):
+        pca = PCAFeatures(3).fit(blobs)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_first_component_is_dominant_direction(self, blobs):
+        pca = PCAFeatures(1).fit(blobs)
+        direction = np.abs(pca.components_[0])
+        assert direction[0] > 0.99
+
+    def test_variance_sorted_descending(self, rng):
+        X = rng.standard_normal((100, 6)) * np.array([5, 4, 3, 2, 1, 0.5])
+        pca = PCAFeatures(6).fit(X)
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-9)
+
+    def test_too_many_components(self):
+        with pytest.raises(ValueError):
+            PCAFeatures(5).fit(np.zeros((3, 4)))
+
+    def test_invalid_n_components(self):
+        with pytest.raises(ValueError):
+            PCAFeatures(0)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            PCAFeatures(1).fit(np.zeros(10))
+
+
+class TestTransform:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            PCAFeatures(2).transform(np.zeros((3, 4)))
+
+    def test_shape(self, blobs):
+        pca = PCAFeatures(2).fit(blobs)
+        assert pca.transform(blobs).shape == (200, 2)
+
+    def test_single_vector(self, blobs):
+        pca = PCAFeatures(2).fit(blobs)
+        assert pca.transform(blobs[0]).shape == (2,)
+
+    def test_scores_centered(self, blobs):
+        pca = PCAFeatures(2).fit(blobs)
+        scores = pca.transform(blobs)
+        np.testing.assert_allclose(scores.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_score_variance_matches_explained(self, blobs):
+        pca = PCAFeatures(2).fit(blobs)
+        scores = pca.transform(blobs)
+        np.testing.assert_allclose(
+            scores.var(axis=0, ddof=1), pca.explained_variance_, rtol=1e-8
+        )
+
+    def test_fit_transform(self, blobs):
+        a = PCAFeatures(2).fit_transform(blobs)
+        b = PCAFeatures(2).fit(blobs).transform(blobs)
+        np.testing.assert_allclose(np.abs(a), np.abs(b))
+
+    def test_dimension_mismatch(self, blobs):
+        pca = PCAFeatures(2).fit(blobs)
+        with pytest.raises(ValueError):
+            pca.transform(np.zeros((3, 5)))
+
+    def test_reconstruction_error_small_for_low_rank(self, blobs):
+        pca = PCAFeatures(1).fit(blobs)
+        scores = pca.transform(blobs)
+        reconstructed = scores @ pca.components_ + pca.mean_
+        residual = np.linalg.norm(blobs - reconstructed) / np.linalg.norm(blobs)
+        assert residual < 0.2
+
+
+class TestExplainedVarianceRatio:
+    def test_sums_below_one(self, blobs):
+        pca = PCAFeatures(2).fit(blobs)
+        ratio = pca.explained_variance_ratio(blobs)
+        assert 0.9 < ratio.sum() <= 1.0 + 1e-9
+
+    def test_requires_fit(self, blobs):
+        with pytest.raises(RuntimeError):
+            PCAFeatures(2).explained_variance_ratio(blobs)

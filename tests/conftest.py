@@ -1,0 +1,71 @@
+"""Shared fixtures: small datasets and trained artifacts.
+
+Training even a reduced GA takes a second or two, so the expensive
+artifacts are session-scoped and shared by all test modules.  Tests
+that need isolation build their own objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.genetic import GeneticConfig
+from repro.core.pipeline import RPClassifierPipeline
+from repro.core.training import TrainingConfig
+from repro.ecg.mitbih import BeatDatasets, make_datasets
+from repro.experiments.datasets import decimate_labeled
+from repro.fixedpoint.convert import EmbeddedClassifier, convert_pipeline, tune_embedded_alpha
+
+#: Scale of the Table-I sets used throughout the tests.
+TEST_SCALE = 0.03
+
+#: Reduced GA so a full two-step training stays around a second.
+TEST_GA = GeneticConfig(population_size=5, generations=3)
+
+
+@pytest.fixture(scope="session")
+def datasets() -> BeatDatasets:
+    """Small Table-I-shaped datasets at 360 Hz."""
+    return make_datasets(scale=TEST_SCALE, seed=11)
+
+
+@pytest.fixture(scope="session")
+def embedded_datasets(datasets):
+    """The same beats decimated to the 90 Hz configuration."""
+    return tuple(decimate_labeled(s) for s in (datasets.train1, datasets.train2, datasets.test))
+
+
+@pytest.fixture(scope="session")
+def training_config() -> TrainingConfig:
+    """Reduced-budget training configuration shared by the suite."""
+    return TrainingConfig(n_coefficients=8, genetic=TEST_GA, scg_iterations=60)
+
+
+@pytest.fixture(scope="session")
+def pipeline(datasets, training_config) -> RPClassifierPipeline:
+    """A trained float pipeline (8 coefficients, 360 Hz)."""
+    return RPClassifierPipeline.train(
+        datasets.train1, datasets.train2, 8, seed=11, config=training_config
+    )
+
+
+@pytest.fixture(scope="session")
+def embedded_pipeline(embedded_datasets, training_config) -> RPClassifierPipeline:
+    """A trained float pipeline at the 90 Hz embedded configuration."""
+    train1, train2, _ = embedded_datasets
+    return RPClassifierPipeline.train(train1, train2, 8, seed=11, config=training_config)
+
+
+@pytest.fixture(scope="session")
+def embedded_classifier(embedded_pipeline, embedded_datasets) -> EmbeddedClassifier:
+    """The quantized WBSN classifier, alpha tuned at 97% ARR."""
+    _, _, test = embedded_datasets
+    classifier = convert_pipeline(embedded_pipeline, shape="linear")
+    return tune_embedded_alpha(classifier, test, 0.97)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,212 @@
+"""Tests for Achlioptas random-projection matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.achlioptas import (
+    AchlioptasMatrix,
+    generate_achlioptas,
+    johnson_lindenstrauss_bound,
+    project,
+    projection_distortion,
+)
+
+
+class TestGeneration:
+    def test_shape(self):
+        m = generate_achlioptas(8, 200, rng=0)
+        assert m.matrix.shape == (8, 200)
+        assert m.n_coefficients == 8
+        assert m.n_inputs == 200
+
+    def test_entries_are_ternary(self):
+        m = generate_achlioptas(16, 100, rng=1)
+        assert set(np.unique(m.matrix)).issubset({-1, 0, 1})
+
+    def test_dtype_is_int8(self):
+        m = generate_achlioptas(4, 10, rng=2)
+        assert m.matrix.dtype == np.int8
+
+    def test_element_distribution(self):
+        m = generate_achlioptas(100, 1000, rng=3)
+        flat = m.matrix.ravel()
+        frac_plus = np.mean(flat == 1)
+        frac_minus = np.mean(flat == -1)
+        frac_zero = np.mean(flat == 0)
+        assert frac_plus == pytest.approx(1 / 6, abs=0.01)
+        assert frac_minus == pytest.approx(1 / 6, abs=0.01)
+        assert frac_zero == pytest.approx(2 / 3, abs=0.01)
+
+    def test_density_property(self):
+        m = generate_achlioptas(50, 200, rng=4)
+        assert m.density == pytest.approx(1 / 3, abs=0.03)
+        assert m.nnz == np.count_nonzero(m.matrix)
+
+    def test_seeded_reproducibility(self):
+        a = generate_achlioptas(8, 50, rng=42)
+        b = generate_achlioptas(8, 50, rng=42)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_different_seeds_differ(self):
+        a = generate_achlioptas(8, 50, rng=1)
+        b = generate_achlioptas(8, 50, rng=2)
+        assert not np.array_equal(a.matrix, b.matrix)
+
+    @pytest.mark.parametrize("k,d", [(0, 10), (10, 0), (-1, 5)])
+    def test_invalid_dimensions(self, k, d):
+        with pytest.raises(ValueError):
+            generate_achlioptas(k, d)
+
+    def test_generator_instance_accepted(self):
+        rng = np.random.default_rng(7)
+        m = generate_achlioptas(4, 20, rng=rng)
+        assert m.matrix.shape == (4, 20)
+
+
+class TestValidation:
+    def test_rejects_non_ternary(self):
+        with pytest.raises(ValueError, match="entries"):
+            AchlioptasMatrix(np.array([[0, 2], [1, -1]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            AchlioptasMatrix(np.array([1, 0, -1]))
+
+    def test_accepts_valid(self):
+        m = AchlioptasMatrix(np.array([[1, 0], [-1, 1]]))
+        assert m.matrix.dtype == np.int8
+
+
+class TestProjection:
+    def test_matches_dense_matmul(self, rng):
+        m = generate_achlioptas(8, 50, rng=5)
+        v = rng.standard_normal((20, 50))
+        u = m.project(v)
+        expected = v @ m.matrix.T.astype(float)
+        np.testing.assert_allclose(u, expected)
+
+    def test_single_vector(self, rng):
+        m = generate_achlioptas(8, 50, rng=5)
+        v = rng.standard_normal(50)
+        u = m.project(v)
+        assert u.shape == (8,)
+        np.testing.assert_allclose(u, m.matrix.astype(float) @ v)
+
+    def test_integer_input_gives_integer_output(self):
+        m = generate_achlioptas(4, 10, rng=6)
+        v = np.arange(10, dtype=np.int32)
+        u = m.project(v)
+        assert np.issubdtype(u.dtype, np.integer)
+
+    def test_scaled_projection(self, rng):
+        m = generate_achlioptas(8, 50, rng=5)
+        v = rng.standard_normal(50)
+        np.testing.assert_allclose(
+            m.project(v, scaled=True), m.project(v) * np.sqrt(3 / 8)
+        )
+
+    def test_length_mismatch_raises(self):
+        m = generate_achlioptas(4, 10, rng=0)
+        with pytest.raises(ValueError, match="does not match"):
+            m.project(np.zeros(11))
+
+    def test_projection_is_linear(self, rng):
+        m = generate_achlioptas(6, 30, rng=8)
+        a = rng.standard_normal(30)
+        b = rng.standard_normal(30)
+        np.testing.assert_allclose(
+            m.project(a + 2.0 * b), m.project(a) + 2.0 * m.project(b)
+        )
+
+    def test_function_form_matches_method(self, rng):
+        m = generate_achlioptas(4, 10, rng=9)
+        v = rng.standard_normal((3, 10))
+        np.testing.assert_allclose(project(m.matrix, v), m.project(v))
+
+
+class TestColumnSubsample:
+    def test_shape_after_factor_4(self):
+        m = generate_achlioptas(8, 200, rng=10)
+        sub = m.column_subsample(4)
+        assert sub.matrix.shape == (8, 50)
+
+    def test_columns_match_decimation(self):
+        m = generate_achlioptas(8, 200, rng=10)
+        sub = m.column_subsample(4, phase=2)
+        np.testing.assert_array_equal(sub.matrix, m.matrix[:, 2::4])
+
+    def test_subsample_then_project_equals_project_decimated(self, rng):
+        m = generate_achlioptas(8, 200, rng=11)
+        v = rng.standard_normal(200)
+        np.testing.assert_allclose(
+            m.column_subsample(4).project(v[::4]),
+            m.matrix[:, ::4].astype(float) @ v[::4],
+        )
+
+    @pytest.mark.parametrize("factor,phase", [(0, 0), (4, 4), (4, -1)])
+    def test_invalid_arguments(self, factor, phase):
+        m = generate_achlioptas(4, 20, rng=0)
+        with pytest.raises(ValueError):
+            m.column_subsample(factor, phase)
+
+
+class TestJLBound:
+    def test_bound_decreases_with_epsilon(self):
+        assert johnson_lindenstrauss_bound(1000, 0.5) < johnson_lindenstrauss_bound(
+            1000, 0.1
+        )
+
+    def test_bound_grows_with_points(self):
+        assert johnson_lindenstrauss_bound(10**6, 0.2) > johnson_lindenstrauss_bound(
+            100, 0.2
+        )
+
+    def test_paper_operating_point_below_bound(self):
+        # The paper projects 12 000 training beats onto k = 8..32,
+        # far below the JL guarantee even for epsilon = 0.9.
+        assert johnson_lindenstrauss_bound(12000, 0.9) > 32
+
+    @pytest.mark.parametrize("n,eps", [(1, 0.5), (10, 0.0), (10, 1.0)])
+    def test_invalid_arguments(self, n, eps):
+        with pytest.raises(ValueError):
+            johnson_lindenstrauss_bound(n, eps)
+
+
+class TestDistortion:
+    def test_distortion_concentrates_for_large_k(self, rng):
+        v = rng.standard_normal((50, 400))
+        wide = generate_achlioptas(256, 400, rng=12)
+        ratios = projection_distortion(wide.matrix, v, n_pairs=100, rng=13)
+        assert abs(np.median(ratios) - 1.0) < 0.2
+
+    def test_small_k_has_larger_spread(self, rng):
+        v = rng.standard_normal((50, 400))
+        narrow = generate_achlioptas(8, 400, rng=12)
+        wide = generate_achlioptas(256, 400, rng=12)
+        r_narrow = projection_distortion(narrow.matrix, v, n_pairs=200, rng=13)
+        r_wide = projection_distortion(wide.matrix, v, n_pairs=200, rng=13)
+        assert r_narrow.std() > r_wide.std()
+
+    def test_requires_two_points(self):
+        m = generate_achlioptas(4, 10, rng=0)
+        with pytest.raises(ValueError):
+            projection_distortion(m.matrix, np.zeros((1, 10)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(k=st.integers(1, 16), d=st.integers(1, 64), seed=st.integers(0, 10_000))
+def test_generate_always_valid(k, d, seed):
+    """Property: any generated matrix is a valid ternary matrix."""
+    m = generate_achlioptas(k, d, rng=seed)
+    assert m.matrix.shape == (k, d)
+    assert set(np.unique(m.matrix)).issubset({-1, 0, 1})
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_projection_preserves_zero(seed):
+    """Property: the zero vector always projects to zero."""
+    m = generate_achlioptas(8, 40, rng=seed)
+    assert np.all(m.project(np.zeros(40)) == 0)

@@ -1,0 +1,206 @@
+"""Tests for the defuzzification rule and alpha tuning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.defuzz import (
+    DefuzzRule,
+    NORMAL_LABEL,
+    UNKNOWN_LABEL,
+    defuzzify,
+    is_abnormal,
+    margins,
+    sweep_alpha,
+    tune_alpha,
+)
+
+
+class TestMargins:
+    def test_clear_winner(self):
+        winners, margin = margins(np.array([[0.9, 0.05, 0.05]]))
+        assert winners[0] == 0
+        assert margin[0] == pytest.approx((0.9 - 0.05) / 1.0)
+
+    def test_tie_gives_zero_margin(self):
+        _, margin = margins(np.array([[0.5, 0.5, 0.0]]))
+        assert margin[0] == pytest.approx(0.0)
+
+    def test_all_zero_row(self):
+        winners, margin = margins(np.array([[0.0, 0.0, 0.0]]))
+        assert margin[0] == -1.0
+
+    def test_single_nonzero_class_has_unit_margin(self):
+        _, margin = margins(np.array([[0.7, 0.0, 0.0]]))
+        assert margin[0] == pytest.approx(1.0)
+
+    def test_scale_invariance(self):
+        f = np.array([[0.2, 0.5, 0.3]])
+        _, m1 = margins(f)
+        _, m2 = margins(1000.0 * f)
+        assert m1[0] == pytest.approx(m2[0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            margins(np.array([[0.5, -0.1]]))
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            margins(np.array([[1.0]]))
+
+
+class TestDefuzzify:
+    def test_alpha_zero_is_argmax(self):
+        fuzzy = np.array([[0.4, 0.35, 0.25], [0.1, 0.8, 0.1]])
+        np.testing.assert_array_equal(defuzzify(fuzzy, 0.0), [0, 1])
+
+    def test_low_confidence_becomes_unknown(self):
+        fuzzy = np.array([[0.4, 0.35, 0.25]])
+        # margin = 0.05; any alpha above that maps to Unknown.
+        assert defuzzify(fuzzy, 0.1)[0] == UNKNOWN_LABEL
+
+    def test_high_confidence_survives(self):
+        fuzzy = np.array([[0.9, 0.05, 0.05]])
+        assert defuzzify(fuzzy, 0.5)[0] == 0
+
+    def test_all_zero_is_unknown_for_any_alpha(self):
+        fuzzy = np.array([[0.0, 0.0, 0.0]])
+        assert defuzzify(fuzzy, 0.0)[0] == UNKNOWN_LABEL
+
+    def test_alpha_one_requires_single_class(self):
+        lone = np.array([[0.7, 0.0, 0.0]])
+        split = np.array([[0.7, 0.1, 0.0]])
+        assert defuzzify(lone, 1.0)[0] == 0
+        assert defuzzify(split, 1.0)[0] == UNKNOWN_LABEL
+
+    @pytest.mark.parametrize("alpha", [-0.1, 1.5])
+    def test_invalid_alpha(self, alpha):
+        with pytest.raises(ValueError):
+            defuzzify(np.array([[1.0, 0.0]]), alpha)
+
+    def test_rule_object(self):
+        rule = DefuzzRule(0.2)
+        assert rule(np.array([[0.9, 0.05, 0.05]]))[0] == 0
+        with pytest.raises(ValueError):
+            DefuzzRule(2.0)
+
+
+class TestIsAbnormal:
+    def test_unknown_counts_abnormal(self):
+        labels = np.array([NORMAL_LABEL, 1, 2, UNKNOWN_LABEL])
+        np.testing.assert_array_equal(is_abnormal(labels), [False, True, True, True])
+
+
+def _synthetic_fuzzy(rng, n=400):
+    """Fuzzy values with a mix of confident and borderline beats."""
+    y = rng.integers(0, 3, size=n)
+    fuzzy = rng.random((n, 3)) * 0.3
+    confident = rng.random(n) < 0.7
+    fuzzy[np.arange(n)[confident], y[confident]] += rng.random(confident.sum()) * 2 + 0.5
+    return fuzzy, y
+
+
+class TestTuneAlpha:
+    def test_returns_zero_when_target_met(self, rng):
+        # All abnormal beats already classified abnormal.
+        fuzzy = np.array([[0.1, 0.9, 0.0], [0.0, 0.1, 0.9], [0.9, 0.1, 0.0]])
+        y = np.array([1, 2, 0])
+        assert tune_alpha(fuzzy, y, 0.97) == 0.0
+
+    def test_meets_target_exactly_on_data(self, rng):
+        fuzzy, y = _synthetic_fuzzy(rng)
+        for target in (0.9, 0.95, 0.99):
+            alpha = tune_alpha(fuzzy, y, target)
+            labels = defuzzify(fuzzy, alpha)
+            abnormal = y != NORMAL_LABEL
+            arr = np.mean(is_abnormal(labels)[abnormal])
+            assert arr >= target - 1e-9
+
+    def test_minimality(self, rng):
+        """A smaller alpha would miss the target (alpha is tight)."""
+        fuzzy, y = _synthetic_fuzzy(rng)
+        target = 0.97
+        alpha = tune_alpha(fuzzy, y, target)
+        if 0.0 < alpha < 1.0:
+            slightly_less = alpha * 0.98
+            labels = defuzzify(fuzzy, slightly_less)
+            abnormal = y != NORMAL_LABEL
+            arr = np.mean(is_abnormal(labels)[abnormal])
+            assert arr < target
+
+    def test_no_abnormal_beats(self):
+        fuzzy = np.array([[0.9, 0.1, 0.0]])
+        assert tune_alpha(fuzzy, np.array([0]), 0.97) == 0.0
+
+    def test_impossible_target_returns_one(self):
+        # One abnormal beat confidently classified N (single non-zero
+        # class): unrecoverable for any alpha <= 1.
+        fuzzy = np.array([[1.0, 0.0, 0.0]])
+        assert tune_alpha(fuzzy, np.array([1]), 1.0) == 1.0
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            tune_alpha(np.array([[1.0, 0.0]]), np.array([0]), 1.5)
+
+
+class TestSweepAlpha:
+    def test_matches_bruteforce(self, rng):
+        fuzzy, y = _synthetic_fuzzy(rng, n=200)
+        alphas = np.linspace(0, 1, 11)
+        _, ndr, arr = sweep_alpha(fuzzy, y, alphas)
+        normal = y == NORMAL_LABEL
+        abnormal = ~normal
+        for i, alpha in enumerate(alphas):
+            labels = defuzzify(fuzzy, alpha)
+            ndr_ref = np.mean(labels[normal] == NORMAL_LABEL)
+            arr_ref = np.mean(is_abnormal(labels)[abnormal])
+            assert ndr[i] == pytest.approx(ndr_ref)
+            assert arr[i] == pytest.approx(arr_ref)
+
+    def test_monotonicity(self, rng):
+        fuzzy, y = _synthetic_fuzzy(rng)
+        _, ndr, arr = sweep_alpha(fuzzy, y)
+        assert np.all(np.diff(ndr) <= 1e-12)
+        assert np.all(np.diff(arr) >= -1e-12)
+
+    def test_default_grid(self, rng):
+        fuzzy, y = _synthetic_fuzzy(rng)
+        alphas, ndr, arr = sweep_alpha(fuzzy, y)
+        assert alphas.shape == ndr.shape == arr.shape
+        assert alphas[0] == 0.0 and alphas[-1] == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fuzzy=hnp.arrays(
+        float,
+        st.tuples(st.integers(1, 30), st.just(3)),
+        elements=st.floats(0, 1000, allow_nan=False),
+    ),
+    alpha=st.floats(0, 1),
+)
+def test_defuzzify_labels_in_domain(fuzzy, alpha):
+    """Property: labels are always a class index or Unknown."""
+    labels = defuzzify(fuzzy, alpha)
+    assert set(np.unique(labels)).issubset({UNKNOWN_LABEL, 0, 1, 2})
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fuzzy=hnp.arrays(
+        float,
+        st.tuples(st.integers(2, 40), st.just(3)),
+        elements=st.floats(0, 100, allow_nan=False),
+    ),
+    alpha_pair=st.tuples(st.floats(0, 1), st.floats(0, 1)),
+)
+def test_unknown_set_grows_with_alpha(fuzzy, alpha_pair):
+    """Property: raising alpha can only grow the Unknown set."""
+    lo, hi = sorted(alpha_pair)
+    unknown_lo = defuzzify(fuzzy, lo) == UNKNOWN_LABEL
+    unknown_hi = defuzzify(fuzzy, hi) == UNKNOWN_LABEL
+    assert np.all(unknown_hi | ~unknown_lo | unknown_lo)
+    # Every beat unknown at lo stays unknown at hi.
+    assert np.all(~unknown_lo | unknown_hi)

@@ -1,0 +1,178 @@
+"""Tests for the genetic projection optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.achlioptas import AchlioptasMatrix, generate_achlioptas
+from repro.core.genetic import (
+    GeneticConfig,
+    crossover_rows,
+    mutate,
+    optimize_projection,
+)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = GeneticConfig()
+        assert config.population_size == 20
+        assert config.generations == 30
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"generations": 0},
+            {"crossover_rate": 1.5},
+            {"mutation_rate": -0.1},
+            {"tournament_size": 0},
+            {"elitism": 25},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneticConfig(**kwargs)
+
+
+class TestCrossover:
+    def test_rows_come_from_parents(self, rng):
+        a = generate_achlioptas(6, 20, rng=0)
+        b = generate_achlioptas(6, 20, rng=1)
+        child = crossover_rows(a, b, rng)
+        for row in range(6):
+            from_a = np.array_equal(child.matrix[row], a.matrix[row])
+            from_b = np.array_equal(child.matrix[row], b.matrix[row])
+            assert from_a or from_b
+
+    def test_child_is_valid(self, rng):
+        a = generate_achlioptas(6, 20, rng=0)
+        b = generate_achlioptas(6, 20, rng=1)
+        child = crossover_rows(a, b, rng)
+        assert set(np.unique(child.matrix)).issubset({-1, 0, 1})
+
+    def test_shape_mismatch(self, rng):
+        a = generate_achlioptas(6, 20, rng=0)
+        b = generate_achlioptas(6, 21, rng=1)
+        with pytest.raises(ValueError):
+            crossover_rows(a, b, rng)
+
+
+class TestMutation:
+    def test_zero_rate_is_identity(self, rng):
+        m = generate_achlioptas(6, 20, rng=0)
+        assert mutate(m, 0.0, rng) is m
+
+    def test_mutated_stays_valid(self, rng):
+        m = generate_achlioptas(6, 20, rng=0)
+        child = mutate(m, 0.5, rng)
+        assert set(np.unique(child.matrix)).issubset({-1, 0, 1})
+
+    def test_high_rate_changes_entries(self, rng):
+        m = generate_achlioptas(10, 50, rng=0)
+        child = mutate(m, 0.9, rng)
+        assert not np.array_equal(child.matrix, m.matrix)
+
+    def test_low_rate_changes_few_entries(self, rng):
+        m = generate_achlioptas(10, 100, rng=0)
+        child = mutate(m, 0.01, rng)
+        changed = np.mean(child.matrix != m.matrix)
+        assert changed < 0.05
+
+    def test_mutation_preserves_achlioptas_distribution(self):
+        rng = np.random.default_rng(5)
+        m = generate_achlioptas(50, 200, rng=0)
+        child = mutate(m, 1.0, rng)  # resample everything
+        frac_zero = np.mean(child.matrix == 0)
+        assert frac_zero == pytest.approx(2 / 3, abs=0.02)
+
+    def test_invalid_rate(self, rng):
+        m = generate_achlioptas(2, 4, rng=0)
+        with pytest.raises(ValueError):
+            mutate(m, 1.1, rng)
+
+
+def sparsity_fitness(m: AchlioptasMatrix) -> float:
+    """Toy fitness: reward +1-heavy matrices (has a known optimum)."""
+    return float(np.mean(m.matrix == 1))
+
+
+class TestOptimize:
+    def test_improves_fitness(self):
+        result = optimize_projection(
+            sparsity_fitness,
+            n_coefficients=4,
+            n_inputs=30,
+            config=GeneticConfig(population_size=8, generations=10, mutation_rate=0.05),
+            rng=0,
+        )
+        assert result.best_fitness > result.history[0]
+
+    def test_history_monotone_with_elitism(self):
+        result = optimize_projection(
+            sparsity_fitness,
+            n_coefficients=4,
+            n_inputs=30,
+            config=GeneticConfig(population_size=8, generations=10, elitism=2),
+            rng=1,
+        )
+        history = np.array(result.history)
+        assert np.all(np.diff(history) >= 0)
+
+    def test_history_length(self):
+        config = GeneticConfig(population_size=6, generations=7)
+        result = optimize_projection(
+            sparsity_fitness, n_coefficients=3, n_inputs=10, config=config, rng=2
+        )
+        assert len(result.history) == config.generations + 1
+
+    def test_best_is_valid_matrix(self):
+        result = optimize_projection(
+            sparsity_fitness,
+            n_coefficients=5,
+            n_inputs=12,
+            config=GeneticConfig(population_size=4, generations=3),
+            rng=3,
+        )
+        assert result.best.matrix.shape == (5, 12)
+        assert set(np.unique(result.best.matrix)).issubset({-1, 0, 1})
+
+    def test_evaluation_budget(self):
+        config = GeneticConfig(population_size=6, generations=4, elitism=2)
+        result = optimize_projection(
+            sparsity_fitness, n_coefficients=3, n_inputs=8, config=config, rng=4
+        )
+        expected = 6 + 4 * (6 - 2)  # initial pop + children per generation
+        assert result.evaluations == expected
+
+    def test_warm_start(self):
+        seeded = generate_achlioptas(3, 8, rng=9)
+        result = optimize_projection(
+            sparsity_fitness,
+            n_coefficients=3,
+            n_inputs=8,
+            config=GeneticConfig(population_size=4, generations=1),
+            rng=5,
+            initial_population=[seeded],
+        )
+        assert result.best_fitness >= sparsity_fitness(seeded) - 1e-12
+
+    def test_warm_start_dimension_check(self):
+        wrong = generate_achlioptas(2, 8, rng=0)
+        with pytest.raises(ValueError):
+            optimize_projection(
+                sparsity_fitness,
+                n_coefficients=3,
+                n_inputs=8,
+                initial_population=[wrong],
+            )
+
+    def test_deterministic_for_seed(self):
+        kwargs = dict(
+            n_coefficients=3,
+            n_inputs=10,
+            config=GeneticConfig(population_size=4, generations=3),
+        )
+        a = optimize_projection(sparsity_fitness, rng=11, **kwargs)
+        b = optimize_projection(sparsity_fitness, rng=11, **kwargs)
+        assert np.array_equal(a.best.matrix, b.best.matrix)
+        assert a.history == b.history

@@ -1,0 +1,195 @@
+"""Tests for the float membership functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.membership import (
+    GAUSSIAN_AT_S,
+    LINEAR_FLOOR,
+    S_FACTOR,
+    gaussian_membership,
+    linearization_error,
+    linearized_membership,
+    log_gaussian_membership,
+    membership_by_name,
+    triangular_membership,
+)
+
+
+def params(k=1, L=1, center=0.0, sigma=1.0):
+    return np.full((k, L), center), np.full((k, L), sigma)
+
+
+class TestGaussian:
+    def test_peak_value_is_one(self):
+        c, s = params()
+        assert gaussian_membership(np.array([0.0]), c, s)[0, 0] == pytest.approx(1.0)
+
+    def test_value_at_one_sigma(self):
+        c, s = params()
+        grade = gaussian_membership(np.array([1.0]), c, s)[0, 0]
+        assert grade == pytest.approx(np.exp(-0.5))
+
+    def test_symmetry(self):
+        c, s = params()
+        left = gaussian_membership(np.array([-2.0]), c, s)
+        right = gaussian_membership(np.array([2.0]), c, s)
+        assert left[0, 0] == pytest.approx(right[0, 0])
+
+    def test_batch_shape(self):
+        c, s = params(k=3, L=2)
+        u = np.zeros((5, 3))
+        assert gaussian_membership(u, c, s).shape == (5, 3, 2)
+
+    def test_single_beat_shape(self):
+        c, s = params(k=3, L=2)
+        assert gaussian_membership(np.zeros(3), c, s).shape == (3, 2)
+
+    def test_log_matches_exp(self):
+        c, s = params(k=2, L=3, sigma=2.0)
+        u = np.array([[0.5, -1.0]])
+        np.testing.assert_allclose(
+            np.exp(log_gaussian_membership(u, c, s)), gaussian_membership(u, c, s)
+        )
+
+    def test_nonpositive_sigma_rejected(self):
+        c = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="positive"):
+            gaussian_membership(np.array([0.0]), c, np.zeros((1, 1)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_membership(np.zeros(3), np.zeros((2, 2)), np.ones((2, 2)))
+
+
+class TestLinearized:
+    def test_peak_value_is_one(self):
+        c, s = params()
+        assert linearized_membership(np.array([0.0]), c, s)[0, 0] == pytest.approx(1.0)
+
+    def test_value_at_S_matches_gaussian(self):
+        c, s = params()
+        grade = linearized_membership(np.array([S_FACTOR]), c, s)[0, 0]
+        assert grade == pytest.approx(GAUSSIAN_AT_S, rel=1e-9)
+
+    def test_floor_between_2S_and_4S(self):
+        c, s = params()
+        for x in (2.0 * S_FACTOR, 3.0 * S_FACTOR, 3.99 * S_FACTOR):
+            assert linearized_membership(np.array([x]), c, s)[0, 0] == pytest.approx(
+                LINEAR_FLOOR
+            )
+
+    def test_zero_beyond_4S(self):
+        c, s = params()
+        assert linearized_membership(np.array([4.0 * S_FACTOR]), c, s)[0, 0] == 0.0
+        assert linearized_membership(np.array([10.0 * S_FACTOR]), c, s)[0, 0] == 0.0
+
+    def test_piecewise_linear_inside_S(self):
+        c, s = params()
+        xs = (np.array([0.1, 0.2, 0.3]) * S_FACTOR)[:, np.newaxis]
+        grades = linearized_membership(xs, c, s)[:, 0, 0]
+        diffs = np.diff(grades)
+        assert diffs[0] == pytest.approx(diffs[1], rel=1e-9)
+
+    def test_monotone_decreasing_in_distance(self):
+        c, s = params()
+        xs = np.linspace(0, 5 * S_FACTOR, 200)[:, np.newaxis]
+        grades = linearized_membership(xs, c, s)[:, 0, 0]
+        assert np.all(np.diff(grades) <= 1e-12)
+
+    def test_close_to_gaussian_within_S(self):
+        c, s = params()
+        xs = np.linspace(-S_FACTOR, S_FACTOR, 100)[:, np.newaxis]
+        lin = linearized_membership(xs, c, s)[:, 0, 0]
+        gau = gaussian_membership(xs, c, s)[:, 0, 0]
+        assert np.max(np.abs(lin - gau)) < 0.25
+
+    def test_center_offset(self):
+        c, s = params(center=5.0)
+        assert linearized_membership(np.array([5.0]), c, s)[0, 0] == pytest.approx(1.0)
+
+    def test_sigma_scales_support(self):
+        c, s = params(sigma=2.0)
+        # Support extends to 4 * 2.35 * sigma = 18.8.
+        assert linearized_membership(np.array([18.0]), c, s)[0, 0] > 0.0
+        assert linearized_membership(np.array([19.0]), c, s)[0, 0] == 0.0
+
+
+class TestTriangular:
+    def test_peak_value_is_one(self):
+        c, s = params()
+        assert triangular_membership(np.array([0.0]), c, s)[0, 0] == pytest.approx(1.0)
+
+    def test_zero_at_2S(self):
+        c, s = params()
+        assert triangular_membership(np.array([2.0 * S_FACTOR]), c, s)[0, 0] == 0.0
+
+    def test_half_at_S(self):
+        c, s = params()
+        assert triangular_membership(np.array([S_FACTOR]), c, s)[0, 0] == pytest.approx(0.5)
+
+    def test_no_positive_floor(self):
+        """Unlike the 4-segment shape, the triangle truly reaches zero."""
+        c, s = params()
+        assert triangular_membership(np.array([3.0 * S_FACTOR]), c, s)[0, 0] == 0.0
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["gaussian", "linear", "triangular"])
+    def test_known_shapes(self, name):
+        fn = membership_by_name(name)
+        c, s = params()
+        assert fn(np.array([0.0]), c, s)[0, 0] == pytest.approx(1.0)
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError, match="unknown membership shape"):
+            membership_by_name("sigmoid")
+
+
+class TestLinearizationError:
+    def test_linear_beats_triangular(self):
+        lin = linearization_error(shape="linear")
+        tri = linearization_error(shape="triangular")
+        assert lin["rms_error"] < tri["rms_error"]
+
+    def test_error_keys(self):
+        e = linearization_error()
+        assert set(e) == {"max_error", "mean_error", "rms_error"}
+        assert 0 <= e["mean_error"] <= e["max_error"]
+
+    def test_linear_error_is_small(self):
+        assert linearization_error(shape="linear")["max_error"] < 0.1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x=st.floats(-50, 50),
+    center=st.floats(-10, 10),
+    sigma=st.floats(0.1, 10),
+)
+def test_all_shapes_bounded(x, center, sigma):
+    """Property: every MF maps any input into [0, 1]."""
+    c = np.full((1, 1), center)
+    s = np.full((1, 1), sigma)
+    for name in ("gaussian", "linear", "triangular"):
+        grade = membership_by_name(name)(np.array([x]), c, s)[0, 0]
+        assert 0.0 <= grade <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r=st.floats(0, 30),
+    center=st.floats(-5, 5),
+    sigma=st.floats(0.2, 5),
+)
+def test_all_shapes_symmetric(r, center, sigma):
+    """Property: every MF is symmetric around its center."""
+    c = np.full((1, 1), center)
+    s = np.full((1, 1), sigma)
+    for name in ("gaussian", "linear", "triangular"):
+        fn = membership_by_name(name)
+        left = fn(np.array([center - r]), c, s)[0, 0]
+        right = fn(np.array([center + r]), c, s)[0, 0]
+        assert left == pytest.approx(right, rel=1e-9, abs=1e-12)

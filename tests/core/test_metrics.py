@@ -1,0 +1,138 @@
+"""Tests for NDR / ARR metrics, confusion matrices and Pareto fronts."""
+
+import numpy as np
+import pytest
+
+from repro.core.defuzz import UNKNOWN_LABEL
+from repro.core.metrics import (
+    ClassificationReport,
+    abnormal_recognition_rate,
+    activation_rate,
+    ndr_at_arr,
+    normal_discard_rate,
+    pareto_front,
+)
+
+
+class TestNDR:
+    def test_perfect(self):
+        y = np.array([0, 0, 1, 2])
+        assert normal_discard_rate(y, np.array([0, 0, 1, 2])) == 1.0
+
+    def test_half(self):
+        y = np.array([0, 0, 0, 0])
+        pred = np.array([0, 0, 1, UNKNOWN_LABEL])
+        assert normal_discard_rate(y, pred) == 0.5
+
+    def test_unknown_normal_not_discarded(self):
+        y = np.array([0])
+        assert normal_discard_rate(y, np.array([UNKNOWN_LABEL])) == 0.0
+
+    def test_no_normals(self):
+        assert normal_discard_rate(np.array([1, 2]), np.array([0, 0])) == 1.0
+
+
+class TestARR:
+    def test_perfect(self):
+        y = np.array([1, 2, 1])
+        assert abnormal_recognition_rate(y, np.array([1, 2, UNKNOWN_LABEL])) == 1.0
+
+    def test_unknown_counts_recognized(self):
+        y = np.array([1])
+        assert abnormal_recognition_rate(y, np.array([UNKNOWN_LABEL])) == 1.0
+
+    def test_missed_abnormal(self):
+        y = np.array([1, 2])
+        assert abnormal_recognition_rate(y, np.array([0, 2])) == 0.5
+
+    def test_cross_class_confusion_still_recognized(self):
+        """A V classified as L still activates the delineator."""
+        y = np.array([1])
+        assert abnormal_recognition_rate(y, np.array([2])) == 1.0
+
+    def test_no_abnormal(self):
+        assert abnormal_recognition_rate(np.array([0, 0]), np.array([0, 1])) == 1.0
+
+
+class TestActivation:
+    def test_counts_non_normal_predictions(self):
+        pred = np.array([0, 1, 2, UNKNOWN_LABEL])
+        assert activation_rate(pred) == 0.75
+
+    def test_empty(self):
+        assert activation_rate(np.array([])) == 0.0
+
+
+class TestReport:
+    def test_confusion_shape_and_totals(self):
+        y = np.array([0, 0, 1, 2, 1])
+        pred = np.array([0, UNKNOWN_LABEL, 1, 2, 0])
+        report = ClassificationReport.from_labels(y, pred)
+        assert report.confusion.shape == (3, 4)
+        assert report.confusion.sum() == y.size
+        assert report.n_beats == 5
+
+    def test_confusion_cells(self):
+        y = np.array([0, 1])
+        pred = np.array([UNKNOWN_LABEL, 2])
+        report = ClassificationReport.from_labels(y, pred)
+        assert report.confusion[0, 3] == 1  # N -> Unknown
+        assert report.confusion[1, 2] == 1  # V -> L
+
+    def test_metrics_consistency(self):
+        y = np.array([0, 0, 1, 2])
+        pred = np.array([0, 1, 1, 0])
+        report = ClassificationReport.from_labels(y, pred)
+        assert report.ndr == normal_discard_rate(y, pred)
+        assert report.arr == abnormal_recognition_rate(y, pred)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ClassificationReport.from_labels(np.array([0]), np.array([0, 1]))
+
+    def test_summary_contains_numbers(self):
+        report = ClassificationReport.from_labels(np.array([0, 1]), np.array([0, 1]))
+        text = report.summary()
+        assert "NDR" in text and "ARR" in text and "n=2" in text
+
+
+class TestParetoFront:
+    def test_identifies_non_dominated(self):
+        ndr = np.array([0.9, 0.8, 0.95, 0.7])
+        arr = np.array([0.95, 0.97, 0.90, 0.99])
+        front = pareto_front(ndr, arr)
+        # (0.95, 0.90), (0.9, 0.95), (0.8, 0.97), (0.7, 0.99) are all
+        # non-dominated here.
+        assert set(front) == {0, 1, 2, 3}
+
+    def test_dominated_point_excluded(self):
+        ndr = np.array([0.9, 0.85])
+        arr = np.array([0.95, 0.90])  # point 1 worse on both axes
+        front = pareto_front(ndr, arr)
+        assert 1 not in front
+
+    def test_front_sorted_by_arr(self):
+        rng = np.random.default_rng(0)
+        ndr = rng.random(50)
+        arr = rng.random(50)
+        front = pareto_front(ndr, arr)
+        assert np.all(np.diff(arr[front]) >= 0)
+        # NDR must be decreasing along the front.
+        assert np.all(np.diff(ndr[front]) <= 0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pareto_front(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestNdrAtArr:
+    def test_selects_best_feasible(self):
+        ndr = np.array([0.95, 0.90, 0.85])
+        arr = np.array([0.96, 0.97, 0.99])
+        assert ndr_at_arr(ndr, arr, 0.97) == 0.90
+
+    def test_infeasible_returns_nan(self):
+        assert np.isnan(ndr_at_arr(np.array([0.9]), np.array([0.5]), 0.97))
+
+    def test_boundary_inclusive(self):
+        assert ndr_at_arr(np.array([0.8]), np.array([0.97]), 0.97) == 0.8

@@ -1,0 +1,200 @@
+"""Tests for the neuro-fuzzy classifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nfc import NeuroFuzzyClassifier
+
+
+def gaussian_blobs(rng, n_per_class=80, k=4, separation=4.0):
+    """Three well-separated diagonal-Gaussian clusters."""
+    centers = separation * np.array([[1.0] * k, [-1.0] * k, [1.0, -1.0] * (k // 2)])
+    U = np.concatenate(
+        [centers[c] + rng.standard_normal((n_per_class, k)) for c in range(3)]
+    )
+    y = np.repeat(np.arange(3), n_per_class)
+    return U, y
+
+
+class TestConstruction:
+    def test_valid(self):
+        nfc = NeuroFuzzyClassifier(np.zeros((4, 3)), np.ones((4, 3)))
+        assert nfc.n_coefficients == 4
+        assert nfc.n_classes == 3
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            NeuroFuzzyClassifier(np.zeros((4, 3)), np.ones((3, 4)))
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            NeuroFuzzyClassifier(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_rejects_unknown_shape(self):
+        with pytest.raises(ValueError):
+            NeuroFuzzyClassifier(np.zeros((2, 3)), np.ones((2, 3)), shape="cubic")
+
+    def test_with_shape(self):
+        nfc = NeuroFuzzyClassifier(np.zeros((2, 3)), np.ones((2, 3)))
+        linear = nfc.with_shape("linear")
+        assert linear.shape == "linear"
+        assert nfc.shape == "gaussian"  # original unchanged
+        np.testing.assert_array_equal(linear.centers, nfc.centers)
+
+
+class TestForward:
+    def test_fuzzy_values_unit_max(self, rng):
+        U, y = gaussian_blobs(rng)
+        nfc = NeuroFuzzyClassifier.initialize(U, y)
+        values = nfc.fuzzy_values(U)
+        np.testing.assert_allclose(values.max(axis=1), 1.0)
+
+    def test_fuzzy_values_nonnegative(self, rng):
+        U, y = gaussian_blobs(rng)
+        nfc = NeuroFuzzyClassifier.initialize(U, y)
+        for shape in ("gaussian", "linear", "triangular"):
+            assert np.all(nfc.with_shape(shape).fuzzy_values(U) >= 0.0)
+
+    def test_single_beat_shape(self, rng):
+        U, y = gaussian_blobs(rng)
+        nfc = NeuroFuzzyClassifier.initialize(U, y)
+        assert nfc.fuzzy_values(U[0]).shape == (3,)
+
+    def test_posterior_sums_to_one(self, rng):
+        U, y = gaussian_blobs(rng)
+        nfc = NeuroFuzzyClassifier.initialize(U, y)
+        posterior = nfc.posterior(U)
+        np.testing.assert_allclose(posterior.sum(axis=1), 1.0)
+
+    def test_membership_grades_shape(self, rng):
+        U, y = gaussian_blobs(rng, k=6)
+        nfc = NeuroFuzzyClassifier.initialize(U, y)
+        assert nfc.membership_grades(U[:10]).shape == (10, 6, 3)
+
+    def test_log_fuzzy_gaussian_only(self):
+        nfc = NeuroFuzzyClassifier(np.zeros((2, 3)), np.ones((2, 3)), shape="linear")
+        with pytest.raises(ValueError):
+            nfc.log_fuzzy_values(np.zeros((1, 2)))
+
+    def test_no_underflow_with_many_coefficients(self, rng):
+        """32 Gaussian MFs on far-away inputs must not underflow to NaN."""
+        k = 32
+        nfc = NeuroFuzzyClassifier(np.zeros((k, 3)), np.ones((k, 3)))
+        U = np.full((5, k), 50.0)
+        values = nfc.fuzzy_values(U)
+        assert np.all(np.isfinite(values))
+        np.testing.assert_allclose(values.max(axis=1), 1.0)
+
+    def test_triangular_all_zero_row(self):
+        """Inputs beyond every triangle's support give an all-zero row."""
+        nfc = NeuroFuzzyClassifier(
+            np.zeros((2, 3)), np.ones((2, 3)), shape="triangular"
+        )
+        values = nfc.fuzzy_values(np.full((1, 2), 100.0))
+        assert np.all(values == 0.0)
+
+
+class TestInitialize:
+    def test_centers_match_class_means(self, rng):
+        U, y = gaussian_blobs(rng)
+        nfc = NeuroFuzzyClassifier.initialize(U, y)
+        for c in range(3):
+            np.testing.assert_allclose(nfc.centers[:, c], U[y == c].mean(axis=0))
+
+    def test_sigma_floor(self, rng):
+        U = np.zeros((30, 4))  # degenerate class: zero variance
+        y = np.zeros(30, dtype=int)
+        nfc = NeuroFuzzyClassifier.initialize(U, y, n_classes=3)
+        assert np.all(nfc.sigmas > 0)
+
+    def test_empty_class_gets_defaults(self, rng):
+        U = rng.standard_normal((20, 3))
+        y = np.zeros(20, dtype=int)  # classes 1, 2 empty
+        nfc = NeuroFuzzyClassifier.initialize(U, y, n_classes=3)
+        assert np.all(np.isfinite(nfc.centers))
+        assert np.all(nfc.sigmas > 0)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            NeuroFuzzyClassifier.initialize(np.zeros(5), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            NeuroFuzzyClassifier.initialize(np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+
+class TestFit:
+    def test_fit_separates_blobs(self, rng):
+        U, y = gaussian_blobs(rng)
+        nfc = NeuroFuzzyClassifier.fit(U, y, max_iterations=60)
+        predictions = nfc.posterior(U).argmax(axis=1)
+        assert np.mean(predictions == y) > 0.95
+
+    def test_fit_improves_over_initialization(self, rng):
+        U, y = gaussian_blobs(rng, separation=1.2)
+
+        def loss(nfc):
+            posterior = nfc.posterior(U)
+            return -np.mean(np.log(posterior[np.arange(y.size), y] + 1e-12))
+
+        initial = NeuroFuzzyClassifier.initialize(U, y)
+        fitted = NeuroFuzzyClassifier.fit(U, y, max_iterations=80)
+        assert loss(fitted) <= loss(initial) + 1e-9
+
+    def test_fit_returns_gaussian_shape(self, rng):
+        U, y = gaussian_blobs(rng)
+        assert NeuroFuzzyClassifier.fit(U, y, max_iterations=5).shape == "gaussian"
+
+    def test_fit_sigma_positive(self, rng):
+        U, y = gaussian_blobs(rng)
+        nfc = NeuroFuzzyClassifier.fit(U, y, max_iterations=40)
+        assert np.all(nfc.sigmas > 0)
+
+    def test_regularization_limits_sigma_drift(self, rng):
+        U, y = gaussian_blobs(rng, separation=8.0)
+        tight = NeuroFuzzyClassifier.fit(U, y, max_iterations=60, sigma_regularization=10.0)
+        initial = NeuroFuzzyClassifier.initialize(U, y)
+        ratio = tight.sigmas / initial.sigmas
+        assert np.all(ratio > 0.5) and np.all(ratio < 2.0)
+
+    def test_fit_reaches_local_optimum(self, rng):
+        """Small random perturbations of the fitted parameters must not
+        improve the (unregularized) training loss — a derivative-free
+        probe that SCG converged to a stationary point."""
+        U, y = gaussian_blobs(rng, separation=1.5, n_per_class=60)
+        fitted = NeuroFuzzyClassifier.fit(
+            U, y, max_iterations=400, sigma_regularization=0.0
+        )
+
+        def loss(nfc):
+            posterior = nfc.posterior(U)
+            return -np.mean(np.log(posterior[np.arange(y.size), y] + 1e-300))
+
+        base = loss(fitted)
+        probe_rng = np.random.default_rng(0)
+        improvements = 0
+        for _ in range(30):
+            scale = 10 ** probe_rng.uniform(-3, -1)
+            candidate = NeuroFuzzyClassifier(
+                fitted.centers + scale * probe_rng.standard_normal(fitted.centers.shape),
+                fitted.sigmas
+                * np.exp(scale * probe_rng.standard_normal(fitted.sigmas.shape)),
+            )
+            if loss(candidate) < base - 1e-7:
+                improvements += 1
+        # A stationary point may still admit rare lucky directions on a
+        # shallow plateau; a true non-optimum would be improved by most
+        # random probes.
+        assert improvements <= 3
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500), shape=st.sampled_from(["gaussian", "linear", "triangular"]))
+def test_fuzzy_values_bounded(seed, shape):
+    """Property: fuzzy values always lie in [0, 1] after normalization."""
+    rng = np.random.default_rng(seed)
+    nfc = NeuroFuzzyClassifier(
+        rng.standard_normal((4, 3)), 0.5 + rng.random((4, 3)), shape=shape
+    )
+    values = nfc.fuzzy_values(rng.standard_normal((10, 4)) * 5)
+    assert np.all(values >= 0.0) and np.all(values <= 1.0 + 1e-12)

@@ -1,0 +1,118 @@
+"""Tests for the scaled conjugate gradient minimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.scg import scg_minimize
+
+
+def quadratic(A, b):
+    """Convex quadratic objective 0.5 x'Ax - b'x with gradient."""
+
+    def objective(x):
+        g = A @ x - b
+        f = 0.5 * float(x @ A @ x) - float(b @ x)
+        return f, g
+
+    return objective
+
+
+class TestQuadratic:
+    def test_solves_identity_quadratic(self):
+        n = 5
+        b = np.arange(1.0, n + 1.0)
+        result = scg_minimize(quadratic(np.eye(n), b), np.zeros(n), max_iterations=100)
+        np.testing.assert_allclose(result.x, b, atol=1e-4)
+        assert result.converged
+
+    def test_solves_ill_conditioned_quadratic(self):
+        eigenvalues = np.array([1.0, 10.0, 100.0, 1000.0])
+        A = np.diag(eigenvalues)
+        b = np.ones(4)
+        result = scg_minimize(quadratic(A, b), np.zeros(4), max_iterations=500, grad_tol=1e-8)
+        np.testing.assert_allclose(result.x, b / eigenvalues, atol=1e-5)
+
+    def test_starts_at_optimum(self):
+        n = 3
+        b = np.ones(n)
+        result = scg_minimize(quadratic(np.eye(n), b), b.copy(), grad_tol=1e-8)
+        assert result.converged
+        assert result.n_iterations == 0
+
+
+class TestRosenbrock:
+    @staticmethod
+    def _rosenbrock(x):
+        a, c = 1.0, 100.0
+        f = (a - x[0]) ** 2 + c * (x[1] - x[0] ** 2) ** 2
+        g = np.array(
+            [
+                -2.0 * (a - x[0]) - 4.0 * c * x[0] * (x[1] - x[0] ** 2),
+                2.0 * c * (x[1] - x[0] ** 2),
+            ]
+        )
+        return f, g
+
+    def test_makes_progress_on_rosenbrock(self):
+        result = scg_minimize(self._rosenbrock, np.array([-1.2, 1.0]), max_iterations=500)
+        f0, _ = self._rosenbrock(np.array([-1.2, 1.0]))
+        assert result.fun < f0 * 1e-3
+
+    def test_reaches_neighborhood_of_optimum(self):
+        result = scg_minimize(
+            self._rosenbrock, np.array([0.0, 0.0]), max_iterations=2000, grad_tol=1e-8
+        )
+        np.testing.assert_allclose(result.x, [1.0, 1.0], atol=0.05)
+
+
+class TestBehaviour:
+    def test_history_is_monotone_nonincreasing(self):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((8, 8))
+        A = A @ A.T + 0.5 * np.eye(8)
+        result = scg_minimize(quadratic(A, rng.standard_normal(8)), np.zeros(8))
+        history = np.array(result.history)
+        assert np.all(np.diff(history) <= 1e-10)
+
+    def test_respects_iteration_budget(self):
+        result = scg_minimize(
+            quadratic(np.diag([1.0, 1e4]), np.ones(2)), np.zeros(2), max_iterations=3
+        )
+        assert result.n_iterations <= 3
+
+    def test_rejects_non_flat_x0(self):
+        with pytest.raises(ValueError, match="flat"):
+            scg_minimize(quadratic(np.eye(2), np.ones(2)), np.zeros((2, 1)))
+
+    def test_result_fields(self):
+        result = scg_minimize(quadratic(np.eye(2), np.ones(2)), np.zeros(2))
+        assert result.x.shape == (2,)
+        assert isinstance(result.fun, float)
+        assert isinstance(result.converged, bool)
+        assert len(result.history) >= 1
+
+    def test_does_not_mutate_x0(self):
+        x0 = np.zeros(3)
+        scg_minimize(quadratic(np.eye(3), np.ones(3)), x0)
+        np.testing.assert_array_equal(x0, np.zeros(3))
+
+    def test_flat_objective_terminates(self):
+        def flat(x):
+            return 0.0, np.zeros_like(x)
+
+        result = scg_minimize(flat, np.ones(4))
+        assert result.converged
+        assert result.fun == 0.0
+
+    def test_high_dimension(self):
+        rng = np.random.default_rng(3)
+        n = 60
+        diag = np.linspace(1, 50, n)
+        result = scg_minimize(
+            quadratic(np.diag(diag), rng.standard_normal(n)),
+            np.zeros(n),
+            max_iterations=400,
+            grad_tol=1e-6,
+        )
+        assert result.fun < quadratic(np.diag(diag), np.zeros(n))(np.zeros(n))[0] + 1e-6
+        assert result.converged

@@ -1,0 +1,113 @@
+"""Tests for the two-step training procedure."""
+
+import numpy as np
+import pytest
+
+from repro.core.achlioptas import generate_achlioptas
+from repro.core.genetic import GeneticConfig
+from repro.core.training import (
+    TrainingConfig,
+    fit_nfc_for_projection,
+    score_candidate,
+    train_classifier,
+    train_random_baseline,
+)
+
+TINY_GA = GeneticConfig(population_size=4, generations=2)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = TrainingConfig()
+        assert config.n_coefficients == 8
+        assert config.target_arr == 0.97
+        assert config.genetic.population_size == 20
+        assert config.genetic.generations == 30
+
+    @pytest.mark.parametrize("kwargs", [{"n_coefficients": 0}, {"target_arr": 1.2}])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainingConfig(**kwargs)
+
+
+class TestInnerStep:
+    def test_fit_nfc_shapes(self, datasets, training_config):
+        projection = generate_achlioptas(8, datasets.train1.X.shape[1], rng=0)
+        nfc = fit_nfc_for_projection(projection, datasets.train1, training_config)
+        assert nfc.centers.shape == (8, 3)
+        assert np.all(nfc.sigmas > 0)
+
+    def test_score_candidate_in_unit_interval(self, datasets, training_config):
+        projection = generate_achlioptas(8, datasets.train1.X.shape[1], rng=1)
+        nfc = fit_nfc_for_projection(projection, datasets.train1, training_config)
+        score, alpha = score_candidate(projection, nfc, datasets.train2, 0.97)
+        assert 0.0 <= score <= 1.0
+        assert 0.0 <= alpha <= 1.0
+
+
+class TestTrainClassifier:
+    def test_full_training_produces_consistent_artifacts(self, datasets):
+        config = TrainingConfig(n_coefficients=8, genetic=TINY_GA, scg_iterations=50)
+        trained = train_classifier(datasets.train1, datasets.train2, config, seed=0)
+        assert trained.projection.n_coefficients == 8
+        assert trained.projection.n_inputs == datasets.train1.X.shape[1]
+        assert trained.nfc.n_coefficients == 8
+        assert 0.0 <= trained.alpha_train <= 1.0
+        assert 0.0 <= trained.score <= 1.0
+        assert trained.ga_result is not None
+
+    def test_fixed_projection_skips_ga(self, datasets):
+        config = TrainingConfig(n_coefficients=8, genetic=TINY_GA, scg_iterations=50)
+        projection = generate_achlioptas(8, datasets.train1.X.shape[1], rng=3)
+        trained = train_classifier(
+            datasets.train1, datasets.train2, config, projection=projection
+        )
+        assert trained.ga_result is None
+        assert np.array_equal(trained.projection.matrix, projection.matrix)
+
+    def test_ga_beats_or_matches_initial_population(self, datasets):
+        config = TrainingConfig(n_coefficients=8, genetic=TINY_GA, scg_iterations=50)
+        trained = train_classifier(datasets.train1, datasets.train2, config, seed=5)
+        history = trained.ga_result.history
+        assert trained.score >= history[0] - 1e-9
+
+    def test_training_sets_must_share_beat_length(self, datasets):
+        from repro.ecg.mitbih import LabeledBeats
+        from repro.ecg.segmentation import BeatWindow
+
+        short = LabeledBeats(
+            datasets.train2.X[:, :100],
+            datasets.train2.y,
+            BeatWindow(50, 50),
+            datasets.train2.fs,
+        )
+        with pytest.raises(ValueError):
+            train_classifier(datasets.train1, short)
+
+    def test_projection_width_validated(self, datasets):
+        wrong = generate_achlioptas(8, 10, rng=0)
+        with pytest.raises(ValueError):
+            train_classifier(datasets.train1, datasets.train2, projection=wrong)
+
+    def test_deterministic_given_seed(self, datasets):
+        config = TrainingConfig(n_coefficients=4, genetic=TINY_GA, scg_iterations=30)
+        a = train_classifier(datasets.train1, datasets.train2, config, seed=9)
+        b = train_classifier(datasets.train1, datasets.train2, config, seed=9)
+        assert np.array_equal(a.projection.matrix, b.projection.matrix)
+        assert a.score == b.score
+
+
+class TestRandomBaseline:
+    def test_best_of_n(self, datasets):
+        config = TrainingConfig(n_coefficients=8, genetic=TINY_GA, scg_iterations=40)
+        baseline = train_random_baseline(
+            datasets.train1, datasets.train2, config, n_draws=3, seed=1
+        )
+        assert baseline.ga_result is None
+        assert 0.0 <= baseline.score <= 1.0
+
+    def test_more_draws_never_hurt(self, datasets):
+        config = TrainingConfig(n_coefficients=8, genetic=TINY_GA, scg_iterations=40)
+        one = train_random_baseline(datasets.train1, datasets.train2, config, n_draws=1, seed=2)
+        many = train_random_baseline(datasets.train1, datasets.train2, config, n_draws=4, seed=2)
+        assert many.score >= one.score - 1e-12

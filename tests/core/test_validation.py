@@ -1,0 +1,97 @@
+"""Tests for bootstrap intervals and seed sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core.genetic import GeneticConfig
+from repro.core.training import TrainingConfig
+from repro.core.validation import (
+    MetricInterval,
+    bootstrap_metrics,
+    seed_sweep,
+)
+
+
+def labels_with_known_rates(rng, n=2000, ndr=0.9, arr=0.95):
+    """Construct a label pair with exact NDR/ARR."""
+    y = np.zeros(n, dtype=np.int64)
+    y[: n // 3] = 1
+    pred = y.copy()
+    normal = np.flatnonzero(y == 0)
+    flip_n = normal[: int(round((1 - ndr) * normal.size))]
+    pred[flip_n] = -1  # Unknown: not discarded, still "flagged"
+    abnormal = np.flatnonzero(y != 0)
+    flip_a = abnormal[: int(round((1 - arr) * abnormal.size))]
+    pred[flip_a] = 0
+    return y, pred
+
+
+class TestMetricInterval:
+    def test_contains_and_width(self):
+        interval = MetricInterval(0.9, 0.85, 0.95, 0.95)
+        assert interval.contains(0.9)
+        assert not interval.contains(0.96)
+        assert interval.width == pytest.approx(0.10)
+
+
+class TestBootstrap:
+    def test_point_estimates_exact(self, rng):
+        y, pred = labels_with_known_rates(rng)
+        intervals = bootstrap_metrics(y, pred, n_resamples=200, rng=0)
+        assert intervals["ndr"].point == pytest.approx(0.9, abs=0.01)
+        assert intervals["arr"].point == pytest.approx(0.95, abs=0.01)
+
+    def test_interval_contains_point(self, rng):
+        y, pred = labels_with_known_rates(rng)
+        intervals = bootstrap_metrics(y, pred, n_resamples=300, rng=1)
+        for interval in intervals.values():
+            assert interval.lower <= interval.point <= interval.upper
+
+    def test_interval_narrows_with_data(self, rng):
+        y_small, pred_small = labels_with_known_rates(rng, n=300)
+        y_large, pred_large = labels_with_known_rates(rng, n=30000)
+        small = bootstrap_metrics(y_small, pred_small, n_resamples=300, rng=2)
+        large = bootstrap_metrics(y_large, pred_large, n_resamples=300, rng=2)
+        assert large["ndr"].width < small["ndr"].width
+
+    def test_higher_confidence_wider(self, rng):
+        y, pred = labels_with_known_rates(rng)
+        narrow = bootstrap_metrics(y, pred, n_resamples=400, confidence=0.8, rng=3)
+        wide = bootstrap_metrics(y, pred, n_resamples=400, confidence=0.99, rng=3)
+        assert wide["ndr"].width >= narrow["ndr"].width
+
+    def test_validation(self, rng):
+        y, pred = labels_with_known_rates(rng, n=50)
+        with pytest.raises(ValueError):
+            bootstrap_metrics(y, pred, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_metrics(y, pred, n_resamples=5)
+        with pytest.raises(ValueError):
+            bootstrap_metrics(y[:10], pred)
+
+    def test_deterministic_for_seed(self, rng):
+        y, pred = labels_with_known_rates(rng)
+        a = bootstrap_metrics(y, pred, n_resamples=100, rng=7)
+        b = bootstrap_metrics(y, pred, n_resamples=100, rng=7)
+        assert a["ndr"] == b["ndr"]
+
+
+class TestSeedSweep:
+    def test_sweep_produces_spread(self, datasets):
+        config = TrainingConfig(
+            n_coefficients=8,
+            genetic=GeneticConfig(population_size=4, generations=2),
+            scg_iterations=40,
+        )
+        result = seed_sweep(
+            datasets.train1, datasets.train2, datasets.test, config, seeds=(0, 1)
+        )
+        assert result.ndr.shape == (2,)
+        assert np.all(result.ndr >= 0) and np.all(result.ndr <= 1)
+        assert np.all(result.arr >= 0.9)  # target enforced per seed
+        assert "NDR" in result.summary()
+
+    def test_requires_seeds(self, datasets):
+        config = TrainingConfig(n_coefficients=4)
+        with pytest.raises(ValueError):
+            seed_sweep(datasets.train1, datasets.train2, datasets.test, config, seeds=())

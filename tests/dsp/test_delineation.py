@@ -1,0 +1,178 @@
+"""Tests for single- and multi-lead delineation."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.delineation import (
+    FIDUCIAL_NAMES,
+    BeatFiducials,
+    delineate_beat,
+    delineate_multilead,
+)
+from repro.dsp.morphological import filter_lead
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+from repro.platform.opcount import OpCounter
+
+
+@pytest.fixture(scope="module")
+def record_and_filtered():
+    synth = RecordSynthesizer(SynthesisConfig(n_leads=3), seed=33)
+    record = synth.synthesize(40.0, name="delin")
+    filtered = np.column_stack(
+        [filter_lead(record.signal[:, i], record.fs) for i in range(3)]
+    )
+    return record, filtered
+
+
+class TestBeatFiducials:
+    def test_array_roundtrip(self):
+        values = np.arange(9, dtype=np.int64)
+        fid = BeatFiducials.from_array(values)
+        np.testing.assert_array_equal(fid.as_array(), values)
+
+    def test_from_array_validates_length(self):
+        with pytest.raises(ValueError):
+            BeatFiducials.from_array(np.arange(5))
+
+    def test_n_found_counts_missing(self):
+        values = np.array([-1, -1, -1, 10, 20, 30, 40, 50, 60])
+        assert BeatFiducials.from_array(values).n_found == 6
+
+    def test_names_ordered(self):
+        assert FIDUCIAL_NAMES[4] == "r_peak"
+        assert FIDUCIAL_NAMES[0] == "p_onset"
+        assert FIDUCIAL_NAMES[-1] == "t_end"
+
+
+class TestSingleLead:
+    def test_fiducials_ordered_in_time(self, record_and_filtered):
+        record, filtered = record_and_filtered
+        x = filtered[:, 0]
+        checked = 0
+        for peak, symbol in zip(record.annotation.samples, record.annotation.symbols):
+            if symbol != "N":
+                continue
+            fid = delineate_beat(x, int(peak), record.fs).as_array()
+            found = fid[fid >= 0]
+            assert np.all(np.diff(found) >= 0)
+            checked += 1
+            if checked >= 10:
+                break
+        assert checked > 0
+
+    def test_r_peak_passthrough(self, record_and_filtered):
+        record, filtered = record_and_filtered
+        peak = int(record.annotation.samples[3])
+        fid = delineate_beat(filtered[:, 0], peak, record.fs)
+        assert fid.r_peak == peak
+
+    def test_qrs_boundaries_bracket_peak(self, record_and_filtered):
+        record, filtered = record_and_filtered
+        for peak in record.annotation.samples[:10]:
+            fid = delineate_beat(filtered[:, 0], int(peak), record.fs)
+            if fid.qrs_onset >= 0:
+                assert fid.qrs_onset < peak
+            if fid.qrs_end >= 0:
+                assert fid.qrs_end > peak
+
+    def test_qrs_duration_physiological(self, record_and_filtered):
+        record, filtered = record_and_filtered
+        durations = []
+        for peak, symbol in zip(record.annotation.samples, record.annotation.symbols):
+            fid = delineate_beat(filtered[:, 0], int(peak), record.fs)
+            if fid.qrs_onset >= 0 and fid.qrs_end >= 0:
+                durations.append((fid.qrs_end - fid.qrs_onset) / record.fs)
+        assert durations
+        assert 0.03 < np.median(durations) < 0.30
+
+    def test_most_pvcs_lack_p_wave(self, record_and_filtered):
+        record, filtered = record_and_filtered
+        synth = RecordSynthesizer(SynthesisConfig(n_leads=1), seed=44)
+        rec = synth.synthesize(120.0, class_mix={"V": 1.0})
+        x = filter_lead(rec.signal[:, 0], rec.fs)
+        missing_p = 0
+        total = 0
+        samples = rec.annotation.samples
+        for i in range(1, len(samples)):
+            fid = delineate_beat(
+                x, int(samples[i]), rec.fs, previous_peak=int(samples[i - 1])
+            )
+            total += 1
+            if fid.p_peak < 0:
+                missing_p += 1
+        assert total > 20
+        # PVCs have no P wave; with the previous-T guard the vast
+        # majority must report it missing.
+        assert missing_p / total > 0.6
+
+    def test_previous_peak_guard_blocks_previous_t_wave(self, record_and_filtered):
+        """Without the guard, a premature beat can see its
+        predecessor's T wave inside the P window; with it, it cannot."""
+        record, filtered = record_and_filtered
+        synth = RecordSynthesizer(SynthesisConfig(n_leads=1), seed=45)
+        rec = synth.synthesize(120.0, class_mix={"V": 1.0})
+        x = filter_lead(rec.signal[:, 0], rec.fs)
+        samples = rec.annotation.samples
+        found_without = 0
+        found_with = 0
+        for i in range(1, len(samples)):
+            no_guard = delineate_beat(x, int(samples[i]), rec.fs)
+            guarded = delineate_beat(
+                x, int(samples[i]), rec.fs, previous_peak=int(samples[i - 1])
+            )
+            found_without += no_guard.p_peak >= 0
+            found_with += guarded.p_peak >= 0
+        assert found_with <= found_without
+
+    def test_peak_bounds_validated(self, record_and_filtered):
+        record, filtered = record_and_filtered
+        with pytest.raises(ValueError):
+            delineate_beat(filtered[:, 0], -5, record.fs)
+        with pytest.raises(ValueError):
+            delineate_beat(filtered[:, 0], filtered.shape[0] + 1, record.fs)
+
+    def test_rejects_multilead_input(self, record_and_filtered):
+        record, filtered = record_and_filtered
+        with pytest.raises(ValueError):
+            delineate_beat(filtered, 1000, record.fs)
+
+    def test_op_counter_records_mmd_work(self, record_and_filtered):
+        record, filtered = record_and_filtered
+        counter = OpCounter()
+        delineate_beat(filtered[:, 0], int(record.annotation.samples[2]), record.fs, counter=counter)
+        assert counter["cmp"] > 0
+        assert counter.total > 1000  # MMD at three scales is not free
+
+
+class TestMultiLead:
+    def test_median_combination(self, record_and_filtered):
+        record, filtered = record_and_filtered
+        peak = int(record.annotation.samples[5])
+        combined = delineate_multilead(filtered, peak, record.fs)
+        per_lead = [
+            delineate_beat(filtered[:, i], peak, record.fs).as_array() for i in range(3)
+        ]
+        stacked = np.stack(per_lead)
+        for j in range(9):
+            found = stacked[:, j][stacked[:, j] >= 0]
+            if found.size * 2 > 3:
+                assert combined.as_array()[j] == int(np.median(found))
+
+    def test_requires_2d(self, record_and_filtered):
+        record, filtered = record_and_filtered
+        with pytest.raises(ValueError):
+            delineate_multilead(filtered[:, 0], 1000, record.fs)
+
+    def test_multilead_more_complete_than_worst_lead(self, record_and_filtered):
+        record, filtered = record_and_filtered
+        total_multi = 0
+        total_worst = 0
+        for peak in record.annotation.samples[:15]:
+            multi = delineate_multilead(filtered, int(peak), record.fs).n_found
+            worst = min(
+                delineate_beat(filtered[:, i], int(peak), record.fs).n_found
+                for i in range(3)
+            )
+            total_multi += multi
+            total_worst += worst
+        assert total_multi >= total_worst

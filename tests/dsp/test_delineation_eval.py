@@ -1,0 +1,97 @@
+"""Tests for delineation evaluation against synthetic ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.delineation import FIDUCIAL_NAMES
+from repro.dsp.delineation_eval import (
+    FiducialErrorStats,
+    evaluate_delineation,
+    format_delineation_report,
+)
+from repro.dsp.morphological import filter_lead
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+
+
+@pytest.fixture(scope="module")
+def record_with_truth():
+    synth = RecordSynthesizer(SynthesisConfig(n_leads=3), seed=77)
+    record = synth.synthesize(60.0, name="truth")
+    filtered = np.column_stack(
+        [filter_lead(record.signal[:, i], record.fs) for i in range(3)]
+    )
+    return record, filtered
+
+
+class TestGroundTruth:
+    def test_record_carries_fiducials(self, record_with_truth):
+        record, _ = record_with_truth
+        assert record.fiducials is not None
+        assert record.fiducials.shape == (len(record.annotation), 9)
+
+    def test_truth_ordered(self, record_with_truth):
+        record, _ = record_with_truth
+        for row in record.fiducials:
+            found = row[row >= 0]
+            assert np.all(np.diff(found) >= 0)
+
+    def test_truth_r_peak_matches_annotation(self, record_with_truth):
+        record, _ = record_with_truth
+        np.testing.assert_array_equal(
+            record.fiducials[:, 4], record.annotation.samples
+        )
+
+    def test_pvc_truth_has_no_p(self, record_with_truth):
+        record, _ = record_with_truth
+        for row, symbol in zip(record.fiducials, record.annotation.symbols):
+            if symbol == "V":
+                assert row[0] == row[1] == row[2] == -1
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def stats(self, record_with_truth):
+        record, filtered = record_with_truth
+        return evaluate_delineation(record, filtered, max_beats=40)
+
+    def test_all_fiducials_reported(self, stats):
+        assert set(stats) == set(FIDUCIAL_NAMES)
+        for value in stats.values():
+            assert isinstance(value, FiducialErrorStats)
+
+    def test_r_peak_error_tiny(self, stats):
+        """The R peak is fed in from detection, so its error is ~0."""
+        assert abs(stats["r_peak"].mean_ms) < 1.0
+        assert stats["r_peak"].sensitivity == 1.0
+
+    def test_wave_peaks_localized(self, stats):
+        """P and T peaks should land within tens of ms of the truth
+        (delineation-literature tolerances are ~20-60 ms)."""
+        for name in ("p_peak", "t_peak"):
+            if stats[name].n > 5:
+                assert stats[name].mad_ms < 80.0
+
+    def test_boundaries_within_tolerance(self, stats):
+        for name in ("qrs_onset", "qrs_end"):
+            assert stats[name].n > 5
+            assert stats[name].mad_ms < 80.0
+
+    def test_sensitivity_reasonable(self, stats):
+        assert stats["t_peak"].sensitivity > 0.7
+
+    def test_format(self, stats):
+        text = format_delineation_report(stats)
+        assert "r_peak" in text and "sens %" in text
+
+    def test_requires_truth(self, record_with_truth):
+        from dataclasses import replace
+
+        record, filtered = record_with_truth
+        bare = replace(record, fiducials=None)
+        with pytest.raises(ValueError):
+            evaluate_delineation(bare, filtered)
+
+    def test_requires_2d_signal(self, record_with_truth):
+        record, filtered = record_with_truth
+        with pytest.raises(ValueError):
+            evaluate_delineation(record, filtered[:, 0])

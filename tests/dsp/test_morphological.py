@@ -1,0 +1,172 @@
+"""Tests for morphological operators and the filtering stages."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dsp.morphological import (
+    closing,
+    dilation,
+    erosion,
+    estimate_baseline,
+    filter_lead,
+    opening,
+    remove_baseline,
+    suppress_noise,
+)
+from repro.platform.opcount import OpCounter
+
+
+class TestPrimitives:
+    def test_erosion_is_sliding_min(self):
+        x = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        out = erosion(x, 3)
+        np.testing.assert_array_equal(out, [1.0, 1.0, 1.0, 1.0, 1.0])
+
+    def test_dilation_is_sliding_max(self):
+        x = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        out = dilation(x, 3)
+        np.testing.assert_array_equal(out, [3.0, 4.0, 4.0, 5.0, 5.0])
+
+    def test_length_one_is_identity(self):
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(erosion(x, 1), x)
+        np.testing.assert_array_equal(dilation(x, 1), x)
+
+    def test_output_length_preserved(self, rng):
+        x = rng.standard_normal(100)
+        for length in (3, 9, 31):
+            assert erosion(x, length).shape == x.shape
+            assert dilation(x, length).shape == x.shape
+
+    def test_erosion_below_dilation(self, rng):
+        x = rng.standard_normal(200)
+        assert np.all(erosion(x, 7) <= dilation(x, 7))
+
+    def test_erosion_bounds_signal(self, rng):
+        x = rng.standard_normal(200)
+        assert np.all(erosion(x, 7) <= x)
+        assert np.all(dilation(x, 7) >= x)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            erosion(np.zeros(5), 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            dilation(np.zeros((5, 2)), 3)
+
+    def test_opening_removes_narrow_peak(self):
+        x = np.zeros(50)
+        x[25] = 1.0
+        assert np.all(opening(x, 5) == 0.0)
+
+    def test_closing_fills_narrow_valley(self):
+        x = np.zeros(50)
+        x[25] = -1.0
+        assert np.all(closing(x, 5) == 0.0)
+
+    def test_opening_antiextensive_closing_extensive(self, rng):
+        x = rng.standard_normal(150)
+        assert np.all(opening(x, 9) <= x + 1e-12)
+        assert np.all(closing(x, 9) >= x - 1e-12)
+
+    def test_opening_idempotent(self, rng):
+        x = rng.standard_normal(150)
+        once = opening(x, 9)
+        twice = opening(once, 9)
+        # Idempotence holds in the interior (edge padding perturbs ends).
+        np.testing.assert_allclose(once[10:-10], twice[10:-10])
+
+
+class TestBaselineRemoval:
+    def test_removes_slow_drift(self):
+        fs = 360.0
+        t = np.arange(int(10 * fs)) / fs
+        drift = 0.5 * np.sin(2 * np.pi * 0.3 * t)
+        x = drift.copy()
+        x[::360] += 1.0  # narrow spikes (QRS-like)
+        filtered = remove_baseline(x, fs)
+        interior = slice(200, -200)
+        assert np.std(filtered[interior][x[interior] < 0.5]) < 0.2 * np.std(
+            drift[interior]
+        )
+
+    def test_preserves_narrow_peaks(self):
+        fs = 360.0
+        x = np.zeros(int(4 * fs))
+        x[720:724] = 1.0
+        filtered = remove_baseline(x, fs)
+        assert filtered[720:724].max() > 0.7
+
+    def test_baseline_estimate_smooth(self):
+        fs = 360.0
+        t = np.arange(int(5 * fs)) / fs
+        x = 0.3 * np.sin(2 * np.pi * 0.2 * t)
+        x[::300] += 1.0
+        baseline = estimate_baseline(x, fs)
+        # Baseline must not contain the spikes.
+        assert baseline.max() < 0.5
+
+    def test_invalid_fs(self):
+        with pytest.raises(ValueError):
+            remove_baseline(np.zeros(100), 0.0)
+
+
+class TestNoiseSuppression:
+    def test_reduces_white_noise(self, rng):
+        fs = 360.0
+        x = 0.1 * rng.standard_normal(int(4 * fs))
+        smoothed = suppress_noise(x, fs)
+        assert smoothed.std() < 0.8 * x.std()
+
+    def test_preserves_amplitude_scale(self, rng):
+        fs = 360.0
+        t = np.arange(int(2 * fs)) / fs
+        x = np.sin(2 * np.pi * 1.0 * t)
+        smoothed = suppress_noise(x, fs)
+        assert smoothed.max() > 0.9
+
+
+class TestFilterLead:
+    def test_full_chain_runs(self, rng):
+        fs = 360.0
+        x = rng.standard_normal(int(2 * fs))
+        assert filter_lead(x, fs).shape == x.shape
+
+
+class TestOpCounting:
+    def test_erosion_counts(self):
+        counter = OpCounter()
+        erosion(np.zeros(100), 9, counter)
+        assert counter["cmp"] == 100 * 8
+        assert counter["load"] == 100 * 9
+        assert counter["store"] == 100
+
+    def test_opening_counts_two_passes(self):
+        counter = OpCounter()
+        opening(np.zeros(50), 5, counter)
+        assert counter["cmp"] == 2 * 50 * 4
+
+    def test_filter_lead_records_work(self):
+        counter = OpCounter()
+        filter_lead(np.zeros(720), 360.0, counter=counter)
+        assert counter.total > 0
+        assert counter["cmp"] > 0
+        assert counter["sub"] >= 720  # baseline subtraction
+
+    def test_counter_optional(self):
+        # No counter: no error.
+        erosion(np.zeros(10), 3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=hnp.arrays(float, st.integers(5, 80), elements=st.floats(-100, 100)),
+    length=st.integers(1, 15),
+)
+def test_duality_property(x, length):
+    """Property: erosion(-x) == -dilation(x) (morphological duality)."""
+    np.testing.assert_allclose(erosion(-x, length), -dilation(x, length))

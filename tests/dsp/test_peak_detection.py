@@ -1,0 +1,99 @@
+"""Tests for the wavelet-based R-peak detector."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.morphological import filter_lead
+from repro.dsp.peak_detection import PeakDetectorConfig, detect_peaks
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+from repro.platform.opcount import OpCounter
+
+
+@pytest.fixture(scope="module")
+def clean_record():
+    synth = RecordSynthesizer(SynthesisConfig(n_leads=1), seed=21)
+    return synth.synthesize(60.0, name="peaks")
+
+
+@pytest.fixture(scope="module")
+def filtered_lead(clean_record):
+    return filter_lead(clean_record.lead(0), clean_record.fs)
+
+
+class TestDetection:
+    def test_sensitivity(self, clean_record, filtered_lead):
+        peaks = detect_peaks(filtered_lead, clean_record.fs)
+        ann = clean_record.annotation.samples
+        missed = sum(1 for a in ann if np.min(np.abs(peaks - a)) > 18)
+        assert missed / len(ann) < 0.05
+
+    def test_no_false_positives(self, clean_record, filtered_lead):
+        peaks = detect_peaks(filtered_lead, clean_record.fs)
+        ann = clean_record.annotation.samples
+        false_pos = sum(1 for p in peaks if np.min(np.abs(ann - p)) > 18)
+        assert false_pos / max(len(peaks), 1) < 0.05
+
+    def test_localization_error(self, clean_record, filtered_lead):
+        peaks = detect_peaks(filtered_lead, clean_record.fs)
+        ann = clean_record.annotation.samples
+        errors = [np.min(np.abs(ann - p)) for p in peaks]
+        assert np.median(errors) <= 3
+
+    def test_output_sorted_unique(self, clean_record, filtered_lead):
+        peaks = detect_peaks(filtered_lead, clean_record.fs)
+        assert np.all(np.diff(peaks) > 0)
+
+    def test_refractory_respected(self, clean_record, filtered_lead):
+        config = PeakDetectorConfig()
+        peaks = detect_peaks(filtered_lead, clean_record.fs, config)
+        min_gap = np.min(np.diff(peaks))
+        assert min_gap >= int(config.refractory * clean_record.fs)
+
+    def test_flat_signal_no_peaks(self):
+        assert detect_peaks(np.zeros(3600), 360.0).size == 0
+
+    def test_pure_noise_few_detections(self, rng):
+        noise = 0.05 * rng.standard_normal(3600)
+        peaks = detect_peaks(noise, 360.0)
+        # Noise has no cross-scale-consistent max-min pairs.
+        assert peaks.size < 12
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            detect_peaks(np.zeros((10, 2)), 360.0)
+        with pytest.raises(ValueError):
+            detect_peaks(np.zeros(10), -1.0)
+
+    def test_op_counter_records_wavelet_work(self, filtered_lead, clean_record):
+        counter = OpCounter()
+        detect_peaks(filtered_lead, clean_record.fs, counter=counter)
+        assert counter["mul"] > 0
+        assert counter["cmp"] >= 3 * filtered_lead.size
+
+
+class TestNoiseRobustness:
+    def test_detection_survives_moderate_noise(self, clean_record, rng):
+        x = clean_record.lead(0) + 0.05 * rng.standard_normal(clean_record.n_samples)
+        filtered = filter_lead(x, clean_record.fs)
+        peaks = detect_peaks(filtered, clean_record.fs)
+        ann = clean_record.annotation.samples
+        missed = sum(1 for a in ann if np.min(np.abs(peaks - a)) > 18)
+        assert missed / len(ann) < 0.10
+
+
+class TestSearchback:
+    def test_searchback_recovers_weak_beat(self):
+        """A beat far below threshold is found by the RR-gap rescan."""
+        fs = 360.0
+        n = int(12 * fs)
+        x = np.zeros(n)
+        t = np.arange(n)
+        strong_positions = [int(fs * s) for s in np.arange(1.0, 12.0, 1.0)]
+        weak = strong_positions[5]
+        for p in strong_positions:
+            # 0.35 sits below the main threshold but above the halved
+            # search-back threshold for this beat density.
+            amplitude = 0.35 if p == weak else 1.0
+            x += amplitude * np.exp(-0.5 * ((t - p) / 5.0) ** 2)
+        peaks = detect_peaks(x, fs)
+        assert np.min(np.abs(peaks - weak)) <= 10

@@ -1,0 +1,85 @@
+"""Tests for the à-trous dyadic wavelet transform."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.wavelet import HIGHPASS, LOWPASS, dyadic_wavelet, scale_delay
+from repro.platform.opcount import OpCounter
+
+
+class TestFilters:
+    def test_lowpass_normalized(self):
+        assert LOWPASS.sum() == pytest.approx(1.0)
+
+    def test_highpass_zero_mean(self):
+        assert HIGHPASS.sum() == pytest.approx(0.0)
+
+
+class TestTransform:
+    def test_output_shape(self, rng):
+        x = rng.standard_normal(500)
+        w = dyadic_wavelet(x, n_scales=4)
+        assert w.shape == (4, 500)
+
+    def test_linearity(self, rng):
+        a = rng.standard_normal(300)
+        b = rng.standard_normal(300)
+        wa = dyadic_wavelet(a)
+        wb = dyadic_wavelet(b)
+        wab = dyadic_wavelet(a + 2.0 * b)
+        np.testing.assert_allclose(wab, wa + 2.0 * wb, atol=1e-10)
+
+    def test_constant_signal_gives_zero_detail(self):
+        x = np.full(200, 3.7)
+        w = dyadic_wavelet(x)
+        # Interior samples (away from edge effects) must be ~0.
+        np.testing.assert_allclose(w[:, 40:-40], 0.0, atol=1e-10)
+
+    def test_derivative_like_response(self):
+        """A rising ramp gives a positive scale-1 response."""
+        x = np.linspace(0.0, 10.0, 300)
+        w = dyadic_wavelet(x)
+        assert np.all(w[0, 20:-20] > 0)
+
+    def test_zero_crossing_at_symmetric_peak(self):
+        """The R-peak locator relies on this alignment."""
+        n = 400
+        x = np.exp(-0.5 * ((np.arange(n) - 200) / 6.0) ** 2)
+        w = dyadic_wavelet(x)
+        for j in range(3):
+            scale = w[j]
+            # Sign change bracketing the peak.
+            region = scale[190:211]
+            signs = np.sign(region)
+            crossings = np.flatnonzero(signs[:-1] * signs[1:] < 0)
+            assert crossings.size >= 1
+            crossing_pos = 190 + crossings[0]
+            assert abs(int(crossing_pos) - 200) <= 3 + 2 * j
+
+    def test_scale_responses_grow_with_support(self):
+        """Slow waves appear at coarse scales, not fine ones."""
+        n = 2000
+        t = np.arange(n) / 360.0
+        slow = np.sin(2 * np.pi * 2.0 * t)  # 2 Hz
+        w = dyadic_wavelet(slow, n_scales=4)
+        fine = np.abs(w[0, 200:-200]).mean()
+        coarse = np.abs(w[3, 200:-200]).mean()
+        assert coarse > 3 * fine
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            dyadic_wavelet(np.zeros((10, 2)))
+        with pytest.raises(ValueError):
+            dyadic_wavelet(np.zeros(10), n_scales=0)
+
+    def test_scale_delay_values(self):
+        assert [scale_delay(j) for j in (1, 2, 3, 4)] == [1, 3, 7, 15]
+        with pytest.raises(ValueError):
+            scale_delay(0)
+
+    def test_op_counting(self):
+        counter = OpCounter()
+        dyadic_wavelet(np.zeros(360), n_scales=4, counter=counter)
+        # 4 scales x (2-tap highpass + 4-tap lowpass) multiply-accumulates.
+        assert counter["mul"] == 360 * 4 * (2 + 4)
+        assert counter["store"] == 360 * 8

@@ -1,0 +1,103 @@
+"""Tests for Record / Annotation containers."""
+
+import numpy as np
+import pytest
+
+from repro.ecg.database import Annotation, Record
+
+
+class TestAnnotation:
+    def test_basic(self):
+        ann = Annotation(np.array([100, 300, 500]), ["N", "V", "L"])
+        assert len(ann) == 3
+        np.testing.assert_array_equal(ann.labels, [0, 1, 2])
+
+    def test_counts(self):
+        ann = Annotation(np.array([1, 2, 3, 4]), ["N", "N", "V", "N"])
+        assert ann.counts() == {"N": 3, "V": 1, "L": 0}
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="symbols"):
+            Annotation(np.array([1, 2]), ["N"])
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Annotation(np.array([5, 3]), ["N", "N"])
+
+    def test_rejects_unknown_symbol(self):
+        with pytest.raises(ValueError, match="unknown beat symbols"):
+            Annotation(np.array([1]), ["Q"])
+
+    def test_rejects_2d_samples(self):
+        with pytest.raises(ValueError):
+            Annotation(np.zeros((2, 2), dtype=int), ["N", "N"])
+
+    def test_select(self):
+        ann = Annotation(np.array([1, 2, 3]), ["N", "V", "L"])
+        sub = ann.select(np.array([True, False, True]))
+        assert sub.symbols == ["N", "L"]
+        np.testing.assert_array_equal(sub.samples, [1, 3])
+
+
+class TestRecord:
+    def test_1d_signal_promoted(self):
+        record = Record("r", np.zeros(100))
+        assert record.signal.shape == (100, 1)
+        assert record.n_leads == 1
+
+    def test_properties(self):
+        record = Record("r", np.zeros((720, 3)), fs=360.0)
+        assert record.n_samples == 720
+        assert record.duration == pytest.approx(2.0)
+        assert record.lead(2).shape == (720,)
+
+    def test_default_lead_names(self):
+        record = Record("r", np.zeros((10, 2)))
+        assert record.lead_names == ("lead0", "lead1")
+
+    def test_lead_name_mismatch(self):
+        with pytest.raises(ValueError, match="lead name"):
+            Record("r", np.zeros((10, 2)), lead_names=("a",))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            Record("r", np.zeros((2, 2, 2)))
+
+    def test_rejects_bad_fs(self):
+        with pytest.raises(ValueError):
+            Record("r", np.zeros(10), fs=0.0)
+
+
+class TestDigitalConversion:
+    def test_roundtrip_within_quantization(self, rng):
+        # Amplitudes kept inside the 11-bit ADC range (~±5.1 mV).
+        signal = rng.standard_normal((500, 2)) * 1.2
+        record = Record("r", signal)
+        recovered = record.to_digital().to_physical()
+        # One ADC count = 1/200 mV.
+        assert np.max(np.abs(recovered.signal - signal)) <= 0.5 / 200 + 1e-12
+
+    def test_digital_dtype_and_range(self, rng):
+        record = Record("r", rng.standard_normal((100, 1)))
+        digital = record.to_digital()
+        assert digital.is_digital
+        assert digital.signal.min() >= 0
+        assert digital.signal.max() <= (1 << 11) - 1
+
+    def test_clipping_at_adc_limits(self):
+        record = Record("r", np.array([[100.0], [-100.0]]))
+        digital = record.to_digital()
+        assert digital.signal[0, 0] == (1 << 11) - 1
+        assert digital.signal[1, 0] == 0
+
+    def test_idempotent(self, rng):
+        record = Record("r", rng.standard_normal((50, 1)))
+        digital = record.to_digital()
+        assert digital.to_digital() is digital
+        physical = digital.to_physical()
+        assert physical.to_physical() is physical
+
+    def test_annotation_carried_through(self):
+        ann = Annotation(np.array([10]), ["N"])
+        record = Record("r", np.zeros(100), annotation=ann)
+        assert record.to_digital().annotation is ann

@@ -1,0 +1,87 @@
+"""Tests for the Table-I dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.ecg.mitbih import (
+    TABLE_I,
+    BeatDatasets,
+    LabeledBeats,
+    make_datasets,
+    scaled_counts,
+)
+from repro.ecg.segmentation import BeatWindow
+
+
+class TestTableIConstants:
+    def test_paper_counts(self):
+        assert TABLE_I["train1"] == {"N": 150, "V": 150, "L": 150}
+        assert TABLE_I["train2"] == {"N": 10024, "V": 892, "L": 1084}
+        assert TABLE_I["test"] == {"N": 74355, "V": 6618, "L": 8039}
+
+    def test_paper_totals(self):
+        assert sum(TABLE_I["train1"].values()) == 450
+        assert sum(TABLE_I["train2"].values()) == 12000
+        assert sum(TABLE_I["test"].values()) == 89012
+
+
+class TestScaledCounts:
+    def test_identity_at_one(self):
+        assert scaled_counts(TABLE_I["test"], 1.0) == TABLE_I["test"]
+
+    def test_classes_never_empty(self):
+        scaled = scaled_counts(TABLE_I["train2"], 0.0001)
+        assert all(v >= 2 for v in scaled.values())
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_counts(TABLE_I["test"], 0.0)
+
+
+class TestLabeledBeats:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LabeledBeats(np.zeros((3, 10)), np.zeros(2, dtype=int), BeatWindow(5, 5), 360.0)
+        with pytest.raises(ValueError):
+            LabeledBeats(np.zeros((3, 12)), np.zeros(3, dtype=int), BeatWindow(5, 5), 360.0)
+
+    def test_counts_and_subset(self, datasets):
+        t1 = datasets.train1
+        counts = t1.counts()
+        assert sum(counts.values()) == len(t1)
+        sub = t1.subset(t1.y == 0)
+        assert set(np.unique(sub.y)) == {0}
+        assert sub.window == t1.window
+
+
+class TestMakeDatasets:
+    def test_scaled_composition(self, datasets):
+        composition = datasets.composition()
+        for set_name in ("train1", "train2", "test"):
+            expected = scaled_counts(TABLE_I[set_name], 0.03)
+            assert composition[set_name] == expected
+
+    def test_sets_are_independent_draws(self, datasets):
+        # No identical rows between train1 and train2.
+        a = datasets.train1.X[:5]
+        for row in a:
+            assert not np.any(np.all(datasets.train2.X == row, axis=1))
+
+    def test_beat_geometry(self, datasets):
+        assert datasets.train1.X.shape[1] == 200
+        assert datasets.train1.fs == 360.0
+        assert datasets.train1.window.length == 200
+
+    def test_deterministic(self):
+        a = make_datasets(scale=0.01, seed=3)
+        b = make_datasets(scale=0.01, seed=3)
+        np.testing.assert_array_equal(a.train1.X, b.train1.X)
+        np.testing.assert_array_equal(a.test.y, b.test.y)
+
+    def test_seed_changes_data(self):
+        a = make_datasets(scale=0.01, seed=3)
+        b = make_datasets(scale=0.01, seed=4)
+        assert not np.allclose(a.train1.X, b.train1.X)
+
+    def test_returns_beatdatasets(self, datasets):
+        assert isinstance(datasets, BeatDatasets)

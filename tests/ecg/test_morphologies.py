@@ -1,0 +1,164 @@
+"""Tests for the parametric beat morphologies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecg.morphologies import (
+    ABNORMAL_CLASSES,
+    BEAT_CLASSES,
+    CLASS_TO_INDEX,
+    BeatMorphology,
+    WaveComponent,
+    lbbb_model,
+    model_for,
+    normal_model,
+    pvc_model,
+    qrs_duration,
+)
+
+
+class TestConstants:
+    def test_class_order(self):
+        assert BEAT_CLASSES == ("N", "V", "L")
+        assert CLASS_TO_INDEX["N"] == 0
+
+    def test_abnormal_classes(self):
+        assert set(ABNORMAL_CLASSES) == {"V", "L"}
+
+
+class TestWaveComponent:
+    def test_peak_at_center(self):
+        c = WaveComponent("R", 1.0, 0.01, 0.02)
+        t = np.linspace(-0.1, 0.1, 201)
+        wave = c.evaluate(t)
+        assert t[np.argmax(wave)] == pytest.approx(0.01, abs=1e-3)
+        assert wave.max() == pytest.approx(1.0, abs=1e-6)
+
+    def test_negative_amplitude(self):
+        c = WaveComponent("Q", -0.5, 0.0, 0.01)
+        assert c.evaluate(np.array([0.0]))[0] == pytest.approx(-0.5)
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("factory", [normal_model, lbbb_model, pvc_model])
+    def test_template_has_r_and_t(self, factory):
+        template = factory().template
+        assert template.component("R").amplitude != 0
+        assert template.component("T").amplitude != 0
+
+    def test_normal_has_p_wave(self):
+        assert normal_model().template.component("P").amplitude > 0
+
+    def test_pvc_has_no_p_wave(self):
+        with pytest.raises(KeyError):
+            pvc_model().template.component("P")
+
+    def test_lbbb_t_is_discordant(self):
+        """LBBB: T wave inverted relative to the (positive) R."""
+        template = lbbb_model().template
+        assert template.component("R").amplitude > 0
+        assert template.component("T").amplitude < 0
+
+    def test_qrs_duration_ordering(self):
+        """Physiology: N (narrow) < L (broad) and N < V (broad)."""
+        n = qrs_duration(normal_model().template)
+        l = qrs_duration(lbbb_model().template)
+        v = qrs_duration(pvc_model().template)
+        assert n < l
+        assert n < v
+        assert n < 0.12  # normal QRS under 120 ms
+        assert l > 0.12  # LBBB over 120 ms
+
+    def test_peak_is_at_window_center(self):
+        for factory in (normal_model, lbbb_model, pvc_model):
+            template = factory().template
+            window = template.sample_window(360.0, 100, 100)
+            peak = np.argmax(np.abs(window))
+            assert abs(int(peak) - 100) <= 8
+
+
+class TestSampling:
+    def test_sample_window_length(self):
+        template = normal_model().template
+        assert template.sample_window(360.0, 100, 100).shape == (200,)
+        assert template.sample_window(90.0, 25, 25).shape == (50,)
+
+    def test_label_property(self):
+        assert normal_model().template.label == 0
+        assert pvc_model().template.label == 1
+        assert lbbb_model().template.label == 2
+
+    def test_draw_produces_variability(self, rng):
+        model = normal_model()
+        a = model.draw(rng).sample_window(360.0, 100, 100)
+        b = model.draw(rng).sample_window(360.0, 100, 100)
+        assert not np.allclose(a, b)
+
+    def test_draw_keeps_symbol(self, rng):
+        for symbol in BEAT_CLASSES:
+            assert model_for(symbol).draw(rng).symbol == symbol
+
+    def test_draws_stay_near_template(self, rng):
+        model = normal_model()
+        template_wave = model.template.sample_window(360.0, 100, 100)
+        correlations = []
+        for _ in range(30):
+            wave = model.draw(rng).sample_window(360.0, 100, 100)
+            correlations.append(np.corrcoef(wave, template_wave)[0, 1])
+        assert np.median(correlations) > 0.8
+
+    def test_ambiguous_blend_adds_mix_components(self):
+        model = normal_model()
+        rng = np.random.default_rng(0)
+        saw_mix = False
+        for _ in range(200):
+            beat = model.draw(rng)
+            if any(c.name.endswith("_mix") for c in beat.components):
+                saw_mix = True
+                break
+        assert saw_mix, "expected some ambiguous normal beats"
+
+    def test_ambiguous_fraction_roughly_respected(self):
+        model = normal_model()
+        rng = np.random.default_rng(1)
+        n_mix = sum(
+            any(c.name.endswith("_mix") for c in model.draw(rng).components)
+            for _ in range(2000)
+        )
+        assert 0.03 < n_mix / 2000 < 0.15
+
+
+class TestModelFor:
+    def test_known_symbols(self):
+        for symbol in BEAT_CLASSES:
+            assert model_for(symbol).symbol == symbol
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ValueError, match="unknown beat class"):
+            model_for("X")
+
+
+class TestComponentLookup:
+    def test_missing_component(self):
+        template = BeatMorphology("N", (WaveComponent("R", 1.0, 0.0, 0.01),))
+        with pytest.raises(KeyError):
+            template.component("T")
+
+    def test_waveform_is_sum(self):
+        a = WaveComponent("R", 1.0, 0.0, 0.02)
+        b = WaveComponent("T", 0.3, 0.2, 0.04)
+        combined = BeatMorphology("N", (a, b))
+        t = np.linspace(-0.3, 0.4, 100)
+        np.testing.assert_allclose(combined.waveform(t), a.evaluate(t) + b.evaluate(t))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), symbol=st.sampled_from(BEAT_CLASSES))
+def test_draws_always_finite_and_bounded(seed, symbol):
+    """Property: every drawn beat is finite with physiological amplitude."""
+    rng = np.random.default_rng(seed)
+    wave = model_for(symbol).draw(rng).sample_window(360.0, 100, 100)
+    assert np.all(np.isfinite(wave))
+    assert np.max(np.abs(wave)) < 10.0  # mV sanity bound

@@ -1,0 +1,75 @@
+"""Tests for multi-lead beat synthesis and ground-truth fiducials."""
+
+import numpy as np
+import pytest
+
+from repro.ecg.morphologies import model_for
+from repro.ecg.synth import synthesize_beat_windows, true_fiducials
+
+
+class TestMultileadWindows:
+    def test_shape(self):
+        X, y = synthesize_beat_windows(
+            {"N": 5, "V": 3}, seed=0, lead_gains=(1.0, 0.75, -0.55)
+        )
+        assert X.shape == (8, 600)
+        assert y.shape == (8,)
+
+    def test_single_lead_default_unchanged(self):
+        X, _ = synthesize_beat_windows({"N": 4}, seed=0)
+        assert X.shape == (4, 200)
+
+    def test_leads_share_the_waveform(self):
+        from repro.ecg.synth import BeatNoiseConfig
+
+        quiet = BeatNoiseConfig(
+            residual_baseline=0.0, noise_std=1e-4, jitter_std=0.0, burst_fraction=0.0
+        )
+        X, _ = synthesize_beat_windows(
+            {"N": 6}, seed=1, noise=quiet, lead_gains=(1.0, -0.5)
+        )
+        lead0 = X[:, :200]
+        lead1 = X[:, 200:]
+        # lead1 = -0.5 * lead0 up to the tiny independent noise.
+        np.testing.assert_allclose(lead1, -0.5 * lead0, atol=2e-3)
+
+    def test_lead_noise_independent(self):
+        X, _ = synthesize_beat_windows({"N": 10}, seed=2, lead_gains=(1.0, 1.0))
+        lead0 = X[:, :200]
+        lead1 = X[:, 200:]
+        assert not np.allclose(lead0, lead1)
+
+    def test_empty_gains_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_beat_windows({"N": 1}, lead_gains=())
+
+
+class TestTrueFiducials:
+    def test_normal_beat_has_all_nine(self, rng):
+        beat = model_for("N").draw(rng)
+        truth = true_fiducials(beat, 1000, 360.0)
+        assert truth.shape == (9,)
+        assert np.all(truth >= 0)
+
+    def test_pvc_lacks_p(self, rng):
+        beat = model_for("V").draw(rng)
+        truth = true_fiducials(beat, 1000, 360.0)
+        assert truth[0] == truth[1] == truth[2] == -1
+        assert truth[4] == 1000
+
+    def test_ordering(self, rng):
+        for symbol in ("N", "L"):
+            beat = model_for(symbol).draw(rng)
+            truth = true_fiducials(beat, 5000, 360.0)
+            found = truth[truth >= 0]
+            assert np.all(np.diff(found) >= 0)
+
+    def test_qrs_width_tracks_morphology(self, rng):
+        narrow = true_fiducials(model_for("N").draw(rng), 1000, 360.0)
+        wide = true_fiducials(model_for("L").draw(rng), 1000, 360.0)
+        assert (wide[5] - wide[3]) > (narrow[5] - narrow[3])
+
+    def test_r_peak_is_anchor(self, rng):
+        beat = model_for("N").draw(rng)
+        truth = true_fiducials(beat, 777, 360.0)
+        assert truth[4] == 777

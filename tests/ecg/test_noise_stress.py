@@ -1,0 +1,87 @@
+"""Tests for the noise-stress tooling."""
+
+import numpy as np
+import pytest
+
+from repro.ecg.noise_stress import (
+    NOISE_KINDS,
+    add_noise_at_snr,
+    realized_snr_db,
+    signal_power,
+)
+from repro.ecg.synth import synthesize_beat_windows
+
+
+@pytest.fixture(scope="module")
+def clean_beats():
+    X, _ = synthesize_beat_windows({"N": 40}, seed=5)
+    return X
+
+
+class TestSignalPower:
+    def test_dc_invariant(self, rng):
+        x = rng.standard_normal((5, 100))
+        shifted = x + 10.0
+        np.testing.assert_allclose(signal_power(x), signal_power(shifted))
+
+    def test_scales_quadratically(self, rng):
+        x = rng.standard_normal((5, 100))
+        np.testing.assert_allclose(signal_power(2 * x), 4 * signal_power(x))
+
+
+class TestAddNoise:
+    @pytest.mark.parametrize("kind", NOISE_KINDS)
+    def test_realized_snr_close_to_target(self, clean_beats, kind):
+        for target in (6.0, 12.0, 24.0):
+            noisy = add_noise_at_snr(clean_beats, target, kind=kind, rng=0)
+            realized = realized_snr_db(clean_beats, noisy)
+            assert np.median(realized) == pytest.approx(target, abs=1.0)
+
+    def test_lower_snr_is_noisier(self, clean_beats):
+        mild = add_noise_at_snr(clean_beats, 24.0, rng=1)
+        harsh = add_noise_at_snr(clean_beats, 6.0, rng=1)
+        assert np.mean((harsh - clean_beats) ** 2) > np.mean((mild - clean_beats) ** 2)
+
+    def test_input_not_mutated(self, clean_beats):
+        before = clean_beats.copy()
+        add_noise_at_snr(clean_beats, 12.0, rng=2)
+        np.testing.assert_array_equal(clean_beats, before)
+
+    def test_unknown_kind(self, clean_beats):
+        with pytest.raises(ValueError, match="unknown noise kind"):
+            add_noise_at_snr(clean_beats, 12.0, kind="powerline")
+
+    def test_bw_noise_is_low_frequency(self, clean_beats):
+        noisy = add_noise_at_snr(clean_beats, 6.0, kind="bw", rng=3)
+        contamination = noisy - clean_beats
+        # Baseline wander has little sample-to-sample variation.
+        ratio = np.abs(np.diff(contamination, axis=1)).mean() / np.abs(
+            contamination
+        ).mean()
+        assert ratio < 0.3
+
+    def test_ma_noise_is_wideband(self, clean_beats):
+        noisy = add_noise_at_snr(clean_beats, 6.0, kind="ma", rng=3)
+        contamination = noisy - clean_beats
+        ratio = np.abs(np.diff(contamination, axis=1)).mean() / np.abs(
+            contamination
+        ).mean()
+        assert ratio > 0.8
+
+    def test_em_between(self, clean_beats):
+        noisy = add_noise_at_snr(clean_beats, 6.0, kind="em", rng=3)
+        contamination = noisy - clean_beats
+        ratio = np.abs(np.diff(contamination, axis=1)).mean() / np.abs(
+            contamination
+        ).mean()
+        assert 0.01 < ratio < 0.8
+
+
+class TestRealizedSnr:
+    def test_shape_mismatch(self, clean_beats):
+        with pytest.raises(ValueError):
+            realized_snr_db(clean_beats, clean_beats[:, :-1])
+
+    def test_identical_signals_give_huge_snr(self, clean_beats):
+        snr = realized_snr_db(clean_beats, clean_beats)
+        assert np.all(snr > 100.0)

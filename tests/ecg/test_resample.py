@@ -1,0 +1,98 @@
+"""Tests for decimation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecg.resample import decimate_beats, decimate_signal, downsampled_length
+from repro.ecg.segmentation import BeatWindow
+
+
+class TestDecimateSignal:
+    def test_basic(self):
+        x = np.arange(10)
+        np.testing.assert_array_equal(decimate_signal(x, 4), [0, 4, 8])
+
+    def test_phase(self):
+        x = np.arange(10)
+        np.testing.assert_array_equal(decimate_signal(x, 4, phase=1), [1, 5, 9])
+
+    def test_factor_one_is_identity(self):
+        x = np.arange(7)
+        np.testing.assert_array_equal(decimate_signal(x, 1), x)
+
+    def test_multilead(self):
+        x = np.arange(20).reshape(10, 2)
+        assert decimate_signal(x, 2).shape == (5, 2)
+
+    @pytest.mark.parametrize("factor,phase", [(0, 0), (4, 4), (4, -1)])
+    def test_invalid(self, factor, phase):
+        with pytest.raises(ValueError):
+            decimate_signal(np.arange(10), factor, phase)
+
+
+class TestDecimateBeats:
+    def test_paper_geometry(self):
+        """200 samples at 360 Hz -> 50 samples at 90 Hz."""
+        X = np.zeros((3, 200))
+        X_ds, window = decimate_beats(X, BeatWindow(100, 100), 4)
+        assert X_ds.shape == (3, 50)
+        assert window.length == 50
+
+    def test_peak_column_survives(self):
+        X = np.zeros((1, 200))
+        X[0, 100] = 1.0  # the R peak at column pre=100
+        X_ds, window = decimate_beats(X, BeatWindow(100, 100), 4)
+        assert X_ds[0, window.pre] == 1.0
+
+    def test_odd_pre_phase(self):
+        X = np.zeros((1, 150))
+        X[0, 98] = 1.0
+        X_ds, window = decimate_beats(X, BeatWindow(98, 52), 4)
+        assert X_ds[0, window.pre] == 1.0
+
+    def test_values_are_decimated_signal(self):
+        X = np.arange(200.0)[np.newaxis, :]
+        X_ds, _ = decimate_beats(X, BeatWindow(100, 100), 4)
+        np.testing.assert_array_equal(X_ds[0], np.arange(0.0, 200.0, 4.0))
+
+    def test_factor_one(self):
+        X = np.random.default_rng(0).standard_normal((2, 200))
+        X_ds, window = decimate_beats(X, BeatWindow(100, 100), 1)
+        np.testing.assert_array_equal(X_ds, X)
+        assert window == BeatWindow(100, 100)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            decimate_beats(np.zeros((2, 100)), BeatWindow(100, 100), 4)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            decimate_beats(np.zeros((2, 200)), BeatWindow(100, 100), 0)
+
+
+class TestDownsampledLength:
+    @pytest.mark.parametrize(
+        "length,factor,phase,expected",
+        [(10, 4, 0, 3), (10, 4, 1, 3), (12, 4, 0, 3), (200, 4, 0, 50), (5, 10, 0, 1)],
+    )
+    def test_values(self, length, factor, phase, expected):
+        assert downsampled_length(length, factor, phase) == expected
+
+    def test_zero_when_phase_beyond_length(self):
+        assert downsampled_length(2, 4, 3) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    length=st.integers(1, 500),
+    factor=st.integers(1, 8),
+    phase=st.integers(0, 7),
+)
+def test_downsampled_length_matches_slice(length, factor, phase):
+    """Property: the closed form equals len(x[phase::factor])."""
+    if phase >= factor:
+        return
+    x = np.zeros(length)
+    assert downsampled_length(length, factor, phase) == x[phase::factor].size

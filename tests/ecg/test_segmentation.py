@@ -1,0 +1,130 @@
+"""Tests for beat segmentation and peak/annotation matching."""
+
+import numpy as np
+import pytest
+
+from repro.ecg.database import Annotation, Record
+from repro.ecg.segmentation import (
+    BeatWindow,
+    match_peaks_to_annotation,
+    segment_beats,
+    segment_record,
+)
+
+
+class TestBeatWindow:
+    def test_paper_default(self):
+        window = BeatWindow()
+        assert window.pre == 100
+        assert window.post == 100
+        assert window.length == 200
+
+    def test_scaled(self):
+        assert BeatWindow(100, 100).scaled(4) == BeatWindow(25, 25)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BeatWindow(-1, 10)
+        with pytest.raises(ValueError):
+            BeatWindow(10, 0)
+        with pytest.raises(ValueError):
+            BeatWindow().scaled(0)
+
+
+class TestSegmentBeats:
+    def test_window_content(self):
+        signal = np.arange(1000.0)
+        X, kept = segment_beats(signal, np.array([500]), BeatWindow(100, 100))
+        assert X.shape == (1, 200)
+        np.testing.assert_array_equal(X[0], np.arange(400.0, 600.0))
+        assert kept.all()
+
+    def test_peak_at_window_pre_index(self):
+        signal = np.zeros(1000)
+        signal[500] = 1.0
+        X, _ = segment_beats(signal, np.array([500]), BeatWindow(100, 100))
+        assert X[0, 100] == 1.0
+
+    def test_boundary_beats_dropped(self):
+        signal = np.zeros(1000)
+        peaks = np.array([50, 500, 950])
+        X, kept = segment_beats(signal, peaks, BeatWindow(100, 100))
+        np.testing.assert_array_equal(kept, [False, True, False])
+        assert X.shape == (1, 200)
+
+    def test_exact_boundaries_kept(self):
+        signal = np.zeros(300)
+        X, kept = segment_beats(signal, np.array([100, 200]), BeatWindow(100, 100))
+        np.testing.assert_array_equal(kept, [True, True])
+
+    def test_preserves_dtype(self):
+        signal = np.zeros(400, dtype=np.int32)
+        X, _ = segment_beats(signal, np.array([200]), BeatWindow(100, 100))
+        assert X.dtype == np.int32
+
+    def test_rejects_multilead(self):
+        with pytest.raises(ValueError):
+            segment_beats(np.zeros((100, 2)), np.array([50]))
+
+
+class TestSegmentRecord:
+    def _record(self):
+        signal = np.zeros(2000)
+        for p in (300, 700, 1100, 1500):
+            signal[p] = 1.0
+        ann = Annotation(np.array([300, 700, 1100, 1500]), ["N", "V", "L", "N"])
+        return Record("r", signal, annotation=ann)
+
+    def test_with_annotation(self):
+        X, y = segment_record(self._record())
+        assert X.shape == (4, 200)
+        np.testing.assert_array_equal(y, [0, 1, 2, 0])
+
+    def test_with_detected_peaks(self):
+        record = self._record()
+        detected = np.array([302, 698, 1103, 1499])  # small localization error
+        X, y = segment_record(record, peaks=detected)
+        assert X.shape == (4, 200)
+        np.testing.assert_array_equal(y, [0, 1, 2, 0])
+
+    def test_unmatched_detections_dropped(self):
+        record = self._record()
+        detected = np.array([302, 900])  # 900 matches nothing
+        X, y = segment_record(record, peaks=detected)
+        assert X.shape == (1, 200)
+        np.testing.assert_array_equal(y, [0])
+
+    def test_no_annotation_no_peaks(self):
+        record = Record("r", np.zeros(100))
+        with pytest.raises(ValueError):
+            segment_record(record)
+
+    def test_no_annotation_with_peaks_gives_unlabeled(self):
+        record = Record("r", np.zeros(1000))
+        X, y = segment_record(record, peaks=np.array([500]))
+        assert X.shape == (1, 200)
+        np.testing.assert_array_equal(y, [-1])
+
+
+class TestMatching:
+    def test_one_to_one(self):
+        ann = Annotation(np.array([100, 200, 300]), ["N", "V", "L"])
+        labels, matched = match_peaks_to_annotation(np.array([98, 203, 301]), ann, 10)
+        np.testing.assert_array_equal(labels, [0, 1, 2])
+        assert matched.all()
+
+    def test_each_annotation_claimed_once(self):
+        ann = Annotation(np.array([100]), ["V"])
+        labels, matched = match_peaks_to_annotation(np.array([98, 102]), ann, 10)
+        assert matched.sum() == 1
+        assert labels[matched][0] == 1
+
+    def test_closest_detection_wins(self):
+        ann = Annotation(np.array([100]), ["V"])
+        labels, _ = match_peaks_to_annotation(np.array([95, 99]), ann, 10)
+        assert labels[1] == 1 and labels[0] == -1
+
+    def test_tolerance_respected(self):
+        ann = Annotation(np.array([100]), ["N"])
+        _, matched = match_peaks_to_annotation(np.array([150]), ann, 10)
+        assert not matched.any()

@@ -1,0 +1,91 @@
+"""Tests for subject-level morphology variation."""
+
+import numpy as np
+import pytest
+
+from repro.ecg.morphologies import BEAT_CLASSES, model_for
+from repro.ecg.subjects import (
+    SubjectVariability,
+    subject_models,
+    synthesize_subject_windows,
+)
+
+
+class TestSubjectModels:
+    def test_one_model_per_class(self, rng):
+        models = subject_models(rng)
+        assert set(models) == set(BEAT_CLASSES)
+
+    def test_subjects_differ(self):
+        rng = np.random.default_rng(0)
+        a = subject_models(rng)
+        b = subject_models(rng)
+        wave_a = a["N"].template.sample_window(360.0, 100, 100)
+        wave_b = b["N"].template.sample_window(360.0, 100, 100)
+        assert not np.allclose(wave_a, wave_b)
+
+    def test_subject_close_to_population_template(self, rng):
+        models = subject_models(rng)
+        subject_wave = models["N"].template.sample_window(360.0, 100, 100)
+        population_wave = model_for("N").template.sample_window(360.0, 100, 100)
+        assert np.corrcoef(subject_wave, population_wave)[0, 1] > 0.6
+
+    def test_zero_variability_reproduces_population(self, rng):
+        still = SubjectVariability(0.0, 0.0, 0.0, 0.0)
+        models = subject_models(rng, still)
+        np.testing.assert_allclose(
+            models["L"].template.sample_window(360.0, 100, 100),
+            model_for("L").template.sample_window(360.0, 100, 100),
+        )
+
+    def test_class_jitter_settings_preserved(self, rng):
+        models = subject_models(rng)
+        assert models["V"].ambiguous_target == model_for("V").ambiguous_target
+
+
+class TestSubjectWindows:
+    def test_shapes_and_ids(self):
+        X, y, subjects = synthesize_subject_windows(
+            4, {"N": 5, "V": 2}, seed=0
+        )
+        assert X.shape == (28, 200)
+        assert set(np.unique(subjects)) == {0, 1, 2, 3}
+        for s in range(4):
+            assert np.sum(subjects == s) == 7
+
+    def test_class_counts_per_subject(self):
+        _, y, subjects = synthesize_subject_windows(3, {"N": 4, "L": 2}, seed=1)
+        for s in range(3):
+            mask = subjects == s
+            assert np.sum(y[mask] == 0) == 4
+            assert np.sum(y[mask] == 2) == 2
+
+    def test_same_subject_seed_same_factors(self):
+        """Different beat seeds with one subject seed share morphology."""
+        Xa, _, sa = synthesize_subject_windows(
+            2, {"N": 40}, seed=10, subject_seed=5
+        )
+        Xb, _, sb = synthesize_subject_windows(
+            2, {"N": 40}, seed=20, subject_seed=5
+        )
+        # Beats differ ...
+        assert not np.allclose(Xa, Xb)
+        # ... but each subject's mean beat stays highly correlated
+        # across draws (persistent factors dominate the 40-beat mean;
+        # per-beat jitter and ambiguous blends leave a little variance).
+        for s in (0, 1):
+            mean_a = Xa[sa == s].mean(axis=0)
+            mean_b = Xb[sb == s].mean(axis=0)
+            assert np.corrcoef(mean_a, mean_b)[0, 1] > 0.95
+
+    def test_different_subject_seed_changes_factors(self):
+        Xa, _, sa = synthesize_subject_windows(1, {"N": 40}, seed=10, subject_seed=5)
+        Xb, _, sb = synthesize_subject_windows(1, {"N": 40}, seed=10, subject_seed=6)
+        corr = np.corrcoef(Xa.mean(axis=0), Xb.mean(axis=0))[0, 1]
+        assert corr < 0.999
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_subject_windows(0, {"N": 1})
+        with pytest.raises(ValueError):
+            synthesize_subject_windows(1, {"N": -1})

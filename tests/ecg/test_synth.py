@@ -1,0 +1,150 @@
+"""Tests for record and beat-window synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.ecg.morphologies import BEAT_CLASSES
+from repro.ecg.synth import (
+    BeatNoiseConfig,
+    RecordSynthesizer,
+    RhythmConfig,
+    SynthesisConfig,
+    synthesize_beat_windows,
+)
+
+
+class TestRecordSynthesis:
+    def test_record_shape_and_metadata(self):
+        synth = RecordSynthesizer(SynthesisConfig(n_leads=3), seed=0)
+        record = synth.synthesize(30.0, name="x")
+        assert record.signal.shape == (int(30 * 360), 3)
+        assert record.fs == 360.0
+        assert record.annotation is not None
+
+    def test_beat_count_matches_heart_rate(self):
+        synth = RecordSynthesizer(seed=1)
+        record = synth.synthesize(60.0)
+        # ~77 bpm nominal; allow generous slack for PVC pauses.
+        assert 55 <= len(record.annotation) <= 95
+
+    def test_annotated_peaks_are_r_waves(self):
+        """Each annotated sample should be near a local amplitude extremum."""
+        synth = RecordSynthesizer(SynthesisConfig(noise=_quiet_noise()), seed=2)
+        record = synth.synthesize(30.0)
+        x = record.lead(0)
+        hits = 0
+        for peak in record.annotation.samples:
+            window = x[peak - 10 : peak + 11]
+            if np.argmax(np.abs(window)) in range(5, 16):
+                hits += 1
+        assert hits / len(record.annotation) > 0.9
+
+    def test_class_mix_respected(self):
+        synth = RecordSynthesizer(seed=3)
+        record = synth.synthesize(600.0, class_mix={"N": 0.5, "V": 0.5})
+        counts = record.annotation.counts()
+        assert counts["L"] == 0
+        assert counts["V"] > 0.3 * len(record.annotation)
+
+    def test_invalid_mix_symbol(self):
+        synth = RecordSynthesizer(seed=0)
+        with pytest.raises(ValueError):
+            synth.synthesize(10.0, class_mix={"X": 1.0})
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            RecordSynthesizer(seed=0).synthesize(0.0)
+
+    def test_pvc_prematurity(self):
+        """RR into a PVC is shorter than the median sinus RR."""
+        synth = RecordSynthesizer(
+            SynthesisConfig(rhythm=RhythmConfig(rr_rel_std=0.01)), seed=4
+        )
+        record = synth.synthesize(300.0, class_mix={"N": 0.85, "V": 0.15})
+        samples = record.annotation.samples
+        symbols = record.annotation.symbols
+        rr = np.diff(samples)
+        median_rr = np.median(rr)
+        pvc_rr = [rr[i - 1] for i in range(1, len(symbols)) if symbols[i] == "V"]
+        assert len(pvc_rr) > 3
+        assert np.median(pvc_rr) < 0.85 * median_rr
+
+    def test_seeded_determinism(self):
+        a = RecordSynthesizer(seed=5).synthesize(10.0)
+        b = RecordSynthesizer(seed=5).synthesize(10.0)
+        np.testing.assert_array_equal(a.signal, b.signal)
+        np.testing.assert_array_equal(a.annotation.samples, b.annotation.samples)
+
+    def test_baseline_wander_present(self):
+        synth = RecordSynthesizer(seed=6)
+        record = synth.synthesize(30.0)
+        x = record.lead(0)
+        # Low-frequency content should dominate a moving average.
+        smooth = np.convolve(x, np.ones(361) / 361, mode="same")
+        assert smooth.std() > 0.05
+
+
+def _quiet_noise():
+    from repro.ecg.synth import NoiseConfig
+
+    return NoiseConfig(baseline_amplitude=0.02, muscle_std=0.005, powerline_amplitude=0.0)
+
+
+class TestBeatWindows:
+    def test_shapes_and_labels(self):
+        X, y = synthesize_beat_windows({"N": 10, "V": 5, "L": 3}, seed=0)
+        assert X.shape == (18, 200)
+        assert y.shape == (18,)
+        counts = {s: int(np.sum(y == i)) for i, s in enumerate(BEAT_CLASSES)}
+        assert counts == {"N": 10, "V": 5, "L": 3}
+
+    def test_custom_window(self):
+        X, _ = synthesize_beat_windows({"N": 4}, pre=25, post=25, fs=90.0, seed=0)
+        assert X.shape == (4, 50)
+
+    def test_deterministic(self):
+        a, ya = synthesize_beat_windows({"N": 5, "V": 5}, seed=3)
+        b, yb = synthesize_beat_windows({"N": 5, "V": 5}, seed=3)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(ya, yb)
+
+    def test_shuffle_interleaves_classes(self):
+        _, y = synthesize_beat_windows({"N": 50, "V": 50}, seed=1, shuffle=True)
+        # Not all N first: some V in the first half.
+        assert np.any(y[:50] == 1)
+
+    def test_no_shuffle_keeps_block_order(self):
+        _, y = synthesize_beat_windows({"N": 5, "V": 5}, seed=1, shuffle=False)
+        np.testing.assert_array_equal(y[:5], 0)
+        np.testing.assert_array_equal(y[5:], 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_beat_windows({"N": -1}, seed=0)
+
+    def test_noise_config_changes_snr(self):
+        quiet, _ = synthesize_beat_windows(
+            {"N": 30}, seed=2, noise=BeatNoiseConfig(noise_std=0.01, burst_fraction=0.0)
+        )
+        loud, _ = synthesize_beat_windows(
+            {"N": 30}, seed=2, noise=BeatNoiseConfig(noise_std=0.5, burst_fraction=0.0)
+        )
+        # High-frequency residual (first difference) reflects noise level.
+        assert np.diff(loud, axis=1).std() > 3 * np.diff(quiet, axis=1).std()
+
+    def test_r_peak_near_window_center(self):
+        X, y = synthesize_beat_windows(
+            {"N": 20}, seed=4, noise=BeatNoiseConfig(noise_std=0.01, burst_fraction=0.0)
+        )
+        peaks = np.argmax(np.abs(X - np.median(X, axis=1, keepdims=True)), axis=1)
+        assert np.median(np.abs(peaks - 100)) <= 6
+
+    def test_burst_fraction_creates_heteroscedastic_noise(self):
+        X, _ = synthesize_beat_windows(
+            {"N": 400},
+            seed=5,
+            noise=BeatNoiseConfig(noise_std=0.05, burst_fraction=0.2, burst_multiplier=4.0),
+        )
+        residual_std = np.diff(X, axis=1).std(axis=1)
+        # Bimodal: the noisiest decile is much noisier than the median.
+        assert np.percentile(residual_std, 95) > 2.0 * np.median(residual_std)

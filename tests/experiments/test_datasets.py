@@ -1,0 +1,61 @@
+"""Tests for the shared experiment dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.ecg.mitbih import TABLE_I, scaled_counts
+from repro.experiments.datasets import (
+    decimate_labeled,
+    format_table1,
+    make_beat_datasets,
+    make_embedded_datasets,
+    table1_counts,
+)
+
+
+class TestCaching:
+    def test_same_config_returns_cached_object(self):
+        a = make_beat_datasets(scale=0.01, seed=2)
+        b = make_beat_datasets(scale=0.01, seed=2)
+        assert a is b
+
+    def test_different_config_differs(self):
+        a = make_beat_datasets(scale=0.01, seed=2)
+        b = make_beat_datasets(scale=0.01, seed=3)
+        assert a is not b
+
+
+class TestEmbeddedDatasets:
+    def test_paired_sample_for_sample(self):
+        full = make_beat_datasets(scale=0.01, seed=5)
+        embedded = make_embedded_datasets(scale=0.01, seed=5)
+        np.testing.assert_array_equal(embedded.test.y, full.test.y)
+        np.testing.assert_array_equal(embedded.test.X, full.test.X[:, ::4])
+
+    def test_geometry(self):
+        embedded = make_embedded_datasets(scale=0.01, seed=5)
+        assert embedded.train1.X.shape[1] == 50
+        assert embedded.train1.fs == 90.0
+        assert embedded.train1.window.length == 50
+
+    def test_decimate_labeled_preserves_labels(self, datasets):
+        decimated = decimate_labeled(datasets.train1)
+        np.testing.assert_array_equal(decimated.y, datasets.train1.y)
+
+
+class TestTable1:
+    def test_counts_structure(self):
+        counts = table1_counts(scale=0.01, seed=0)
+        assert set(counts) == {"train1", "train2", "test"}
+        for per_class in counts.values():
+            assert set(per_class) == {"N", "V", "L"}
+
+    def test_counts_match_scaled_table(self):
+        counts = table1_counts(scale=0.01, seed=0)
+        for name in counts:
+            assert counts[name] == scaled_counts(TABLE_I[name], 0.01)
+
+    def test_format_renders_all_rows(self):
+        text = format_table1(table1_counts(scale=0.01, seed=0))
+        for name in ("train1", "train2", "test", "total"):
+            assert name in text

@@ -1,0 +1,92 @@
+"""Tests for the extension experiments (multi-lead, noise robustness)."""
+
+import numpy as np
+import pytest
+
+from repro.core.genetic import GeneticConfig
+from repro.experiments.multilead import (
+    LEAD_GAINS,
+    MultileadConfig,
+    format_multilead,
+    run_multilead,
+)
+from repro.experiments.noise_robustness import (
+    NoiseRobustnessConfig,
+    format_noise_robustness,
+    run_noise_robustness,
+)
+
+TINY_GA = GeneticConfig(population_size=4, generations=2)
+
+
+class TestMultilead:
+    @pytest.fixture(scope="class")
+    def results(self):
+        # d = 600 needs a few more training beats than the other smoke
+        # tests to keep the NFC initialization out of the degenerate
+        # regime, hence the slightly larger scale.
+        config = MultileadConfig(scale=0.04, seed=3, genetic=TINY_GA, scg_iterations=50)
+        return run_multilead(config)
+
+    def test_variants_present(self, results):
+        assert set(results) == {"single", "multilead"}
+
+    def test_dimensions(self, results):
+        assert results["single"]["beat_length"] == 200
+        assert results["multilead"]["beat_length"] == len(LEAD_GAINS) * 200
+
+    def test_matrix_grows_with_leads(self, results):
+        assert results["multilead"]["matrix_bytes"] == pytest.approx(
+            len(LEAD_GAINS) * results["single"]["matrix_bytes"], rel=0.05
+        )
+
+    def test_both_meet_arr_target(self, results):
+        assert results["single"]["arr"] >= 96.0
+        assert results["multilead"]["arr"] >= 96.0
+
+    def test_multilead_competitive(self, results):
+        """Extra leads must not *hurt* (the shape claim of [18])."""
+        assert results["multilead"]["ndr"] >= results["single"]["ndr"] - 6.0
+
+    def test_format(self, results):
+        text = format_multilead(results)
+        assert "single" in text and "multilead" in text
+
+
+class TestNoiseRobustness:
+    @pytest.fixture(scope="class")
+    def results(self):
+        config = NoiseRobustnessConfig(
+            scale=0.02,
+            seed=3,
+            genetic=TINY_GA,
+            scg_iterations=50,
+            snrs_db=(24.0, 6.0),
+            kinds=("ma", "bw"),
+        )
+        return run_noise_robustness(config)
+
+    def test_structure(self, results):
+        assert "clean" in results
+        assert set(results) == {"clean", "ma", "bw"}
+        for kind in ("ma", "bw"):
+            assert set(results[kind]) == {24.0, 6.0}
+
+    def test_values_are_percentages(self, results):
+        for kind in ("ma", "bw"):
+            for value in results[kind].values():
+                assert 0.0 <= value <= 100.0
+
+    def test_degradation_monotone_in_snr(self, results):
+        """Dirtier signal cannot help (allow small sampling noise)."""
+        for kind in ("ma", "bw"):
+            assert results[kind][6.0] <= results[kind][24.0] + 5.0
+
+    def test_clean_is_best_or_close(self, results):
+        clean = results["clean"][float("inf")]
+        for kind in ("ma", "bw"):
+            assert results[kind][24.0] <= clean + 5.0
+
+    def test_format(self, results):
+        text = format_noise_robustness(results)
+        assert "clean NDR" in text and "ma" in text

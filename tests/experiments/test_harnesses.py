@@ -1,0 +1,179 @@
+"""Smoke + shape tests for the table/figure experiment harnesses.
+
+These run the harnesses at a very small scale with reduced GA budgets.
+They check the paper's *qualitative* claims; the benchmarks run the
+same harnesses at larger scale and record quantitative outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.genetic import GeneticConfig
+from repro.experiments.energy import format_energy, run_energy
+from repro.experiments.figure4 import format_figure4, run_figure4, run_figure4_errors
+from repro.experiments.figure5 import (
+    Figure5Config,
+    figure5_summary,
+    format_figure5,
+    run_figure5,
+)
+from repro.experiments.table2 import Table2Config, format_table2, run_table2
+from repro.experiments.table3 import (
+    Table3Config,
+    build_embedded_classifier,
+    format_table3,
+    run_table3,
+)
+
+TINY_GA = GeneticConfig(population_size=4, generations=2)
+
+
+@pytest.fixture(scope="module")
+def table3_artifacts():
+    config = Table3Config(scale=0.02, seed=3, genetic=TINY_GA, scg_iterations=50)
+    classifier, activation = build_embedded_classifier(config)
+    return config, classifier, activation
+
+
+class TestFigure4:
+    def test_curves(self):
+        curves = run_figure4()
+        assert set(curves) == {"x", "gaussian", "linear", "triangular"}
+        assert curves["gaussian"].shape == curves["x"].shape
+        # All curves end at 1 (the center).
+        for shape in ("gaussian", "linear", "triangular"):
+            assert curves[shape][-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_linear_tracks_gaussian_better(self):
+        errors = run_figure4_errors()
+        assert errors["linear"]["rms_error"] < errors["triangular"]["rms_error"]
+
+    def test_format(self):
+        text = format_figure4(run_figure4_errors())
+        assert "linear" in text and "triangular" in text
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            run_figure4(sigma=0.0)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def results(self):
+        config = Table2Config(
+            coefficients=(8,), scale=0.02, seed=3, genetic=TINY_GA, scg_iterations=50
+        )
+        return run_table2(config)
+
+    def test_rows_present(self, results):
+        assert set(results) == {8}
+        for row in ("NDR-PC", "NDR-WBSN", "PCA-PC"):
+            assert row in results[8]
+
+    def test_values_are_percentages(self, results):
+        for row in ("NDR-PC", "NDR-WBSN", "PCA-PC"):
+            assert 0.0 <= results[8][row] <= 100.0
+
+    def test_arr_targets_met(self, results):
+        assert results[8]["ARR-PC"] >= 96.0
+        assert results[8]["ARR-WBSN"] >= 96.0
+
+    def test_classifiers_useful(self, results):
+        """Paper claim: 'a small number of randomly-projected
+        coefficients are sufficient to achieve a NDR of over 90%'."""
+        assert results[8]["NDR-PC"] > 75.0  # slack for the tiny scale
+
+    def test_format(self, results):
+        text = format_table2(results)
+        assert "NDR-PC" in text and "NDR-WBSN" in text and "PCA-PC" in text
+
+    def test_paper_scale_config(self):
+        config = Table2Config().paper_scale()
+        assert config.scale == 1.0
+        assert config.genetic.population_size == 20
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def results(self):
+        config = Figure5Config(scale=0.02, seed=3, genetic=TINY_GA, scg_iterations=50)
+        return run_figure5(config)
+
+    def test_all_shapes_present(self, results):
+        assert set(results) == {"gaussian", "linear", "triangular"}
+
+    def test_sweeps_monotone(self, results):
+        for sweep in results.values():
+            assert np.all(np.diff(sweep["ndr"]) <= 1e-12)
+            assert np.all(np.diff(sweep["arr"]) >= -1e-12)
+
+    def test_front_indices_valid(self, results):
+        for sweep in results.values():
+            front = sweep["front"]
+            assert np.all(front >= 0)
+            assert np.all(front < sweep["ndr"].size)
+
+    def test_summary_and_format(self, results):
+        summary = figure5_summary(results, arr_targets=(0.9,))
+        text = format_figure5(summary)
+        assert "gaussian" in text and "triangular" in text
+
+
+class TestTable3:
+    def test_rows_and_ordering(self, table3_artifacts):
+        config, classifier, activation = table3_artifacts
+        rows = run_table3(config, classifier, activation)
+        assert set(rows) == {
+            "rp_classifier",
+            "subsystem1",
+            "delineation",
+            "proposed_system",
+        }
+        # Paper's qualitative structure.
+        assert rows["rp_classifier"].duty_cycle < 0.01
+        assert rows["rp_classifier"].duty_cycle < rows["subsystem1"].duty_cycle
+        assert rows["subsystem1"].duty_cycle < rows["delineation"].duty_cycle
+        assert rows["proposed_system"].duty_cycle < rows["delineation"].duty_cycle
+
+    def test_code_sizes_additive(self, table3_artifacts):
+        config, classifier, activation = table3_artifacts
+        rows = run_table3(config, classifier, activation)
+        assert rows["proposed_system"].code_size_kb == pytest.approx(
+            rows["subsystem1"].code_size_kb + rows["delineation"].code_size_kb
+        )
+
+    def test_format(self, table3_artifacts):
+        config, classifier, activation = table3_artifacts
+        text = format_table3(run_table3(config, classifier, activation))
+        assert "RP-classifier" in text
+        assert "Proposed system (3)" in text
+
+
+class TestEnergy:
+    def test_savings_shape(self, table3_artifacts):
+        config, _, _ = table3_artifacts
+        result = run_energy(config)
+        assert 0.3 < result.compute_saving < 0.9
+        assert 0.3 < result.radio_saving < 0.9
+        assert 0.05 < result.total_saving < 0.34
+        assert result.gated_duty < result.baseline_duty
+        assert result.gated_bytes < result.baseline_bytes
+
+    def test_format(self, table3_artifacts):
+        config, _, _ = table3_artifacts
+        text = format_energy(run_energy(config))
+        assert "wireless saving" in text
+
+    def test_battery_outlook(self, table3_artifacts):
+        from repro.experiments.energy import battery_outlook
+
+        config, _, _ = table3_artifacts
+        result = run_energy(config)
+        outlook = battery_outlook(result)
+        assert outlook["gated_days"] > outlook["baseline_days"]
+        assert outlook["extension_factor"] == pytest.approx(
+            1.0 / (1.0 - outlook["total_saving"]), rel=1e-6
+        )
+        # The battery-model path and the energy model agree on the
+        # weighted total saving.
+        assert outlook["total_saving"] == pytest.approx(result.total_saving, abs=1e-6)

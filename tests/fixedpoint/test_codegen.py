@@ -1,0 +1,84 @@
+"""Tests for C header generation."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.codegen import GUARD, generate_c_header, parse_c_header
+
+
+@pytest.fixture(scope="module")
+def header(embedded_classifier):
+    return generate_c_header(embedded_classifier)
+
+
+class TestHeaderStructure:
+    def test_include_guard(self, header):
+        assert f"#ifndef {GUARD}" in header
+        assert f"#endif /* {GUARD} */" in header
+
+    def test_dimension_macros(self, header, embedded_classifier):
+        parsed = parse_c_header(header)
+        assert parsed.macros["RP_CLASSIFIER_N_COEFFICIENTS"] == (
+            embedded_classifier.n_coefficients
+        )
+        assert parsed.macros["RP_CLASSIFIER_N_INPUTS"] == embedded_classifier.n_inputs
+        assert parsed.macros["RP_CLASSIFIER_N_CLASSES"] == 3
+
+    def test_alpha_macro(self, header, embedded_classifier):
+        parsed = parse_c_header(header)
+        assert parsed.macros["RP_CLASSIFIER_ALPHA_Q16"] == embedded_classifier.alpha_q16
+
+    def test_stdint_included(self, header):
+        assert "#include <stdint.h>" in header
+
+    def test_reference_implementation_present(self, header):
+        assert "rp_classifier_classify" in header
+        assert "rp_classifier_project" in header
+
+
+class TestRoundTrip:
+    def test_matrix_bytes(self, header, embedded_classifier):
+        parsed = parse_c_header(header)
+        np.testing.assert_array_equal(
+            parsed.arrays["rp_classifier_matrix"], embedded_classifier.matrix.data
+        )
+
+    def test_mf_tables(self, header, embedded_classifier):
+        parsed = parse_c_header(header)
+        k, L = embedded_classifier.nfc.centers.shape
+        np.testing.assert_array_equal(
+            parsed.arrays["rp_classifier_mf_center"].reshape(k, L),
+            embedded_classifier.nfc.centers,
+        )
+        np.testing.assert_array_equal(
+            parsed.arrays["rp_classifier_mf_s"].reshape(k, L),
+            embedded_classifier.nfc.s_values,
+        )
+        np.testing.assert_array_equal(
+            parsed.arrays["rp_classifier_mf_slope_inner_q16"].reshape(k, L),
+            embedded_classifier.nfc.slope_inner_q16,
+        )
+
+    def test_tables_fit_declared_c_types(self, header, embedded_classifier):
+        nfc = embedded_classifier.nfc
+        assert np.all(np.abs(nfc.centers) < 2**15)
+        assert np.all(nfc.s_values < 2**15)
+        assert np.all(nfc.slope_inner_q16 < 2**31)
+
+
+class TestValidation:
+    def test_rejects_bad_identifier(self, embedded_classifier):
+        with pytest.raises(ValueError):
+            generate_c_header(embedded_classifier, name="9bad")
+        with pytest.raises(ValueError):
+            generate_c_header(embedded_classifier, name="Upper")
+
+    def test_custom_name_used(self, embedded_classifier):
+        header = generate_c_header(embedded_classifier, name="ecg_node")
+        assert "ECG_NODE_N_COEFFICIENTS" in header
+        assert "ecg_node_matrix" in header
+
+    def test_parse_detects_truncated_array(self):
+        bad = "static const uint8_t x[4] = {\n    1, 2, 3,\n};"
+        with pytest.raises(ValueError, match="declared 4"):
+            parse_c_header(bad)

@@ -1,0 +1,155 @@
+"""Tests for float-to-embedded conversion."""
+
+import numpy as np
+import pytest
+
+from repro.core.defuzz import UNKNOWN_LABEL
+from repro.fixedpoint.convert import (
+    EmbeddedClassifier,
+    convert_pipeline,
+    tune_embedded_alpha,
+)
+
+
+class TestConversion:
+    def test_dimensions_preserved(self, embedded_pipeline):
+        classifier = convert_pipeline(embedded_pipeline)
+        assert classifier.n_coefficients == embedded_pipeline.projection.n_coefficients
+        assert classifier.n_inputs == embedded_pipeline.projection.n_inputs
+
+    def test_matrix_identical_after_packing(self, embedded_pipeline):
+        classifier = convert_pipeline(embedded_pipeline)
+        np.testing.assert_array_equal(
+            classifier.matrix.unpack(), embedded_pipeline.projection.matrix
+        )
+
+    def test_alpha_carried_over(self, embedded_pipeline):
+        classifier = convert_pipeline(embedded_pipeline)
+        assert classifier.alpha_q16 == pytest.approx(
+            embedded_pipeline.alpha * 65536, abs=1.0
+        )
+
+    def test_alpha_override(self, embedded_pipeline):
+        classifier = convert_pipeline(embedded_pipeline, alpha=0.25)
+        assert classifier.alpha_q16 == 16384
+
+    def test_triangular_shape_option(self, embedded_pipeline):
+        classifier = convert_pipeline(embedded_pipeline, shape="triangular")
+        assert classifier.nfc.shape == "triangular"
+
+    def test_invalid_shape_rejected(self, embedded_pipeline):
+        with pytest.raises(ValueError):
+            convert_pipeline(embedded_pipeline, shape="gaussian")
+
+
+class TestEmbeddedInference:
+    def test_predict_label_domain(self, embedded_classifier, embedded_datasets):
+        _, _, test = embedded_datasets
+        labels = embedded_classifier.predict(test.X[:200])
+        assert set(np.unique(labels)).issubset({UNKNOWN_LABEL, 0, 1, 2})
+
+    def test_integer_input_accepted(self, embedded_classifier, embedded_datasets):
+        _, _, test = embedded_datasets
+        as_int = embedded_classifier.quantize_beats(test.X[:50])
+        labels_int = embedded_classifier.predict(as_int)
+        labels_float = embedded_classifier.predict(test.X[:50])
+        np.testing.assert_array_equal(labels_int, labels_float)
+
+    def test_agreement_with_float_pipeline(
+        self, embedded_classifier, embedded_pipeline, embedded_datasets
+    ):
+        """Quantization must not change most decisions (Table II gap is
+        'a few percentage points')."""
+        _, _, test = embedded_datasets
+        float_linear = embedded_pipeline.with_shape("linear").with_alpha(
+            embedded_classifier.alpha_q16 / 65536
+        )
+        float_labels = float_linear.predict(test.X)
+        integer_labels = embedded_classifier.predict(test.X)
+        agreement = np.mean(float_labels == integer_labels)
+        assert agreement > 0.9
+
+    def test_embedded_accuracy_close_to_float(
+        self, embedded_classifier, embedded_pipeline, embedded_datasets
+    ):
+        _, _, test = embedded_datasets
+        embedded_report = embedded_classifier.evaluate(test)
+        float_report = embedded_pipeline.tuned_for(test, 0.97).evaluate(test)
+        assert embedded_report.arr >= 0.95
+        assert embedded_report.ndr >= float_report.ndr - 0.15
+
+    def test_projection_is_integer(self, embedded_classifier, embedded_datasets):
+        _, _, test = embedded_datasets
+        u = embedded_classifier.project(test.X[:10])
+        assert np.issubdtype(u.dtype, np.integer)
+
+    def test_fuzzy_values_integer(self, embedded_classifier, embedded_datasets):
+        _, _, test = embedded_datasets
+        fuzzy = embedded_classifier.fuzzy_values(test.X[:10])
+        assert np.issubdtype(fuzzy.dtype, np.integer)
+        assert np.all(fuzzy >= 0)
+
+
+class TestTuning:
+    def test_tune_embedded_alpha_meets_target(
+        self, embedded_classifier, embedded_datasets
+    ):
+        _, _, test = embedded_datasets
+        report = embedded_classifier.evaluate(test)
+        assert report.arr >= 0.97 - 1e-9
+
+    def test_with_alpha(self, embedded_classifier):
+        other = embedded_classifier.with_alpha(0.5)
+        assert other.alpha_q16 == 32768
+        with pytest.raises(ValueError):
+            embedded_classifier.with_alpha(1.5)
+
+    def test_higher_alpha_flags_more(self, embedded_classifier, embedded_datasets):
+        _, _, test = embedded_datasets
+        low = embedded_classifier.with_alpha(0.0).evaluate(test)
+        high = embedded_classifier.with_alpha(0.8).evaluate(test)
+        assert high.activation >= low.activation - 1e-12
+
+
+class TestMemoryReport:
+    def test_components_and_total(self, embedded_classifier):
+        report = embedded_classifier.memory_report()
+        expected_keys = {
+            "projection_matrix",
+            "projection_matrix_unpacked",
+            "nfc_parameters",
+            "beat_buffer",
+            "work_buffers",
+            "total",
+        }
+        assert expected_keys == set(report)
+        assert report["total"] == (
+            report["projection_matrix"]
+            + report["nfc_parameters"]
+            + report["beat_buffer"]
+            + report["work_buffers"]
+        )
+
+    def test_paper_scale_footprint(self, embedded_classifier):
+        """The classifier's data must be far under 2 KB (Table III row 1
+        plus data is ~2 KB total)."""
+        report = embedded_classifier.memory_report()
+        assert report["total"] < 2048
+
+    def test_packing_saves_4x(self, embedded_classifier):
+        report = embedded_classifier.memory_report()
+        assert report["projection_matrix_unpacked"] >= 3.8 * report["projection_matrix"]
+
+
+class TestOpCounts:
+    def test_beat_op_counts_positive(self, embedded_classifier):
+        counts = embedded_classifier.beat_op_counts()
+        assert counts["add"] > 0
+        assert counts["mul"] > 0
+        # The projection dominates the loads.
+        assert counts["load"] > embedded_classifier.n_inputs
+
+    def test_counts_scale_with_k(self, embedded_pipeline, embedded_datasets):
+        classifier = convert_pipeline(embedded_pipeline)
+        counts = classifier.beat_op_counts()
+        assert counts["mul"] >= classifier.n_coefficients * 3

@@ -1,0 +1,211 @@
+"""Tests for integer fuzzification and division-free defuzzification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.defuzz import UNKNOWN_LABEL, defuzzify
+from repro.fixedpoint.integer_nfc import (
+    IntegerNFC,
+    block_fuzzify,
+    integer_defuzzify,
+)
+from repro.fixedpoint.linearize import GRADE_MAX
+from repro.platform.opcount import OpCounter
+
+
+class TestBlockFuzzify:
+    def test_single_coefficient_passthrough(self):
+        grades = np.array([[[100, 200, 300]]])
+        out = block_fuzzify(grades)
+        np.testing.assert_array_equal(out, [[100, 200, 300]])
+
+    def test_ratios_preserved(self):
+        """The shared shift must preserve class ratios to ~1 LSB/step."""
+        rng = np.random.default_rng(0)
+        n, k, L = 50, 8, 3
+        grades = rng.integers(1000, GRADE_MAX, size=(n, k, L))
+        out = block_fuzzify(grades).astype(float)
+        exact = np.prod(grades.astype(float) / GRADE_MAX, axis=1)
+        for i in range(n):
+            ratio_exact = exact[i] / exact[i].max()
+            ratio_int = out[i] / out[i].max()
+            np.testing.assert_allclose(ratio_int, ratio_exact, rtol=0.02, atol=0.01)
+
+    def test_result_fits_32_bits(self):
+        rng = np.random.default_rng(1)
+        grades = rng.integers(0, GRADE_MAX + 1, size=(100, 16, 3))
+        out = block_fuzzify(grades)
+        assert np.all(out >= 0)
+        assert np.all(out < 2**32)
+
+    def test_all_zero_column_stays_zero(self):
+        grades = np.full((1, 4, 3), 1000, dtype=np.int64)
+        grades[0, 2, 1] = 0  # class 1 collapses
+        out = block_fuzzify(grades)
+        assert out[0, 1] == 0
+        assert out[0, 0] > 0
+
+    def test_all_classes_zero(self):
+        grades = np.zeros((1, 4, 3), dtype=np.int64)
+        out = block_fuzzify(grades)
+        np.testing.assert_array_equal(out[0], 0)
+
+    def test_argmax_preserved(self):
+        """Winner under exact products == winner under block fuzzify."""
+        rng = np.random.default_rng(2)
+        grades = rng.integers(2000, GRADE_MAX, size=(200, 8, 3))
+        out = block_fuzzify(grades)
+        exact = np.sum(np.log(grades.astype(float)), axis=1)
+        np.testing.assert_array_equal(out.argmax(axis=1), exact.argmax(axis=1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_fuzzify(np.zeros((2, 3)))  # not 3-D
+        with pytest.raises(ValueError):
+            block_fuzzify(np.full((1, 2, 3), GRADE_MAX + 1))
+        with pytest.raises(ValueError):
+            block_fuzzify(np.full((1, 2, 3), -1))
+
+    def test_op_counting(self):
+        counter = OpCounter()
+        grades = np.full((4, 8, 3), 30000, dtype=np.int64)
+        block_fuzzify(grades, counter)
+        assert counter["mul"] == 4 * 7 * 3
+
+
+class TestIntegerDefuzzify:
+    def test_alpha_zero_argmax(self):
+        fuzzy = np.array([[100, 300, 200], [500, 100, 100]])
+        np.testing.assert_array_equal(integer_defuzzify(fuzzy, 0), [1, 0])
+
+    def test_all_zero_is_unknown(self):
+        assert integer_defuzzify(np.array([[0, 0, 0]]), 0)[0] == UNKNOWN_LABEL
+
+    def test_matches_float_rule(self):
+        """The Q16 comparison equals the float (M1-M2) >= alpha*S rule."""
+        rng = np.random.default_rng(3)
+        fuzzy = rng.integers(0, 60000, size=(500, 3))
+        for alpha in (0.0, 0.1, 0.5, 0.9):
+            alpha_q16 = int(round(alpha * 65536))
+            integer_labels = integer_defuzzify(fuzzy, alpha_q16)
+            float_labels = defuzzify(fuzzy.astype(float), alpha)
+            # Ties at the exact threshold may differ by quantization of
+            # alpha; allow a tiny disagreement rate.
+            agreement = np.mean(integer_labels == float_labels)
+            assert agreement > 0.995
+
+    def test_confidence_threshold(self):
+        # margin = (600 - 300) / 1000 = 0.3
+        fuzzy = np.array([[600, 300, 100]])
+        below = int(0.29 * 65536)
+        above = int(0.31 * 65536)
+        assert integer_defuzzify(fuzzy, below)[0] == 0
+        assert integer_defuzzify(fuzzy, above)[0] == UNKNOWN_LABEL
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            integer_defuzzify(np.array([[1, 2]]), -1)
+        with pytest.raises(ValueError):
+            integer_defuzzify(np.array([[1, 2]]), 1 << 17)
+        with pytest.raises(ValueError):
+            integer_defuzzify(np.array([[-1, 2]]), 0)
+        with pytest.raises(ValueError):
+            integer_defuzzify(np.array([1, 2]), 0)
+
+
+class TestIntegerNFC:
+    def _nfc(self, k=4, L=3, shape="linear"):
+        rng = np.random.default_rng(5)
+        from repro.fixedpoint.linearize import linearize_mf
+
+        centers = rng.normal(0, 500, size=(k, L))
+        sigmas = 50 + 200 * rng.random((k, L))
+        c, s, si, so = linearize_mf(centers, sigmas, 1.0)
+        return IntegerNFC(c, s, si, so, shape=shape)
+
+    def test_grades_shape_and_range(self):
+        nfc = self._nfc()
+        U = np.random.default_rng(0).integers(-2000, 2000, size=(10, 4))
+        grades = nfc.membership_grades(U)
+        assert grades.shape == (10, 4, 3)
+        assert np.all(grades >= 0) and np.all(grades <= GRADE_MAX)
+
+    def test_triangular_shape(self):
+        nfc = self._nfc(shape="triangular")
+        U = np.zeros((2, 4), dtype=np.int64)
+        grades = nfc.membership_grades(U)
+        assert grades.shape == (2, 4, 3)
+
+    def test_fuzzy_values(self):
+        nfc = self._nfc()
+        U = np.random.default_rng(1).integers(-1000, 1000, size=(6, 4))
+        fuzzy = nfc.fuzzy_values(U)
+        assert fuzzy.shape == (6, 3)
+        assert np.all(fuzzy >= 0)
+
+    def test_memory_bytes(self):
+        nfc = self._nfc(k=8, L=3)
+        assert nfc.memory_bytes() == 12 * 8 * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntegerNFC(
+                np.zeros((2, 3)), np.zeros((2, 3)), np.ones((2, 3)), np.ones((2, 3))
+            )  # s < 1
+        with pytest.raises(ValueError):
+            IntegerNFC(
+                np.zeros((2, 3)), np.ones((2, 3)), np.ones((2, 3)), np.ones((3, 2))
+            )
+        with pytest.raises(ValueError):
+            IntegerNFC(
+                np.zeros((2, 3)),
+                np.ones((2, 3)),
+                np.ones((2, 3)),
+                np.ones((2, 3)),
+                shape="gaussian",
+            )
+
+    def test_wrong_input_width(self):
+        nfc = self._nfc(k=4)
+        with pytest.raises(ValueError):
+            nfc.fuzzy_values(np.zeros((2, 5), dtype=np.int64))
+
+    def test_op_counting_membership(self):
+        nfc = self._nfc(k=4, L=3)
+        counter = OpCounter()
+        nfc.membership_grades(np.zeros((2, 4), dtype=np.int64), counter)
+        assert counter["mul"] == 2 * 4 * 3
+        assert counter["abs"] == 2 * 4 * 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    grades=hnp.arrays(
+        np.int64,
+        st.tuples(st.integers(1, 20), st.integers(1, 12), st.just(3)),
+        elements=st.integers(0, GRADE_MAX),
+    )
+)
+def test_block_fuzzify_32bit_envelope(grades):
+    """Property: every output respects the 32-bit hardware envelope."""
+    out = block_fuzzify(grades)
+    assert np.all(out >= 0)
+    assert np.all(out < 2**32)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fuzzy=hnp.arrays(
+        np.int64,
+        st.tuples(st.integers(1, 30), st.just(3)),
+        elements=st.integers(0, 2**31),
+    ),
+    alpha_q16=st.integers(0, 1 << 16),
+)
+def test_integer_defuzzify_label_domain(fuzzy, alpha_q16):
+    """Property: labels are a class index or Unknown, never else."""
+    labels = integer_defuzzify(fuzzy, alpha_q16)
+    assert set(np.unique(labels)).issubset({UNKNOWN_LABEL, 0, 1, 2})

@@ -1,0 +1,169 @@
+"""Tests for the integer 4-segment and triangular membership functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.membership import linearized_membership, triangular_membership
+from repro.fixedpoint.linearize import (
+    GRADE_AT_S,
+    GRADE_MAX,
+    LinearizedMF,
+    evaluate_linearized,
+    evaluate_triangular,
+    linearize_mf,
+)
+
+
+def make_mf(center=0.0, sigma=10.0, scale=1.0):
+    return LinearizedMF.from_float(center, sigma, scale)
+
+
+class TestLinearizedMF:
+    def test_peak_value(self):
+        mf = make_mf()
+        assert mf.evaluate(np.array([0]))[0] == GRADE_MAX
+
+    def test_value_at_S(self):
+        mf = make_mf(sigma=100.0)
+        grade = mf.evaluate(np.array([mf.s]))[0]
+        assert abs(int(grade) - GRADE_AT_S) <= 1
+
+    def test_floor_region(self):
+        mf = make_mf(sigma=100.0)
+        for r in (2 * mf.s, 3 * mf.s, 4 * mf.s - 1):
+            assert mf.evaluate(np.array([r]))[0] == 1
+
+    def test_zero_beyond_4S(self):
+        mf = make_mf(sigma=100.0)
+        assert mf.evaluate(np.array([4 * mf.s]))[0] <= 1
+        assert mf.evaluate(np.array([10 * mf.s]))[0] <= 1
+
+    def test_monotone_decreasing(self):
+        mf = make_mf(sigma=50.0)
+        xs = np.arange(0, 5 * mf.s)
+        grades = mf.evaluate(xs)
+        assert np.all(np.diff(grades) <= 0)
+
+    def test_symmetric(self):
+        mf = make_mf(center=1000.0, sigma=40.0)
+        left = mf.evaluate(np.array([1000 - 37]))[0]
+        right = mf.evaluate(np.array([1000 + 37]))[0]
+        assert int(left) == int(right)
+
+    def test_matches_float_model(self):
+        """Integer MF tracks the float linearized MF within ~2 LSB."""
+        sigma = 80.0
+        mf = make_mf(sigma=sigma)
+        xs = np.arange(-4 * mf.s, 4 * mf.s, 7)
+        integer = mf.evaluate(xs).astype(float) / GRADE_MAX
+        float_ref = linearized_membership(
+            xs.astype(float)[:, np.newaxis], np.zeros((1, 1)), np.full((1, 1), sigma)
+        )[:, 0, 0]
+        assert np.max(np.abs(integer - float_ref)) < 0.01
+
+    def test_s_floor_at_one(self):
+        mf = LinearizedMF.from_float(0.0, 1e-9, 1.0)
+        assert mf.s == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LinearizedMF.from_float(0.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            LinearizedMF.from_float(0.0, 1.0, 0.0)
+
+    def test_scale_applied_to_center(self):
+        mf = LinearizedMF.from_float(1.5, 1.0, 200.0)
+        assert mf.center == 300
+
+
+class TestTriangular:
+    def test_peak_and_zero(self):
+        s = np.array([100])
+        assert evaluate_triangular(np.array([0]), np.array([0]), s)[0] == GRADE_MAX
+        assert evaluate_triangular(np.array([200]), np.array([0]), s)[0] == 0
+
+    def test_midpoint_half(self):
+        s = np.array([100])
+        grade = evaluate_triangular(np.array([100]), np.array([0]), s)[0]
+        assert abs(int(grade) - GRADE_MAX // 2) <= 2
+
+    def test_matches_float_model(self):
+        sigma = 80.0
+        scale = 1.0
+        s = max(1, int(round(2.35 * sigma * scale)))
+        xs = np.arange(-3 * s, 3 * s, 5)
+        integer = evaluate_triangular(xs, np.array([0]), np.array([s])).astype(float)
+        float_ref = triangular_membership(
+            xs.astype(float)[:, np.newaxis], np.zeros((1, 1)), np.full((1, 1), sigma)
+        )[:, 0, 0]
+        assert np.max(np.abs(integer / GRADE_MAX - float_ref)) < 0.01
+
+    def test_invalid_s(self):
+        with pytest.raises(ValueError):
+            evaluate_triangular(np.array([0]), np.array([0]), np.array([0]))
+
+
+class TestLinearizeArrays:
+    def test_shapes(self):
+        centers = np.zeros((8, 3))
+        sigmas = np.ones((8, 3))
+        c, s, si, so = linearize_mf(centers, sigmas, 200.0)
+        assert c.shape == s.shape == si.shape == so.shape == (8, 3)
+        assert np.all(s >= 1)
+        assert np.all(si > 0) and np.all(so > 0)
+
+    def test_matches_scalar_path(self):
+        centers = np.array([[0.5]])
+        sigmas = np.array([[0.2]])
+        c, s, si, so = linearize_mf(centers, sigmas, 200.0)
+        scalar = LinearizedMF.from_float(0.5, 0.2, 200.0)
+        assert c[0, 0] == scalar.center
+        assert s[0, 0] == scalar.s
+        assert si[0, 0] == scalar.slope_inner_q16
+        assert so[0, 0] == scalar.slope_outer_q16
+
+    def test_vectorized_evaluation_matches_scalar(self, rng):
+        centers = rng.normal(0, 2, size=(4, 3))
+        sigmas = 0.5 + rng.random((4, 3))
+        c, s, si, so = linearize_mf(centers, sigmas, 200.0)
+        x = rng.integers(-2000, 2000, size=(10, 4))
+        grades = evaluate_linearized(
+            x[:, :, np.newaxis], c[np.newaxis], s[np.newaxis],
+            si[np.newaxis], so[np.newaxis],
+        )
+        for k in range(4):
+            for l in range(3):
+                mf = LinearizedMF(int(c[k, l]), int(s[k, l]), int(si[k, l]), int(so[k, l]))
+                np.testing.assert_array_equal(grades[:, k, l], mf.evaluate(x[:, k]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linearize_mf(np.zeros((2, 2)), np.ones((2, 3)), 1.0)
+        with pytest.raises(ValueError):
+            linearize_mf(np.zeros((2, 2)), np.zeros((2, 2)), 1.0)
+        with pytest.raises(ValueError):
+            linearize_mf(np.zeros((2, 2)), np.ones((2, 2)), -1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    x=st.integers(-(10**6), 10**6),
+    center=st.integers(-(10**5), 10**5),
+    sigma=st.floats(0.01, 100.0),
+)
+def test_grades_always_in_range(x, center, sigma):
+    """Property: integer grades stay within [0, GRADE_MAX]."""
+    mf = LinearizedMF.from_float(float(center), sigma, 1.0)
+    grade = int(mf.evaluate(np.array([x]))[0])
+    assert 0 <= grade <= GRADE_MAX
+
+
+@settings(max_examples=50, deadline=None)
+@given(sigma=st.floats(0.5, 50.0), scale=st.floats(1.0, 500.0))
+def test_intermediates_fit_hardware_registers(sigma, scale):
+    """Property: clamped r times slope fits the 48-bit MAC envelope."""
+    mf = LinearizedMF.from_float(0.0, sigma, scale)
+    r_max = 4 * mf.s
+    assert r_max * mf.slope_inner_q16 < 2**48

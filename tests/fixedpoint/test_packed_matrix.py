@@ -1,0 +1,119 @@
+"""Tests for the 2-bit packed projection matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.achlioptas import generate_achlioptas
+from repro.fixedpoint.packed_matrix import PackedTernaryMatrix
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        m = generate_achlioptas(8, 50, rng=0)
+        packed = PackedTernaryMatrix.pack(m)
+        np.testing.assert_array_equal(packed.unpack(), m.matrix)
+
+    def test_roundtrip_non_multiple_of_four(self):
+        m = generate_achlioptas(3, 13, rng=1)
+        packed = PackedTernaryMatrix.pack(m)
+        np.testing.assert_array_equal(packed.unpack(), m.matrix)
+
+    def test_accepts_raw_array(self):
+        raw = np.array([[1, 0, -1, 1], [0, 0, 0, -1]], dtype=np.int8)
+        packed = PackedTernaryMatrix.pack(raw)
+        np.testing.assert_array_equal(packed.unpack(), raw)
+
+    def test_to_achlioptas(self):
+        m = generate_achlioptas(4, 20, rng=2)
+        recovered = PackedTernaryMatrix.pack(m).to_achlioptas()
+        np.testing.assert_array_equal(recovered.matrix, m.matrix)
+
+    def test_rejects_non_ternary(self):
+        with pytest.raises(ValueError):
+            PackedTernaryMatrix.pack(np.array([[2, 0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            PackedTernaryMatrix.pack(np.array([1, 0, -1]))
+
+    def test_corruption_detected(self):
+        m = generate_achlioptas(2, 8, rng=3)
+        packed = PackedTernaryMatrix.pack(m)
+        corrupt = packed.data.copy()
+        corrupt[0] |= 0b11  # invalid code in the first element
+        bad = PackedTernaryMatrix(corrupt, packed.shape)
+        with pytest.raises(ValueError, match="corrupt"):
+            bad.unpack()
+
+    def test_buffer_size_validated(self):
+        with pytest.raises(ValueError):
+            PackedTernaryMatrix(np.zeros(3, dtype=np.uint8), (2, 8))
+
+
+class TestMemory:
+    def test_paper_footprint_8x50(self):
+        """8 x 50 at 2 bits = 104 bytes (13 bytes/row), ~1/4 of 400."""
+        m = generate_achlioptas(8, 50, rng=0)
+        packed = PackedTernaryMatrix.pack(m)
+        assert packed.n_bytes == 8 * 13
+        assert packed.n_bytes_unpacked == 400
+        assert packed.compression_ratio > 3.8
+
+    def test_exact_quarter_when_aligned(self):
+        m = generate_achlioptas(8, 200, rng=0)
+        packed = PackedTernaryMatrix.pack(m)
+        assert packed.compression_ratio == 4.0
+
+    def test_downsampling_shrinks_matrix(self):
+        """Paper: 4x downsampling reduces the matrix by a factor 4."""
+        m = generate_achlioptas(8, 200, rng=0)
+        full = PackedTernaryMatrix.pack(m)
+        small = PackedTernaryMatrix.pack(m.column_subsample(4))
+        assert small.n_bytes <= full.n_bytes / 3.8
+
+
+class TestProjection:
+    def test_matches_unpacked_projection(self, rng):
+        m = generate_achlioptas(8, 50, rng=4)
+        packed = PackedTernaryMatrix.pack(m)
+        v = rng.integers(-400, 400, size=(30, 50))
+        np.testing.assert_array_equal(packed.project(v), m.project(v))
+
+    def test_single_vector(self, rng):
+        m = generate_achlioptas(8, 50, rng=4)
+        packed = PackedTernaryMatrix.pack(m)
+        v = rng.integers(-400, 400, size=50)
+        assert packed.project(v).shape == (8,)
+
+    def test_width_mismatch(self):
+        packed = PackedTernaryMatrix.pack(generate_achlioptas(4, 10, rng=0))
+        with pytest.raises(ValueError):
+            packed.project(np.zeros(11, dtype=np.int64))
+
+    def test_op_counting(self):
+        from repro.platform.opcount import OpCounter
+
+        m = generate_achlioptas(4, 16, rng=5)
+        packed = PackedTernaryMatrix.pack(m)
+        counter = OpCounter()
+        packed.project(np.zeros((2, 16), dtype=np.int64), counter)
+        assert counter["add"] == 2 * m.nnz
+        assert counter["shift"] == 2 * 4 * 16
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    matrix=hnp.arrays(
+        np.int8,
+        st.tuples(st.integers(1, 10), st.integers(1, 40)),
+        elements=st.sampled_from([-1, 0, 1]),
+    )
+)
+def test_roundtrip_property(matrix):
+    """Property: pack/unpack is the identity on ternary matrices."""
+    packed = PackedTernaryMatrix.pack(matrix)
+    np.testing.assert_array_equal(packed.unpack(), matrix)
+    assert packed.n_bytes == matrix.shape[0] * ((matrix.shape[1] + 3) // 4)

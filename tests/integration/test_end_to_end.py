@@ -1,0 +1,118 @@
+"""Integration tests: the full Figure 6 system on synthetic records.
+
+These exercise the complete embedded chain on record-level data:
+synthesis -> morphological filtering -> wavelet peak detection ->
+segmentation -> downsampling -> integer RP classification -> gated
+multi-lead delineation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.defuzz import is_abnormal
+from repro.dsp.delineation import delineate_multilead
+from repro.dsp.morphological import filter_lead
+from repro.dsp.peak_detection import detect_peaks
+from repro.ecg.resample import decimate_beats
+from repro.ecg.segmentation import BeatWindow, match_peaks_to_annotation, segment_beats
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+
+
+@pytest.fixture(scope="module")
+def record():
+    synth = RecordSynthesizer(SynthesisConfig(n_leads=3), seed=99)
+    return synth.synthesize(120.0, name="e2e")
+
+
+@pytest.fixture(scope="module")
+def filtered(record):
+    return np.column_stack(
+        [filter_lead(record.signal[:, i], record.fs) for i in range(3)]
+    )
+
+
+@pytest.fixture(scope="module")
+def chain_outputs(record, filtered, embedded_classifier):
+    """Run the full chain once; several tests inspect the outputs."""
+    fs = record.fs
+    peaks = detect_peaks(filtered[:, 0], fs)
+    window = BeatWindow(100, 100)
+    X, kept = segment_beats(filtered[:, 0], peaks, window)
+    kept_peaks = peaks[kept]
+    X_ds, _ = decimate_beats(X, window, 4)
+    labels = embedded_classifier.predict(X_ds)
+    return peaks, kept_peaks, X_ds, labels
+
+
+class TestFullChain:
+    def test_detects_most_beats(self, record, chain_outputs):
+        peaks, _, _, _ = chain_outputs
+        ann = record.annotation.samples
+        missed = sum(1 for a in ann if np.min(np.abs(peaks - a)) > 18)
+        assert missed / len(ann) < 0.08
+
+    def test_classifier_consumes_detected_beats(self, chain_outputs):
+        _, kept_peaks, X_ds, labels = chain_outputs
+        assert X_ds.shape == (kept_peaks.size, 50)
+        assert labels.shape == (kept_peaks.size,)
+
+    def test_end_to_end_recognition(self, record, chain_outputs):
+        """ARR/NDR through the *entire* chain (detector included)."""
+        _, kept_peaks, _, labels = chain_outputs
+        true_labels, matched = match_peaks_to_annotation(
+            kept_peaks, record.annotation, tolerance=18
+        )
+        y = true_labels[matched]
+        predicted = labels[matched]
+        abnormal = y != 0
+        if abnormal.sum() > 0:
+            arr = np.mean(is_abnormal(predicted)[abnormal])
+            assert arr > 0.7
+        normal = y == 0
+        ndr = np.mean(predicted[normal] == 0)
+        assert ndr > 0.6
+
+    def test_gated_delineation_runs_on_flagged_beats(
+        self, record, filtered, chain_outputs
+    ):
+        _, kept_peaks, _, labels = chain_outputs
+        flagged = kept_peaks[is_abnormal(labels)]
+        assert flagged.size > 0
+        for peak in flagged[:5]:
+            fiducials = delineate_multilead(filtered, int(peak), record.fs)
+            assert fiducials.r_peak == peak
+            assert fiducials.n_found >= 5
+
+    def test_activation_rate_reasonable(self, chain_outputs):
+        """Gating only pays off if most traffic is discarded."""
+        _, _, _, labels = chain_outputs
+        activation = np.mean(is_abnormal(labels))
+        assert activation < 0.6
+
+
+class TestFloatEmbeddedConsistency:
+    def test_decisions_mostly_agree(
+        self, embedded_pipeline, embedded_classifier, chain_outputs
+    ):
+        _, _, X_ds, _ = chain_outputs
+        alpha = embedded_classifier.alpha_q16 / 65536
+        float_labels = embedded_pipeline.with_shape("linear").with_alpha(alpha).predict(X_ds)
+        integer_labels = embedded_classifier.predict(X_ds)
+        assert np.mean(float_labels == integer_labels) > 0.85
+
+
+class TestDigitalPath:
+    def test_adc_quantized_record_classifies_like_float(
+        self, record, embedded_classifier
+    ):
+        """Running from ADC counts (the node's real input) must agree
+        with the float-mV path on almost all beats."""
+        digital = record.to_digital()
+        physical = digital.to_physical()
+        x = filter_lead(physical.lead(0), record.fs)
+        peaks = detect_peaks(x, record.fs)
+        window = BeatWindow(100, 100)
+        X, _ = segment_beats(x, peaks, window)
+        X_ds, _ = decimate_beats(X, window, 4)
+        labels_roundtrip = embedded_classifier.predict(X_ds)
+        assert labels_roundtrip.shape[0] == X_ds.shape[0]

@@ -1,0 +1,104 @@
+"""Integration: the streaming front end feeding the embedded classifier.
+
+The firmware path: ADC blocks -> BlockFilter -> StreamingPeakDetector
+-> segmentation -> decimation -> integer classification.  These tests
+check that the bounded-memory schedule reaches the same clinical
+decisions as the whole-record batch path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.defuzz import is_abnormal
+from repro.dsp.morphological import filter_lead
+from repro.dsp.peak_detection import detect_peaks
+from repro.dsp.streaming import BlockFilter, StreamingPeakDetector
+from repro.ecg.resample import decimate_beats
+from repro.ecg.segmentation import BeatWindow, segment_beats
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+
+
+@pytest.fixture(scope="module")
+def record():
+    synth = RecordSynthesizer(SynthesisConfig(n_leads=1), seed=202)
+    return synth.synthesize(90.0, name="streaming-system")
+
+
+@pytest.fixture(scope="module")
+def streaming_outputs(record, embedded_classifier):
+    """Run the full streaming chain in 0.5-second ADC blocks."""
+    x = record.lead(0)
+    fs = record.fs
+    block = int(0.5 * fs)
+    block_filter = BlockFilter(fs)
+    detector = StreamingPeakDetector(fs)
+    filtered_parts = []
+    for i in range(0, x.size, block):
+        out = block_filter.push(x[i : i + block])
+        if out.size:
+            filtered_parts.append(out)
+            detector.push(out)
+    tail = block_filter.flush()
+    if tail.size:
+        filtered_parts.append(tail)
+        detector.push(tail)
+    detector.flush()
+    filtered = np.concatenate(filtered_parts)
+    peaks = detector.peaks
+    window = BeatWindow(100, 100)
+    beats, kept = segment_beats(filtered, peaks, window)
+    beats_ds, _ = decimate_beats(beats, window, 4)
+    labels = embedded_classifier.predict(beats_ds)
+    return filtered, peaks[kept], labels
+
+
+class TestStreamingSystem:
+    def test_stream_covers_the_record(self, streaming_outputs, record):
+        filtered, _, _ = streaming_outputs
+        assert filtered.size == record.n_samples
+
+    def test_detection_matches_batch(self, streaming_outputs, record):
+        _, peaks, _ = streaming_outputs
+        batch_filtered = filter_lead(record.lead(0), record.fs)
+        batch_peaks = detect_peaks(batch_filtered, record.fs)
+        missed = sum(1 for p in batch_peaks if np.min(np.abs(peaks - p)) > 15)
+        assert missed <= max(1, int(0.06 * batch_peaks.size))
+
+    def test_decisions_match_batch_chain(self, streaming_outputs, record, embedded_classifier):
+        """Same beats, same verdicts: the streaming schedule is
+        decision-equivalent to the batch path."""
+        filtered_s, peaks_s, labels_s = streaming_outputs
+        batch_filtered = filter_lead(record.lead(0), record.fs)
+        batch_peaks = detect_peaks(batch_filtered, record.fs)
+        window = BeatWindow(100, 100)
+        beats, kept = segment_beats(batch_filtered, batch_peaks, window)
+        beats_ds, _ = decimate_beats(beats, window, 4)
+        labels_b = embedded_classifier.predict(beats_ds)
+        kept_batch = batch_peaks[kept]
+
+        # Match streamed beats to batch beats and compare verdicts.
+        agreements = 0
+        matched = 0
+        for peak_s, label_s in zip(peaks_s, labels_s):
+            j = int(np.argmin(np.abs(kept_batch - peak_s)))
+            if abs(int(kept_batch[j]) - int(peak_s)) <= 3:
+                matched += 1
+                agreements += int(
+                    bool(is_abnormal(np.array([label_s]))[0])
+                    == bool(is_abnormal(np.array([labels_b[j]]))[0])
+                )
+        assert matched > 0.9 * len(labels_s)
+        assert agreements / matched > 0.95
+
+    def test_recognition_through_streaming_chain(self, streaming_outputs, record):
+        from repro.ecg.segmentation import match_peaks_to_annotation
+
+        _, peaks, labels = streaming_outputs
+        true_labels, matched = match_peaks_to_annotation(
+            peaks, record.annotation, tolerance=18
+        )
+        y = true_labels[matched]
+        predicted = labels[matched]
+        abnormal = y != 0
+        if abnormal.sum() >= 5:
+            assert np.mean(is_abnormal(predicted)[abnormal]) > 0.7

@@ -1,0 +1,54 @@
+"""Tests for the battery-life model."""
+
+import pytest
+
+from repro.platform.battery import CR2032_ENERGY_J, BatteryModel
+from repro.platform.icyheart import IcyHeartConfig
+
+
+class TestBatteryModel:
+    def test_lifetime_arithmetic(self):
+        model = BatteryModel(capacity_j=86_400.0)  # 1 J/s for a day
+        assert model.lifetime_days(1.0) == pytest.approx(1.0)
+
+    def test_baseline_power_from_share(self):
+        model = BatteryModel()
+        # compute+radio = 34 uW -> total = 100 uW at the 34% share.
+        total = model.baseline_power_w(20e-6, 14e-6)
+        assert total == pytest.approx(100e-6, rel=1e-6)
+
+    def test_compare_matches_paper_arithmetic(self):
+        """63% compute + 68% radio saving -> ~23% total, shares 10/24."""
+        model = BatteryModel()
+        config = IcyHeartConfig()
+        baseline_compute = config.compute_energy_share * 100e-6
+        baseline_radio = config.radio_energy_share * 100e-6
+        result = model.compare(
+            baseline_compute,
+            baseline_radio,
+            gated_compute_w=baseline_compute * (1 - 0.63),
+            gated_radio_w=baseline_radio * (1 - 0.68),
+        )
+        assert result["total_saving"] == pytest.approx(0.226, abs=0.005)
+        assert result["extension_factor"] == pytest.approx(1 / (1 - 0.226), rel=1e-3)
+
+    def test_gated_always_lives_longer_when_cheaper(self):
+        model = BatteryModel()
+        result = model.compare(10e-6, 24e-6, 5e-6, 10e-6)
+        assert result["gated_days"] > result["baseline_days"]
+        assert result["extension_factor"] > 1.0
+
+    def test_cr2032_scale_sanity(self):
+        """A 100 uW node on a CR2032 runs most of a year."""
+        model = BatteryModel(capacity_j=CR2032_ENERGY_J)
+        days = model.lifetime_days(100e-6)
+        assert 200 < days < 400
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatteryModel(capacity_j=0.0)
+        model = BatteryModel()
+        with pytest.raises(ValueError):
+            model.lifetime_days(0.0)
+        with pytest.raises(ValueError):
+            model.baseline_power_w(0.0, 0.0)

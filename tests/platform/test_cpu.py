@@ -1,0 +1,84 @@
+"""Tests for the cycle model."""
+
+import pytest
+
+from repro.platform.cpu import CycleModel, ICYFLEX_CYCLES
+from repro.platform.opcount import OpCounter
+
+
+class TestCycleModel:
+    def test_cycles_arithmetic(self):
+        model = CycleModel({"add": 1.0, "mul": 2.0}, overhead_factor=1.0)
+        counter = OpCounter({"add": 10, "mul": 5})
+        assert model.cycles(counter) == 20.0
+
+    def test_unknown_ops_cost_one(self):
+        model = CycleModel({}, overhead_factor=1.0)
+        assert model.cycles(OpCounter({"abs": 7})) == 7.0
+
+    def test_overhead_factor(self):
+        model = CycleModel({"add": 1.0}, overhead_factor=2.0)
+        assert model.cycles(OpCounter({"add": 10})) == 20.0
+
+    def test_duty_cycle(self):
+        model = CycleModel({"add": 1.0}, overhead_factor=1.0)
+        counter = OpCounter({"add": 600_000})
+        assert model.duty_cycle(counter, 6_000_000.0) == pytest.approx(0.1)
+
+    def test_runtime(self):
+        model = CycleModel({"add": 1.0}, overhead_factor=1.0)
+        assert model.runtime_seconds(OpCounter({"add": 6000}), 6000.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CycleModel({"nop": 1.0})
+        with pytest.raises(ValueError):
+            CycleModel({"add": 0.0})
+        with pytest.raises(ValueError):
+            CycleModel({"add": 1.0}, overhead_factor=0.5)
+        with pytest.raises(ValueError):
+            CycleModel({}).duty_cycle(OpCounter(), 0.0)
+
+    def test_default_table_covers_all_kinds(self):
+        from repro.platform.opcount import OP_KINDS
+
+        for op in OP_KINDS:
+            assert op in ICYFLEX_CYCLES.cycles_per_op
+
+
+class TestRelativeConclusionsRobust:
+    """The Table III orderings must not depend on exact cycle costs."""
+
+    def _profiles(self):
+        classifier = OpCounter({"add": 300, "mul": 50, "cmp": 200, "load": 400})
+        filtering = OpCounter(
+            {"cmp": 150_000, "load": 300_000, "store": 5_000, "sub": 2_000}
+        )
+        delineation = OpCounter(
+            {"cmp": 500_000, "load": 900_000, "add": 10_000, "store": 20_000}
+        )
+        return classifier, filtering, delineation
+
+    @pytest.mark.parametrize("mul_cost", [1.0, 2.0, 4.0])
+    @pytest.mark.parametrize("mem_cost", [1.0, 2.0, 3.0])
+    def test_ordering_invariant(self, mul_cost, mem_cost):
+        model = CycleModel(
+            {
+                "add": 1.0,
+                "sub": 1.0,
+                "cmp": 1.0,
+                "shift": 1.0,
+                "and": 1.0,
+                "abs": 1.0,
+                "mul": mul_cost,
+                "div": 18.0,
+                "load": mem_cost,
+                "store": mem_cost,
+            },
+            overhead_factor=1.5,
+        )
+        classifier, filtering, delineation = self._profiles()
+        c = model.cycles(classifier)
+        f = model.cycles(filtering)
+        d = model.cycles(delineation)
+        assert c < f < d

@@ -1,0 +1,80 @@
+"""Tests for the system energy model."""
+
+import numpy as np
+import pytest
+
+from repro.platform.energy import SystemEnergyModel
+from repro.platform.icyheart import IcyHeartConfig
+from repro.platform.opcount import OpCounter
+from repro.platform.radio import RadioModel
+
+
+@pytest.fixture()
+def model():
+    return SystemEnergyModel(IcyHeartConfig(), RadioModel())
+
+
+class TestBreakdown:
+    def test_total_is_sum(self, model):
+        profile = OpCounter({"add": 600_000})
+        labels = np.zeros(100, dtype=np.int64)
+        breakdown = model.breakdown(profile, labels, duration_s=60.0, gated=True)
+        assert breakdown.total_j == pytest.approx(
+            breakdown.compute_j + breakdown.radio_j
+        )
+        assert breakdown.duration_s == 60.0
+
+    def test_compute_energy_scales_with_duty(self, model):
+        labels = np.zeros(10, dtype=np.int64)
+        light = model.breakdown(OpCounter({"add": 1000}), labels, 10.0, True)
+        heavy = model.breakdown(OpCounter({"add": 1_000_000}), labels, 10.0, True)
+        assert heavy.compute_j == pytest.approx(1000 * light.compute_j, rel=1e-6)
+
+    def test_gated_radio_cheaper(self, model):
+        labels = np.zeros(100, dtype=np.int64)  # all discarded
+        gated = model.breakdown(OpCounter({"add": 1}), labels, 10.0, gated=True)
+        full = model.breakdown(OpCounter({"add": 1}), labels, 10.0, gated=False)
+        assert gated.radio_j < full.radio_j
+
+    def test_duration_validated(self, model):
+        with pytest.raises(ValueError):
+            model.breakdown(OpCounter(), np.zeros(1, dtype=np.int64), 0.0, True)
+
+
+class TestSavings:
+    def test_savings_fields(self, model):
+        labels = np.zeros(1000, dtype=np.int64)
+        labels[:220] = 1
+        savings = model.savings(
+            OpCounter({"add": 200_000}),
+            OpCounter({"add": 800_000}),
+            labels,
+            duration_s=100.0,
+        )
+        assert savings["compute_saving"] == pytest.approx(0.75)
+        assert 0.0 < savings["radio_saving"] < 1.0
+        assert savings["total_saving"] == pytest.approx(
+            0.75 * model.config.compute_energy_share
+            + savings["radio_saving"] * model.config.radio_energy_share
+        )
+
+    def test_total_bounded_by_combined_share(self, model):
+        labels = np.zeros(100, dtype=np.int64)
+        savings = model.savings(
+            OpCounter({"add": 1}), OpCounter({"add": 100}), labels, 10.0
+        )
+        assert savings["total_saving"] <= model.config.combined_energy_share + 1e-12
+
+
+class TestIcyHeartConfig:
+    def test_paper_constants(self):
+        config = IcyHeartConfig()
+        assert config.clock_hz == 6_000_000.0
+        assert config.ram_bytes == 96 * 1024
+        assert config.combined_energy_share == pytest.approx(0.34)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IcyHeartConfig(clock_hz=0.0)
+        with pytest.raises(ValueError):
+            IcyHeartConfig(compute_energy_share=0.9, radio_energy_share=0.2)

@@ -1,0 +1,72 @@
+"""Tests for the code-size and data-memory models."""
+
+import pytest
+
+from repro.platform.icyheart import IcyHeartConfig
+from repro.platform.memory import (
+    CodeSizeModel,
+    data_memory_report,
+    fits_in_ram,
+)
+
+
+class TestCodeSizeModel:
+    def test_table3_values(self):
+        """The calibrated model reproduces the paper's Table III sizes."""
+        column = CodeSizeModel().table3_column()
+        assert column["rp_classifier"] == pytest.approx(1.64, abs=0.03)
+        assert column["subsystem1"] == pytest.approx(30.29, abs=0.3)
+        assert column["delineation"] == pytest.approx(46.39, abs=0.3)
+        assert column["proposed_system"] == pytest.approx(76.68, abs=0.5)
+
+    def test_additivity(self):
+        """Table III: (3) = (1) + (2), exactly as in the paper."""
+        model = CodeSizeModel()
+        assert model.proposed_system_bytes() == (
+            model.subsystem1_bytes() + model.delineation_bytes()
+        )
+
+    def test_classifier_is_tiny(self):
+        model = CodeSizeModel()
+        assert model.rp_classifier_bytes() < 0.1 * model.subsystem1_bytes()
+
+    def test_unknown_routine(self):
+        with pytest.raises(KeyError):
+            CodeSizeModel().routine_bytes("fft")
+
+    def test_custom_routines(self):
+        model = CodeSizeModel(routine_instructions={"rp_classifier": 100}, bytes_per_instruction=2)
+        assert model.routine_bytes("rp_classifier") == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CodeSizeModel(bytes_per_instruction=0)
+        with pytest.raises(ValueError):
+            CodeSizeModel(routine_instructions={"rp_classifier": -1})
+
+
+class TestDataMemory:
+    def test_report_structure(self, embedded_classifier):
+        report = data_memory_report(embedded_classifier, fs=360.0)
+        assert report["total"] == (
+            report["classifier_tables"]
+            + report["lead_buffers"]
+            + report["wavelet_buffers"]
+        )
+
+    def test_fits_96kb_ram(self, embedded_classifier):
+        """The deployed system must fit the IcyHeart RAM."""
+        config = IcyHeartConfig()
+        report = data_memory_report(embedded_classifier, fs=config.sampling_rate_hz)
+        assert fits_in_ram(report, config.ram_bytes)
+        # With very wide margin: the paper reports "a small fraction".
+        assert report["total"] < 0.25 * config.ram_bytes
+
+    def test_buffers_scale_with_leads(self, embedded_classifier):
+        one = data_memory_report(embedded_classifier, fs=360.0, n_leads=1)
+        three = data_memory_report(embedded_classifier, fs=360.0, n_leads=3)
+        assert three["lead_buffers"] == 3 * one["lead_buffers"]
+
+    def test_validation(self, embedded_classifier):
+        with pytest.raises(ValueError):
+            data_memory_report(embedded_classifier, fs=0.0)

@@ -1,0 +1,100 @@
+"""Tests for the event-driven node simulator."""
+
+import numpy as np
+import pytest
+
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+from repro.platform.icyheart import IcyHeartConfig
+from repro.platform.node_sim import BeatEvent, NodeSimulator, NodeTrace
+from repro.platform.radio import FULL_FIDUCIAL_PAYLOAD, PEAK_ONLY_PAYLOAD
+
+
+@pytest.fixture(scope="module")
+def record():
+    synth = RecordSynthesizer(SynthesisConfig(n_leads=3), seed=55)
+    return synth.synthesize(60.0, name="node-sim")
+
+
+@pytest.fixture(scope="module")
+def trace(record, embedded_classifier):
+    return NodeSimulator(embedded_classifier).process_record(record)
+
+
+class TestBeatEvent:
+    def test_slack_and_deadline(self):
+        event = BeatEvent(
+            peak=0, label=0, flagged=False,
+            frontend_cycles=100.0, classify_cycles=50.0, delineate_cycles=0.0,
+            tx_bytes=5, budget_cycles=200.0,
+        )
+        assert event.total_cycles == 150.0
+        assert event.slack_cycles == 50.0
+        assert event.meets_deadline
+
+    def test_missed_deadline(self):
+        event = BeatEvent(
+            peak=0, label=1, flagged=True,
+            frontend_cycles=100.0, classify_cycles=50.0, delineate_cycles=100.0,
+            tx_bytes=22, budget_cycles=200.0,
+        )
+        assert not event.meets_deadline
+
+
+class TestTrace:
+    def test_one_event_per_detected_beat(self, trace, record):
+        # Detection is near-perfect on this record.
+        assert abs(len(trace) - len(record.annotation)) <= 4
+
+    def test_real_time_feasibility(self, trace):
+        """The paper's system must keep up at 6 MHz — every beat."""
+        assert trace.deadline_misses == 0
+        assert trace.worst_case_utilization < 1.0
+
+    def test_duty_cycle_in_table3_regime(self, trace):
+        """The simulated duty must land near the profile-based value."""
+        assert 0.05 < trace.duty_cycle < 0.40
+
+    def test_flagged_beats_cost_more(self, trace):
+        flagged = [e.total_cycles for e in trace.events if e.flagged]
+        discarded = [e.total_cycles for e in trace.events if not e.flagged]
+        assert flagged and discarded
+        assert np.median(flagged) > 2 * np.median(discarded)
+
+    def test_tx_bytes_by_verdict(self, trace):
+        for event in trace.events:
+            expected = FULL_FIDUCIAL_PAYLOAD if event.flagged else PEAK_ONLY_PAYLOAD
+            assert event.tx_bytes == expected + 2  # default overhead
+
+    def test_activation_rate_consistent(self, trace):
+        assert trace.activation_rate == pytest.approx(
+            trace.n_flagged / len(trace), abs=1e-12
+        )
+
+    def test_summary(self, trace):
+        text = trace.summary()
+        assert "duty=" in text and "deadline misses" in text
+
+    def test_empty_trace(self):
+        trace = NodeTrace([], 10.0, 6e6)
+        assert trace.duty_cycle == 0.0
+        assert trace.worst_case_utilization == 0.0
+        assert trace.activation_rate == 0.0
+
+
+class TestSimulatorConfig:
+    def test_invalid_decimation(self, embedded_classifier):
+        with pytest.raises(ValueError):
+            NodeSimulator(embedded_classifier, decimation=0)
+
+    def test_flat_record_yields_empty_trace(self, embedded_classifier):
+        from repro.ecg.database import Record
+
+        record = Record("flat", np.zeros((3600, 3)), fs=360.0)
+        trace = NodeSimulator(embedded_classifier).process_record(record)
+        assert len(trace) == 0
+
+    def test_classifier_cycles_tiny_vs_budget(self, trace, embedded_classifier):
+        """Table III row 1: classification is negligible per beat."""
+        platform = IcyHeartConfig()
+        for event in trace.events[:20]:
+            assert event.classify_cycles < 0.01 * event.budget_cycles

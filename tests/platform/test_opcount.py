@@ -1,0 +1,51 @@
+"""Tests for operation counters."""
+
+import pytest
+
+from repro.platform.opcount import OpCounter
+
+
+class TestOpCounter:
+    def test_add_and_lookup(self):
+        counter = OpCounter()
+        counter.add("mul", 10)
+        counter.add("mul", 5)
+        assert counter["mul"] == 15
+        assert counter["add"] == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown op kind"):
+            OpCounter().add("fma", 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounter().add("add", -1)
+
+    def test_add_counts(self):
+        counter = OpCounter()
+        counter.add_counts({"add": 3, "mul": 2})
+        assert counter.total == 5
+
+    def test_merge_does_not_mutate(self):
+        a = OpCounter({"add": 1})
+        b = OpCounter({"add": 2, "mul": 3})
+        merged = a.merge(b)
+        assert merged["add"] == 3 and merged["mul"] == 3
+        assert a["add"] == 1 and a["mul"] == 0
+
+    def test_scaled(self):
+        counter = OpCounter({"add": 10, "mul": 4})
+        half = counter.scaled(0.5)
+        assert half["add"] == 5 and half["mul"] == 2
+
+    def test_scaled_rounds(self):
+        counter = OpCounter({"add": 3})
+        assert counter.scaled(0.5)["add"] == 2  # rint(1.5) -> 2 (banker's)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounter({"add": 1}).scaled(-1.0)
+
+    def test_bool(self):
+        assert not OpCounter()
+        assert OpCounter({"add": 1})

@@ -1,0 +1,92 @@
+"""Tests for the measured per-stage operation profiles."""
+
+import pytest
+
+from repro.platform.cpu import ICYFLEX_CYCLES
+from repro.platform.icyheart import IcyHeartConfig
+from repro.platform.profiles import (
+    classifier_beat_profile,
+    delineation_beat_profile,
+    delineator_system_profile,
+    filtering_profile,
+    peak_detection_profile,
+    proposed_system_profile,
+    subsystem1_profile,
+    window_filtering_beat_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def fs():
+    return 360.0
+
+
+class TestStageProfiles:
+    def test_filtering_profile_positive(self, fs):
+        profile = filtering_profile(fs)
+        assert profile["cmp"] > 0
+        assert profile["load"] > 0
+
+    def test_filtering_dominated_by_comparisons(self, fs):
+        """Morphology is compare/load-heavy, multiplication-free."""
+        profile = filtering_profile(fs)
+        assert profile["mul"] == 0
+        assert profile["cmp"] > 100 * 360  # hundreds of cmps per sample
+
+    def test_peak_detection_uses_multiplies(self, fs):
+        profile = peak_detection_profile(fs)
+        assert profile["mul"] > 0
+
+    def test_classifier_beat_profile(self, embedded_classifier):
+        profile = classifier_beat_profile(embedded_classifier)
+        assert profile.total > 0
+        assert profile.total < 50_000  # a few thousand ops per beat
+
+    def test_delineation_beat_profile(self, fs):
+        profile = delineation_beat_profile(fs)
+        assert profile["cmp"] > 10_000  # MMD over 3 leads is heavy
+
+    def test_window_filtering_scales_with_leads(self, fs):
+        one = window_filtering_beat_profile(fs, n_leads=1)
+        two = window_filtering_beat_profile(fs, n_leads=2)
+        assert two.total == pytest.approx(2 * one.total, rel=0.01)
+
+
+class TestSystemOrdering:
+    """The qualitative Table III conclusions, from measured profiles."""
+
+    def test_classifier_negligible_vs_subsystem1(self, embedded_classifier, fs):
+        config = IcyHeartConfig()
+        classifier = classifier_beat_profile(embedded_classifier).scaled(1.28)
+        sub1 = subsystem1_profile(embedded_classifier, fs)
+        duty_classifier = ICYFLEX_CYCLES.duty_cycle(classifier, config.clock_hz)
+        duty_sub1 = ICYFLEX_CYCLES.duty_cycle(sub1, config.clock_hz)
+        assert duty_classifier < 0.01  # paper: "< 0.01"
+        assert duty_classifier < 0.1 * duty_sub1
+
+    def test_delineator_heavier_than_subsystem1(self, embedded_classifier, fs):
+        config = IcyHeartConfig()
+        sub1 = subsystem1_profile(embedded_classifier, fs)
+        sub2 = delineator_system_profile(fs)
+        assert ICYFLEX_CYCLES.duty_cycle(sub2, config.clock_hz) > 2 * ICYFLEX_CYCLES.duty_cycle(
+            sub1, config.clock_hz
+        )
+
+    def test_gated_system_cheaper_than_always_on(self, embedded_classifier, fs):
+        """The headline: gating saves more than half the delineator duty."""
+        config = IcyHeartConfig()
+        gated = proposed_system_profile(embedded_classifier, 0.22, fs)
+        always_on = delineator_system_profile(fs)
+        duty_gated = ICYFLEX_CYCLES.duty_cycle(gated, config.clock_hz)
+        duty_always = ICYFLEX_CYCLES.duty_cycle(always_on, config.clock_hz)
+        saving = 1.0 - duty_gated / duty_always
+        assert saving > 0.4
+
+    def test_gated_duty_grows_with_activation(self, embedded_classifier, fs):
+        low = proposed_system_profile(embedded_classifier, 0.1, fs)
+        high = proposed_system_profile(embedded_classifier, 0.9, fs)
+        assert high.total > low.total
+
+    def test_activation_rate_validated(self, embedded_classifier, fs):
+        with pytest.raises(ValueError):
+            proposed_system_profile(embedded_classifier, 1.5, fs)

@@ -1,0 +1,72 @@
+"""Tests for the radio model."""
+
+import numpy as np
+import pytest
+
+from repro.core.defuzz import UNKNOWN_LABEL
+from repro.platform.radio import (
+    FULL_FIDUCIAL_PAYLOAD,
+    PEAK_ONLY_PAYLOAD,
+    RadioModel,
+    TransmissionPolicy,
+)
+
+
+class TestTransmissionPolicy:
+    def test_baseline_sends_full_for_all(self):
+        flagged = np.array([True, False, False])
+        policy = TransmissionPolicy(gated=False)
+        assert policy.bytes_for_beats(flagged, overhead_bytes=2) == 3 * (
+            FULL_FIDUCIAL_PAYLOAD + 2
+        )
+
+    def test_gated_mixes_formats(self):
+        flagged = np.array([True, False, False, False])
+        policy = TransmissionPolicy(gated=True)
+        expected = 1 * (FULL_FIDUCIAL_PAYLOAD + 2) + 3 * (PEAK_ONLY_PAYLOAD + 2)
+        assert policy.bytes_for_beats(flagged, overhead_bytes=2) == expected
+
+    def test_all_abnormal_equals_baseline(self):
+        flagged = np.ones(10, dtype=bool)
+        gated = TransmissionPolicy(True).bytes_for_beats(flagged)
+        baseline = TransmissionPolicy(False).bytes_for_beats(flagged)
+        assert gated == baseline
+
+
+class TestRadioModel:
+    def test_bytes_for_stream(self):
+        radio = RadioModel(overhead_bytes=2)
+        labels = np.array([0, 0, 1, UNKNOWN_LABEL])  # 2 normal, 2 flagged
+        expected = 2 * (PEAK_ONLY_PAYLOAD + 2) + 2 * (FULL_FIDUCIAL_PAYLOAD + 2)
+        assert radio.bytes_for_stream(labels) == expected
+
+    def test_energy_proportional_to_bytes(self):
+        radio = RadioModel(energy_per_byte_j=1e-6, overhead_bytes=0)
+        labels = np.zeros(10, dtype=np.int64)
+        assert radio.energy_for_stream(labels) == pytest.approx(
+            10 * PEAK_ONLY_PAYLOAD * 1e-6
+        )
+
+    def test_saving_increases_with_discard_rate(self):
+        radio = RadioModel()
+        mostly_normal = np.zeros(100, dtype=np.int64)
+        mostly_abnormal = np.ones(100, dtype=np.int64)
+        assert radio.saving(mostly_normal) > radio.saving(mostly_abnormal)
+
+    def test_saving_zero_when_everything_flagged(self):
+        radio = RadioModel()
+        assert radio.saving(np.ones(10, dtype=np.int64)) == pytest.approx(0.0)
+
+    def test_paper_regime(self):
+        """~78% discarded at the paper's packet sizes -> ~60-70% saving."""
+        radio = RadioModel(overhead_bytes=2)
+        labels = np.zeros(1000, dtype=np.int64)
+        labels[:225] = 1  # ~22.5% activation (the measured rate)
+        saving = radio.saving(labels)
+        assert 0.55 < saving < 0.75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioModel(energy_per_byte_j=0.0)
+        with pytest.raises(ValueError):
+            RadioModel(overhead_bytes=-1)

@@ -1,0 +1,151 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if a.dest == "command"
+        )
+        commands = set(subparsers.choices)
+        assert {
+            "table1",
+            "table2",
+            "figure4",
+            "figure5",
+            "table3",
+            "energy",
+            "multilead",
+            "noise",
+            "alpha",
+            "all",
+            "train",
+            "codegen",
+            "simulate",
+            "report",
+        } <= commands
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "train1" in out and "paper" in out
+
+    def test_figure4(self, capsys):
+        assert main(["figure4"]) == 0
+        out = capsys.readouterr().out
+        assert "linear" in out and "triangular" in out
+
+    def test_table3(self, capsys):
+        assert (
+            main(["table3", "--scale", "0.02", "--ga-pop", "4", "--ga-gen", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "RP-classifier" in out
+        assert "Proposed system (3)" in out
+
+    def test_energy(self, capsys):
+        assert (
+            main(["energy", "--scale", "0.02", "--ga-pop", "4", "--ga-gen", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "wireless saving" in out
+
+    def test_alpha(self, capsys):
+        assert (
+            main(["alpha", "--scale", "0.02", "--ga-pop", "4", "--ga-gen", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "retuned NDR" in out
+
+    def test_simulate(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--scale",
+                    "0.02",
+                    "--ga-pop",
+                    "4",
+                    "--ga-gen",
+                    "2",
+                    "--duration",
+                    "20",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "deadline misses" in out
+
+
+class TestTrainAndCodegen:
+    def test_train_saves_both_models(self, tmp_path, capsys):
+        prefix = str(tmp_path / "model")
+        code = main(
+            [
+                "train",
+                "--scale",
+                "0.02",
+                "--ga-pop",
+                "4",
+                "--ga-gen",
+                "2",
+                "--output",
+                prefix,
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "model.pipeline.npz").exists()
+        assert (tmp_path / "model.embedded.npz").exists()
+        out = capsys.readouterr().out
+        assert "float:" in out and "embedded:" in out
+
+    def test_codegen_from_saved_model(self, tmp_path, capsys, embedded_classifier):
+        from repro.io import save_embedded
+
+        model_path = tmp_path / "m.embedded.npz"
+        save_embedded(embedded_classifier, model_path)
+        header_path = tmp_path / "classifier.h"
+        code = main(["codegen", str(model_path), "--output", str(header_path)])
+        assert code == 0
+        text = header_path.read_text()
+        assert "#ifndef REPRO_RP_CLASSIFIER_H" in text
+
+    def test_codegen_stdout(self, tmp_path, capsys, embedded_classifier):
+        from repro.io import save_embedded
+
+        model_path = tmp_path / "m.embedded.npz"
+        save_embedded(embedded_classifier, model_path)
+        assert main(["codegen", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "rp_classifier_matrix" in out
+
+    def test_report_command(self, tmp_path, capsys):
+        out_dir = tmp_path / "rep"
+        code = main(
+            [
+                "report",
+                "--scale",
+                "0.02",
+                "--ga-pop",
+                "4",
+                "--ga-gen",
+                "2",
+                "--output-dir",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert (out_dir / "report.md").exists()
+        assert (out_dir / "figure5_gaussian.csv").exists()

@@ -1,0 +1,178 @@
+"""Cross-layer property tests: invariants spanning multiple subsystems.
+
+Module-level unit tests check each component in isolation; the
+properties here pin down the *relations between layers* the system's
+correctness rests on (float/integer rule agreement, representation
+round-trips, translation invariance of the membership layer, tuning
+optimality).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.achlioptas import generate_achlioptas
+from repro.core.defuzz import UNKNOWN_LABEL, defuzzify, is_abnormal, tune_alpha
+from repro.core.nfc import NeuroFuzzyClassifier
+from repro.core.scg import scg_minimize
+from repro.fixedpoint.integer_nfc import integer_defuzzify
+from repro.fixedpoint.packed_matrix import PackedTernaryMatrix
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    k=st.integers(1, 12),
+    d=st.integers(1, 64),
+    n=st.integers(1, 8),
+)
+def test_packed_and_dense_projection_agree(seed, k, d, n):
+    """The 2-bit representation is semantically invisible."""
+    rng = np.random.default_rng(seed)
+    matrix = generate_achlioptas(k, d, rng=seed)
+    packed = PackedTernaryMatrix.pack(matrix)
+    beats = rng.integers(-1024, 1024, size=(n, d))
+    np.testing.assert_array_equal(packed.project(beats), matrix.project(beats))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fuzzy=hnp.arrays(
+        np.int64,
+        st.tuples(st.integers(1, 40), st.just(3)),
+        elements=st.integers(0, 1 << 20),
+    )
+)
+def test_integer_defuzzify_alpha_zero_is_argmax(fuzzy):
+    """At alpha = 0 the integer rule reduces to argmax (or Unknown when
+    every class vanished)."""
+    labels = integer_defuzzify(fuzzy, 0)
+    winners = fuzzy.argmax(axis=1)
+    alive = fuzzy.sum(axis=1) > 0
+    np.testing.assert_array_equal(labels[alive], winners[alive])
+    assert np.all(labels[~alive] == UNKNOWN_LABEL)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    fuzzy=hnp.arrays(
+        np.int64,
+        st.tuples(st.integers(2, 40), st.just(3)),
+        elements=st.integers(0, 1 << 16),
+    ),
+    alpha_steps=st.integers(1, 16),
+)
+def test_float_and_integer_rules_agree_off_threshold(fuzzy, alpha_steps):
+    """Away from exact threshold ties, the float rule on the same
+    integers and the Q16 integer rule give identical labels."""
+    alpha = alpha_steps / 17.0
+    alpha_q16 = int(round(alpha * 65536))
+    integer_labels = integer_defuzzify(fuzzy, alpha_q16)
+    float_labels = defuzzify(fuzzy.astype(float), alpha_q16 / 65536.0)
+    # Exclude rows where the margin sits exactly on the threshold
+    # (those may legitimately differ by float rounding).
+    order = np.sort(fuzzy, axis=1)
+    m1, m2 = order[:, -1], order[:, -2]
+    total = fuzzy.sum(axis=1)
+    on_threshold = ((m1 - m2) << 16) == alpha_q16 * total
+    np.testing.assert_array_equal(
+        integer_labels[~on_threshold], float_labels[~on_threshold]
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 5000),
+    shift=st.floats(-50, 50, allow_nan=False),
+)
+def test_nfc_translation_invariance(seed, shift):
+    """Shifting inputs and centers together leaves the NFC unchanged
+    (grades depend only on u - c), for every membership shape."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 2, size=(4, 3))
+    sigmas = 0.5 + rng.random((4, 3))
+    U = rng.normal(0, 3, size=(6, 4))
+    for shape in ("gaussian", "linear", "triangular"):
+        nfc = NeuroFuzzyClassifier(centers, sigmas, shape=shape)
+        moved = NeuroFuzzyClassifier(centers + shift, sigmas, shape=shape)
+        np.testing.assert_allclose(
+            nfc.fuzzy_values(U), moved.fuzzy_values(U + shift), atol=1e-9
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 5000), target=st.floats(0.5, 0.999))
+def test_tune_alpha_feasible_and_minimal(seed, target):
+    """tune_alpha returns the smallest feasible alpha: the target is
+    met at the returned value and (when interior) missed just below."""
+    rng = np.random.default_rng(seed)
+    n = 300
+    fuzzy = rng.random((n, 3))
+    y = rng.integers(0, 3, size=n)
+    alpha = tune_alpha(fuzzy, y, target)
+    abnormal = y != 0
+    if abnormal.sum() == 0:
+        assert alpha == 0.0
+        return
+
+    def arr_at(a):
+        labels = defuzzify(fuzzy, a)
+        return float(np.mean(is_abnormal(labels)[abnormal]))
+
+    if alpha < 1.0:
+        assert arr_at(alpha) >= target - 1e-12
+    if 0.0 < alpha < 1.0:
+        assert arr_at(alpha * (1 - 1e-6)) < target
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2000), n=st.integers(2, 10))
+def test_scg_solves_random_convex_quadratics(seed, n):
+    """SCG reaches the analytic minimum of any well-conditioned PSD
+    quadratic it is given."""
+    rng = np.random.default_rng(seed)
+    root = rng.standard_normal((n, n))
+    A = root @ root.T + np.eye(n)  # eigenvalues >= 1
+    b = rng.standard_normal(n)
+
+    def objective(x):
+        return 0.5 * float(x @ A @ x) - float(b @ x), A @ x - b
+
+    result = scg_minimize(objective, np.zeros(n), max_iterations=500, grad_tol=1e-8)
+    expected = np.linalg.solve(A, b)
+    np.testing.assert_allclose(result.x, expected, atol=1e-4)
+
+
+class TestEndToEndInvariants:
+    def test_embedded_prediction_deterministic(self, embedded_classifier, embedded_datasets):
+        _, _, test = embedded_datasets
+        a = embedded_classifier.predict(test.X[:300])
+        b = embedded_classifier.predict(test.X[:300])
+        np.testing.assert_array_equal(a, b)
+
+    def test_pipeline_prediction_deterministic(self, pipeline, datasets):
+        a = pipeline.predict(datasets.test.X[:300])
+        b = pipeline.predict(datasets.test.X[:300])
+        np.testing.assert_array_equal(a, b)
+
+    def test_row_permutation_of_projection_permutes_nothing_observable(
+        self, pipeline, datasets
+    ):
+        """Permuting coefficients together with their MFs is a no-op."""
+        from repro.core.pipeline import RPClassifierPipeline
+        from repro.core.achlioptas import AchlioptasMatrix
+
+        rng = np.random.default_rng(0)
+        k = pipeline.projection.n_coefficients
+        perm = rng.permutation(k)
+        permuted = RPClassifierPipeline(
+            AchlioptasMatrix(pipeline.projection.matrix[perm]),
+            NeuroFuzzyClassifier(
+                pipeline.nfc.centers[perm], pipeline.nfc.sigmas[perm], pipeline.nfc.shape
+            ),
+            pipeline.alpha,
+        )
+        X = datasets.test.X[:200]
+        np.testing.assert_array_equal(pipeline.predict(X), permuted.predict(X))

@@ -1,0 +1,81 @@
+"""Tests for model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    FORMAT_VERSION,
+    load_embedded,
+    load_pipeline,
+    save_embedded,
+    save_pipeline,
+)
+
+
+class TestPipelineRoundTrip:
+    def test_parameters_identical(self, pipeline, tmp_path):
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline, path)
+        loaded = load_pipeline(path)
+        np.testing.assert_array_equal(
+            loaded.projection.matrix, pipeline.projection.matrix
+        )
+        np.testing.assert_allclose(loaded.nfc.centers, pipeline.nfc.centers)
+        np.testing.assert_allclose(loaded.nfc.sigmas, pipeline.nfc.sigmas)
+        assert loaded.alpha == pipeline.alpha
+        assert loaded.nfc.shape == pipeline.nfc.shape
+
+    def test_predictions_identical(self, pipeline, datasets, tmp_path):
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline, path)
+        loaded = load_pipeline(path)
+        X = datasets.test.X[:100]
+        np.testing.assert_array_equal(loaded.predict(X), pipeline.predict(X))
+
+    def test_shape_preserved(self, pipeline, tmp_path):
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline.with_shape("linear"), path)
+        assert load_pipeline(path).nfc.shape == "linear"
+
+
+class TestEmbeddedRoundTrip:
+    def test_tables_identical(self, embedded_classifier, tmp_path):
+        path = tmp_path / "embedded.npz"
+        save_embedded(embedded_classifier, path)
+        loaded = load_embedded(path)
+        np.testing.assert_array_equal(
+            loaded.matrix.data, embedded_classifier.matrix.data
+        )
+        assert loaded.matrix.shape == embedded_classifier.matrix.shape
+        np.testing.assert_array_equal(
+            loaded.nfc.centers, embedded_classifier.nfc.centers
+        )
+        assert loaded.alpha_q16 == embedded_classifier.alpha_q16
+        assert loaded.adc_gain == embedded_classifier.adc_gain
+
+    def test_predictions_identical(self, embedded_classifier, embedded_datasets, tmp_path):
+        _, _, test = embedded_datasets
+        path = tmp_path / "embedded.npz"
+        save_embedded(embedded_classifier, path)
+        loaded = load_embedded(path)
+        np.testing.assert_array_equal(
+            loaded.predict(test.X[:200]), embedded_classifier.predict(test.X[:200])
+        )
+
+
+class TestSafety:
+    def test_kind_mismatch(self, pipeline, tmp_path):
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline, path)
+        with pytest.raises(ValueError, match="expected 'embedded'"):
+            load_embedded(path)
+
+    def test_future_version_rejected(self, pipeline, tmp_path):
+        path = tmp_path / "model.npz"
+        save_pipeline(pipeline, path)
+        with np.load(path) as archive:
+            payload = dict(archive)
+        payload["version"] = np.array(FORMAT_VERSION + 1)
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="newer"):
+            load_pipeline(path)
