@@ -1,0 +1,116 @@
+"""Throughput micro-benchmarks of the hot per-sample path.
+
+Tracks the trajectory of the O(n) front end and the batched serving
+layer (the ``BENCH_*.json`` artifacts record these over time):
+
+* ``filter_lead`` over 10 s of 360 Hz signal (the acceptance metric of
+  the vHGW kernel rewrite — the seed implementation took ~2.3 ms);
+* amortized ``BlockFilter.push`` / ``StreamingPeakDetector.push`` cost
+  at ADC-realistic 0.5 s blocks (the incremental engine must not
+  re-run batch kernels over its context);
+* multi-record node simulation and fleet-batched stream
+  classification, the serving layer's building blocks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsp.morphological import filter_lead
+from repro.dsp.streaming import BlockFilter, StreamingPeakDetector
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+from repro.platform.node_sim import NodeSimulator
+from repro.serving import classify_streams, simulate_records
+
+
+@pytest.fixture(scope="module")
+def record_10s():
+    return RecordSynthesizer(SynthesisConfig(n_leads=1), seed=2).synthesize(10.0)
+
+
+@pytest.fixture(scope="module")
+def record_60s():
+    return RecordSynthesizer(SynthesisConfig(n_leads=1), seed=3).synthesize(60.0)
+
+
+@pytest.fixture(scope="module")
+def fleet_records():
+    return [
+        RecordSynthesizer(SynthesisConfig(n_leads=3), seed=s).synthesize(30.0)
+        for s in (21, 22, 23)
+    ]
+
+
+def test_filter_lead_per_10s(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(3600)
+    benchmark(filter_lead, x, 360.0)
+
+
+def test_block_filter_push_amortized(benchmark, record_60s):
+    """Amortized per-push cost of the incremental filter (0.5 s blocks)."""
+    x = record_60s.lead(0)
+    fs = record_60s.fs
+    block = int(0.5 * fs)
+
+    def run():
+        block_filter = BlockFilter(fs)
+        for i in range(0, x.size, block):
+            block_filter.push(x[i : i + block])
+        return block_filter.flush()
+
+    benchmark(run)
+
+
+def test_streaming_detector_push_amortized(benchmark, record_60s):
+    """Amortized per-push cost of the stateful detector (0.5 s blocks)."""
+    x = filter_lead(record_60s.lead(0), record_60s.fs)
+    fs = record_60s.fs
+    block = int(0.5 * fs)
+
+    def run():
+        detector = StreamingPeakDetector(fs)
+        for i in range(0, x.size, block):
+            detector.push(x[i : i + block])
+        detector.flush()
+        return detector.peaks
+
+    benchmark(run)
+
+
+def test_streaming_chain_realtime_factor(benchmark, record_10s):
+    """Full incremental chain (filter + detect) over 10 s of signal."""
+    x = record_10s.lead(0)
+    fs = record_10s.fs
+    block = int(0.5 * fs)
+
+    def run():
+        block_filter = BlockFilter(fs)
+        detector = StreamingPeakDetector(fs)
+        for i in range(0, x.size, block):
+            out = block_filter.push(x[i : i + block])
+            if out.size:
+                detector.push(out)
+        tail = block_filter.flush()
+        if tail.size:
+            detector.push(tail)
+        detector.flush()
+        return detector.peaks
+
+    peaks = benchmark(run)
+    assert peaks.size > 5
+
+
+def test_simulate_records_fleet(benchmark, bench_embedded_classifier, fleet_records):
+    simulator = NodeSimulator(bench_embedded_classifier)
+    fleet = benchmark(simulate_records, simulator, fleet_records)
+    assert fleet.n_beats > 0
+    benchmark.extra_info["n_beats"] = fleet.n_beats
+    benchmark.extra_info["deadline_misses"] = fleet.deadline_misses
+
+
+def test_classify_streams_fleet(benchmark, bench_embedded_classifier, fleet_records):
+    streams = [r.lead(0) for r in fleet_records]
+    fs = fleet_records[0].fs
+    results = benchmark(classify_streams, bench_embedded_classifier, streams, fs)
+    assert sum(r.n_beats for r in results) > 0
+    benchmark.extra_info["n_beats"] = sum(r.n_beats for r in results)

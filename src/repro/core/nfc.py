@@ -66,7 +66,9 @@ class NeuroFuzzyClassifier:
             raise ValueError("centers and sigmas must both be (k, L)")
         if np.any(sigmas <= 0):
             raise ValueError("sigmas must be positive")
-        membership_by_name(self.shape)  # validates the shape name
+        # Validates the shape name; resolved once here so the forward
+        # passes skip the registry lookup on every call.
+        object.__setattr__(self, "_membership", membership_by_name(self.shape))
         object.__setattr__(self, "centers", centers)
         object.__setattr__(self, "sigmas", sigmas)
 
@@ -90,7 +92,7 @@ class NeuroFuzzyClassifier:
     # ------------------------------------------------------------------
     def membership_grades(self, U: np.ndarray) -> np.ndarray:
         """Membership-layer output, shape ``(n, k, L)`` (or ``(k, L)``)."""
-        return membership_by_name(self.shape)(U, self.centers, self.sigmas)
+        return self._membership(U, self.centers, self.sigmas)
 
     def fuzzy_values(self, U: np.ndarray) -> np.ndarray:
         """Fuzzification-layer output, normalized to unit max per beat.

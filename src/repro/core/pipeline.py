@@ -15,6 +15,7 @@ to adjust the ratio of detected normal and abnormal beats"; use
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -80,8 +81,17 @@ class RPClassifierPipeline:
     # Variants
     # ------------------------------------------------------------------
     def with_alpha(self, alpha: float) -> "RPClassifierPipeline":
-        """Same classifier, different defuzzification coefficient."""
-        return replace(self, alpha=alpha)
+        """Same classifier, different defuzzification coefficient.
+
+        Projection and NFC are unchanged, so the memoized fuzzy values
+        carry over: ``tuned_for`` followed by ``evaluate`` on the same
+        beats does not re-project.
+        """
+        clone = replace(self, alpha=alpha)
+        cached = getattr(self, "_fuzzy_cache", None)
+        if cached is not None:
+            object.__setattr__(clone, "_fuzzy_cache", cached)
+        return clone
 
     def with_shape(self, shape: str) -> "RPClassifierPipeline":
         """Same parameters, different membership shape (Figure 5 rows)."""
@@ -100,8 +110,34 @@ class RPClassifierPipeline:
         return self.projection.project(X)
 
     def fuzzy_values(self, X: np.ndarray) -> np.ndarray:
-        """Per-class fuzzy values of beats (unit max per beat)."""
-        return self.nfc.fuzzy_values(self.project(X))
+        """Per-class fuzzy values of beats (unit max per beat).
+
+        The most recent result is memoized per input array:
+        :meth:`sweep` followed by :meth:`tuned_for` — or
+        :meth:`evaluate` at several alphas — on the same beat matrix
+        shares one projection + fuzzification pass instead of
+        re-projecting.  The cache keys on array identity *plus* a
+        one-pass checksum (so in-place mutation of ``X`` is detected)
+        and holds the input only weakly (so it never pins a large
+        evaluation matrix in memory).
+        """
+        checksum = None
+        cached = getattr(self, "_fuzzy_cache", None)
+        if cached is not None:
+            ref, cached_checksum, cached_values = cached
+            if ref() is X:
+                checksum = float(np.asarray(X, dtype=float).sum())
+                if checksum == cached_checksum:
+                    return cached_values
+        values = self.nfc.fuzzy_values(self.project(X))
+        try:
+            ref = weakref.ref(X)
+        except TypeError:
+            return values  # non-weakrefable input (e.g. a list): skip caching
+        if checksum is None:
+            checksum = float(np.asarray(X, dtype=float).sum())
+        object.__setattr__(self, "_fuzzy_cache", (ref, checksum, values))
+        return values
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Defuzzified labels (class index or Unknown)."""

@@ -21,6 +21,7 @@ All stages optionally record their arithmetic work into an op-counter
 platform model measures duty cycles without running on real silicon.
 """
 
+from repro.dsp.kernels import StreamingExtremum, sliding_extremum
 from repro.dsp.morphological import (
     closing,
     dilation,
@@ -28,10 +29,15 @@ from repro.dsp.morphological import (
     filter_lead,
     opening,
     remove_baseline,
+    structuring_element_length,
     suppress_noise,
 )
-from repro.dsp.peak_detection import PeakDetectorConfig, detect_peaks
-from repro.dsp.wavelet import dyadic_wavelet
+from repro.dsp.peak_detection import (
+    PeakDetectorConfig,
+    detect_peaks,
+    detect_peaks_from_wavelet,
+)
+from repro.dsp.wavelet import StreamingWavelet, dyadic_wavelet
 from repro.dsp.delineation import BeatFiducials, delineate_beat, delineate_multilead
 from repro.dsp.delineation_eval import evaluate_delineation
 from repro.dsp.mmd import mmd_multiscale, mmd_transform
@@ -45,8 +51,13 @@ __all__ = [
     "filter_lead",
     "remove_baseline",
     "suppress_noise",
+    "structuring_element_length",
+    "sliding_extremum",
+    "StreamingExtremum",
     "dyadic_wavelet",
+    "StreamingWavelet",
     "detect_peaks",
+    "detect_peaks_from_wavelet",
     "PeakDetectorConfig",
     "mmd_transform",
     "mmd_multiscale",

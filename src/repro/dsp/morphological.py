@@ -18,14 +18,22 @@ Every operator takes an optional ``counter`` (any object with an
 straightforward embedded implementation would execute.  Counts assume
 the naive sliding-window implementation (window length *m* costs *m - 1*
 comparisons per output sample), matching the reference C code's
-behaviour rather than an asymptotically optimal deque algorithm.
+behaviour rather than an asymptotically optimal algorithm.
+
+The Python implementation itself, however, is *not* naive: erosion and
+dilation run the van Herk–Gil-Werman kernel from
+:mod:`repro.dsp.kernels` (three vectorized passes, independent of the
+structuring-element length), which is bit-exact with the sliding
+window — min/max involve no rounding — while being O(n) instead of
+O(n·m).  The op counters deliberately keep reporting the naive counts:
+they model the reference C firmware's work, not this implementation's.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from numpy.lib.stride_tricks import sliding_window_view
+from repro.dsp.kernels import sliding_extremum
 
 
 def _count(counter, op: str, n: int) -> None:
@@ -39,11 +47,28 @@ def _check_structuring_element(length: int) -> None:
         raise ValueError("structuring element length must be >= 1")
 
 
+def structuring_element_length(window_s: float, fs: float) -> int:
+    """Structuring-element length (samples) for a window in seconds.
+
+    Rounded to the nearest odd length and floored at 3 samples — the
+    single point of truth shared by the batch filtering stages, the
+    streaming :class:`repro.dsp.streaming.BlockFilter` (whose
+    bit-exactness with the batch path depends on using identical
+    lengths) and the context/latency accounting.
+    """
+    if fs <= 0:
+        raise ValueError("sampling frequency must be positive")
+    return max(3, int(round(window_s * fs)) | 1)
+
+
 def _pad_edges(x: np.ndarray, length: int) -> np.ndarray:
     """Edge-replicate padding so outputs keep the input length."""
     left = length // 2
-    right = length - 1 - left
-    return np.pad(x, (left, right), mode="edge")
+    padded = np.empty(x.size + length - 1, dtype=x.dtype)
+    padded[:left] = x[0]
+    padded[left : left + x.size] = x
+    padded[left + x.size :] = x[-1]
+    return padded
 
 
 def erosion(x: np.ndarray, length: int, counter=None) -> np.ndarray:
@@ -73,8 +98,7 @@ def erosion(x: np.ndarray, length: int, counter=None) -> np.ndarray:
     _count(counter, "store", x.size)
     if length == 1:
         return x.copy()
-    padded = _pad_edges(x, length)
-    return sliding_window_view(padded, length).min(axis=1)
+    return sliding_extremum(_pad_edges(x, length), length, maximum=False)
 
 
 def dilation(x: np.ndarray, length: int, counter=None) -> np.ndarray:
@@ -88,8 +112,7 @@ def dilation(x: np.ndarray, length: int, counter=None) -> np.ndarray:
     _count(counter, "store", x.size)
     if length == 1:
         return x.copy()
-    padded = _pad_edges(x, length)
-    return sliding_window_view(padded, length).max(axis=1)
+    return sliding_extremum(_pad_edges(x, length), length, maximum=True)
 
 
 def opening(x: np.ndarray, length: int, counter=None) -> np.ndarray:
@@ -124,10 +147,8 @@ def estimate_baseline(
         Closing element duration (seconds); must exceed the T-wave width
         so the closing removes the remaining wave lobes.
     """
-    if fs <= 0:
-        raise ValueError("sampling frequency must be positive")
-    opening_length = max(3, int(round(qrs_window * fs)) | 1)
-    closing_length = max(3, int(round(wave_window * fs)) | 1)
+    opening_length = structuring_element_length(qrs_window, fs)
+    closing_length = structuring_element_length(wave_window, fs)
     return closing(opening(x, opening_length, counter), closing_length, counter)
 
 
@@ -151,9 +172,7 @@ def suppress_noise(x: np.ndarray, fs: float, window: float = 0.014, counter=None
     smooths noise spikes while preserving the sharp QRS edges better
     than a linear low-pass of the same support.
     """
-    if fs <= 0:
-        raise ValueError("sampling frequency must be positive")
-    length = max(3, int(round(window * fs)) | 1)
+    length = structuring_element_length(window, fs)
     x = np.asarray(x)
     smoothed = opening(x, length, counter) + closing(x, length, counter)
     _count(counter, "add", x.size)

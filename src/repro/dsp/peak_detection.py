@@ -136,7 +136,43 @@ def detect_peaks(
 
     rms = np.sqrt(np.mean(np.square(w), axis=1))
     thresholds = config.threshold_factor * rms
+    return detect_peaks_from_wavelet(w, thresholds, fs, config)
 
+
+def detect_peaks_from_wavelet(
+    w: np.ndarray,
+    thresholds: np.ndarray,
+    fs: float,
+    config: PeakDetectorConfig | None = None,
+) -> np.ndarray:
+    """Detection logic over precomputed aligned wavelet coefficients.
+
+    The back half of :func:`detect_peaks`, split out so callers that
+    already hold the transform — notably the incremental
+    :class:`repro.dsp.streaming.StreamingPeakDetector`, which carries
+    wavelet filter state across blocks — can run pairing, refractory
+    enforcement and search-back without recomputing any filtering.
+
+    Parameters
+    ----------
+    w:
+        ``(n_scales >= 3, n)`` delay-compensated coefficients
+        (:func:`repro.dsp.wavelet.dyadic_wavelet` layout).
+    thresholds:
+        Per-scale detection thresholds (already scaled by the
+        configured threshold factor).
+    fs:
+        Sampling frequency in Hz.
+    config:
+        Detector tunables.
+
+    Returns
+    -------
+    np.ndarray
+        Strictly increasing R-peak sample indices (``int64``),
+        relative to the start of ``w``.
+    """
+    config = config or PeakDetectorConfig()
     pairs = _find_pairs(w, thresholds, fs, config)
     peaks = _pairs_to_peaks(w[0], pairs)
     peaks = _enforce_refractory(peaks, w, fs, config)

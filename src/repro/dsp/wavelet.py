@@ -105,3 +105,127 @@ def dyadic_wavelet(
         scales[j - 1] = detail
         approximation = _filter_same(approximation, h, counter)
     return scales
+
+
+class _StreamingFIR:
+    """Causal FIR filter with carried state (exact blockwise convolve).
+
+    Feeding a stream through ``push`` block by block reproduces
+    ``np.convolve(whole_stream, taps, mode="full")[:n]`` bit for bit.
+    The history holds the last ``len(taps) - 1`` *real* samples (never
+    zero padding), so every emitted output is produced by a dot product
+    over exactly the same operands — and, crucially for pairwise
+    summation, the same operand count — as the batch convolution.
+    """
+
+    def __init__(self, taps: np.ndarray):
+        self.taps = np.asarray(taps, dtype=float)
+        self._hist = np.empty(0)
+
+    def push(self, block: np.ndarray) -> np.ndarray:
+        if block.size == 0:
+            return np.empty(0)
+        combined = np.concatenate([self._hist, block]) if self._hist.size else block
+        if combined.size < self.taps.size:
+            # np.convolve swaps its arguments when the signal is the
+            # shorter one, which reverses the summation order of the
+            # boundary dot products.  Right-padding with zeros keeps
+            # the batch argument order without touching the emitted
+            # outputs (they only depend on samples before the padding).
+            ext = np.concatenate([combined, np.zeros(self.taps.size - combined.size)])
+        else:
+            ext = combined
+        out = np.convolve(ext, self.taps, mode="full")
+        emitted = out[self._hist.size : self._hist.size + block.size]
+        keep = min(combined.size, self.taps.size - 1)
+        self._hist = combined[combined.size - keep :]
+        return emitted
+
+
+class StreamingWavelet:
+    """Stateful à-trous transform emitting delay-compensated columns.
+
+    The batch :func:`dyadic_wavelet` recomputes every filter over the
+    whole record; this class carries the FIR state of all ``2 *
+    n_scales`` filters across ``push`` calls so each input sample is
+    filtered exactly once, no matter how the stream is blocked.
+
+    ``push(block)`` returns an ``(n_scales, k)`` array of the aligned
+    coefficient columns that became complete across *all* scales (the
+    deepest scale's group delay, ``2**n_scales - 1`` samples, bounds
+    the lag); ``flush()`` emits the remaining columns using the same
+    trailing replication the batch transform applies.  Concatenating
+    all outputs is **bit-exact** with ``dyadic_wavelet(whole_stream)``
+    — the tests assert equality for arbitrary block partitions.
+    """
+
+    def __init__(self, n_scales: int = 4):
+        if n_scales < 1:
+            raise ValueError("n_scales must be >= 1")
+        self.n_scales = n_scales
+        self._highpass = []
+        self._lowpass = []
+        for j in range(1, n_scales + 1):
+            factor = 1 << (j - 1)
+            self._highpass.append(_StreamingFIR(_upsample(HIGHPASS, factor)))
+            self._lowpass.append(_StreamingFIR(_upsample(LOWPASS, factor)))
+        self._delays = [scale_delay(j) for j in range(1, n_scales + 1)]
+        # Per-scale uncompensated detail samples not yet emitted as
+        # aligned columns; _base[j] is the absolute index of the first
+        # buffered detail sample.
+        self._details = [np.empty(0) for _ in range(n_scales)]
+        self._base = [0] * n_scales
+        self._consumed = 0
+        self._emitted = 0
+
+    def push(self, block: np.ndarray) -> np.ndarray:
+        """Filter a block; return newly completed aligned columns."""
+        approximation = np.asarray(block, dtype=float)
+        if approximation.ndim != 1:
+            raise ValueError("blocks must be 1-D")
+        if approximation.size == 0:
+            return np.empty((self.n_scales, 0))
+        self._consumed += approximation.size
+        for j in range(self.n_scales):
+            detail = self._highpass[j].push(approximation)
+            self._details[j] = np.concatenate([self._details[j], detail])
+            approximation = self._lowpass[j].push(approximation)
+        # Aligned column i of scale j is detail_j[i + delay_j]; the
+        # deepest scale limits how far all rows are complete.
+        ready = self._consumed - self._delays[-1]
+        return self._emit(max(0, ready - self._emitted), final=False)
+
+    def flush(self) -> np.ndarray:
+        """Emit the trailing columns (batch-style end replication)."""
+        out = self._emit(self._consumed - self._emitted, final=True)
+        self.reset()
+        return out
+
+    def reset(self) -> None:
+        """Forget all filter state (ready for a fresh stream)."""
+        self.__init__(self.n_scales)
+
+    def _emit(self, k: int, final: bool) -> np.ndarray:
+        if k <= 0:
+            return np.empty((self.n_scales, 0))
+        columns = np.empty((self.n_scales, k))
+        start = self._emitted
+        for j in range(self.n_scales):
+            delay = self._delays[j]
+            buffered = self._details[j]
+            lo = start + delay - self._base[j]
+            row = buffered[lo : lo + k]
+            if row.size < k:
+                # Past the stream end: replicate the last detail value,
+                # exactly like the batch delay compensation.
+                row = np.concatenate([row, np.full(k - row.size, buffered[-1])])
+            columns[j] = row
+            if not final:
+                # Keep what later columns (or flush) still need.
+                keep = start + k + delay - self._base[j]
+                keep = min(keep, buffered.size - 1)  # retain the last value
+                if keep > 0:
+                    self._details[j] = buffered[keep:]
+                    self._base[j] += keep
+        self._emitted += k
+        return columns

@@ -192,44 +192,56 @@ class NodeSimulator:
         labels = self.classifier.predict(beats_ds)
         flagged = is_abnormal(labels)
 
-        # Filtered extra leads for the gated path (cost charged per
-        # activation below; the signal itself is needed to delineate).
-        other_leads = [i for i in range(record.n_leads) if i != lead]
-        filtered_all = np.column_stack(
-            [filtered_main]
-            + [filter_lead(record.lead(i), fs) for i in other_leads]
-        )
-        window_samples = int(0.77 * fs)
-        window_filter_cycles = (
-            frontend_cycles_per_sample * window_samples * len(other_leads)
+        # Per-beat budgets and continuous-front-end charges, vectorized
+        # over the whole record: only flagged beats still need the
+        # event loop (for the measured, beat-specific delineation).
+        boundaries = np.append(kept_peaks, record.n_samples)
+        inter_beat_samples = boundaries[1:] - kept_peaks
+        budgets = inter_beat_samples / fs * self.platform.clock_hz
+        frontend = frontend_cycles_per_sample * inter_beat_samples
+        tx_bytes = np.where(
+            flagged,
+            FULL_FIDUCIAL_PAYLOAD + self.radio.overhead_bytes,
+            PEAK_ONLY_PAYLOAD + self.radio.overhead_bytes,
         )
 
-        events: list[BeatEvent] = []
-        boundaries = np.append(kept_peaks, record.n_samples)
-        for i, peak in enumerate(kept_peaks):
-            inter_beat_samples = int(boundaries[i + 1] - peak)
-            budget = inter_beat_samples / fs * self.platform.clock_hz
-            frontend = frontend_cycles_per_sample * inter_beat_samples
-            delineate_cycles = 0.0
-            tx = PEAK_ONLY_PAYLOAD + self.radio.overhead_bytes
-            if flagged[i]:
+        delineate_cycles = np.zeros(kept_peaks.size)
+        flagged_indices = np.flatnonzero(flagged)
+        if flagged_indices.size:
+            # Filtered extra leads for the gated path (cost charged per
+            # activation; the signal itself is needed to delineate).
+            other_leads = [i for i in range(record.n_leads) if i != lead]
+            filtered_all = np.column_stack(
+                [filtered_main]
+                + [filter_lead(record.lead(i), fs) for i in other_leads]
+            )
+            window_samples = int(0.77 * fs)
+            window_filter_cycles = (
+                frontend_cycles_per_sample * window_samples * len(other_leads)
+            )
+            for i in flagged_indices:
                 counter = OpCounter()
                 previous = int(kept_peaks[i - 1]) if i > 0 else None
                 delineate_multilead(
-                    filtered_all, int(peak), fs, counter=counter, previous_peak=previous
+                    filtered_all,
+                    int(kept_peaks[i]),
+                    fs,
+                    counter=counter,
+                    previous_peak=previous,
                 )
-                delineate_cycles = cycle_model.cycles(counter) + window_filter_cycles
-                tx = FULL_FIDUCIAL_PAYLOAD + self.radio.overhead_bytes
-            events.append(
-                BeatEvent(
-                    peak=int(peak),
-                    label=int(labels[i]),
-                    flagged=bool(flagged[i]),
-                    frontend_cycles=frontend,
-                    classify_cycles=self._classify_cycles,
-                    delineate_cycles=delineate_cycles,
-                    tx_bytes=tx,
-                    budget_cycles=budget,
-                )
+                delineate_cycles[i] = cycle_model.cycles(counter) + window_filter_cycles
+
+        events = [
+            BeatEvent(
+                peak=int(kept_peaks[i]),
+                label=int(labels[i]),
+                flagged=bool(flagged[i]),
+                frontend_cycles=float(frontend[i]),
+                classify_cycles=self._classify_cycles,
+                delineate_cycles=float(delineate_cycles[i]),
+                tx_bytes=int(tx_bytes[i]),
+                budget_cycles=float(budgets[i]),
             )
+            for i in range(kept_peaks.size)
+        ]
         return NodeTrace(events, record.duration, self.platform.clock_hz)

@@ -1,0 +1,224 @@
+"""Batched multi-record / multi-stream serving layer.
+
+The per-record APIs (:meth:`repro.platform.node_sim.NodeSimulator.process_record`,
+the :mod:`repro.dsp.streaming` classes) model one WBSN node.  A
+gateway — or the roadmap's heavy-traffic scenario — serves *many*
+nodes at once; this module is the building block for that workload:
+
+* :func:`simulate_records` replays a whole batch of records through a
+  :class:`~repro.platform.node_sim.NodeSimulator` and aggregates the
+  per-record traces into a :class:`FleetTrace` (fleet-level duty
+  cycle, radio traffic, worst-case real-time margin);
+* :func:`classify_streams` runs the incremental front end
+  (:class:`~repro.dsp.streaming.BlockFilter` +
+  :class:`~repro.dsp.streaming.StreamingPeakDetector`) over many
+  streams, then classifies the beats of *all* streams in a single
+  batched call — one projection and one fuzzification pass instead of
+  one per stream, which is where the vectorized classifier earns its
+  keep under load.
+
+Both entry points accept plain lists, so callers can shard/queue above
+them without this module taking a position on the transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.defuzz import is_abnormal
+from repro.dsp.streaming import BlockFilter, StreamingPeakDetector
+from repro.ecg.resample import decimate_beats
+from repro.ecg.segmentation import BeatWindow, segment_beats
+from repro.platform.node_sim import NodeSimulator, NodeTrace
+
+
+@dataclass
+class FleetTrace:
+    """Aggregate outcome of simulating a batch of records.
+
+    Wraps the per-record :class:`~repro.platform.node_sim.NodeTrace`
+    objects and exposes the fleet-level numbers a gateway dashboard
+    would plot.
+    """
+
+    traces: list[NodeTrace] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    @property
+    def n_beats(self) -> int:
+        """Beats processed across the fleet."""
+        return sum(len(t) for t in self.traces)
+
+    @property
+    def n_flagged(self) -> int:
+        """Beats that activated the delineator, fleet-wide."""
+        return sum(t.n_flagged for t in self.traces)
+
+    @property
+    def activation_rate(self) -> float:
+        """Fraction of beats flagged abnormal across all records."""
+        beats = self.n_beats
+        return self.n_flagged / beats if beats else 0.0
+
+    @property
+    def total_tx_bytes(self) -> int:
+        """Radio bytes queued by every node."""
+        return sum(t.total_tx_bytes for t in self.traces)
+
+    @property
+    def deadline_misses(self) -> int:
+        """Beats that exceeded their inter-beat budget, fleet-wide."""
+        return sum(t.deadline_misses for t in self.traces)
+
+    @property
+    def worst_case_utilization(self) -> float:
+        """Worst per-beat load over budget across every node."""
+        if not self.traces:
+            return 0.0
+        return max(t.worst_case_utilization for t in self.traces)
+
+    @property
+    def mean_duty_cycle(self) -> float:
+        """Average of the per-record duty cycles."""
+        if not self.traces:
+            return 0.0
+        return float(np.mean([t.duty_cycle for t in self.traces]))
+
+    def summary(self) -> str:
+        """One-paragraph fleet report."""
+        return (
+            f"{len(self.traces)} records, {self.n_beats} beats: "
+            f"mean duty={self.mean_duty_cycle:.3f}, "
+            f"activation={100 * self.activation_rate:.1f}%, "
+            f"tx={self.total_tx_bytes} B, worst-case load="
+            f"{100 * self.worst_case_utilization:.1f}% of a beat budget, "
+            f"{self.deadline_misses} deadline misses"
+        )
+
+
+def simulate_records(
+    simulator: NodeSimulator, records, lead: int = 0
+) -> FleetTrace:
+    """Replay a batch of records; return the aggregate fleet trace.
+
+    Parameters
+    ----------
+    simulator:
+        The node model every record is replayed through.
+    records:
+        Iterable of :class:`repro.ecg.database.Record`.
+    lead:
+        Classification lead index (same for every record).
+    """
+    return FleetTrace([simulator.process_record(r, lead=lead) for r in records])
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Per-stream outcome of :func:`classify_streams`."""
+
+    peaks: np.ndarray
+    labels: np.ndarray
+
+    @property
+    def abnormal(self) -> np.ndarray:
+        """Boolean mask of beats flagged abnormal."""
+        return is_abnormal(self.labels)
+
+    @property
+    def n_beats(self) -> int:
+        return int(self.labels.size)
+
+
+def classify_streams(
+    classifier,
+    streams,
+    fs: float,
+    block_s: float = 0.5,
+    decimation: int = 4,
+    window: BeatWindow | None = None,
+    config=None,
+) -> list[StreamResult]:
+    """Run the streaming front end over many streams, classify in one batch.
+
+    Each stream goes through its own :class:`BlockFilter` and
+    :class:`StreamingPeakDetector` (both incremental, both carrying
+    state across blocks), beats are segmented per stream, and the
+    classifier then sees **one** concatenated beat matrix — a single
+    projection + fuzzification pass for the whole fleet.
+
+    Parameters
+    ----------
+    classifier:
+        Anything with ``predict(beats)`` — the float
+        :class:`~repro.core.pipeline.RPClassifierPipeline` or the
+        integer :class:`~repro.fixedpoint.convert.EmbeddedClassifier`.
+    streams:
+        Iterable of 1-D sample arrays, all at ``fs``.
+    fs:
+        Sampling frequency in Hz.
+    block_s:
+        ADC block size in seconds fed to the front end.
+    decimation:
+        Beat decimation factor before classification (paper: 4).
+    window:
+        Segmentation window (paper default 100 + 100).
+    config:
+        Optional :class:`~repro.dsp.peak_detection.PeakDetectorConfig`.
+
+    Returns
+    -------
+    list[StreamResult]
+        One entry per input stream, in order.
+    """
+    if fs <= 0:
+        raise ValueError("sampling frequency must be positive")
+    block = max(1, int(round(block_s * fs)))
+    window = window or BeatWindow(100, 100)
+
+    per_stream_peaks: list[np.ndarray] = []
+    per_stream_beats: list[np.ndarray] = []
+    for stream in streams:
+        x = np.asarray(stream, dtype=float)
+        if x.ndim != 1:
+            raise ValueError("streams must be 1-D sample arrays")
+        block_filter = BlockFilter(fs)
+        detector = StreamingPeakDetector(fs, config=config)
+        filtered_parts: list[np.ndarray] = []
+        for i in range(0, x.size, block):
+            out = block_filter.push(x[i : i + block])
+            if out.size:
+                filtered_parts.append(out)
+                detector.push(out)
+        tail = block_filter.flush()
+        if tail.size:
+            filtered_parts.append(tail)
+            detector.push(tail)
+        detector.flush()
+        filtered = (
+            np.concatenate(filtered_parts) if filtered_parts else np.empty(0)
+        )
+        beats, kept = segment_beats(filtered, detector.peaks, window)
+        per_stream_peaks.append(detector.peaks[kept])
+        per_stream_beats.append(beats)
+
+    # One classification pass for the whole fleet.
+    counts = [b.shape[0] for b in per_stream_beats]
+    total = sum(counts)
+    if total:
+        stacked = np.vstack([b for b in per_stream_beats if b.shape[0]])
+        stacked_ds, _ = decimate_beats(stacked, window, decimation)
+        labels = np.asarray(classifier.predict(stacked_ds))
+    else:
+        labels = np.empty(0, dtype=np.int64)
+
+    results: list[StreamResult] = []
+    start = 0
+    for peaks, count in zip(per_stream_peaks, counts):
+        results.append(StreamResult(peaks=peaks, labels=labels[start : start + count]))
+        start += count
+    return results

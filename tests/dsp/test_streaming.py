@@ -47,6 +47,21 @@ class TestBlockFilter:
         # At 360 Hz the context stays under a second of signal.
         assert streamer.delay_samples < record.fs
 
+    def test_delay_samples_is_exact(self, record):
+        """Output i must appear exactly when input i + delay arrives."""
+        x = record.lead(0)
+        streamer = BlockFilter(record.fs)
+        delay = streamer.delay_samples
+        emitted = 0
+        first_emit_at = None
+        for i in range(delay + 5):
+            out = streamer.push(x[i : i + 1])
+            if out.size and first_emit_at is None:
+                first_emit_at = i
+            emitted += out.size
+        assert first_emit_at == delay
+        assert emitted == 5
+
     def test_tiny_blocks(self, record):
         x = record.lead(0)[:2000]
         batch = filter_lead(x, record.fs)

@@ -1,0 +1,100 @@
+"""Tests for the batched multi-record / multi-stream serving layer."""
+
+import numpy as np
+import pytest
+
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+from repro.platform.node_sim import NodeSimulator
+from repro.serving import FleetTrace, StreamResult, classify_streams, simulate_records
+
+
+@pytest.fixture(scope="module")
+def records():
+    return [
+        RecordSynthesizer(SynthesisConfig(n_leads=3), seed=s).synthesize(
+            30.0, name=f"rec-{s}"
+        )
+        for s in (31, 32)
+    ]
+
+
+@pytest.fixture(scope="module")
+def fleet(records, embedded_classifier):
+    return simulate_records(NodeSimulator(embedded_classifier), records)
+
+
+class TestSimulateRecords:
+    def test_one_trace_per_record(self, fleet, records):
+        assert len(fleet) == len(records)
+
+    def test_aggregates_sum_over_traces(self, fleet):
+        assert fleet.n_beats == sum(len(t) for t in fleet.traces)
+        assert fleet.total_tx_bytes == sum(t.total_tx_bytes for t in fleet.traces)
+        assert fleet.deadline_misses == sum(t.deadline_misses for t in fleet.traces)
+
+    def test_matches_individual_process_record(self, fleet, records, embedded_classifier):
+        solo = NodeSimulator(embedded_classifier).process_record(records[0])
+        batch_events = fleet.traces[0].events
+        assert len(solo) == len(batch_events)
+        for a, b in zip(solo.events, batch_events):
+            assert a.peak == b.peak
+            assert a.flagged == b.flagged
+            assert a.tx_bytes == b.tx_bytes
+            assert a.total_cycles == pytest.approx(b.total_cycles)
+
+    def test_worst_case_is_fleet_max(self, fleet):
+        assert fleet.worst_case_utilization == max(
+            t.worst_case_utilization for t in fleet.traces
+        )
+
+    def test_summary_mentions_fleet_numbers(self, fleet):
+        text = fleet.summary()
+        assert "records" in text and "deadline misses" in text
+
+    def test_empty_fleet(self):
+        fleet = FleetTrace([])
+        assert fleet.n_beats == 0
+        assert fleet.activation_rate == 0.0
+        assert fleet.worst_case_utilization == 0.0
+        assert fleet.mean_duty_cycle == 0.0
+
+
+class TestClassifyStreams:
+    def test_batched_equals_per_stream(self, records, embedded_classifier):
+        """One fleet-wide classification pass reaches the same verdicts
+        as classifying each stream alone."""
+        streams = [r.lead(0) for r in records]
+        fs = records[0].fs
+        batched = classify_streams(embedded_classifier, streams, fs)
+        for stream, result in zip(streams, batched):
+            solo = classify_streams(embedded_classifier, [stream], fs)[0]
+            np.testing.assert_array_equal(result.peaks, solo.peaks)
+            np.testing.assert_array_equal(result.labels, solo.labels)
+
+    def test_result_shapes(self, records, embedded_classifier):
+        streams = [r.lead(0) for r in records]
+        results = classify_streams(embedded_classifier, streams, records[0].fs)
+        assert len(results) == len(streams)
+        for result in results:
+            assert result.peaks.size == result.labels.size == result.n_beats
+            assert result.abnormal.dtype == bool
+            assert result.n_beats > 20  # 30 s of ~77 bpm rhythm
+
+    def test_finds_most_annotated_beats(self, records, embedded_classifier):
+        record = records[0]
+        result = classify_streams(embedded_classifier, [record.lead(0)], record.fs)[0]
+        ann = record.annotation.samples
+        missed = sum(1 for p in ann if np.min(np.abs(result.peaks - p)) > 18)
+        assert missed <= max(1, int(0.1 * ann.size))
+
+    def test_empty_and_flat_streams(self, embedded_classifier):
+        results = classify_streams(
+            embedded_classifier, [np.zeros(3600), np.empty(0)], 360.0
+        )
+        assert all(r.n_beats == 0 for r in results)
+
+    def test_validation(self, embedded_classifier):
+        with pytest.raises(ValueError):
+            classify_streams(embedded_classifier, [np.zeros(10)], 0.0)
+        with pytest.raises(ValueError):
+            classify_streams(embedded_classifier, [np.zeros((5, 2))], 360.0)
