@@ -1,25 +1,38 @@
 """Throughput micro-benchmarks of the hot per-sample path.
 
-Tracks the trajectory of the O(n) front end and the batched serving
-layer (the ``BENCH_*.json`` artifacts record these over time):
+Tracks the trajectory of the O(n) front end, the batched delineation
+kernel and the sharded serving layer (the ``BENCH_*.json`` artifacts
+record these over time):
 
 * ``filter_lead`` over 10 s of 360 Hz signal (the acceptance metric of
   the vHGW kernel rewrite — the seed implementation took ~2.3 ms);
 * amortized ``BlockFilter.push`` / ``StreamingPeakDetector.push`` cost
   at ADC-realistic 0.5 s blocks (the incremental engine must not
   re-run batch kernels over its context);
+* batched ``delineate_beats`` vs the per-beat ``delineate_multilead``
+  loop on a high-activation record (the gated-path acceptance metric:
+  the per-beat loop took ~115 ms for ~160 beats; the batched kernel
+  ~80 ms, bit-exact);
 * multi-record node simulation and fleet-batched stream
-  classification, the serving layer's building blocks.
+  classification, plus ``ServingEngine``-sharded variants of both
+  (process sharding only pays off with >= 2 CPUs — the speedup over
+  serial is recorded in ``extra_info`` either way).
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
 
+from repro.dsp.delineation import delineate_beats, delineate_multilead
 from repro.dsp.morphological import filter_lead
+from repro.dsp.peak_detection import detect_peaks
 from repro.dsp.streaming import BlockFilter, StreamingPeakDetector
 from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
 from repro.platform.node_sim import NodeSimulator
-from repro.serving import classify_streams, simulate_records
+from repro.platform.opcount import OpCounter
+from repro.serving import ServingEngine, classify_streams, simulate_records
 
 
 @pytest.fixture(scope="module")
@@ -114,3 +127,103 @@ def test_classify_streams_fleet(benchmark, bench_embedded_classifier, fleet_reco
     results = benchmark(classify_streams, bench_embedded_classifier, streams, fs)
     assert sum(r.n_beats for r in results) > 0
     benchmark.extra_info["n_beats"] = sum(r.n_beats for r in results)
+
+
+@pytest.fixture(scope="module")
+def high_activation_delineation():
+    """Filtered 3-lead high-PVC record + detected peaks (most flagged)."""
+    record = RecordSynthesizer(SynthesisConfig(n_leads=3), seed=55).synthesize(
+        60.0, class_mix={"N": 0.3, "V": 0.55, "L": 0.15}
+    )
+    fs = record.fs
+    filtered = np.column_stack(
+        [filter_lead(record.lead(i), fs) for i in range(record.n_leads)]
+    )
+    peaks = detect_peaks(filtered[:, 0], fs)
+    previous = [None] + [int(p) for p in peaks[:-1]]
+    return fs, filtered, peaks, previous
+
+
+def test_delineate_per_beat_loop(benchmark, high_activation_delineation):
+    """Baseline: the seed's per-beat multi-lead delineation loop."""
+    fs, filtered, peaks, previous = high_activation_delineation
+
+    def run():
+        cycles = []
+        for peak, prev in zip(peaks, previous):
+            counter = OpCounter()
+            delineate_multilead(filtered, int(peak), fs, counter=counter, previous_peak=prev)
+            cycles.append(counter.total)
+        return cycles
+
+    ops = benchmark(run)
+    benchmark.extra_info["n_beats"] = len(ops)
+
+
+def test_delineate_beats_batched(benchmark, high_activation_delineation):
+    """Batched kernel: one MMD pass per lead/scale over the segment union."""
+    fs, filtered, peaks, previous = high_activation_delineation
+
+    def run():
+        counters = [OpCounter() for _ in range(peaks.size)]
+        delineate_beats(filtered, peaks, fs, counters=counters, previous_peaks=previous)
+        return counters
+
+    counters = benchmark(run)
+    benchmark.extra_info["n_beats"] = len(counters)
+
+
+@pytest.fixture(scope="module")
+def sharding_streams():
+    """>= 8 streams, long enough for process sharding to amortize pools."""
+    return [
+        RecordSynthesizer(SynthesisConfig(n_leads=1), seed=40 + s).synthesize(60.0).lead(0)
+        for s in range(8)
+    ]
+
+
+def test_classify_streams_sharded_processes(
+    benchmark, bench_embedded_classifier, sharding_streams
+):
+    """Process-sharded serving vs serial on >= 8 streams.
+
+    Records the serial-vs-sharded speedup in ``extra_info``.  The
+    "sharded beats serial" assertion is opt-in via
+    ``REPRO_BENCH_ASSERT_SHARDED=1`` (and still requires >= 2 CPUs):
+    on a single core sharding can only add pool overhead, and on small
+    shared CI runners the wall-clock comparison is too noisy to gate a
+    ``-x`` suite on.
+    """
+    fs = 360.0
+    engine = ServingEngine(executor="processes", workers=4)
+
+    serial_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        serial = classify_streams(bench_embedded_classifier, sharding_streams, fs)
+        serial_times.append(time.perf_counter() - start)
+
+    results = benchmark(
+        classify_streams, bench_embedded_classifier, sharding_streams, fs, engine=engine
+    )
+    for serial_result, sharded_result in zip(serial, results):
+        np.testing.assert_array_equal(serial_result.peaks, sharded_result.peaks)
+        np.testing.assert_array_equal(serial_result.labels, sharded_result.labels)
+
+    serial_s = min(serial_times)
+    sharded_s = benchmark.stats.stats.min
+    benchmark.extra_info["n_streams"] = len(sharding_streams)
+    benchmark.extra_info["serial_s"] = serial_s
+    benchmark.extra_info["speedup_vs_serial"] = serial_s / sharded_s
+    if os.environ.get("REPRO_BENCH_ASSERT_SHARDED") == "1" and (os.cpu_count() or 1) >= 2:
+        assert sharded_s < serial_s
+
+
+def test_simulate_records_sharded_processes(
+    benchmark, bench_embedded_classifier, fleet_records
+):
+    engine = ServingEngine(executor="processes", workers=4)
+    simulator = NodeSimulator(bench_embedded_classifier)
+    fleet = benchmark(simulate_records, simulator, fleet_records, engine=engine)
+    assert fleet.n_beats > 0
+    benchmark.extra_info["n_beats"] = fleet.n_beats

@@ -9,12 +9,18 @@ top of the incremental streaming engine:
    model and print the fleet-level real-time / radio report;
 3. ``classify_streams`` — run the O(n) incremental front end
    (``BlockFilter`` + ``StreamingPeakDetector``) over every stream in
-   ADC-sized blocks, then classify the beats of the *whole fleet* in
-   one batched projection + fuzzification pass.
+   ADC-sized blocks, then classify the beats of each shard in one
+   batched projection + fuzzification pass.
+
+Both steps run through a ``ServingEngine``: pick ``--executor
+processes --workers 4`` to shard the fleet across a process pool
+(results are byte-identical to the serial path; the speedup needs
+multiple CPUs).
 
 Usage::
 
     python examples/fleet_serving.py [--patients 6] [--minutes 1.0]
+        [--executor serial|threads|processes] [--workers 4]
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
 from repro.experiments.datasets import make_embedded_datasets
 from repro.fixedpoint.convert import convert_pipeline, tune_embedded_alpha
 from repro.platform.node_sim import NodeSimulator
-from repro.serving import classify_streams, simulate_records
+from repro.serving import EXECUTORS, ServingEngine, classify_streams, simulate_records
 
 
 def train_node_classifier(seed: int):
@@ -50,11 +56,16 @@ def main() -> None:
     parser.add_argument("--patients", type=int, default=6)
     parser.add_argument("--minutes", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--executor", choices=EXECUTORS, default="serial")
+    parser.add_argument("--workers", type=int, default=4)
     args = parser.parse_args()
     if args.patients < 1:
         parser.error("--patients must be >= 1")
     if args.minutes <= 0:
         parser.error("--minutes must be positive")
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    engine = ServingEngine(executor=args.executor, workers=args.workers)
 
     print("Training + quantizing the node classifier ...")
     classifier = train_node_classifier(args.seed)
@@ -71,17 +82,17 @@ def main() -> None:
             )
         )
 
-    print("\n== Node simulation (per-record real-time model) ==")
+    print(f"\n== Node simulation ({args.executor} engine, {args.workers} workers) ==")
     start = time.perf_counter()
-    fleet = simulate_records(NodeSimulator(classifier), records)
+    fleet = simulate_records(NodeSimulator(classifier), records, engine=engine)
     elapsed = time.perf_counter() - start
     print(fleet.summary())
     print(f"simulated {fleet.n_beats} beats in {elapsed * 1e3:.0f} ms")
 
-    print("\n== Streaming classification (gateway batch path) ==")
+    print(f"\n== Streaming classification ({args.executor} engine) ==")
     streams = [record.lead(0) for record in records]
     start = time.perf_counter()
-    results = classify_streams(classifier, streams, records[0].fs)
+    results = classify_streams(classifier, streams, records[0].fs, engine=engine)
     elapsed = time.perf_counter() - start
     signal_s = sum(s.size for s in streams) / records[0].fs
     for record, result in zip(records, results):

@@ -27,8 +27,9 @@ The package is organised as one subpackage per subsystem:
     An operation-level model of the IcyHeart WBSN SoC: cycle counting,
     duty cycles, code/data memory and radio energy.
 ``repro.serving``
-    The batched multi-record / multi-stream throughput layer: fleet
-    node simulation and one-pass classification of many streams.
+    The sharded multi-record / multi-stream throughput layer: fleet
+    node simulation and per-shard one-pass classification of many
+    streams behind pluggable serial/thread/process executors.
 ``repro.experiments``
     Harnesses that regenerate every table and figure of the paper.
 

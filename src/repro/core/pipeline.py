@@ -52,6 +52,15 @@ class RPClassifierPipeline:
         if not 0.0 <= self.alpha <= 1.0:
             raise ValueError("alpha must be in [0, 1]")
 
+    def __getstate__(self) -> dict:
+        """Pickle without the fuzzy-value memo: it holds a ``weakref``
+        to the last evaluated beat matrix (unpicklable), and is only a
+        per-process cache anyway — e.g. process-pool serving ships the
+        pipeline to workers and must not drag the memo along."""
+        state = dict(self.__dict__)
+        state.pop("_fuzzy_cache", None)
+        return state
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -109,6 +118,20 @@ class RPClassifierPipeline:
         """Random projection of beats: ``(n, d) -> (n, k)``."""
         return self.projection.project(X)
 
+    @staticmethod
+    def _fingerprint(X: np.ndarray) -> tuple[float, float]:
+        """Cheap content fingerprint: plain sum + position-weighted sum.
+
+        The plain sum alone misses balanced in-place edits
+        (``X[i] += c; X[j] -= c``); weighting each element by its
+        position catches those and element swaps.  Deliberate
+        collisions remain possible — this guards against accidental
+        mutation, not adversaries.
+        """
+        flat = np.asarray(X, dtype=float).ravel()
+        weights = np.arange(1.0, flat.size + 1.0)
+        return float(flat.sum()), float(np.dot(flat, weights))
+
     def fuzzy_values(self, X: np.ndarray) -> np.ndarray:
         """Per-class fuzzy values of beats (unit max per beat).
 
@@ -117,26 +140,26 @@ class RPClassifierPipeline:
         :meth:`evaluate` at several alphas — on the same beat matrix
         shares one projection + fuzzification pass instead of
         re-projecting.  The cache keys on array identity *plus* a
-        one-pass checksum (so in-place mutation of ``X`` is detected)
-        and holds the input only weakly (so it never pins a large
-        evaluation matrix in memory).
+        content fingerprint (so in-place mutation of ``X`` is
+        detected) and holds the input only weakly (so it never pins a
+        large evaluation matrix in memory).
         """
-        checksum = None
+        fingerprint = None
         cached = getattr(self, "_fuzzy_cache", None)
         if cached is not None:
-            ref, cached_checksum, cached_values = cached
+            ref, cached_fingerprint, cached_values = cached
             if ref() is X:
-                checksum = float(np.asarray(X, dtype=float).sum())
-                if checksum == cached_checksum:
+                fingerprint = self._fingerprint(X)
+                if fingerprint == cached_fingerprint:
                     return cached_values
         values = self.nfc.fuzzy_values(self.project(X))
         try:
             ref = weakref.ref(X)
         except TypeError:
             return values  # non-weakrefable input (e.g. a list): skip caching
-        if checksum is None:
-            checksum = float(np.asarray(X, dtype=float).sum())
-        object.__setattr__(self, "_fuzzy_cache", (ref, checksum, values))
+        if fingerprint is None:
+            fingerprint = self._fingerprint(X)
+        object.__setattr__(self, "_fuzzy_cache", (ref, fingerprint, values))
         return values
 
     def predict(self, X: np.ndarray) -> np.ndarray:

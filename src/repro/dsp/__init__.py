@@ -38,10 +38,22 @@ from repro.dsp.peak_detection import (
     detect_peaks_from_wavelet,
 )
 from repro.dsp.wavelet import StreamingWavelet, dyadic_wavelet
-from repro.dsp.delineation import BeatFiducials, delineate_beat, delineate_multilead
+from repro.dsp.delineation import (
+    BeatFiducials,
+    DelineationConfig,
+    StreamingDelineator,
+    delineate_beat,
+    delineate_beats,
+    delineate_multilead,
+)
 from repro.dsp.delineation_eval import evaluate_delineation
 from repro.dsp.mmd import mmd_multiscale, mmd_transform
-from repro.dsp.streaming import BlockFilter, StreamingPeakDetector
+from repro.dsp.streaming import (
+    BlockFilter,
+    StreamBeatEvent,
+    StreamingNode,
+    StreamingPeakDetector,
+)
 
 __all__ = [
     "erosion",
@@ -62,9 +74,14 @@ __all__ = [
     "mmd_transform",
     "mmd_multiscale",
     "BeatFiducials",
+    "DelineationConfig",
     "delineate_beat",
+    "delineate_beats",
     "delineate_multilead",
+    "StreamingDelineator",
     "evaluate_delineation",
     "BlockFilter",
     "StreamingPeakDetector",
+    "StreamingNode",
+    "StreamBeatEvent",
 ]

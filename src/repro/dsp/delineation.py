@@ -1,4 +1,4 @@
-"""Single- and multi-lead delineation of P / QRS / T fiducial points.
+"""Single-, multi-lead and batched delineation of P / QRS / T fiducials.
 
 This is the "detailed analysis" of Figure 6: for every heartbeat it
 produces the nine fiducial points the paper transmits for abnormal
@@ -12,15 +12,36 @@ The multi-lead variant executes the delineation "over the combination
 of the three filtered leads": each lead is delineated independently and
 the per-fiducial median across leads is reported, which rejects
 lead-local noise without inter-lead arithmetic.
+
+Three execution forms share one fiducial-location core
+(:func:`_locate_fiducials`), so they are bit-exact with each other:
+
+* :func:`delineate_beat` / :func:`delineate_multilead` — the reference
+  per-beat path, mirroring the embedded firmware's beat buffer;
+* :func:`delineate_beats` — the batched path: each MMD scale is
+  computed once per lead over the union of the beats' segments (merged
+  into runs) instead of three :func:`~repro.dsp.mmd.mmd_transform`
+  calls per beat per lead, with the segment-edge samples recomputed
+  per beat so every value matches the per-beat path exactly;
+* :class:`StreamingDelineator` — the bounded-memory form: a sliding
+  buffer of filtered samples trimmed to the P/T search span, so the
+  gated detailed-analysis stage no longer needs whole-record context.
+
+Op counters always report the *per-beat* work of the reference
+embedded implementation (the same counts :func:`delineate_multilead`
+records), regardless of which execution form produced the values —
+exactly like the O(n) morphology kernels keep reporting the naive
+sliding-window counts.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dsp.mmd import mmd_transform
+from repro.dsp.mmd import charge_mmd_ops, mmd_transform
 
 #: Names of the nine fiducial points, in temporal order.
 FIDUCIAL_NAMES = (
@@ -35,6 +56,10 @@ FIDUCIAL_NAMES = (
     "t_end",
 )
 
+#: One-sided margin (seconds) the beat segment extends past the search
+#: windows, matching the embedded beat buffer.
+SEGMENT_MARGIN_S = 0.05
+
 
 @dataclass(frozen=True)
 class DelineationConfig:
@@ -47,6 +72,24 @@ class DelineationConfig:
     qrs_scale_s: float = 0.017
     p_scale_s: float = 0.028
     t_scale_s: float = 0.039
+
+    def segment_offsets(self, fs: float) -> tuple[int, int]:
+        """Segment bounds relative to the peak: ``[peak + lo, peak + hi)``.
+
+        ``lo`` is negative; the segment covers every search window plus
+        :data:`SEGMENT_MARGIN_S` on each side.
+        """
+        lo = int(round((self.p_search[0] - SEGMENT_MARGIN_S) * fs))
+        hi = int(round((self.t_search[1] + SEGMENT_MARGIN_S) * fs)) + 1
+        return lo, hi
+
+    def mmd_scales(self, fs: float) -> tuple[int, int, int]:
+        """QRS / P / T structuring-element half-widths in samples."""
+        return (
+            max(2, int(round(self.qrs_scale_s * fs))),
+            max(2, int(round(self.p_scale_s * fs))),
+            max(2, int(round(self.t_scale_s * fs))),
+        )
 
 
 @dataclass(frozen=True)
@@ -93,11 +136,28 @@ def _window_indices(
     return lo, hi
 
 
-def _wave_peak(x: np.ndarray, lo: int, hi: int) -> int:
-    """Sample of the largest detrended deflection in ``[lo, hi)``."""
-    if hi <= lo:
+def _find_wave(
+    x: np.ndarray, lo: int, hi: int, reference: float, min_relative: float
+) -> int:
+    """Peak of the wave in ``[lo, hi)``, or ``-1`` if no wave is present.
+
+    A wave exists when the largest detrended deflection exceeds
+    ``min_relative`` of the R amplitude *and* peaks in the window
+    interior: baseline steps put their largest detrended residual at a
+    window edge, true waves peak inside.  The presence test and the
+    peak location share one detrend pass.
+    """
+    if hi <= lo + 3:
         return -1
-    return lo + int(np.argmax(np.abs(_detrend(x[lo:hi]))))
+    segment = _detrend(x[lo:hi])
+    deflection = np.abs(segment)
+    peak = int(np.argmax(deflection))
+    if deflection[peak] < min_relative * reference:
+        return -1
+    margin = max(1, segment.size // 10)
+    if not margin <= peak < segment.size - margin:
+        return -1
+    return lo + peak
 
 
 def _boundary_before(mmd: np.ndarray, lo: int, anchor: int) -> int:
@@ -130,27 +190,95 @@ def _detrend(segment: np.ndarray) -> np.ndarray:
     return segment - trend
 
 
-def _wave_present(x: np.ndarray, lo: int, hi: int, reference: float, min_relative: float) -> bool:
-    """Detect whether a wave with enough amplitude exists in the window.
-
-    Requires a detrended deflection above ``min_relative`` of the R
-    amplitude *and* an interior extremum: baseline steps put their
-    largest detrended residual at a window edge, true waves peak inside.
-    """
-    if hi <= lo + 3:
-        return False
-    segment = _detrend(x[lo:hi])
-    deflection = np.abs(segment)
-    peak = int(np.argmax(deflection))
-    if deflection[peak] < min_relative * reference:
-        return False
-    margin = max(1, segment.size // 10)
-    return margin <= peak < segment.size - margin
-
-
 #: Minimum gap (seconds) between the previous R peak and the start of
 #: this beat's P search window: skips the previous beat's T wave.
 PREVIOUS_BEAT_GUARD_S = 0.36
+
+
+def _segment_bounds(peak: int, fs: float, config: DelineationConfig, n: int) -> tuple[int, int]:
+    """Clamped record coordinates of the beat's analysis segment."""
+    off_lo, off_hi = config.segment_offsets(fs)
+    return max(0, peak + off_lo), min(n, peak + off_hi)
+
+
+def _locate_fiducials(
+    segment: np.ndarray,
+    mmd_qrs: np.ndarray,
+    mmd_p: np.ndarray,
+    mmd_t: np.ndarray,
+    local_peak: int,
+    seg_lo: int,
+    peak: int,
+    fs: float,
+    config: DelineationConfig,
+    previous_peak: int | None,
+    r_amplitude: float | None = None,
+) -> BeatFiducials:
+    """Locate the nine fiducials of one lead given the segment MMDs.
+
+    This is the single fiducial-location core shared by the per-beat,
+    batched and streaming paths; ``segment`` must equal the record
+    slice ``x[seg_lo:seg_hi]``, the MMD arrays must match
+    :func:`~repro.dsp.mmd.mmd_transform` of that segment exactly, and
+    ``r_amplitude``, when precomputed (the batched path medians all
+    segments of a lead in one pass), must equal the per-segment value
+    below.
+    """
+    _, p_scale, t_scale = config.mmd_scales(fs)
+
+    if r_amplitude is None:
+        r_amplitude = float(abs(segment[local_peak] - np.median(segment)))
+
+    qo_lo, qo_hi = _window_indices(local_peak, config.qrs_onset_search, fs, segment.size)
+    qe_lo, qe_hi = _window_indices(local_peak, config.qrs_end_search, fs, segment.size)
+    qrs_onset = _boundary_before(mmd_qrs, qo_lo, qo_hi)
+    qrs_end = _boundary_after(mmd_qrs, qe_lo, qe_hi)
+
+    p_lo, p_hi = _window_indices(local_peak, config.p_search, fs, segment.size)
+    if previous_peak is not None:
+        guard = int(previous_peak) + int(round(PREVIOUS_BEAT_GUARD_S * fs)) - seg_lo
+        p_lo = max(p_lo, guard)
+    p_peak = _find_wave(segment, p_lo, p_hi, r_amplitude, min_relative=0.08)
+    if p_peak >= 0:
+        p_onset = _boundary_before(mmd_p, max(0, p_lo - p_scale), p_peak)
+        p_end = _boundary_after(mmd_p, p_peak, min(segment.size, p_hi + p_scale))
+    else:
+        p_onset = p_end = -1
+
+    t_lo, t_hi = _window_indices(local_peak, config.t_search, fs, segment.size)
+    t_peak = _find_wave(segment, t_lo, t_hi, r_amplitude, min_relative=0.05)
+    if t_peak >= 0:
+        t_onset = _boundary_before(mmd_t, max(0, t_lo - t_scale), t_peak)
+        t_end = _boundary_after(mmd_t, t_peak, min(segment.size, t_hi + t_scale))
+    else:
+        t_onset = t_end = -1
+
+    def to_record(idx: int) -> int:
+        return idx + seg_lo if idx >= 0 else -1
+
+    return BeatFiducials(
+        p_onset=to_record(p_onset),
+        p_peak=to_record(p_peak),
+        p_end=to_record(p_end),
+        qrs_onset=to_record(qrs_onset),
+        r_peak=peak,
+        qrs_end=to_record(qrs_end),
+        t_onset=to_record(t_onset),
+        t_peak=to_record(t_peak),
+        t_end=to_record(t_end),
+    )
+
+
+def _combine_leads(per_lead: np.ndarray) -> np.ndarray:
+    """Per-fiducial median across leads; ``-1`` unless a majority found it."""
+    combined = np.empty(per_lead.shape[1], dtype=np.int64)
+    for j in range(per_lead.shape[1]):
+        found = per_lead[:, j][per_lead[:, j] >= 0]
+        if found.size * 2 > per_lead.shape[0]:
+            combined[j] = int(np.median(found))
+        else:
+            combined[j] = -1
+    return combined
 
 
 def delineate_beat(
@@ -198,59 +326,18 @@ def delineate_beat(
 
     # Work on a local segment covering all search windows to bound the
     # per-beat cost (the embedded code does the same with a beat buffer).
-    seg_lo = max(0, peak + int(round((config.p_search[0] - 0.05) * fs)))
-    seg_hi = min(n, peak + int(round((config.t_search[1] + 0.05) * fs)) + 1)
+    seg_lo, seg_hi = _segment_bounds(peak, fs, config, n)
     segment = x[seg_lo:seg_hi]
-    local_peak = peak - seg_lo
 
-    qrs_scale = max(2, int(round(config.qrs_scale_s * fs)))
-    p_scale = max(2, int(round(config.p_scale_s * fs)))
-    t_scale = max(2, int(round(config.t_scale_s * fs)))
+    qrs_scale, p_scale, t_scale = config.mmd_scales(fs)
     mmd_qrs = mmd_transform(segment, qrs_scale, counter)
     mmd_p = mmd_transform(segment, p_scale, counter)
     mmd_t = mmd_transform(segment, t_scale, counter)
     if counter is not None:
         counter.add("cmp", 4 * segment.size)
 
-    r_amplitude = float(abs(segment[local_peak] - np.median(segment)))
-
-    qo_lo, qo_hi = _window_indices(local_peak, config.qrs_onset_search, fs, segment.size)
-    qe_lo, qe_hi = _window_indices(local_peak, config.qrs_end_search, fs, segment.size)
-    qrs_onset = _boundary_before(mmd_qrs, qo_lo, qo_hi)
-    qrs_end = _boundary_after(mmd_qrs, qe_lo, qe_hi)
-
-    p_lo, p_hi = _window_indices(local_peak, config.p_search, fs, segment.size)
-    if previous_peak is not None:
-        guard = int(previous_peak) + int(round(PREVIOUS_BEAT_GUARD_S * fs)) - seg_lo
-        p_lo = max(p_lo, guard)
-    if p_hi > p_lo and _wave_present(segment, p_lo, p_hi, r_amplitude, min_relative=0.08):
-        p_peak = _wave_peak(segment, p_lo, p_hi)
-        p_onset = _boundary_before(mmd_p, max(0, p_lo - p_scale), p_peak)
-        p_end = _boundary_after(mmd_p, p_peak, min(segment.size, p_hi + p_scale))
-    else:
-        p_peak = p_onset = p_end = -1
-
-    t_lo, t_hi = _window_indices(local_peak, config.t_search, fs, segment.size)
-    if _wave_present(segment, t_lo, t_hi, r_amplitude, min_relative=0.05):
-        t_peak = _wave_peak(segment, t_lo, t_hi)
-        t_onset = _boundary_before(mmd_t, max(0, t_lo - t_scale), t_peak)
-        t_end = _boundary_after(mmd_t, t_peak, min(segment.size, t_hi + t_scale))
-    else:
-        t_peak = t_onset = t_end = -1
-
-    def to_record(idx: int) -> int:
-        return idx + seg_lo if idx >= 0 else -1
-
-    return BeatFiducials(
-        p_onset=to_record(p_onset),
-        p_peak=to_record(p_peak),
-        p_end=to_record(p_end),
-        qrs_onset=to_record(qrs_onset),
-        r_peak=peak,
-        qrs_end=to_record(qrs_end),
-        t_onset=to_record(t_onset),
-        t_peak=to_record(t_peak),
-        t_end=to_record(t_end),
+    return _locate_fiducials(
+        segment, mmd_qrs, mmd_p, mmd_t, peak - seg_lo, seg_lo, peak, fs, config, previous_peak
     )
 
 
@@ -291,13 +378,383 @@ def delineate_multilead(
         ],
         axis=0,
     )
-    combined = np.empty(per_lead.shape[1], dtype=np.int64)
-    for j in range(per_lead.shape[1]):
-        found = per_lead[:, j][per_lead[:, j] >= 0]
-        if found.size * 2 > per_lead.shape[0]:
-            combined[j] = int(np.median(found))
-        else:
-            combined[j] = -1
     if counter is not None:
         counter.add("cmp", per_lead.size * 2)
-    return BeatFiducials.from_array(combined)
+    return BeatFiducials.from_array(_combine_leads(per_lead))
+
+
+# ----------------------------------------------------------------------
+# Batched delineation
+# ----------------------------------------------------------------------
+
+
+def _charge_beat_ops(counter, segment_size: int, scales: tuple[int, ...], n_leads: int) -> None:
+    """Charge the per-beat op counts of the reference per-beat path.
+
+    The counters model the embedded firmware's beat-buffer work — the
+    exact counts :func:`delineate_multilead` records — not the batched
+    implementation's.  Per lead: the three MMD transforms (via the
+    count-only :func:`~repro.dsp.mmd.charge_mmd_ops` mirror) and the
+    window-scan comparisons; plus the lead-combination comparisons.
+    """
+    if counter is None:
+        return
+    n = int(segment_size)
+    for _ in range(n_leads):
+        for scale in scales:
+            charge_mmd_ops(counter, n, scale)
+    counter.add("cmp", n_leads * 4 * n)
+    counter.add("cmp", n_leads * len(FIDUCIAL_NAMES) * 2)
+
+
+def _merge_segments(bounds: list[tuple[int, int]]) -> tuple[list[tuple[int, int]], list[int]]:
+    """Merge overlapping segments into runs; map each segment to its run."""
+    order = sorted(range(len(bounds)), key=lambda i: bounds[i][0])
+    runs: list[list[int]] = []
+    run_of = [0] * len(bounds)
+    for idx in order:
+        lo, hi = bounds[idx]
+        if runs and lo <= runs[-1][1]:
+            runs[-1][1] = max(runs[-1][1], hi)
+        else:
+            runs.append([lo, hi])
+        run_of[idx] = len(runs) - 1
+    return [(lo, hi) for lo, hi in runs], run_of
+
+
+def _segment_mmd(
+    x: np.ndarray,
+    lo: int,
+    hi: int,
+    scale: int,
+    run_mmd: np.ndarray,
+    run_lo: int,
+) -> np.ndarray:
+    """Segment-local MMD from a run-level MMD array, bit-exact.
+
+    Away from the segment edges every MMD window lies inside the
+    segment, so the run-level values are identical; within ``scale``
+    samples of an edge the per-beat path sees the segment's own edge
+    replication, which collapses to prefix/suffix extrema of the
+    segment — recomputed here in O(scale).
+    """
+    L = hi - lo
+    seg = x[lo:hi]
+    if L <= 2 * scale:
+        # Degenerate (boundary-clamped) segment: edges overlap.
+        return mmd_transform(seg, scale)
+    out = np.empty(L)
+    out[scale : L - scale] = run_mmd[lo - run_lo + scale : lo - run_lo + L - scale]
+    # Left edge: the padded window [i - scale, i + scale] degenerates
+    # to seg[0 : i + scale + 1] under edge replication.
+    pre = seg[: 2 * scale]
+    pre_max = np.maximum.accumulate(pre)
+    pre_min = np.minimum.accumulate(pre)
+    left = np.arange(scale)
+    out[:scale] = pre_max[left + scale] + pre_min[left + scale] - 2.0 * seg[:scale]
+    # Right edge: the window degenerates to seg[i - scale :].
+    suf = seg[L - 2 * scale :]
+    suf_max = np.maximum.accumulate(suf[::-1])[::-1]
+    suf_min = np.minimum.accumulate(suf[::-1])[::-1]
+    out[L - scale :] = suf_max[:scale] + suf_min[:scale] - 2.0 * seg[L - scale :]
+    return out
+
+
+def delineate_beats(
+    leads: np.ndarray,
+    peaks: np.ndarray,
+    fs: float,
+    config: DelineationConfig | None = None,
+    counters=None,
+    previous_peaks=None,
+) -> list[BeatFiducials]:
+    """Batched multi-lead delineation of many beats in one pass.
+
+    Equivalent to calling :func:`delineate_multilead` once per peak —
+    bit-exact in both the returned fiducials and the recorded op
+    counts — but each MMD scale is computed once per lead over the
+    union of the beats' segments (overlapping segments merged into
+    runs) instead of once per beat per lead.  Only the ``O(scale)``
+    segment-edge samples, where the per-beat path sees its own edge
+    replication, are recomputed per beat.
+
+    Parameters
+    ----------
+    leads:
+        ``(n_samples, n_leads)`` filtered signal.
+    peaks:
+        R-peak sample indices of the beats to delineate (any order).
+    fs:
+        Sampling frequency in Hz.
+    config:
+        Search windows and scales.
+    counters:
+        Optional sequence of per-beat op-counters, aligned with
+        ``peaks`` (entries may be ``None``).  Each receives the exact
+        counts the per-beat path would record for that beat.
+    previous_peaks:
+        Optional sequence aligned with ``peaks``: the R peak preceding
+        each beat (``None`` or negative when unknown), gating the P
+        search as in :func:`delineate_beat`.
+
+    Returns
+    -------
+    list[BeatFiducials]
+        One entry per peak, in input order.
+    """
+    leads = np.asarray(leads, dtype=float)
+    if leads.ndim != 2:
+        raise ValueError("delineate_beats expects (n_samples, n_leads)")
+    n, n_leads = leads.shape
+    peaks = np.asarray(peaks, dtype=np.int64)
+    if peaks.ndim != 1:
+        raise ValueError("peaks must be a 1-D index array")
+    if peaks.size and not ((peaks >= 0) & (peaks < n)).all():
+        raise ValueError("peak index outside the record")
+    if counters is not None and len(counters) != peaks.size:
+        raise ValueError("need one counter per peak")
+    if previous_peaks is not None and len(previous_peaks) != peaks.size:
+        raise ValueError("need one previous peak per peak")
+    if not peaks.size:
+        return []
+    config = config or DelineationConfig()
+    scales = config.mmd_scales(fs)
+
+    bounds = [_segment_bounds(int(p), fs, config, n) for p in peaks]
+    runs, run_of = _merge_segments(bounds)
+    # Record-interior beats share one segment geometry, so their R
+    # amplitudes (|peak - median(segment)|) vectorize into one gather
+    # and one axis-median per lead; boundary-clamped beats fall back to
+    # the per-beat computation inside _locate_fiducials.
+    off_lo, off_hi = config.segment_offsets(fs)
+    unclamped = (peaks + off_lo >= 0) & (peaks + off_hi <= n)
+    gather = peaks[unclamped, np.newaxis] + np.arange(off_lo, off_hi)[np.newaxis, :]
+    amp_pos = np.cumsum(unclamped) - 1  # beat index -> row in the gather
+
+    previous: list[int | None] = []
+    for b in range(peaks.size):
+        prev = previous_peaks[b] if previous_peaks is not None else None
+        previous.append(None if prev is None or int(prev) < 0 else int(prev))
+
+    per_lead = np.empty((peaks.size, n_leads, len(FIDUCIAL_NAMES)), dtype=np.int64)
+    for lead in range(n_leads):
+        x = leads[:, lead]
+        if gather.size:
+            segments = x[gather]
+            r_amps = np.abs(segments[:, -off_lo] - np.median(segments, axis=1))
+        run_mmds: list[list[np.ndarray]] = []
+        for run_lo, run_hi in runs:
+            chunk = x[run_lo:run_hi]
+            run_mmds.append([mmd_transform(chunk, scale) for scale in scales])
+        for b in range(peaks.size):
+            lo, hi = bounds[b]
+            run_lo = runs[run_of[b]][0]
+            mmds = [
+                _segment_mmd(x, lo, hi, scale, run_mmds[run_of[b]][s], run_lo)
+                for s, scale in enumerate(scales)
+            ]
+            per_lead[b, lead] = _locate_fiducials(
+                x[lo:hi],
+                *mmds,
+                int(peaks[b]) - lo,
+                lo,
+                int(peaks[b]),
+                fs,
+                config,
+                previous[b],
+                r_amplitude=float(r_amps[amp_pos[b]]) if unclamped[b] else None,
+            ).as_array()
+
+    results = []
+    for b in range(peaks.size):
+        if counters is not None:
+            _charge_beat_ops(counters[b], bounds[b][1] - bounds[b][0], scales, n_leads)
+        results.append(BeatFiducials.from_array(_combine_leads(per_lead[b])))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Streaming delineation
+# ----------------------------------------------------------------------
+
+
+def _delineate_segment_multilead(
+    segment: np.ndarray,
+    seg_lo: int,
+    peak: int,
+    fs: float,
+    config: DelineationConfig,
+    previous_peak: int | None,
+    counter=None,
+) -> BeatFiducials:
+    """Multi-lead delineation of a pre-extracted ``(len, n_leads)`` segment.
+
+    ``segment`` must equal the record slice the per-beat path would
+    take (:func:`_segment_bounds`), which makes the result bit-exact
+    with :func:`delineate_multilead` on the whole record.
+    """
+    scales = config.mmd_scales(fs)
+    per_lead = np.empty((segment.shape[1], len(FIDUCIAL_NAMES)), dtype=np.int64)
+    for lead in range(segment.shape[1]):
+        seg = np.ascontiguousarray(segment[:, lead])
+        mmds = [mmd_transform(seg, scale) for scale in scales]
+        per_lead[lead] = _locate_fiducials(
+            seg, *mmds, peak - seg_lo, seg_lo, peak, fs, config, previous_peak
+        ).as_array()
+    _charge_beat_ops(counter, segment.shape[0], scales, segment.shape[1])
+    return BeatFiducials.from_array(_combine_leads(per_lead))
+
+
+class StreamingDelineator:
+    """Bounded-memory multi-lead delineation of a filtered stream.
+
+    The batch delineators need whole-record context; a WBSN node's
+    gated "detailed analysis" stage cannot afford that.  This class
+    keeps a sliding buffer of filtered samples trimmed to the P/T
+    search span (plus a caller-chosen ``lookback``), delineates each
+    scheduled beat as soon as its right context has arrived, and is
+    bit-exact with :func:`delineate_multilead` on the completed record.
+
+    Parameters
+    ----------
+    fs:
+        Sampling frequency in Hz.
+    config:
+        Search windows and scales.
+    lookback_s:
+        Extra history (seconds) retained behind the live edge so beats
+        can be scheduled late — e.g. a peak detector that confirms
+        peaks one analysis window after they occur.  Memory stays
+        bounded by ``lookback + segment span + largest push block``,
+        independent of stream length.
+
+    Notes
+    -----
+    ``push`` feeds filtered samples of all leads; ``add_beat``
+    schedules a beat (any time while its left context is still
+    buffered); both return the ``(peak, BeatFiducials)`` pairs that
+    became final.  ``flush`` finalizes pending beats with the
+    stream-end clamping the batch path applies at the record edge and
+    prepares the instance for a fresh stream on the same timeline.
+    """
+
+    def __init__(
+        self,
+        fs: float,
+        config: DelineationConfig | None = None,
+        lookback_s: float = 0.0,
+    ):
+        if fs <= 0:
+            raise ValueError("sampling frequency must be positive")
+        if lookback_s < 0:
+            raise ValueError("lookback must be non-negative")
+        self.fs = fs
+        self.config = config or DelineationConfig()
+        off_lo, off_hi = self.config.segment_offsets(fs)
+        self._left = -off_lo  # samples of left context a segment needs
+        self._right = off_hi  # samples past the peak that finalize it
+        self._lookback = int(round(lookback_s * fs))
+        self._buffer: np.ndarray | None = None  # (rows, n_leads)
+        self._origin = 0  # absolute index where the current stream began
+        self._start = 0  # absolute index of buffer[0]
+        self._end = 0  # absolute samples consumed
+        self._pending: list[tuple[int, int | None, object]] = []
+
+    @property
+    def n_samples(self) -> int:
+        """Absolute samples consumed so far."""
+        return self._end
+
+    @property
+    def buffered_samples(self) -> int:
+        """Current buffer occupancy (bounded, see class docs)."""
+        return 0 if self._buffer is None else self._buffer.shape[0]
+
+    def push(self, block: np.ndarray) -> list[tuple[int, BeatFiducials]]:
+        """Feed filtered samples; return beats that became final."""
+        block = np.asarray(block, dtype=float)
+        if block.ndim == 1:
+            block = block[:, np.newaxis]
+        if block.ndim != 2:
+            raise ValueError("blocks must be (n,) or (n, n_leads)")
+        if self._buffer is None:
+            self._buffer = np.empty((0, block.shape[1]))
+        if block.shape[1] != self._buffer.shape[1]:
+            raise ValueError("lead count changed mid-stream")
+        if block.shape[0]:
+            self._buffer = np.concatenate([self._buffer, block], axis=0)
+            self._end += block.shape[0]
+        out = self._finalize(final=False)
+        self._trim()
+        return out
+
+    def add_beat(
+        self, peak: int, previous_peak: int | None = None, counter=None
+    ) -> list[tuple[int, BeatFiducials]]:
+        """Schedule a beat for delineation; return beats that became final.
+
+        ``peak`` must already have been pushed and its left context
+        must still be buffered (raise the ``lookback`` otherwise).
+        ``counter`` receives the beat's op counts at finalization.
+        """
+        peak = int(peak)
+        if not self._origin <= peak < self._end:
+            raise ValueError("peak index outside the current stream")
+        if self._seg_lo(peak) < self._start:
+            raise ValueError(
+                "left context of this beat was already discarded; "
+                "construct the delineator with a larger lookback_s"
+            )
+        insort(self._pending, (peak, previous_peak, counter), key=lambda item: item[0])
+        out = self._finalize(final=False)
+        self._trim()
+        return out
+
+    def flush(self) -> list[tuple[int, BeatFiducials]]:
+        """Finalize pending beats at the stream end; reset for a new stream.
+
+        The absolute sample origin is preserved: later pushes continue
+        the same timeline, like the streaming peak detector.
+        """
+        out = self._finalize(final=True)
+        self._buffer = None if self._buffer is None else self._buffer[:0]
+        self._origin = self._start = self._end
+        return out
+
+    def _seg_lo(self, peak: int) -> int:
+        """Segment start: the left search span, clamped at the stream
+        origin exactly like the batch path clamps at the record start."""
+        return max(self._origin, peak - self._left)
+
+    def _finalize(self, final: bool) -> list[tuple[int, BeatFiducials]]:
+        out: list[tuple[int, BeatFiducials]] = []
+        remaining: list[tuple[int, int | None, object]] = []
+        for peak, previous_peak, counter in self._pending:
+            seg_hi = peak + self._right
+            if not final and seg_hi > self._end:
+                remaining.append((peak, previous_peak, counter))
+                continue
+            seg_lo = self._seg_lo(peak)
+            seg_hi = min(self._end, seg_hi)
+            segment = self._buffer[seg_lo - self._start : seg_hi - self._start]
+            out.append(
+                (
+                    peak,
+                    _delineate_segment_multilead(
+                        segment, seg_lo, peak, self.fs, self.config, previous_peak, counter
+                    ),
+                )
+            )
+        self._pending = remaining
+        return out
+
+    def _trim(self) -> None:
+        if self._buffer is None:
+            return
+        keep_from = self._end - (self._lookback + self._left + 1)
+        if self._pending:
+            keep_from = min(keep_from, self._seg_lo(self._pending[0][0]))
+        keep_from = max(self._start, keep_from)
+        if keep_from > self._start:
+            self._buffer = self._buffer[keep_from - self._start :]
+            self._start = keep_from

@@ -21,7 +21,25 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dsp.morphological import dilation, erosion
+from repro.dsp.morphological import charge_extremum_ops, dilation, erosion
+
+
+def charge_mmd_ops(counter, n: int, scale: int) -> None:
+    """Charge the op counts :func:`mmd_transform` records over ``n`` samples.
+
+    The count-only mirror of :func:`mmd_transform` (one dilation, one
+    erosion, plus the combination arithmetic), used by the batched and
+    streaming delineation paths to attribute the reference per-beat
+    work without re-running the per-beat operators.
+    """
+    if counter is None or n <= 0:
+        return
+    length = 2 * scale + 1
+    charge_extremum_ops(counter, n, length)  # dilation
+    charge_extremum_ops(counter, n, length)  # erosion
+    counter.add("add", n)
+    counter.add("sub", n)
+    counter.add("shift", n)  # the 2*x term as a left shift
 
 
 def mmd_transform(x: np.ndarray, scale: int, counter=None) -> np.ndarray:

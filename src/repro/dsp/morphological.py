@@ -47,6 +47,20 @@ def _check_structuring_element(length: int) -> None:
         raise ValueError("structuring element length must be >= 1")
 
 
+def charge_extremum_ops(counter, n: int, length: int) -> None:
+    """Charge the naive sliding-window cost of one erosion/dilation.
+
+    The single point of truth for the reference C firmware's per-call
+    counts (``length - 1`` comparisons per output sample, see module
+    docs): used by :func:`erosion`/:func:`dilation` themselves and by
+    the batched/streaming delineation paths, which charge the same
+    per-beat work analytically instead of re-running the operators.
+    """
+    _count(counter, "cmp", n * (length - 1))
+    _count(counter, "load", n * length)
+    _count(counter, "store", n)
+
+
 def structuring_element_length(window_s: float, fs: float) -> int:
     """Structuring-element length (samples) for a window in seconds.
 
@@ -93,9 +107,7 @@ def erosion(x: np.ndarray, length: int, counter=None) -> np.ndarray:
     x = np.asarray(x)
     if x.ndim != 1:
         raise ValueError("morphological operators expect 1-D signals")
-    _count(counter, "cmp", x.size * (length - 1))
-    _count(counter, "load", x.size * length)
-    _count(counter, "store", x.size)
+    charge_extremum_ops(counter, x.size, length)
     if length == 1:
         return x.copy()
     return sliding_extremum(_pad_edges(x, length), length, maximum=False)
@@ -107,9 +119,7 @@ def dilation(x: np.ndarray, length: int, counter=None) -> np.ndarray:
     x = np.asarray(x)
     if x.ndim != 1:
         raise ValueError("morphological operators expect 1-D signals")
-    _count(counter, "cmp", x.size * (length - 1))
-    _count(counter, "load", x.size * length)
-    _count(counter, "store", x.size)
+    charge_extremum_ops(counter, x.size, length)
     if length == 1:
         return x.copy()
     return sliding_extremum(_pad_edges(x, length), length, maximum=True)

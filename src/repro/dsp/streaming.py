@@ -1,4 +1,4 @@
-"""Streaming (block-wise) front-end processing — truly incremental.
+"""Streaming (block-wise) processing — truly incremental, front to back.
 
 The batch functions in :mod:`repro.dsp.morphological` and
 :mod:`repro.dsp.peak_detection` consume whole records; a WBSN consumes
@@ -26,15 +26,31 @@ This module provides that engine:
   refractory / search-back logic runs per analysis window, on the
   buffered coefficients.
 
-Neither class records op counts: the counters model the embedded
-firmware's *batch-equivalent* arithmetic, which is unchanged (see
-:mod:`repro.dsp.morphological`).
+* :class:`StreamingNode` — the whole gated node of Figure 6 as one
+  incremental engine: per-lead :class:`BlockFilter` front ends, the
+  :class:`StreamingPeakDetector`, per-beat classification, and the
+  gated :class:`~repro.dsp.delineation.StreamingDelineator` for beats
+  flagged abnormal.  It emits one :class:`StreamBeatEvent` per beat
+  (label, fiducials, tx payload) incrementally, in beat order, and is
+  bit-exact with the batch pipeline over the completed record.
+
+The filter/detector classes record no op counts: the counters model
+the embedded firmware's *batch-equivalent* arithmetic, which is
+unchanged (see :mod:`repro.dsp.morphological`).
 """
 
 from __future__ import annotations
 
+from collections import deque
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.dsp.delineation import (
+    BeatFiducials,
+    DelineationConfig,
+    StreamingDelineator,
+)
 from repro.dsp.kernels import StreamingExtremum
 from repro.dsp.morphological import structuring_element_length
 from repro.dsp.peak_detection import PeakDetectorConfig, detect_peaks_from_wavelet
@@ -350,3 +366,255 @@ class StreamingPeakDetector:
     def peaks(self) -> np.ndarray:
         """All confirmed peaks so far (absolute sample indices)."""
         return np.asarray(self._peaks, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class StreamBeatEvent:
+    """One beat, fully processed by the gated node.
+
+    ``fiducials`` is populated only for beats the classifier flagged
+    abnormal (the gated detailed analysis); ``tx_bytes`` is the radio
+    payload the node queues for this beat — full-fiducial for flagged
+    beats, peak-only otherwise.
+    """
+
+    peak: int
+    label: int
+    flagged: bool
+    tx_bytes: int
+    fiducials: BeatFiducials | None = None
+
+
+class _PendingBeat:
+    """Mutable per-beat state while a beat moves through the node."""
+
+    __slots__ = ("peak", "label", "flagged", "classified", "dropped")
+
+    def __init__(self, peak: int):
+        self.peak = peak
+        self.label = 0
+        self.flagged = False
+        self.classified = False
+        self.dropped = False
+
+
+class StreamingNode:
+    """The whole gated node of Figure 6 as one incremental engine.
+
+    Wires the per-lead :class:`BlockFilter` front ends, the
+    :class:`StreamingPeakDetector`, per-beat classification and the
+    gated :class:`~repro.dsp.delineation.StreamingDelineator` into a
+    single push/flush interface that emits one
+    :class:`StreamBeatEvent` per beat, in beat order, as soon as each
+    beat's context is complete — with memory bounded by the detector's
+    analysis window plus the delineation search span, independent of
+    stream length.
+
+    Over a completed stream the events are bit-exact with running the
+    same stages at record scale: peaks match the streaming front end
+    (:class:`BlockFilter` + :class:`StreamingPeakDetector`, the pair
+    ``repro.serving.classify_streams`` runs) kept by segmentation,
+    labels match one batched ``classifier.predict`` over the
+    segmented, decimated beats, and fiducials of flagged beats match
+    :func:`~repro.dsp.delineation.delineate_multilead` on the filtered
+    leads with the previous kept peak as guard — the same gated
+    schedule :class:`~repro.platform.node_sim.NodeSimulator` replays.
+    Events are also invariant to how the stream is chunked.
+
+    Parameters
+    ----------
+    classifier:
+        Anything with ``predict(beats)`` — the float pipeline or the
+        integer :class:`~repro.fixedpoint.convert.EmbeddedClassifier`.
+    fs:
+        Sampling frequency in Hz.
+    n_leads:
+        Leads per pushed block; all are filtered continuously and feed
+        the gated delineation.
+    lead:
+        Lead driving detection and classification.
+    decimation:
+        Beat decimation factor before classification (paper: 4).
+    window:
+        Segmentation window (paper default 100 + 100).
+    detector_config / delineation_config:
+        Stage tunables.
+    overhead_bytes:
+        Link-layer overhead added to each queued payload.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        fs: float,
+        n_leads: int = 1,
+        lead: int = 0,
+        decimation: int = 4,
+        window=None,
+        detector_config: PeakDetectorConfig | None = None,
+        delineation_config: DelineationConfig | None = None,
+        overhead_bytes: int = 2,
+    ):
+        from repro.ecg.segmentation import BeatWindow
+        from repro.platform.radio import FULL_FIDUCIAL_PAYLOAD, PEAK_ONLY_PAYLOAD
+
+        if fs <= 0:
+            raise ValueError("sampling frequency must be positive")
+        if n_leads < 1:
+            raise ValueError("need at least one lead")
+        if not 0 <= lead < n_leads:
+            raise ValueError("classification lead outside the pushed leads")
+        if decimation < 1:
+            raise ValueError("decimation must be >= 1")
+        if overhead_bytes < 0:
+            raise ValueError("overhead must be non-negative")
+        self.classifier = classifier
+        self.fs = fs
+        self.n_leads = n_leads
+        self.lead = lead
+        self.decimation = decimation
+        self.window = window or BeatWindow()
+        self._filters = [BlockFilter(fs) for _ in range(n_leads)]
+        self._detector = StreamingPeakDetector(fs, config=detector_config)
+        # Large caller blocks are chopped internally so every stage's
+        # scheduling lag — and therefore the retained history — stays
+        # bounded no matter how the caller chunks the stream.
+        self._chop = max(1, int(round(fs)))
+        keep = self._detector.window + self.window.length + 2 * self._chop
+        self._delineator = StreamingDelineator(
+            fs, config=delineation_config, lookback_s=(keep + self._chop) / fs
+        )
+        self._seg_keep = keep
+        self._seg_buf = np.empty(0)
+        self._seg_start = 0
+        self._count = 0  # filtered samples consumed so far
+        self._origin = 0  # absolute index where the current stream began
+        self._queue: deque[_PendingBeat] = deque()
+        self._done: dict[int, BeatFiducials] = {}
+        self._last_kept: int | None = None
+        self._full_bytes = FULL_FIDUCIAL_PAYLOAD + overhead_bytes
+        self._peak_bytes = PEAK_ONLY_PAYLOAD + overhead_bytes
+
+    @property
+    def n_pending(self) -> int:
+        """Beats detected but not yet emitted."""
+        return len(self._queue)
+
+    def push(self, block: np.ndarray) -> list[StreamBeatEvent]:
+        """Feed raw samples ``(n,)`` or ``(n, n_leads)``; return new events."""
+        block = np.asarray(block, dtype=float)
+        if block.ndim == 1:
+            block = block[:, np.newaxis]
+        if block.ndim != 2 or block.shape[1] != self.n_leads:
+            raise ValueError(f"blocks must be (n,) or (n, {self.n_leads})")
+        events: list[StreamBeatEvent] = []
+        for i in range(0, block.shape[0], self._chop):
+            chunk = block[i : i + self._chop]
+            filtered = np.column_stack(
+                [self._filters[j].push(chunk[:, j]) for j in range(self.n_leads)]
+            )
+            events.extend(self._advance(filtered, final=False))
+        return events
+
+    def flush(self) -> list[StreamBeatEvent]:
+        """Finalize the stream; return the remaining events.
+
+        Applies the record-end edge handling of the batch path (filter
+        tail, detector tail window, clamped delineation segments) and
+        resets the node for a fresh stream on the same timeline.
+        """
+        tail = np.column_stack([f.flush() for f in self._filters])
+        events = self._advance(tail, final=True)
+        self._seg_buf = np.empty(0)
+        self._origin = self._seg_start = self._count
+        self._done.clear()
+        self._last_kept = None
+        return events
+
+    def _advance(self, filtered: np.ndarray, final: bool) -> list[StreamBeatEvent]:
+        if filtered.shape[0]:
+            for peak, fiducials in self._delineator.push(filtered):
+                self._done[peak] = fiducials
+            self._append_segment_buffer(filtered[:, self.lead])
+            new_peaks = self._detector.push(filtered[:, self.lead])
+            self._count += filtered.shape[0]
+        else:
+            new_peaks = []
+        if final:
+            new_peaks = list(new_peaks) + self._detector.flush()
+        for peak in new_peaks:
+            self._queue.append(_PendingBeat(int(peak)))
+        self._classify_ready(final)
+        if final:
+            for peak, fiducials in self._delineator.flush():
+                self._done[peak] = fiducials
+        return self._emit_ready()
+
+    def _append_segment_buffer(self, filtered_lead: np.ndarray) -> None:
+        self._seg_buf = np.concatenate([self._seg_buf, filtered_lead])
+        excess = self._seg_buf.size - self._seg_keep
+        if excess > 0:
+            self._seg_buf = self._seg_buf[excess:]
+            self._seg_start += excess
+
+    def _classify_ready(self, final: bool) -> None:
+        from repro.core.defuzz import is_abnormal
+        from repro.ecg.resample import decimate_beats
+
+        for beat in self._queue:
+            if beat.classified or beat.dropped:
+                continue
+            if beat.peak + self.window.post > self._count:
+                if final:
+                    # The stream ended before the window fit: the batch
+                    # path's segmentation drops this beat too.
+                    beat.dropped = True
+                    continue
+                break  # later beats have larger peaks — also waiting
+            if beat.peak < self._origin + self.window.pre:
+                # Too close to the stream start for a full window: the
+                # batch path's segmentation drops this beat too.
+                beat.dropped = True
+                continue
+            lo = beat.peak - self.window.pre - self._seg_start
+            if lo < 0:
+                raise RuntimeError("segmentation context discarded before use")
+            segment = self._seg_buf[np.newaxis, lo : lo + self.window.length]
+            decimated, _ = decimate_beats(segment, self.window, self.decimation)
+            label = int(np.asarray(self.classifier.predict(decimated))[0])
+            beat.label = label
+            beat.flagged = bool(is_abnormal(np.asarray([label]))[0])
+            beat.classified = True
+            previous = self._last_kept
+            self._last_kept = beat.peak
+            if beat.flagged:
+                for peak, fiducials in self._delineator.add_beat(
+                    beat.peak, previous_peak=previous
+                ):
+                    self._done[peak] = fiducials
+
+    def _emit_ready(self) -> list[StreamBeatEvent]:
+        events: list[StreamBeatEvent] = []
+        while self._queue:
+            beat = self._queue[0]
+            if beat.dropped:
+                self._queue.popleft()
+                continue
+            if not beat.classified:
+                break
+            fiducials = None
+            if beat.flagged:
+                if beat.peak not in self._done:
+                    break  # delineation context still arriving
+                fiducials = self._done.pop(beat.peak)
+            events.append(
+                StreamBeatEvent(
+                    peak=beat.peak,
+                    label=beat.label,
+                    flagged=beat.flagged,
+                    tx_bytes=self._full_bytes if beat.flagged else self._peak_bytes,
+                    fiducials=fiducials,
+                )
+            )
+            self._queue.popleft()
+        return events

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.defuzz import is_abnormal
-from repro.dsp.delineation import delineate_multilead
+from repro.dsp.delineation import delineate_beats
 from repro.dsp.morphological import filter_lead
 from repro.dsp.peak_detection import detect_peaks
 from repro.ecg.database import Record
@@ -108,12 +108,16 @@ class NodeTrace:
 
     @property
     def worst_case_utilization(self) -> float:
-        """Max per-beat cycles over budget (< 1 means real-time safe)."""
-        if not self.events:
-            return 0.0
-        return max(
+        """Max per-beat cycles over budget (< 1 means real-time safe).
+
+        Beats without a positive budget (e.g. a final beat coinciding
+        with the record end) carry no deadline and are skipped; a trace
+        with only such beats reports 0.0.
+        """
+        loads = [
             e.total_cycles / e.budget_cycles for e in self.events if e.budget_cycles > 0
-        )
+        ]
+        return max(loads) if loads else 0.0
 
     @property
     def deadline_misses(self) -> int:
@@ -219,17 +223,26 @@ class NodeSimulator:
             window_filter_cycles = (
                 frontend_cycles_per_sample * window_samples * len(other_leads)
             )
-            for i in flagged_indices:
-                counter = OpCounter()
-                previous = int(kept_peaks[i - 1]) if i > 0 else None
-                delineate_multilead(
-                    filtered_all,
-                    int(kept_peaks[i]),
-                    fs,
-                    counter=counter,
-                    previous_peak=previous,
-                )
-                delineate_cycles[i] = cycle_model.cycles(counter) + window_filter_cycles
+            # Batched delineation kernel: every MMD scale is computed
+            # once per lead over the union of the flagged segments, but
+            # the per-beat counters still receive the measured, beat-
+            # specific counts of the firmware's per-beat path (bit-exact
+            # with delineate_multilead, fiducials and counts alike).
+            counters = [OpCounter() for _ in range(flagged_indices.size)]
+            previous = [
+                int(kept_peaks[i - 1]) if i > 0 else None for i in flagged_indices
+            ]
+            delineate_beats(
+                filtered_all,
+                kept_peaks[flagged_indices],
+                fs,
+                counters=counters,
+                previous_peaks=previous,
+            )
+            delineate_cycles[flagged_indices] = [
+                cycle_model.cycles(counter) + window_filter_cycles
+                for counter in counters
+            ]
 
         events = [
             BeatEvent(

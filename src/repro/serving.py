@@ -1,28 +1,43 @@
-"""Batched multi-record / multi-stream serving layer.
+"""Sharded multi-record / multi-stream serving layer.
 
 The per-record APIs (:meth:`repro.platform.node_sim.NodeSimulator.process_record`,
 the :mod:`repro.dsp.streaming` classes) model one WBSN node.  A
 gateway — or the roadmap's heavy-traffic scenario — serves *many*
-nodes at once; this module is the building block for that workload:
+nodes at once; this module is that workload's engine:
 
-* :func:`simulate_records` replays a whole batch of records through a
+* :class:`ServingEngine` — shards a batch of records/streams across
+  workers behind a pluggable executor (``serial`` in-process,
+  ``threads``, or ``processes`` for CPU-bound fleets), running the
+  per-stream front ends inside each shard and **one batched
+  classifier pass per shard** — one projection and one fuzzification
+  pass per shard instead of one per stream, which is where the
+  vectorized classifier earns its keep under load.  Because every
+  record/stream is processed independently and shard outputs are
+  concatenated in submission order, results are byte-identical
+  regardless of executor choice, worker count or shard count.  (With
+  the integer :class:`~repro.fixedpoint.convert.EmbeddedClassifier`
+  this is exact by construction; a float classifier's matmul is
+  row-wise independent too, but bitwise invariance to the *batch
+  size* a shard hands it is a BLAS implementation property, not an
+  IEEE guarantee — pin the shard count when bit-replaying float
+  results);
+* :func:`simulate_records` replays a batch of records through a
   :class:`~repro.platform.node_sim.NodeSimulator` and aggregates the
   per-record traces into a :class:`FleetTrace` (fleet-level duty
   cycle, radio traffic, worst-case real-time margin);
 * :func:`classify_streams` runs the incremental front end
   (:class:`~repro.dsp.streaming.BlockFilter` +
   :class:`~repro.dsp.streaming.StreamingPeakDetector`) over many
-  streams, then classifies the beats of *all* streams in a single
-  batched call — one projection and one fuzzification pass instead of
-  one per stream, which is where the vectorized classifier earns its
-  keep under load.
+  streams and classifies each shard's beats in a single batched call.
 
-Both entry points accept plain lists, so callers can shard/queue above
-them without this module taking a position on the transport.
+Both entry points accept plain lists and an optional ``engine``, so
+callers can queue above them without this module taking a position on
+the transport.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -100,23 +115,6 @@ class FleetTrace:
         )
 
 
-def simulate_records(
-    simulator: NodeSimulator, records, lead: int = 0
-) -> FleetTrace:
-    """Replay a batch of records; return the aggregate fleet trace.
-
-    Parameters
-    ----------
-    simulator:
-        The node model every record is replayed through.
-    records:
-        Iterable of :class:`repro.ecg.database.Record`.
-    lead:
-        Classification lead index (same for every record).
-    """
-    return FleetTrace([simulator.process_record(r, lead=lead) for r in records])
-
-
 @dataclass(frozen=True)
 class StreamResult:
     """Per-stream outcome of :func:`classify_streams`."""
@@ -134,58 +132,19 @@ class StreamResult:
         return int(self.labels.size)
 
 
-def classify_streams(
+def _classify_stream_shard(
     classifier,
-    streams,
+    streams: list[np.ndarray],
     fs: float,
-    block_s: float = 0.5,
-    decimation: int = 4,
-    window: BeatWindow | None = None,
-    config=None,
+    block: int,
+    window: BeatWindow,
+    decimation: int,
+    config,
 ) -> list[StreamResult]:
-    """Run the streaming front end over many streams, classify in one batch.
-
-    Each stream goes through its own :class:`BlockFilter` and
-    :class:`StreamingPeakDetector` (both incremental, both carrying
-    state across blocks), beats are segmented per stream, and the
-    classifier then sees **one** concatenated beat matrix — a single
-    projection + fuzzification pass for the whole fleet.
-
-    Parameters
-    ----------
-    classifier:
-        Anything with ``predict(beats)`` — the float
-        :class:`~repro.core.pipeline.RPClassifierPipeline` or the
-        integer :class:`~repro.fixedpoint.convert.EmbeddedClassifier`.
-    streams:
-        Iterable of 1-D sample arrays, all at ``fs``.
-    fs:
-        Sampling frequency in Hz.
-    block_s:
-        ADC block size in seconds fed to the front end.
-    decimation:
-        Beat decimation factor before classification (paper: 4).
-    window:
-        Segmentation window (paper default 100 + 100).
-    config:
-        Optional :class:`~repro.dsp.peak_detection.PeakDetectorConfig`.
-
-    Returns
-    -------
-    list[StreamResult]
-        One entry per input stream, in order.
-    """
-    if fs <= 0:
-        raise ValueError("sampling frequency must be positive")
-    block = max(1, int(round(block_s * fs)))
-    window = window or BeatWindow(100, 100)
-
+    """Front ends for one shard of streams + one batched classifier pass."""
     per_stream_peaks: list[np.ndarray] = []
     per_stream_beats: list[np.ndarray] = []
-    for stream in streams:
-        x = np.asarray(stream, dtype=float)
-        if x.ndim != 1:
-            raise ValueError("streams must be 1-D sample arrays")
+    for x in streams:
         block_filter = BlockFilter(fs)
         detector = StreamingPeakDetector(fs, config=config)
         filtered_parts: list[np.ndarray] = []
@@ -206,7 +165,7 @@ def classify_streams(
         per_stream_peaks.append(detector.peaks[kept])
         per_stream_beats.append(beats)
 
-    # One classification pass for the whole fleet.
+    # One classification pass for the whole shard.
     counts = [b.shape[0] for b in per_stream_beats]
     total = sum(counts)
     if total:
@@ -222,3 +181,179 @@ def classify_streams(
         results.append(StreamResult(peaks=peaks, labels=labels[start : start + count]))
         start += count
     return results
+
+
+def _simulate_shard_task(task) -> list[NodeTrace]:
+    """Process-pool entry point: replay one shard of records."""
+    simulator, records, lead = task
+    return [simulator.process_record(record, lead=lead) for record in records]
+
+
+def _classify_shard_task(task) -> list[StreamResult]:
+    """Process-pool entry point: classify one shard of streams."""
+    classifier, streams, fs, block, window, decimation, config = task
+    return _classify_stream_shard(classifier, streams, fs, block, window, decimation, config)
+
+
+#: Executor names :class:`ServingEngine` accepts.
+EXECUTORS = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class ServingEngine:
+    """Sharded fleet execution with a pluggable executor.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` runs shards in-process (no pool); ``"threads"``
+        uses a thread pool (cheap to spin up, best when numpy releases
+        the GIL); ``"processes"`` uses a process pool (true
+        parallelism for the Python-level per-stream front ends — the
+        classifier, records and traces are all plain picklable
+        dataclasses).
+    workers:
+        Pool size for the parallel executors.
+    shards:
+        Number of contiguous shards the batch is split into (default:
+        ``workers``).  Shard boundaries never change results — every
+        record/stream is independent and shard outputs concatenate in
+        submission order — only load balance.  (Exact for the integer
+        classifier; see the module docs for the float caveat.)
+    """
+
+    executor: str = "serial"
+    workers: int = 1
+    shards: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be >= 1")
+
+    def _split(self, items: list) -> list[list]:
+        n_shards = max(1, min(self.shards or self.workers, len(items)))
+        bounds = np.linspace(0, len(items), n_shards + 1).astype(int)
+        return [items[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+
+    def _map(self, fn, tasks: list) -> list:
+        if self.executor == "serial" or self.workers == 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        pool_cls = ThreadPoolExecutor if self.executor == "threads" else ProcessPoolExecutor
+        with pool_cls(max_workers=min(self.workers, len(tasks))) as pool:
+            return list(pool.map(fn, tasks))
+
+    def simulate_records(self, simulator: NodeSimulator, records, lead: int = 0) -> FleetTrace:
+        """Replay a batch of records; return the aggregate fleet trace.
+
+        Parameters
+        ----------
+        simulator:
+            The node model every record is replayed through.
+        records:
+            Iterable of :class:`repro.ecg.database.Record`.
+        lead:
+            Classification lead index (same for every record).
+        """
+        records = list(records)
+        shards = self._split(records)
+        parts = self._map(_simulate_shard_task, [(simulator, shard, lead) for shard in shards])
+        return FleetTrace([trace for part in parts for trace in part])
+
+    def classify_streams(
+        self,
+        classifier,
+        streams,
+        fs: float,
+        block_s: float = 0.5,
+        decimation: int = 4,
+        window: BeatWindow | None = None,
+        config=None,
+    ) -> list[StreamResult]:
+        """Run the streaming front end over many streams, classify per shard.
+
+        Each stream goes through its own :class:`BlockFilter` and
+        :class:`StreamingPeakDetector` (both incremental, both carrying
+        state across blocks), beats are segmented per stream, and the
+        classifier sees one concatenated beat matrix per shard.
+
+        Parameters
+        ----------
+        classifier:
+            Anything with ``predict(beats)`` — the float
+            :class:`~repro.core.pipeline.RPClassifierPipeline` or the
+            integer :class:`~repro.fixedpoint.convert.EmbeddedClassifier`.
+        streams:
+            Iterable of 1-D sample arrays, all at ``fs``.
+        fs:
+            Sampling frequency in Hz.
+        block_s:
+            ADC block size in seconds fed to the front end (> 0).
+        decimation:
+            Beat decimation factor before classification (paper: 4).
+        window:
+            Segmentation window (paper default 100 + 100).
+        config:
+            Optional :class:`~repro.dsp.peak_detection.PeakDetectorConfig`.
+
+        Returns
+        -------
+        list[StreamResult]
+            One entry per input stream, in order.
+        """
+        if fs <= 0:
+            raise ValueError("sampling frequency must be positive")
+        if block_s <= 0:
+            raise ValueError("block_s must be positive")
+        if decimation < 1:
+            raise ValueError("decimation must be >= 1")
+        block = max(1, int(round(block_s * fs)))
+        window = window or BeatWindow(100, 100)
+        arrays = []
+        for stream in streams:
+            x = np.asarray(stream, dtype=float)
+            if x.ndim != 1:
+                raise ValueError("streams must be 1-D sample arrays")
+            arrays.append(x)
+        shards = self._split(arrays)
+        parts = self._map(
+            _classify_shard_task,
+            [(classifier, shard, fs, block, window, decimation, config) for shard in shards],
+        )
+        return [result for part in parts for result in part]
+
+
+def simulate_records(
+    simulator: NodeSimulator, records, lead: int = 0, engine: ServingEngine | None = None
+) -> FleetTrace:
+    """Replay a batch of records (see :meth:`ServingEngine.simulate_records`).
+
+    ``engine`` selects sharding/executor; the default runs serially,
+    unsharded, and returns byte-identical results to any other engine.
+    """
+    return (engine or ServingEngine()).simulate_records(simulator, records, lead=lead)
+
+
+def classify_streams(
+    classifier,
+    streams,
+    fs: float,
+    block_s: float = 0.5,
+    decimation: int = 4,
+    window: BeatWindow | None = None,
+    config=None,
+    engine: ServingEngine | None = None,
+) -> list[StreamResult]:
+    """Classify many streams (see :meth:`ServingEngine.classify_streams`).
+
+    ``engine`` selects sharding/executor; the default runs serially
+    with one fleet-wide classifier pass, and returns byte-identical
+    results to any other engine.
+    """
+    return (engine or ServingEngine()).classify_streams(
+        classifier, streams, fs, block_s=block_s, decimation=decimation,
+        window=window, config=config,
+    )

@@ -34,6 +34,33 @@ class TestTrainedPipeline:
         f = pipeline.fuzzy_values(datasets.test.X[:7])
         assert f.shape == (7, 3)
 
+    def test_memo_detects_balanced_inplace_mutation(self, pipeline, datasets):
+        """Regression: sum-preserving edits and element swaps must
+        invalidate the fuzzy-value memo, not return stale values."""
+        X = datasets.test.X.copy()
+        pipeline.fuzzy_values(X)  # populate the memo keyed on X
+        X[0, 0] += 0.5
+        X[0, 1] -= 0.5  # balanced: the plain sum is unchanged
+        fresh = pipeline.nfc.fuzzy_values(pipeline.project(X.copy()))
+        np.testing.assert_array_equal(pipeline.fuzzy_values(X), fresh)
+        X[1, 0], X[1, 1] = float(X[1, 1]), float(X[1, 0])  # element swap
+        fresh = pipeline.nfc.fuzzy_values(pipeline.project(X.copy()))
+        np.testing.assert_array_equal(pipeline.fuzzy_values(X), fresh)
+
+    def test_picklable_after_fuzzy_memoization(self, pipeline, datasets):
+        """Regression: the fuzzy-value memo holds a weakref; pickling
+        (e.g. into process-pool serving workers) must drop it, not
+        raise TypeError."""
+        import pickle
+
+        pipeline.predict(datasets.test.X)  # populate the memo
+        assert getattr(pipeline, "_fuzzy_cache", None) is not None
+        clone = pickle.loads(pickle.dumps(pipeline))
+        assert getattr(clone, "_fuzzy_cache", None) is None
+        np.testing.assert_array_equal(
+            pipeline.predict(datasets.test.X), clone.predict(datasets.test.X)
+        )
+
     def test_k_mismatch_rejected(self, pipeline):
         from repro.core.nfc import NeuroFuzzyClassifier
 

@@ -80,6 +80,25 @@ class TestTrace:
         assert trace.worst_case_utilization == 0.0
         assert trace.activation_rate == 0.0
 
+    def test_worst_case_with_only_budgetless_events(self):
+        """Regression: events whose budgets are all <= 0 must yield 0.0,
+        not raise ValueError from an empty max()."""
+        event = BeatEvent(
+            peak=0, label=0, flagged=False,
+            frontend_cycles=100.0, classify_cycles=50.0, delineate_cycles=0.0,
+            tx_bytes=5, budget_cycles=0.0,
+        )
+        trace = NodeTrace([event], 10.0, 6e6)
+        assert trace.worst_case_utilization == 0.0
+        # A mix keeps reporting the worst budgeted beat.
+        budgeted = BeatEvent(
+            peak=1, label=0, flagged=False,
+            frontend_cycles=100.0, classify_cycles=50.0, delineate_cycles=0.0,
+            tx_bytes=5, budget_cycles=300.0,
+        )
+        trace = NodeTrace([event, budgeted], 10.0, 6e6)
+        assert trace.worst_case_utilization == pytest.approx(0.5)
+
 
 class TestSimulatorConfig:
     def test_invalid_decimation(self, embedded_classifier):

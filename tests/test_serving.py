@@ -1,11 +1,17 @@
-"""Tests for the batched multi-record / multi-stream serving layer."""
+"""Tests for the sharded multi-record / multi-stream serving layer."""
 
 import numpy as np
 import pytest
 
 from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
 from repro.platform.node_sim import NodeSimulator
-from repro.serving import FleetTrace, StreamResult, classify_streams, simulate_records
+from repro.serving import (
+    FleetTrace,
+    ServingEngine,
+    StreamResult,
+    classify_streams,
+    simulate_records,
+)
 
 
 @pytest.fixture(scope="module")
@@ -98,3 +104,109 @@ class TestClassifyStreams:
             classify_streams(embedded_classifier, [np.zeros(10)], 0.0)
         with pytest.raises(ValueError):
             classify_streams(embedded_classifier, [np.zeros((5, 2))], 360.0)
+
+    def test_non_positive_block_rejected(self, embedded_classifier):
+        """block_s <= 0 must raise, not silently clamp to 1 sample."""
+        for block_s in (0.0, -0.5):
+            with pytest.raises(ValueError):
+                classify_streams(embedded_classifier, [np.zeros(10)], 360.0, block_s=block_s)
+
+    def test_invalid_decimation_rejected(self, embedded_classifier):
+        with pytest.raises(ValueError):
+            classify_streams(embedded_classifier, [np.zeros(10)], 360.0, decimation=0)
+
+
+def assert_fleet_traces_identical(a: FleetTrace, b: FleetTrace) -> None:
+    """Byte-identical fleet outcomes: every event of every trace equal."""
+    assert len(a) == len(b)
+    for trace_a, trace_b in zip(a.traces, b.traces):
+        assert trace_a.duration_s == trace_b.duration_s
+        assert trace_a.clock_hz == trace_b.clock_hz
+        assert trace_a.events == trace_b.events
+
+
+def assert_stream_results_identical(a: list, b: list) -> None:
+    assert len(a) == len(b)
+    for result_a, result_b in zip(a, b):
+        np.testing.assert_array_equal(result_a.peaks, result_b.peaks)
+        np.testing.assert_array_equal(result_a.labels, result_b.labels)
+
+
+class TestServingEngine:
+    """Executor/shard equivalence: results are byte-identical however
+    the fleet is split and wherever the shards run."""
+
+    @pytest.fixture(scope="class")
+    def streams(self, records):
+        return [r.lead(0) for r in records]
+
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_simulate_records_equivalent(
+        self, executor, workers, records, embedded_classifier, fleet
+    ):
+        engine = ServingEngine(executor=executor, workers=workers)
+        sharded = simulate_records(
+            NodeSimulator(embedded_classifier), records, engine=engine
+        )
+        assert_fleet_traces_identical(fleet, sharded)
+
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_classify_streams_equivalent(
+        self, executor, workers, streams, records, embedded_classifier
+    ):
+        baseline = classify_streams(embedded_classifier, streams, records[0].fs)
+        engine = ServingEngine(executor=executor, workers=workers)
+        sharded = classify_streams(
+            embedded_classifier, streams, records[0].fs, engine=engine
+        )
+        assert_stream_results_identical(baseline, sharded)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 16])
+    def test_shard_count_invariant(
+        self, shards, streams, records, embedded_classifier, fleet
+    ):
+        engine = ServingEngine(executor="threads", workers=2, shards=shards)
+        assert_fleet_traces_identical(
+            fleet,
+            simulate_records(NodeSimulator(embedded_classifier), records, engine=engine),
+        )
+        assert_stream_results_identical(
+            classify_streams(embedded_classifier, streams, records[0].fs),
+            classify_streams(embedded_classifier, streams, records[0].fs, engine=engine),
+        )
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError):
+            ServingEngine(executor="fibers")
+        with pytest.raises(ValueError):
+            ServingEngine(workers=0)
+        with pytest.raises(ValueError):
+            ServingEngine(shards=0)
+
+    def test_empty_batches(self, embedded_classifier):
+        engine = ServingEngine(executor="threads", workers=2)
+        assert len(simulate_records(NodeSimulator(embedded_classifier), [], engine=engine)) == 0
+        assert classify_streams(embedded_classifier, [], 360.0, engine=engine) == []
+
+    def test_float_pipeline_through_process_pool(self, streams, records, embedded_pipeline):
+        """Regression: a float pipeline whose fuzzy-value memo (a
+        weakref) is populated must still pickle into process workers.
+
+        Serial and process engines are compared at the *same* shard
+        count: float matmul bitwise equality across batch sizes is a
+        BLAS property the invariance guarantee does not claim.
+        """
+        d = embedded_pipeline.projection.matrix.shape[1]
+        embedded_pipeline.predict(np.zeros((2, d)))  # populate the memo
+        fs = records[0].fs
+        serial = classify_streams(
+            embedded_pipeline, streams, fs,
+            engine=ServingEngine(executor="serial", shards=2),
+        )
+        sharded = classify_streams(
+            embedded_pipeline, streams, fs,
+            engine=ServingEngine(executor="processes", workers=2, shards=2),
+        )
+        assert_stream_results_identical(serial, sharded)
