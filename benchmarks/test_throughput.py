@@ -16,7 +16,10 @@ record these over time):
 * multi-record node simulation and fleet-batched stream
   classification, plus ``ServingEngine``-sharded variants of both
   (process sharding only pays off with >= 2 CPUs — the speedup over
-  serial is recorded in ``extra_info`` either way).
+  serial is recorded in ``extra_info`` either way);
+* the session gateway vs per-beat classification of the same live
+  sessions (the batched-classifier amortization of ``StreamGateway``;
+  asserted >= 2x events/sec).
 """
 
 import os
@@ -28,11 +31,17 @@ import pytest
 from repro.dsp.delineation import delineate_beats, delineate_multilead
 from repro.dsp.morphological import filter_lead
 from repro.dsp.peak_detection import detect_peaks
-from repro.dsp.streaming import BlockFilter, StreamingPeakDetector
-from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+from repro.dsp.streaming import BlockFilter, StreamingNode, StreamingPeakDetector
+from repro.ecg.synth import RecordSynthesizer, RhythmConfig, SynthesisConfig
 from repro.platform.node_sim import NodeSimulator
 from repro.platform.opcount import OpCounter
-from repro.serving import ServingEngine, classify_streams, simulate_records
+from repro.serving import (
+    ServingEngine,
+    StreamGateway,
+    classify_streams,
+    serve_round_robin,
+    simulate_records,
+)
 
 
 @pytest.fixture(scope="module")
@@ -227,3 +236,81 @@ def test_simulate_records_sharded_processes(
     fleet = benchmark(simulate_records, simulator, fleet_records, engine=engine)
     assert fleet.n_beats > 0
     benchmark.extra_info["n_beats"] = fleet.n_beats
+
+
+@pytest.fixture(scope="module")
+def gateway_sessions():
+    """Six high-rate (~140 bpm) live sessions: classification-heavy
+    load, where per-beat predict overhead dominates the savings."""
+    config = SynthesisConfig(n_leads=1, rhythm=RhythmConfig(mean_rr=0.42))
+    return [
+        RecordSynthesizer(config, seed=70 + s).synthesize(30.0) for s in range(6)
+    ]
+
+
+def test_gateway_vs_per_beat_classification(
+    benchmark, bench_embedded_classifier, gateway_sessions
+):
+    """Session gateway (one batched classifier pass per tick) vs the
+    same sessions on inline per-beat-classifying ``StreamingNode``s.
+
+    Both paths run identical front ends and identical chunk schedules;
+    only the classification batching differs, so the events/sec ratio
+    is the batched-classifier amortization.  The events themselves are
+    asserted bit-identical, and the gateway must clear 2x.
+
+    Unlike the sharded-process assertion above, this one asserts by
+    default: the amortization is architectural (per-call classifier
+    overhead vs one batched pass), holds on a single core, and both
+    sides are single-threaded on the same host — measured ~2.7x
+    against the 2x gate, with the baseline taken as a min-of-3 and the
+    gateway as the benchmark minimum.  Set
+    ``REPRO_BENCH_ASSERT_GATEWAY=0`` to record without asserting on a
+    host too oversubscribed for any wall-clock comparison.
+    """
+    records = gateway_sessions
+    fs = records[0].fs
+    block = int(1.0 * fs)
+
+    def run_per_beat():
+        events = []
+        for record in records:
+            node = StreamingNode(bench_embedded_classifier, fs, n_leads=1)
+            for i in range(0, record.n_samples, block):
+                events += node.push(record.signal[i : i + block])
+            events += node.flush()
+        return events
+
+    def run_gateway():
+        gateway = StreamGateway(
+            bench_embedded_classifier, fs, n_leads=1,
+            max_batch=256, max_latency_ticks=24,
+        )
+        per_session = serve_round_robin(
+            gateway, {f"s{i}": record.signal for i, record in enumerate(records)}, block
+        )
+        return [event for session in per_session.values() for event in session]
+
+    per_beat_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        per_beat_events = run_per_beat()
+        per_beat_times.append(time.perf_counter() - start)
+
+    gateway_events = benchmark(run_gateway)
+    assert [(e.peak, e.label) for e in gateway_events] == [
+        (e.peak, e.label) for e in per_beat_events
+    ]
+
+    n_events = len(gateway_events)
+    per_beat_s = min(per_beat_times)
+    gateway_s = benchmark.stats.stats.min
+    speedup = per_beat_s / gateway_s
+    benchmark.extra_info["n_sessions"] = len(records)
+    benchmark.extra_info["n_events"] = n_events
+    benchmark.extra_info["per_beat_events_per_s"] = n_events / per_beat_s
+    benchmark.extra_info["gateway_events_per_s"] = n_events / gateway_s
+    benchmark.extra_info["speedup_vs_per_beat"] = speedup
+    assert n_events > 300
+    if os.environ.get("REPRO_BENCH_ASSERT_GATEWAY") != "0":
+        assert speedup >= 2.0

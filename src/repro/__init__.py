@@ -27,9 +27,10 @@ The package is organised as one subpackage per subsystem:
     An operation-level model of the IcyHeart WBSN SoC: cycle counting,
     duty cycles, code/data memory and radio energy.
 ``repro.serving``
-    The sharded multi-record / multi-stream throughput layer: fleet
-    node simulation and per-shard one-pass classification of many
-    streams behind pluggable serial/thread/process executors.
+    The serving layer: sharded multi-record / multi-stream batch
+    execution behind pluggable serial/thread/process executors, and
+    the live-session ``StreamGateway`` multiplexing many open streams
+    into cross-session classifier batches.
 ``repro.experiments``
     Harnesses that regenerate every table and figure of the paper.
 

@@ -12,6 +12,10 @@ Commands
     Train a classifier and save both its float and embedded forms.
 ``codegen``
     Emit the C header for a saved embedded classifier.
+``serve``
+    Run many concurrently live session streams through the
+    :class:`~repro.serving.gateway.StreamGateway` and report the
+    fleet's throughput and batching statistics.
 
 Common options: ``--scale`` (fraction of the Table-I set sizes;
 ``--full`` is shorthand for the paper's exact configuration, including
@@ -163,6 +167,67 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve a fleet of live sessions through the session gateway."""
+    import time
+
+    import numpy as np
+
+    from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+    from repro.experiments.table3 import Table3Config, build_embedded_classifier
+    from repro.serving import StreamGateway, serve_round_robin
+
+    config = Table3Config(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
+    print("Training + quantizing the shared classifier ...")
+    classifier, _ = build_embedded_classifier(config)
+
+    print(f"Synthesizing {args.sessions} live session streams ...")
+    rng = np.random.default_rng(args.seed)
+    records = []
+    for i in range(args.sessions):
+        pvc = float(rng.uniform(0.05, 0.3))
+        mix = {"N": 1.0 - pvc - 0.05, "V": pvc, "L": 0.05}
+        records.append(
+            RecordSynthesizer(SynthesisConfig(n_leads=3), seed=args.seed + i).synthesize(
+                args.duration, class_mix=mix, name=f"session-{i}"
+            )
+        )
+    fs = records[0].fs
+    chunk = max(1, int(round(args.chunk_ms * 1e-3 * fs)))
+
+    gateway = StreamGateway(
+        classifier,
+        fs,
+        n_leads=3,
+        max_batch=args.max_batch,
+        max_latency_ticks=args.max_latency_ticks,
+    )
+    print(
+        f"Ingesting round-robin ({args.chunk_ms:.0f} ms chunks, "
+        f"max_batch={args.max_batch}, max_latency_ticks={args.max_latency_ticks}) ..."
+    )
+    start = time.perf_counter()
+    events = serve_round_robin(
+        gateway, {record.name: record.signal for record in records}, chunk
+    )
+    elapsed = time.perf_counter() - start
+
+    for record in records:
+        session = events[record.name]
+        flagged = sum(1 for e in session if e.flagged)
+        print(f"  {record.name}: {len(session)} beats, {flagged} flagged abnormal")
+    total = sum(len(session) for session in events.values())
+    signal_s = sum(r.n_samples for r in records) / fs
+    print(
+        f"served {total} beats from {signal_s:.0f} s of live signal in "
+        f"{elapsed * 1e3:.0f} ms ({total / elapsed:.0f} events/s, "
+        f"{signal_s / elapsed:.0f}x realtime); "
+        f"{gateway.n_classified} beats classified in {gateway.n_flushes} batched "
+        f"passes ({gateway.n_classified / max(1, gateway.n_flushes):.1f} beats/pass)"
+    )
+    return 0
+
+
 def cmd_subjects(args) -> int:
     from repro.experiments.cross_subject import (
         CrossSubjectConfig,
@@ -274,6 +339,23 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--duration", type=float, default=60.0,
                           help="record length in seconds")
     simulate.set_defaults(fn=cmd_simulate)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="session gateway: live multi-session streams, batched classification",
+    )
+    _add_common(serve)
+    serve.add_argument("--sessions", type=int, default=6,
+                       help="number of concurrently live streams")
+    serve.add_argument("--duration", type=float, default=30.0,
+                       help="per-session stream length in seconds")
+    serve.add_argument("--chunk-ms", type=float, default=250.0,
+                       help="ingest chunk size in milliseconds")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="flush the cross-session batch at this many beats")
+    serve.add_argument("--max-latency-ticks", type=int, default=8,
+                       help="flush when the oldest beat waited this many ingests")
+    serve.set_defaults(fn=cmd_serve)
 
     report = subparsers.add_parser(
         "report", help="write report.md + CSV sweeps for every artifact"

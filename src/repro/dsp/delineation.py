@@ -460,6 +460,197 @@ def _segment_mmd(
     return out
 
 
+def _detrend_batch(block: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`_detrend` of windows sharing one geometry.
+
+    All rows have the same width, so the edge size — and therefore the
+    endpoint means and the trend line — vectorize across beats with
+    the exact arithmetic of the scalar path (`np.linspace` applies the
+    same ``arange * step + start`` formula to array endpoints).
+    """
+    w = block.shape[1]
+    if w < 4:
+        return block - block.mean(axis=1, keepdims=True)
+    edge = max(2, w // 10)
+    start = block[:, :edge].mean(axis=1)
+    stop = block[:, -edge:].mean(axis=1)
+    trend = np.linspace(start, stop, w, axis=1)
+    return block - trend
+
+
+def _wave_scan_batch(
+    segments: np.ndarray,
+    lo: np.ndarray,
+    hi: int,
+    reference: np.ndarray,
+    min_relative: float,
+) -> np.ndarray:
+    """Vectorized :func:`_find_wave` over beats with per-beat window starts.
+
+    The window end is uniform (it depends only on the shared segment
+    geometry) but the start varies — the P search is gated by each
+    beat's previous peak.  Detrending is window-size dependent, so
+    beats are grouped by start and each group scanned in one pass;
+    ungated records collapse to a single group.
+    """
+    k = segments.shape[0]
+    out = np.full(k, -1, dtype=np.int64)
+    for start in np.unique(lo):
+        if hi <= start + 3:
+            continue
+        rows = np.flatnonzero(lo == start)
+        w = int(hi - start)
+        deflection = np.abs(_detrend_batch(segments[rows, start:hi]))
+        peak = np.argmax(deflection, axis=1)
+        value = deflection[np.arange(rows.size), peak]
+        margin = max(1, w // 10)
+        found = (
+            ~(value < min_relative * reference[rows])
+            & (peak >= margin)
+            & (peak < w - margin)
+        )
+        out[rows[found]] = start + peak[found]
+    return out
+
+
+def _masked_argmax(rows: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Per-row ``lo[i] + argmax(rows[i, lo[i]:hi[i]])``; ``-1`` where empty.
+
+    Masking out-of-window columns to ``-inf`` preserves the first-max
+    tie-breaking of the sliced scalar argmax, so the result is
+    bit-identical to :func:`_boundary_before` / :func:`_boundary_after`
+    window by window.
+    """
+    lo, hi = np.broadcast_to(lo, rows.shape[:1]), np.broadcast_to(hi, rows.shape[:1])
+    cols = np.arange(rows.shape[1])
+    mask = (cols >= lo[:, None]) & (cols < hi[:, None])
+    idx = np.argmax(np.where(mask, rows, -np.inf), axis=1)
+    return np.where(hi > lo, idx, -1)
+
+
+def _segment_mmd_batch(segments: np.ndarray, gathered: np.ndarray, scale: int) -> np.ndarray:
+    """Edge fixups of :func:`_segment_mmd`, across all beats at once.
+
+    ``gathered`` holds the run-level MMD values gathered at each
+    beat's segment positions — correct everywhere except the first and
+    last ``scale`` samples, where the per-beat path sees the segment's
+    own edge replication.  Those collapse to prefix/suffix extrema of
+    the segment, computed here with row-wise accumulates (comparisons
+    and the same ``max + min - 2x`` arithmetic: bit-exact).
+    """
+    L = segments.shape[1]
+    out = gathered
+    pre = segments[:, : 2 * scale]
+    pre_max = np.maximum.accumulate(pre, axis=1)
+    pre_min = np.minimum.accumulate(pre, axis=1)
+    out[:, :scale] = (
+        pre_max[:, scale : 2 * scale]
+        + pre_min[:, scale : 2 * scale]
+        - 2.0 * segments[:, :scale]
+    )
+    suf = segments[:, L - 2 * scale :]
+    suf_max = np.maximum.accumulate(suf[:, ::-1], axis=1)[:, ::-1]
+    suf_min = np.minimum.accumulate(suf[:, ::-1], axis=1)[:, ::-1]
+    out[:, L - scale :] = (
+        suf_max[:, :scale] + suf_min[:, :scale] - 2.0 * segments[:, L - scale :]
+    )
+    return out
+
+
+def _locate_fiducials_batch(
+    segments: np.ndarray,
+    mmd_qrs: np.ndarray,
+    mmd_p: np.ndarray,
+    mmd_t: np.ndarray,
+    local_peak: int,
+    seg_lo: np.ndarray,
+    peaks: np.ndarray,
+    fs: float,
+    config: DelineationConfig,
+    previous: np.ndarray,
+    r_amps: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`_locate_fiducials` over one segment geometry.
+
+    Every input row is a record-interior beat, so all nine search
+    windows share their offsets relative to ``local_peak``; only the P
+    search start (gated by ``previous``, ``-1`` = ungated) and the
+    wave-dependent boundary anchors vary per beat.  Window scans
+    become row-wise argmaxes (masked where the window varies) and the
+    presence tests one detrend pass per window group — bit-exact with
+    the scalar core, beat for beat.
+
+    Returns the ``(k, 9)`` fiducials in record coordinates.
+    """
+    k, L = segments.shape
+    _, p_scale, t_scale = config.mmd_scales(fs)
+
+    qo_lo, qo_hi = _window_indices(local_peak, config.qrs_onset_search, fs, L)
+    qe_lo, qe_hi = _window_indices(local_peak, config.qrs_end_search, fs, L)
+    if qo_hi > qo_lo:
+        qrs_onset = qo_lo + np.argmax(mmd_qrs[:, qo_lo:qo_hi], axis=1)
+    else:
+        qrs_onset = np.full(k, -1, dtype=np.int64)
+    if qe_hi > qe_lo + 1:
+        qrs_end = qe_lo + 1 + np.argmax(mmd_qrs[:, qe_lo + 1 : qe_hi], axis=1)
+    else:
+        qrs_end = np.full(k, -1, dtype=np.int64)
+
+    p_lo, p_hi = _window_indices(local_peak, config.p_search, fs, L)
+    guard = previous + int(round(PREVIOUS_BEAT_GUARD_S * fs)) - seg_lo
+    p_lo_b = np.where(previous >= 0, np.maximum(p_lo, guard), p_lo).astype(np.int64)
+    p_peak = _wave_scan_batch(segments, p_lo_b, p_hi, r_amps, min_relative=0.08)
+    p_onset = np.full(k, -1, dtype=np.int64)
+    p_end = np.full(k, -1, dtype=np.int64)
+    rows = np.flatnonzero(p_peak >= 0)
+    if rows.size:
+        p_onset[rows] = _masked_argmax(
+            mmd_p[rows], np.maximum(0, p_lo_b[rows] - p_scale), p_peak[rows]
+        )
+        p_end[rows] = _masked_argmax(
+            mmd_p[rows], p_peak[rows] + 1, np.full(rows.size, min(L, p_hi + p_scale))
+        )
+
+    t_lo, t_hi = _window_indices(local_peak, config.t_search, fs, L)
+    t_peak = _wave_scan_batch(
+        segments, np.full(k, t_lo, dtype=np.int64), t_hi, r_amps, min_relative=0.05
+    )
+    t_onset = np.full(k, -1, dtype=np.int64)
+    t_end = np.full(k, -1, dtype=np.int64)
+    rows = np.flatnonzero(t_peak >= 0)
+    if rows.size:
+        t_onset[rows] = _masked_argmax(
+            mmd_t[rows], np.full(rows.size, max(0, t_lo - t_scale)), t_peak[rows]
+        )
+        t_end[rows] = _masked_argmax(
+            mmd_t[rows], t_peak[rows] + 1, np.full(rows.size, min(L, t_hi + t_scale))
+        )
+
+    local = np.stack(
+        [p_onset, p_peak, p_end, qrs_onset, np.full(k, local_peak), qrs_end,
+         t_onset, t_peak, t_end],
+        axis=1,
+    )
+    out = np.where(local >= 0, local + seg_lo[:, None], -1)
+    out[:, FIDUCIAL_NAMES.index("r_peak")] = peaks
+    return out.astype(np.int64)
+
+
+def _combine_leads_batch(per_lead: np.ndarray) -> np.ndarray:
+    """:func:`_combine_leads` across all beats: ``(k, n_leads, 9) -> (k, 9)``."""
+    import warnings
+
+    n_leads = per_lead.shape[1]
+    found = per_lead >= 0
+    counts = found.sum(axis=1)
+    with warnings.catch_warnings():
+        # All-NaN slices (no lead found the fiducial) are overridden
+        # with -1 by the majority test below.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        medians = np.nanmedian(np.where(found, per_lead.astype(float), np.nan), axis=1)
+    return np.where(counts * 2 > n_leads, medians, -1.0).astype(np.int64)
+
+
 def delineate_beats(
     leads: np.ndarray,
     peaks: np.ndarray,
@@ -522,31 +713,57 @@ def delineate_beats(
 
     bounds = [_segment_bounds(int(p), fs, config, n) for p in peaks]
     runs, run_of = _merge_segments(bounds)
-    # Record-interior beats share one segment geometry, so their R
-    # amplitudes (|peak - median(segment)|) vectorize into one gather
-    # and one axis-median per lead; boundary-clamped beats fall back to
-    # the per-beat computation inside _locate_fiducials.
+    # Record-interior beats share one segment geometry (length L, peak
+    # at -off_lo), so segments, R amplitudes, MMD edge fixups and
+    # every window scan vectorize across beats; boundary-clamped beats
+    # fall back to the scalar per-beat core.
     off_lo, off_hi = config.segment_offsets(fs)
+    L = off_hi - off_lo
     unclamped = (peaks + off_lo >= 0) & (peaks + off_hi <= n)
+    if L <= 2 * max(scales):
+        unclamped = np.zeros(peaks.size, dtype=bool)  # degenerate geometry
+    batch_idx = np.flatnonzero(unclamped)
+    scalar_idx = np.flatnonzero(~unclamped)
     gather = peaks[unclamped, np.newaxis] + np.arange(off_lo, off_hi)[np.newaxis, :]
-    amp_pos = np.cumsum(unclamped) - 1  # beat index -> row in the gather
 
     previous: list[int | None] = []
     for b in range(peaks.size):
         prev = previous_peaks[b] if previous_peaks is not None else None
         previous.append(None if prev is None or int(prev) < 0 else int(prev))
+    previous_arr = np.asarray(
+        [-1 if previous[b] is None else previous[b] for b in batch_idx], dtype=np.int64
+    )
 
     per_lead = np.empty((peaks.size, n_leads, len(FIDUCIAL_NAMES)), dtype=np.int64)
     for lead in range(n_leads):
         x = leads[:, lead]
-        if gather.size:
-            segments = x[gather]
-            r_amps = np.abs(segments[:, -off_lo] - np.median(segments, axis=1))
         run_mmds: list[list[np.ndarray]] = []
         for run_lo, run_hi in runs:
             chunk = x[run_lo:run_hi]
             run_mmds.append([mmd_transform(chunk, scale) for scale in scales])
-        for b in range(peaks.size):
+        if batch_idx.size:
+            segments = x[gather]
+            r_amps = np.abs(segments[:, -off_lo] - np.median(segments, axis=1))
+            # Scatter the run-level MMDs onto the record timeline once,
+            # so each beat's interior values become one row gather.
+            full = np.empty(n)
+            mmds = []
+            for s, scale in enumerate(scales):
+                for (run_lo, run_hi), values in zip(runs, run_mmds):
+                    full[run_lo:run_hi] = values[s]
+                mmds.append(_segment_mmd_batch(segments, full[gather], scale))
+            per_lead[batch_idx, lead] = _locate_fiducials_batch(
+                segments,
+                *mmds,
+                -off_lo,
+                peaks[batch_idx] + off_lo,
+                peaks[batch_idx],
+                fs,
+                config,
+                previous_arr,
+                r_amps,
+            )
+        for b in scalar_idx:
             lo, hi = bounds[b]
             run_lo = runs[run_of[b]][0]
             mmds = [
@@ -562,14 +779,14 @@ def delineate_beats(
                 fs,
                 config,
                 previous[b],
-                r_amplitude=float(r_amps[amp_pos[b]]) if unclamped[b] else None,
             ).as_array()
 
+    combined = _combine_leads_batch(per_lead)
     results = []
     for b in range(peaks.size):
         if counters is not None:
             _charge_beat_ops(counters[b], bounds[b][1] - bounds[b][0], scales, n_leads)
-        results.append(BeatFiducials.from_array(_combine_leads(per_lead[b])))
+        results.append(BeatFiducials.from_array(combined[b]))
     return results
 
 
@@ -659,6 +876,7 @@ class StreamingDelineator:
         self._start = 0  # absolute index of buffer[0]
         self._end = 0  # absolute samples consumed
         self._pending: list[tuple[int, int | None, object]] = []
+        self._hold: int | None = None
 
     @property
     def n_samples(self) -> int:
@@ -710,6 +928,18 @@ class StreamingDelineator:
         self._trim()
         return out
 
+    def hold(self, peak: int | None) -> None:
+        """Retain the left context of ``peak`` until further notice.
+
+        A caller that *may* schedule a beat later — e.g. a gateway
+        session whose classifier verdict is still in flight — marks the
+        earliest such peak here; the buffer is then never trimmed past
+        that beat's segment start, whatever the configured lookback.
+        ``hold(None)`` releases the floor.  Beats scheduled later via
+        :meth:`add_beat` must have peaks at or after the held one.
+        """
+        self._hold = None if peak is None else int(peak)
+
     def flush(self) -> list[tuple[int, BeatFiducials]]:
         """Finalize pending beats at the stream end; reset for a new stream.
 
@@ -719,6 +949,7 @@ class StreamingDelineator:
         out = self._finalize(final=True)
         self._buffer = None if self._buffer is None else self._buffer[:0]
         self._origin = self._start = self._end
+        self._hold = None
         return out
 
     def _seg_lo(self, peak: int) -> int:
@@ -754,6 +985,8 @@ class StreamingDelineator:
         keep_from = self._end - (self._lookback + self._left + 1)
         if self._pending:
             keep_from = min(keep_from, self._seg_lo(self._pending[0][0]))
+        if self._hold is not None:
+            keep_from = min(keep_from, self._seg_lo(self._hold))
         keep_from = max(self._start, keep_from)
         if keep_from > self._start:
             self._buffer = self._buffer[keep_from - self._start :]

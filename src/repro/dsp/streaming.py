@@ -32,7 +32,17 @@ This module provides that engine:
   gated :class:`~repro.dsp.delineation.StreamingDelineator` for beats
   flagged abnormal.  It emits one :class:`StreamBeatEvent` per beat
   (label, fiducials, tx payload) incrementally, in beat order, and is
-  bit-exact with the batch pipeline over the completed record.
+  bit-exact with the batch pipeline over the completed record.  Two
+  serving hooks separate concerns further: a *deferred-classify* mode
+  splits the per-sample front end from classification (pending beats
+  go to an outbox via :meth:`StreamingNode.take_pending`, labels come
+  back via :meth:`StreamingNode.deliver` — how
+  :class:`repro.serving.gateway.StreamGateway` multiplexes many live
+  sessions into one batched classifier pass), and
+  :meth:`StreamingNode.snapshot` / :meth:`StreamingNode.restore`
+  capture the full session state (filters, wavelet, thresholds,
+  delineator buffers, pending beats) as a picklable
+  :class:`NodeSnapshot` so live sessions can migrate between shards.
 
 The filter/detector classes record no op counts: the counters model
 the embedded firmware's *batch-equivalent* arithmetic, which is
@@ -41,8 +51,9 @@ unchanged (see :mod:`repro.dsp.morphological`).
 
 from __future__ import annotations
 
+import copy
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -386,9 +397,17 @@ class StreamBeatEvent:
 
 
 class _PendingBeat:
-    """Mutable per-beat state while a beat moves through the node."""
+    """Mutable per-beat state while a beat moves through the node.
 
-    __slots__ = ("peak", "label", "flagged", "classified", "dropped")
+    ``extracted`` marks beats whose decimated window has been handed
+    out for deferred classification (it doubles as the classification
+    handle the gateway passes back to :meth:`StreamingNode.deliver`);
+    ``row`` holds that window until the label arrives, so a snapshot
+    taken with labels in flight can re-issue it — the segment buffer
+    may have trimmed past the beat by then.
+    """
+
+    __slots__ = ("peak", "label", "flagged", "classified", "dropped", "extracted", "row")
 
     def __init__(self, peak: int):
         self.peak = peak
@@ -396,6 +415,32 @@ class _PendingBeat:
         self.flagged = False
         self.classified = False
         self.dropped = False
+        self.extracted = False
+        self.row = None
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
+@dataclass(frozen=True)
+class NodeSnapshot:
+    """Full, picklable state of a :class:`StreamingNode` session.
+
+    Captures everything the node carries between pushes — filter
+    cascades, wavelet FIR state, running detection thresholds,
+    delineator buffers, the pending-beat queue and any beats awaiting
+    deferred classification — but *not* the classifier, which belongs
+    to the shard a session runs on.  Produced by
+    :meth:`StreamingNode.snapshot`, consumed by
+    :meth:`StreamingNode.restore`; serialize with :mod:`pickle` to
+    migrate a live session between shards or hosts.
+    """
+
+    state: dict = field(repr=False)
 
 
 class StreamingNode:
@@ -441,6 +486,19 @@ class StreamingNode:
         Stage tunables.
     overhead_bytes:
         Link-layer overhead added to each queued payload.
+    defer_classification:
+        ``False`` (default): each beat is classified inline with a
+        per-beat ``predict`` call as soon as its window is complete.
+        ``True``: the node separates the per-sample front end from
+        classification — ``push`` *extracts* pending beats (decimated
+        windows) into an outbox instead of classifying them, a caller
+        (typically :class:`repro.serving.gateway.StreamGateway`, which
+        multiplexes the outboxes of many live sessions into one
+        batched classifier pass) collects them via
+        :meth:`take_pending` and later returns the labels through
+        :meth:`deliver`.  Event content and order are identical in
+        both modes; only the ``predict`` batching differs (exact for
+        the integer classifier).
     """
 
     def __init__(
@@ -454,6 +512,7 @@ class StreamingNode:
         detector_config: PeakDetectorConfig | None = None,
         delineation_config: DelineationConfig | None = None,
         overhead_bytes: int = 2,
+        defer_classification: bool = False,
     ):
         from repro.ecg.segmentation import BeatWindow
         from repro.platform.radio import FULL_FIDUCIAL_PAYLOAD, PEAK_ONLY_PAYLOAD
@@ -494,11 +553,59 @@ class StreamingNode:
         self._last_kept: int | None = None
         self._full_bytes = FULL_FIDUCIAL_PAYLOAD + overhead_bytes
         self._peak_bytes = PEAK_ONLY_PAYLOAD + overhead_bytes
+        self.defer_classification = bool(defer_classification)
+        self._outbox: list[tuple[_PendingBeat, np.ndarray]] = []
 
     @property
     def n_pending(self) -> int:
         """Beats detected but not yet emitted."""
         return len(self._queue)
+
+    @property
+    def n_awaiting_labels(self) -> int:
+        """Deferred-mode beats extracted but not yet delivered."""
+        return sum(
+            1 for b in self._queue if b.extracted and not b.classified and not b.dropped
+        )
+
+    def snapshot(self) -> NodeSnapshot:
+        """Capture the full session state (everything but the classifier).
+
+        The snapshot is an independent deep copy: the live node can
+        keep streaming after taking it.  Restore any number of times
+        with :meth:`restore` — each restored node continues the stream
+        exactly where the snapshot was taken, emitting bit-identical
+        events to the uninterrupted original.
+        """
+        state = {k: v for k, v in self.__dict__.items() if k != "classifier"}
+        return NodeSnapshot(state=copy.deepcopy(state))
+
+    @classmethod
+    def restore(cls, classifier, snapshot: NodeSnapshot) -> "StreamingNode":
+        """Rebuild a session from a :meth:`snapshot`, attaching ``classifier``.
+
+        The classifier is supplied by the restoring shard (it is not
+        part of the snapshot); with the integer classifier any shard's
+        copy yields identical labels, so a migrated session's events
+        stay bit-exact.
+
+        Classification handles do not cross the snapshot boundary:
+        beats whose labels were still in flight when the snapshot was
+        taken re-enter the restored node's outbox (each beat keeps its
+        extracted window until its label arrives), so the restoring
+        caller re-collects and classifies them — the original handles
+        become irrelevant, and nothing is lost or double-labeled.
+        """
+        node = cls.__new__(cls)
+        node.classifier = classifier
+        node.__dict__.update(copy.deepcopy(snapshot.state))
+        if node.defer_classification:
+            node._outbox = [
+                (beat, beat.row)
+                for beat in node._queue
+                if beat.extracted and not beat.classified and not beat.dropped
+            ]
+        return node
 
     def push(self, block: np.ndarray) -> list[StreamBeatEvent]:
         """Feed raw samples ``(n,)`` or ``(n, n_leads)``; return new events."""
@@ -522,14 +629,110 @@ class StreamingNode:
         Applies the record-end edge handling of the batch path (filter
         tail, detector tail window, clamped delineation segments) and
         resets the node for a fresh stream on the same timeline.
+
+        In deferred-classify mode the stream end is a three-step
+        handshake instead — :meth:`finish_input`, then classification
+        of the outbox (:meth:`take_pending` / :meth:`deliver`), then
+        :meth:`finalize` — because the remaining beats cannot be
+        emitted until their labels come back.
         """
+        if self.defer_classification:
+            raise RuntimeError(
+                "deferred-classify node: end the stream with finish_input(), "
+                "deliver the remaining labels, then finalize() "
+                "(StreamGateway.close_session drives this)"
+            )
         tail = np.column_stack([f.flush() for f in self._filters])
         events = self._advance(tail, final=True)
+        self._reset_stream()
+        return events
+
+    def finish_input(self) -> list[StreamBeatEvent]:
+        """Deferred mode, step 1 of the stream end: flush the front end.
+
+        Runs the filter tails and the detector's tail window, and
+        extracts every remaining classifiable beat into the outbox
+        (beats whose window no longer fits are dropped, exactly as
+        batch segmentation drops them at a record end).  Returns any
+        events that were already fully resolved.  The delineator is
+        *not* flushed yet — flagged beats among the outbox still need
+        their labels first.
+        """
+        if not self.defer_classification:
+            raise RuntimeError("finish_input() applies to deferred-classify nodes; use flush()")
+        tail = np.column_stack([f.flush() for f in self._filters])
+        return self._advance(tail, final=True)
+
+    def finalize(self) -> list[StreamBeatEvent]:
+        """Deferred mode, step 3 of the stream end: emit the tail events.
+
+        Requires every extracted beat to have been :meth:`deliver`-ed.
+        Flushes the delineator (stream-end clamped segments, like the
+        batch path at a record edge), emits the remaining events and
+        resets the node for a fresh stream on the same timeline.
+        """
+        if not self.defer_classification:
+            raise RuntimeError("finalize() applies to deferred-classify nodes; use flush()")
+        if self._outbox or self.n_awaiting_labels:
+            raise RuntimeError(
+                "beats still await classification; take_pending()/deliver() them first"
+            )
+        for peak, fiducials in self._delineator.flush():
+            self._done[peak] = fiducials
+        events = self._emit_ready()
+        self._reset_stream()
+        return events
+
+    def take_pending(self) -> list[tuple[object, np.ndarray]]:
+        """Drain the outbox: ``(handle, decimated_window)`` per beat.
+
+        The handles are opaque; pass each back to :meth:`deliver` with
+        its label.  Rows are 1-D decimated beat windows ready to be
+        stacked into one batched ``predict`` call, in beat order.
+        """
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def deliver(self, resolved) -> list[StreamBeatEvent]:
+        """Apply classifier labels to extracted beats; return new events.
+
+        Parameters
+        ----------
+        resolved:
+            Iterable of ``(handle, label)`` pairs, in the order the
+            handles came out of :meth:`take_pending`.  Partial
+            deliveries are fine (labels may arrive across several
+            batch flushes) as long as order is preserved.
+        """
+        from repro.core.defuzz import is_abnormal
+
+        if not self.defer_classification:
+            raise RuntimeError("deliver() applies to deferred-classify nodes")
+        for beat, label in resolved:
+            if not isinstance(beat, _PendingBeat) or not beat.extracted:
+                raise ValueError("unknown classification handle")
+            if beat.classified:
+                raise ValueError(f"beat at {beat.peak} was already delivered")
+            beat.label = int(label)
+            beat.flagged = bool(is_abnormal(np.asarray([beat.label]))[0])
+            beat.classified = True
+            beat.row = None  # window no longer needed once labeled
+            previous = self._last_kept
+            self._last_kept = beat.peak
+            if beat.flagged:
+                for peak, fiducials in self._delineator.add_beat(
+                    beat.peak, previous_peak=previous
+                ):
+                    self._done[peak] = fiducials
+        self._update_hold()
+        return self._emit_ready()
+
+    def _reset_stream(self) -> None:
         self._seg_buf = np.empty(0)
         self._origin = self._seg_start = self._count
         self._done.clear()
         self._last_kept = None
-        return events
 
     def _advance(self, filtered: np.ndarray, final: bool) -> list[StreamBeatEvent]:
         if filtered.shape[0]:
@@ -544,10 +747,13 @@ class StreamingNode:
             new_peaks = list(new_peaks) + self._detector.flush()
         for peak in new_peaks:
             self._queue.append(_PendingBeat(int(peak)))
-        self._classify_ready(final)
-        if final:
-            for peak, fiducials in self._delineator.flush():
-                self._done[peak] = fiducials
+        if self.defer_classification:
+            self._extract_ready(final)
+        else:
+            self._classify_ready(final)
+            if final:
+                for peak, fiducials in self._delineator.flush():
+                    self._done[peak] = fiducials
         return self._emit_ready()
 
     def _append_segment_buffer(self, filtered_lead: np.ndarray) -> None:
@@ -557,31 +763,46 @@ class StreamingNode:
             self._seg_buf = self._seg_buf[excess:]
             self._seg_start += excess
 
+    def _window_ready(self, beat: _PendingBeat, final: bool) -> bool | None:
+        """Shared eligibility logic: can this beat's window be cut now?
+
+        Returns ``True`` when the full window is available, ``False``
+        when the beat was dropped (window can never fit — the batch
+        path's segmentation drops it too), ``None`` when the beat must
+        keep waiting for right context (every later beat waits too).
+        """
+        if beat.peak + self.window.post > self._count:
+            if final:
+                beat.dropped = True
+                return False
+            return None
+        if beat.peak < self._origin + self.window.pre:
+            beat.dropped = True
+            return False
+        return True
+
+    def _cut_window(self, beat: _PendingBeat) -> np.ndarray:
+        from repro.ecg.resample import decimate_beats
+
+        lo = beat.peak - self.window.pre - self._seg_start
+        if lo < 0:
+            raise RuntimeError("segmentation context discarded before use")
+        segment = self._seg_buf[np.newaxis, lo : lo + self.window.length]
+        decimated, _ = decimate_beats(segment, self.window, self.decimation)
+        return decimated
+
     def _classify_ready(self, final: bool) -> None:
         from repro.core.defuzz import is_abnormal
-        from repro.ecg.resample import decimate_beats
 
         for beat in self._queue:
             if beat.classified or beat.dropped:
                 continue
-            if beat.peak + self.window.post > self._count:
-                if final:
-                    # The stream ended before the window fit: the batch
-                    # path's segmentation drops this beat too.
-                    beat.dropped = True
-                    continue
+            ready = self._window_ready(beat, final)
+            if ready is None:
                 break  # later beats have larger peaks — also waiting
-            if beat.peak < self._origin + self.window.pre:
-                # Too close to the stream start for a full window: the
-                # batch path's segmentation drops this beat too.
-                beat.dropped = True
+            if not ready:
                 continue
-            lo = beat.peak - self.window.pre - self._seg_start
-            if lo < 0:
-                raise RuntimeError("segmentation context discarded before use")
-            segment = self._seg_buf[np.newaxis, lo : lo + self.window.length]
-            decimated, _ = decimate_beats(segment, self.window, self.decimation)
-            label = int(np.asarray(self.classifier.predict(decimated))[0])
+            label = int(np.asarray(self.classifier.predict(self._cut_window(beat)))[0])
             beat.label = label
             beat.flagged = bool(is_abnormal(np.asarray([label]))[0])
             beat.classified = True
@@ -592,6 +813,38 @@ class StreamingNode:
                     beat.peak, previous_peak=previous
                 ):
                     self._done[peak] = fiducials
+
+    def _extract_ready(self, final: bool) -> None:
+        """Deferred mode: move ready beats into the outbox, unlabeled.
+
+        Windows are cut at exactly the points :meth:`_classify_ready`
+        would classify them (same segment buffer content), so deferred
+        and inline modes see identical decimated windows; only the
+        ``predict`` call moves.  The delineator is told to keep the
+        earliest unresolved beat's context alive until the labels
+        arrive (a flagged verdict schedules delineation retroactively).
+        """
+        for beat in self._queue:
+            if beat.classified or beat.dropped or beat.extracted:
+                continue
+            ready = self._window_ready(beat, final)
+            if ready is None:
+                break
+            if not ready:
+                continue
+            beat.extracted = True
+            beat.row = self._cut_window(beat)[0]
+            self._outbox.append((beat, beat.row))
+        self._update_hold()
+
+    def _update_hold(self) -> None:
+        """Point the delineator's retention floor at the earliest beat
+        whose verdict is still unknown (it may yet be flagged)."""
+        for beat in self._queue:
+            if not beat.classified and not beat.dropped:
+                self._delineator.hold(beat.peak)
+                return
+        self._delineator.hold(None)
 
     def _emit_ready(self) -> list[StreamBeatEvent]:
         events: list[StreamBeatEvent] = []

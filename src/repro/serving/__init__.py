@@ -1,0 +1,50 @@
+"""Serving layer: sharded batch execution + live session gateway.
+
+The per-record APIs (:meth:`repro.platform.node_sim.NodeSimulator.process_record`,
+the :mod:`repro.dsp.streaming` classes) model one WBSN node.  A back
+end — the roadmap's heavy-traffic scenario — serves *many* nodes at
+once; this package is that workload's engine, in two shapes:
+
+* **Batch** (:mod:`repro.serving.engine`): :class:`ServingEngine`
+  shards complete records/streams across pluggable executors
+  (:mod:`repro.serving.executors`) with one batched classifier pass
+  per shard; :func:`simulate_records` / :func:`classify_streams` are
+  its entry points, :class:`FleetTrace` / :class:`StreamResult`
+  (:mod:`repro.serving.results`) its outputs.
+* **Live** (:mod:`repro.serving.gateway`): :class:`StreamGateway`
+  multiplexes many concurrently open streaming sessions —
+  ``open_session`` / ``ingest`` / ``close_session`` — into
+  size- and latency-bounded cross-session classifier batches, with
+  per-session results bit-exact with a standalone
+  :class:`~repro.dsp.streaming.StreamingNode`.
+
+Both shapes accept plain lists/arrays, so callers can queue above them
+without this package taking a position on the transport.
+"""
+
+from repro.serving.engine import (
+    EXECUTORS,
+    ServingEngine,
+    classify_streams,
+    simulate_records,
+)
+from repro.serving.gateway import (
+    BeatBatch,
+    SessionExport,
+    StreamGateway,
+    serve_round_robin,
+)
+from repro.serving.results import FleetTrace, StreamResult
+
+__all__ = [
+    "EXECUTORS",
+    "BeatBatch",
+    "FleetTrace",
+    "ServingEngine",
+    "SessionExport",
+    "StreamGateway",
+    "StreamResult",
+    "classify_streams",
+    "serve_round_robin",
+    "simulate_records",
+]

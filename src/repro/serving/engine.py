@@ -1,135 +1,54 @@
-"""Sharded multi-record / multi-stream serving layer.
+"""Sharded batch execution: :class:`ServingEngine` and its entry points.
 
 The per-record APIs (:meth:`repro.platform.node_sim.NodeSimulator.process_record`,
-the :mod:`repro.dsp.streaming` classes) model one WBSN node.  A
-gateway — or the roadmap's heavy-traffic scenario — serves *many*
-nodes at once; this module is that workload's engine:
+the :mod:`repro.dsp.streaming` classes) model one WBSN node; the
+engine serves *many* nodes at once.  It shards a batch of
+records/streams across workers behind a pluggable executor
+(:data:`~repro.serving.executors.EXECUTORS`), runs the per-stream
+front ends inside each shard, and makes **one batched classifier pass
+per shard** — one projection and one fuzzification pass per shard
+instead of one per stream, which is where the vectorized classifier
+earns its keep under load.  Because every record/stream is processed
+independently and shard outputs are concatenated in submission order,
+results are byte-identical regardless of executor choice, worker count
+or shard count.  (With the integer
+:class:`~repro.fixedpoint.convert.EmbeddedClassifier` this is exact by
+construction; a float classifier's matmul is row-wise independent too,
+but bitwise invariance to the *batch size* a shard hands it is a BLAS
+implementation property, not an IEEE guarantee — pin the shard count
+when bit-replaying float results.)
 
-* :class:`ServingEngine` — shards a batch of records/streams across
-  workers behind a pluggable executor (``serial`` in-process,
-  ``threads``, or ``processes`` for CPU-bound fleets), running the
-  per-stream front ends inside each shard and **one batched
-  classifier pass per shard** — one projection and one fuzzification
-  pass per shard instead of one per stream, which is where the
-  vectorized classifier earns its keep under load.  Because every
-  record/stream is processed independently and shard outputs are
-  concatenated in submission order, results are byte-identical
-  regardless of executor choice, worker count or shard count.  (With
-  the integer :class:`~repro.fixedpoint.convert.EmbeddedClassifier`
-  this is exact by construction; a float classifier's matmul is
-  row-wise independent too, but bitwise invariance to the *batch
-  size* a shard hands it is a BLAS implementation property, not an
-  IEEE guarantee — pin the shard count when bit-replaying float
-  results);
-* :func:`simulate_records` replays a batch of records through a
-  :class:`~repro.platform.node_sim.NodeSimulator` and aggregates the
-  per-record traces into a :class:`FleetTrace` (fleet-level duty
-  cycle, radio traffic, worst-case real-time margin);
-* :func:`classify_streams` runs the incremental front end
-  (:class:`~repro.dsp.streaming.BlockFilter` +
-  :class:`~repro.dsp.streaming.StreamingPeakDetector`) over many
-  streams and classifies each shard's beats in a single batched call.
-
-Both entry points accept plain lists and an optional ``engine``, so
-callers can queue above them without this module taking a position on
-the transport.
+For *live* sessions feeding data in chunks, see
+:class:`repro.serving.gateway.StreamGateway`, which multiplexes many
+open :class:`~repro.dsp.streaming.StreamingNode` sessions into the
+same kind of batched classifier pass.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.defuzz import is_abnormal
 from repro.dsp.streaming import BlockFilter, StreamingPeakDetector
 from repro.ecg.resample import decimate_beats
 from repro.ecg.segmentation import BeatWindow, segment_beats
 from repro.platform.node_sim import NodeSimulator, NodeTrace
+from repro.serving.executors import (
+    EXECUTORS,
+    map_shards,
+    split_shards,
+    validate_executor,
+    validate_workers,
+)
+from repro.serving.results import FleetTrace, StreamResult
 
-
-@dataclass
-class FleetTrace:
-    """Aggregate outcome of simulating a batch of records.
-
-    Wraps the per-record :class:`~repro.platform.node_sim.NodeTrace`
-    objects and exposes the fleet-level numbers a gateway dashboard
-    would plot.
-    """
-
-    traces: list[NodeTrace] = field(default_factory=list)
-
-    def __len__(self) -> int:
-        return len(self.traces)
-
-    @property
-    def n_beats(self) -> int:
-        """Beats processed across the fleet."""
-        return sum(len(t) for t in self.traces)
-
-    @property
-    def n_flagged(self) -> int:
-        """Beats that activated the delineator, fleet-wide."""
-        return sum(t.n_flagged for t in self.traces)
-
-    @property
-    def activation_rate(self) -> float:
-        """Fraction of beats flagged abnormal across all records."""
-        beats = self.n_beats
-        return self.n_flagged / beats if beats else 0.0
-
-    @property
-    def total_tx_bytes(self) -> int:
-        """Radio bytes queued by every node."""
-        return sum(t.total_tx_bytes for t in self.traces)
-
-    @property
-    def deadline_misses(self) -> int:
-        """Beats that exceeded their inter-beat budget, fleet-wide."""
-        return sum(t.deadline_misses for t in self.traces)
-
-    @property
-    def worst_case_utilization(self) -> float:
-        """Worst per-beat load over budget across every node."""
-        if not self.traces:
-            return 0.0
-        return max(t.worst_case_utilization for t in self.traces)
-
-    @property
-    def mean_duty_cycle(self) -> float:
-        """Average of the per-record duty cycles."""
-        if not self.traces:
-            return 0.0
-        return float(np.mean([t.duty_cycle for t in self.traces]))
-
-    def summary(self) -> str:
-        """One-paragraph fleet report."""
-        return (
-            f"{len(self.traces)} records, {self.n_beats} beats: "
-            f"mean duty={self.mean_duty_cycle:.3f}, "
-            f"activation={100 * self.activation_rate:.1f}%, "
-            f"tx={self.total_tx_bytes} B, worst-case load="
-            f"{100 * self.worst_case_utilization:.1f}% of a beat budget, "
-            f"{self.deadline_misses} deadline misses"
-        )
-
-
-@dataclass(frozen=True)
-class StreamResult:
-    """Per-stream outcome of :func:`classify_streams`."""
-
-    peaks: np.ndarray
-    labels: np.ndarray
-
-    @property
-    def abnormal(self) -> np.ndarray:
-        """Boolean mask of beats flagged abnormal."""
-        return is_abnormal(self.labels)
-
-    @property
-    def n_beats(self) -> int:
-        return int(self.labels.size)
+__all__ = [
+    "EXECUTORS",
+    "ServingEngine",
+    "classify_streams",
+    "simulate_records",
+]
 
 
 def _classify_stream_shard(
@@ -195,10 +114,6 @@ def _classify_shard_task(task) -> list[StreamResult]:
     return _classify_stream_shard(classifier, streams, fs, block, window, decimation, config)
 
 
-#: Executor names :class:`ServingEngine` accepts.
-EXECUTORS = ("serial", "threads", "processes")
-
-
 @dataclass(frozen=True)
 class ServingEngine:
     """Sharded fleet execution with a pluggable executor.
@@ -213,7 +128,7 @@ class ServingEngine:
         classifier, records and traces are all plain picklable
         dataclasses).
     workers:
-        Pool size for the parallel executors.
+        Pool size for the parallel executors (>= 1).
     shards:
         Number of contiguous shards the batch is split into (default:
         ``workers``).  Shard boundaries never change results — every
@@ -227,24 +142,16 @@ class ServingEngine:
     shards: int | None = None
 
     def __post_init__(self) -> None:
-        if self.executor not in EXECUTORS:
-            raise ValueError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
-        if self.workers < 1:
-            raise ValueError("workers must be >= 1")
+        validate_executor(self.executor)
+        validate_workers(self.workers)
         if self.shards is not None and self.shards < 1:
-            raise ValueError("shards must be >= 1")
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
 
     def _split(self, items: list) -> list[list]:
-        n_shards = max(1, min(self.shards or self.workers, len(items)))
-        bounds = np.linspace(0, len(items), n_shards + 1).astype(int)
-        return [items[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+        return split_shards(items, self.shards or self.workers)
 
     def _map(self, fn, tasks: list) -> list:
-        if self.executor == "serial" or self.workers == 1 or len(tasks) <= 1:
-            return [fn(task) for task in tasks]
-        pool_cls = ThreadPoolExecutor if self.executor == "threads" else ProcessPoolExecutor
-        with pool_cls(max_workers=min(self.workers, len(tasks))) as pool:
-            return list(pool.map(fn, tasks))
+        return map_shards(self.executor, self.workers, fn, tasks)
 
     def simulate_records(self, simulator: NodeSimulator, records, lead: int = 0) -> FleetTrace:
         """Replay a batch of records; return the aggregate fleet trace.

@@ -1,0 +1,357 @@
+"""Session gateway: many live streaming sessions, one batched classifier.
+
+:class:`~repro.serving.engine.ServingEngine` serves *complete*
+records/streams; a real fleet is a set of concurrently **live**
+sessions, each feeding small chunks at its own pace.  This module is
+that ingestion layer:
+
+* :class:`StreamGateway` — ``open_session(id)`` / ``ingest(id, chunk)``
+  / ``close_session(id)``.  Each session is a
+  :class:`~repro.dsp.streaming.StreamingNode` in deferred-classify
+  mode: its per-sample front end (filtering, wavelet peak detection,
+  beat windowing) runs inline during ``ingest``, but instead of one
+  ``predict`` call per beat the pending beats of *all* sessions queue
+  in a cross-session :class:`BeatBatch`.  The gateway flushes the
+  batch through **one** classifier pass per tick — when it reaches
+  ``max_batch`` beats or the oldest pending beat has waited
+  ``max_latency_ticks`` ingest calls — then routes the labeled
+  :class:`~repro.dsp.streaming.StreamBeatEvent` objects back to their
+  sessions.  That amortization (one projection + fuzzification pass
+  for dozens of beats instead of one per beat) is where the batched
+  classifier earns its keep under live load, exactly as it does for
+  the shard-batched engine.
+* :class:`BeatBatch` — the cross-session accumulator, exposed for
+  callers that want to drive their own flush policy.
+
+Every session's event sequence is **bit-exact** with running its
+chunks through a standalone inline-mode ``StreamingNode`` — invariant
+to chunk sizes, session interleaving order and batch-flush boundaries
+(exact by construction for the integer classifier, whose rows are
+independent; the float caveat of :mod:`repro.serving.engine` applies).
+
+Sessions migrate: :meth:`StreamGateway.export_session` captures a live
+session as a picklable :class:`SessionExport`
+(:class:`~repro.dsp.streaming.NodeSnapshot` + undrained events) and
+:meth:`StreamGateway.import_session` resumes it on another gateway —
+another shard, another host — mid-stream, bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsp.streaming import NodeSnapshot, StreamBeatEvent, StreamingNode
+
+__all__ = ["BeatBatch", "SessionExport", "StreamGateway", "serve_round_robin"]
+
+
+class BeatBatch:
+    """Cross-session accumulator of beats awaiting classification.
+
+    Entries preserve global insertion order (and therefore per-session
+    extraction order, which :meth:`StreamingNode.deliver` requires).
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[str, object, np.ndarray]] = []
+        self._oldest_tick: int | None = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def oldest_tick(self) -> int | None:
+        """Tick stamp of the longest-waiting beat (``None`` when empty)."""
+        return self._oldest_tick
+
+    def add(self, session_id: str, handle: object, row: np.ndarray, tick: int) -> None:
+        """Queue one beat of ``session_id`` for the next flush."""
+        if self._oldest_tick is None:
+            self._oldest_tick = tick
+        self._entries.append((session_id, handle, row))
+
+    def drain(self) -> list[tuple[str, object, np.ndarray]]:
+        """Take every queued entry; the batch is empty afterwards."""
+        entries = self._entries
+        self._entries = []
+        self._oldest_tick = None
+        return entries
+
+
+@dataclass(frozen=True)
+class SessionExport:
+    """Picklable capture of one live gateway session (for migration)."""
+
+    session_id: str
+    snapshot: NodeSnapshot
+    events: list[StreamBeatEvent] = field(default_factory=list)
+
+
+class _Session:
+    """Gateway-side bookkeeping for one open session."""
+
+    __slots__ = ("node", "events")
+
+    def __init__(self, node: StreamingNode, events: list[StreamBeatEvent] | None = None):
+        self.node = node
+        self.events: list[StreamBeatEvent] = list(events or [])
+
+    def drain(self) -> list[StreamBeatEvent]:
+        events = self.events
+        self.events = []
+        return events
+
+
+class StreamGateway:
+    """Multiplex live streaming sessions into batched classifier passes.
+
+    Parameters
+    ----------
+    classifier:
+        Anything with ``predict(beats)``; shared by every session.
+        Use the integer
+        :class:`~repro.fixedpoint.convert.EmbeddedClassifier` for
+        bit-exactness guarantees independent of batch boundaries.
+    fs:
+        Sampling frequency of every session (Hz).
+    max_batch:
+        Flush the cross-session batch as soon as it holds this many
+        beats (>= 1).  Larger batches amortize the classifier better;
+        smaller ones bound per-beat latency tighter.
+    max_latency_ticks:
+        Flush whenever the oldest pending beat has waited this many
+        ticks (one tick = one ``ingest`` call, any session; >= 1), so
+        a beat's verdict never stalls behind a quiet fleet.
+    n_leads / lead / decimation / window / detector_config /
+    delineation_config / overhead_bytes:
+        Per-session :class:`~repro.dsp.streaming.StreamingNode`
+        configuration, identical for every session.
+
+    Notes
+    -----
+    ``ingest`` returns the newly finalized events *of that session*
+    (a flush triggered by one session may resolve beats of others —
+    those are queued and returned by their own next ``ingest`` /
+    ``poll``).  ``close_session`` force-flushes so its return value
+    completes the session's event sequence.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        fs: float,
+        *,
+        max_batch: int = 64,
+        max_latency_ticks: int = 8,
+        n_leads: int = 1,
+        lead: int = 0,
+        decimation: int = 4,
+        window=None,
+        detector_config=None,
+        delineation_config=None,
+        overhead_bytes: int = 2,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_latency_ticks < 1:
+            raise ValueError(f"max_latency_ticks must be >= 1, got {max_latency_ticks}")
+        self.classifier = classifier
+        self.fs = fs
+        self.max_batch = int(max_batch)
+        self.max_latency_ticks = int(max_latency_ticks)
+        self._node_kwargs = dict(
+            n_leads=n_leads,
+            lead=lead,
+            decimation=decimation,
+            window=window,
+            detector_config=detector_config,
+            delineation_config=delineation_config,
+            overhead_bytes=overhead_bytes,
+        )
+        self._sessions: dict[str, _Session] = {}
+        self._batch = BeatBatch()
+        self._tick = 0
+        self.n_flushes = 0
+        self.n_classified = 0
+
+    @property
+    def n_sessions(self) -> int:
+        """Currently open sessions."""
+        return len(self._sessions)
+
+    @property
+    def n_queued(self) -> int:
+        """Beats waiting in the cross-session batch."""
+        return len(self._batch)
+
+    def session_ids(self) -> list[str]:
+        """Open session ids, in opening order."""
+        return list(self._sessions)
+
+    def open_session(self, session_id: str) -> None:
+        """Start a new live session."""
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} is already open")
+        node = StreamingNode(
+            self.classifier, self.fs, defer_classification=True, **self._node_kwargs
+        )
+        self._sessions[session_id] = _Session(node)
+
+    def ingest(self, session_id: str, chunk: np.ndarray) -> list[StreamBeatEvent]:
+        """Feed one chunk of raw samples; return the session's new events.
+
+        Advances the gateway clock by one tick and flushes the
+        cross-session batch if it is full or its oldest beat has hit
+        the latency bound.  The returned events are exactly the ones a
+        standalone ``StreamingNode`` would have emitted by this point
+        (possibly later in stream time, never different in content or
+        order).
+        """
+        session = self._get(session_id)
+        session.events.extend(session.node.push(chunk))
+        self._collect(session_id, session.node)
+        self._tick += 1
+        oldest = self._batch.oldest_tick
+        if len(self._batch) >= self.max_batch or (
+            oldest is not None and self._tick - oldest >= self.max_latency_ticks
+        ):
+            self.flush_batch()
+        return session.drain()
+
+    def poll(self, session_id: str) -> list[StreamBeatEvent]:
+        """Drain the session's queued events without ingesting samples."""
+        return self._get(session_id).drain()
+
+    def close_session(self, session_id: str) -> list[StreamBeatEvent]:
+        """End a session; return the remainder of its event sequence.
+
+        Flushes the session's front end, force-classifies everything
+        pending fleet-wide (one last batched pass), finalizes the
+        session's delineator with the stream-end clamping of the batch
+        path, and removes the session.
+        """
+        session = self._get(session_id)
+        session.events.extend(session.node.finish_input())
+        self._collect(session_id, session.node)
+        self.flush_batch()
+        session.events.extend(session.node.finalize())
+        del self._sessions[session_id]
+        return session.drain()
+
+    def flush_batch(self) -> int:
+        """Classify every queued beat now (one batched pass); return
+        how many beats were resolved.
+
+        Called automatically by the size/latency policy; call directly
+        to bound latency externally (e.g. from a timer) or before a
+        quiet period.
+        """
+        entries = self._batch.drain()
+        if not entries:
+            return 0
+        rows = np.vstack([row for _, _, row in entries])
+        labels = np.asarray(self.classifier.predict(rows))
+        # Group per session, preserving extraction order within each.
+        per_session: dict[str, list[tuple[object, int]]] = {}
+        for (session_id, handle, _), label in zip(entries, labels):
+            per_session.setdefault(session_id, []).append((handle, label))
+        for session_id, resolved in per_session.items():
+            session = self._sessions.get(session_id)
+            if session is None:  # closed mid-flight; nothing to route to
+                continue
+            session.events.extend(session.node.deliver(resolved))
+        self.n_flushes += 1
+        self.n_classified += len(entries)
+        return len(entries)
+
+    def export_session(self, session_id: str) -> SessionExport:
+        """Capture a live session for migration; the session stays open.
+
+        Pending classifications are flushed first so no in-flight
+        handles cross the boundary; the export then carries the node
+        snapshot plus the session's undrained events, which *move*
+        into the export (a later ``poll`` here returns nothing — the
+        migrated gateway delivers them).  Feed it to
+        :meth:`import_session` on another gateway (same ``fs`` and
+        session configuration) and continue ``ingest``-ing there —
+        the combined event sequence is bit-exact with never migrating.
+        """
+        session = self._get(session_id)
+        self.flush_batch()
+        return SessionExport(
+            session_id=session_id,
+            snapshot=session.node.snapshot(),
+            events=session.drain(),
+        )
+
+    def import_session(self, export: SessionExport, session_id: str | None = None) -> str:
+        """Resume an exported session on this gateway; return its id."""
+        session_id = export.session_id if session_id is None else session_id
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} is already open")
+        node = StreamingNode.restore(self.classifier, export.snapshot)
+        self._sessions[session_id] = _Session(node, events=export.events)
+        return session_id
+
+    def _get(self, session_id: str) -> _Session:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"no open session {session_id!r}") from None
+
+    def _collect(self, session_id: str, node: StreamingNode) -> None:
+        for handle, row in node.take_pending():
+            self._batch.add(session_id, handle, row, self._tick)
+
+
+def serve_round_robin(
+    gateway: StreamGateway, streams, chunk: int
+) -> dict[str, list[StreamBeatEvent]]:
+    """Replay complete streams through a gateway as interleaved live sessions.
+
+    The canonical gateway driver (the ``repro serve`` CLI, the fleet
+    example and the throughput benchmark all use it): opens one
+    session per stream, ingests ``chunk``-sample slices round-robin
+    until every stream is exhausted, closes the sessions, and returns
+    each session's complete event sequence.
+
+    Parameters
+    ----------
+    gateway:
+        The gateway to serve through (its sessions must not collide
+        with the given ids).
+    streams:
+        Mapping of session id to sample array (``(n,)`` or
+        ``(n, n_leads)``), or an iterable of such pairs.
+    chunk:
+        Ingest slice length in samples (>= 1).
+
+    Returns
+    -------
+    dict[str, list[StreamBeatEvent]]
+        Per-session events, in stream order — bit-exact with replaying
+        each stream through its own standalone
+        :class:`~repro.dsp.streaming.StreamingNode`.
+    """
+    streams = dict(streams)
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1 sample, got {chunk}")
+    for session_id in streams:
+        gateway.open_session(session_id)
+    events: dict[str, list[StreamBeatEvent]] = {s: [] for s in streams}
+    offsets = dict.fromkeys(streams, 0)
+    live = True
+    while live:
+        live = False
+        for session_id, x in streams.items():
+            i = offsets[session_id]
+            if i >= len(x):
+                continue
+            events[session_id].extend(gateway.ingest(session_id, x[i : i + chunk]))
+            offsets[session_id] = i + chunk
+            live = True
+    for session_id in streams:
+        events[session_id].extend(gateway.close_session(session_id))
+    return events

@@ -7,13 +7,15 @@ multi-lead delineation of flagged beats with the previous kept peak as
 guard — and invariant to how the stream is chunked.
 """
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.core.defuzz import is_abnormal
 from repro.dsp.delineation import delineate_multilead
 from repro.dsp.morphological import filter_lead
-from repro.dsp.streaming import StreamingNode, StreamingPeakDetector
+from repro.dsp.streaming import NodeSnapshot, StreamingNode, StreamingPeakDetector
 from repro.ecg.resample import decimate_beats
 from repro.ecg.segmentation import BeatWindow, segment_beats
 from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
@@ -133,6 +135,99 @@ class TestStreamingNode:
             assert event.peak >= origin + node.window.pre
             if event.flagged:
                 assert event.fiducials is not None
+
+    def test_snapshot_restore_continues_bit_exact(
+        self, record, embedded_classifier, reference
+    ):
+        """A session restored from a (pickled) snapshot continues the
+        stream with events identical to the uninterrupted node."""
+        kept_peaks, labels, _, _ = reference
+        block = int(0.5 * record.fs)
+        half = (record.n_samples // (2 * block)) * block
+        node = StreamingNode(embedded_classifier, record.fs, n_leads=record.n_leads)
+        events = []
+        for i in range(0, half, block):
+            events += node.push(record.signal[i : i + block])
+        snapshot = pickle.loads(pickle.dumps(node.snapshot()))
+        assert isinstance(snapshot, NodeSnapshot)
+        restored = StreamingNode.restore(embedded_classifier, snapshot)
+        restored_events = list(events)
+        for i in range(half, record.n_samples, block):
+            events += node.push(record.signal[i : i + block])
+            restored_events += restored.push(record.signal[i : i + block])
+        events += node.flush()
+        restored_events += restored.flush()
+        np.testing.assert_array_equal([e.peak for e in events], kept_peaks)
+        np.testing.assert_array_equal([e.label for e in events], labels)
+        assert [(e.peak, e.label, e.flagged, e.tx_bytes) for e in events] == [
+            (e.peak, e.label, e.flagged, e.tx_bytes) for e in restored_events
+        ]
+
+    def test_snapshot_is_an_independent_copy(self, record, embedded_classifier):
+        """Mutating the live node after snapshot() does not corrupt the
+        snapshot; one snapshot restores any number of times."""
+        node = StreamingNode(embedded_classifier, record.fs, n_leads=record.n_leads)
+        node.push(record.signal[: int(5 * record.fs)])
+        snapshot = node.snapshot()
+        node.push(record.signal[int(5 * record.fs) : int(10 * record.fs)])  # diverge
+        chunk = record.signal[int(5 * record.fs) : int(6 * record.fs)]
+        first = StreamingNode.restore(embedded_classifier, snapshot).push(chunk)
+        second = StreamingNode.restore(embedded_classifier, snapshot).push(chunk)
+        assert [(e.peak, e.label) for e in first] == [(e.peak, e.label) for e in second]
+
+    def test_snapshot_with_labels_in_flight_rearms_beats(
+        self, record, embedded_classifier, reference
+    ):
+        """A deferred-mode snapshot taken while extracted beats await
+        labels must not wedge the restored session: the dead handles
+        are re-armed and the restored node re-extracts identical
+        windows into a fresh outbox."""
+        kept_peaks, labels, _, _ = reference
+        node = StreamingNode(
+            embedded_classifier, record.fs, n_leads=record.n_leads,
+            defer_classification=True,
+        )
+        half = record.n_samples // 2
+        events = node.push(record.signal[:half])
+        assert node.n_awaiting_labels > 0
+        node.take_pending()  # handles leave the node, labels never return
+        restored = StreamingNode.restore(embedded_classifier, node.snapshot())
+        assert restored.n_awaiting_labels == node.n_awaiting_labels
+
+        def drain(n):
+            pending = n.take_pending()
+            if not pending:
+                return []
+            labels = embedded_classifier.predict(np.vstack([row for _, row in pending]))
+            return n.deliver(list(zip((h for h, _ in pending), np.asarray(labels))))
+
+        events += drain(restored)
+        events += restored.push(record.signal[half:])
+        events += drain(restored)
+        events += restored.finish_input()
+        events += drain(restored)
+        events += restored.finalize()
+        np.testing.assert_array_equal([e.peak for e in events], kept_peaks)
+        np.testing.assert_array_equal([e.label for e in events], labels)
+
+    def test_deferred_mode_guards(self, record, embedded_classifier):
+        node = StreamingNode(
+            embedded_classifier, record.fs, n_leads=record.n_leads,
+            defer_classification=True,
+        )
+        node.push(record.signal[: int(15 * record.fs)])
+        assert node.n_awaiting_labels > 0
+        with pytest.raises(RuntimeError, match="finish_input"):
+            node.flush()  # deferred streams end via the handshake
+        node.finish_input()
+        with pytest.raises(RuntimeError, match="await classification"):
+            node.finalize()  # outbox not yet delivered
+        inline = StreamingNode(embedded_classifier, record.fs, n_leads=record.n_leads)
+        for method in (inline.finish_input, inline.finalize):
+            with pytest.raises(RuntimeError, match="deferred"):
+                method()
+        with pytest.raises(RuntimeError, match="deferred"):
+            inline.deliver([])
 
     def test_validation(self, record, embedded_classifier):
         with pytest.raises(ValueError):

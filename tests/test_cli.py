@@ -27,6 +27,7 @@ class TestParser:
             "train",
             "codegen",
             "simulate",
+            "serve",
             "report",
         } <= commands
 
@@ -87,6 +88,31 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "deadline misses" in out
+
+    def test_serve(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scale",
+                    "0.02",
+                    "--ga-pop",
+                    "4",
+                    "--ga-gen",
+                    "2",
+                    "--sessions",
+                    "3",
+                    "--duration",
+                    "15",
+                    "--max-batch",
+                    "16",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "events/s" in out and "batched" in out
+        assert "session-0" in out and "session-2" in out
 
 
 class TestTrainAndCodegen:

@@ -69,6 +69,11 @@ PUBLIC_MODULES = [
     "repro.experiments.report",
     "repro.experiments.table2",
     "repro.experiments.table3",
+    "repro.serving",
+    "repro.serving.engine",
+    "repro.serving.executors",
+    "repro.serving.gateway",
+    "repro.serving.results",
     "repro.io",
     "repro.cli",
 ]

@@ -14,6 +14,30 @@ from repro.serving import (
 )
 
 
+class TestServingPackageSplit:
+    """serving.py became the serving/ package; the public import
+    surface must be unchanged for every pre-split caller."""
+
+    def test_flat_imports_still_work(self):
+        from repro.serving import (  # noqa: F401
+            EXECUTORS,
+            FleetTrace,
+            ServingEngine,
+            StreamResult,
+            classify_streams,
+            simulate_records,
+        )
+
+    def test_submodules_own_their_pieces(self):
+        from repro.serving import engine, executors, gateway, results
+
+        assert engine.ServingEngine is ServingEngine
+        assert results.FleetTrace is FleetTrace
+        assert results.StreamResult is StreamResult
+        assert executors.EXECUTORS == ("serial", "threads", "processes")
+        assert hasattr(gateway, "StreamGateway")
+
+
 @pytest.fixture(scope="module")
 def records():
     return [
@@ -184,6 +208,25 @@ class TestServingEngine:
             ServingEngine(workers=0)
         with pytest.raises(ValueError):
             ServingEngine(shards=0)
+
+    def test_unknown_executor_error_names_allowed_values(self):
+        """The error must teach the caller what IS accepted."""
+        with pytest.raises(ValueError) as excinfo:
+            ServingEngine(executor="fibers")
+        message = str(excinfo.value)
+        assert "fibers" in message
+        for name in ("serial", "threads", "processes"):
+            assert name in message
+
+    @pytest.mark.parametrize("workers", [0, -1, -100])
+    def test_invalid_workers_error_names_the_bound(self, workers):
+        with pytest.raises(ValueError, match=r"workers must be >= 1"):
+            ServingEngine(workers=workers)
+
+    @pytest.mark.parametrize("shards", [0, -3])
+    def test_invalid_shards_error_names_the_bound(self, shards):
+        with pytest.raises(ValueError, match=r"shards must be >= 1"):
+            ServingEngine(shards=shards)
 
     def test_empty_batches(self, embedded_classifier):
         engine = ServingEngine(executor="threads", workers=2)
