@@ -22,19 +22,24 @@ With ``--gateway``, a third section serves the same fleet as
 patient's stream is ingested in small interleaved chunks, pending
 beats from all sessions queue in one cross-session batch, and each
 flush classifies them in a single batched pass — per-session events
-bit-identical to a standalone per-patient ``StreamingNode``.
+bit-identical to a standalone per-patient ``StreamingNode``.  With
+``--gateway-workers N`` (> 1) the live sessions are hash-sharded
+across a ``ShardedGateway`` pool of N worker processes instead — same
+events, one batched classifier flush per worker per tick, and true
+multi-core parallelism for the per-sample front ends.
 
 Usage::
 
     python examples/fleet_serving.py [--patients 6] [--minutes 1.0]
         [--executor serial|threads|processes] [--workers 4]
-        [--gateway] [--chunk-ms 250] [--max-batch 64]
+        [--gateway] [--gateway-workers 2] [--chunk-ms 250] [--max-batch 64]
 """
 
 from __future__ import annotations
 
 import argparse
 import time
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -48,6 +53,7 @@ from repro.platform.node_sim import NodeSimulator
 from repro.serving import (
     EXECUTORS,
     ServingEngine,
+    ShardedGateway,
     StreamGateway,
     classify_streams,
     serve_round_robin,
@@ -75,6 +81,9 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--gateway", action="store_true",
                         help="also serve the fleet as live sessions via StreamGateway")
+    parser.add_argument("--gateway-workers", type=int, default=1,
+                        help="worker processes for the gateway section; "
+                             "> 1 shards live sessions across a ShardedGateway pool")
     parser.add_argument("--chunk-ms", type=float, default=250.0,
                         help="gateway ingest chunk size in milliseconds")
     parser.add_argument("--max-batch", type=int, default=64,
@@ -86,6 +95,8 @@ def main() -> None:
         parser.error("--minutes must be positive")
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.gateway_workers < 1:
+        parser.error("--gateway-workers must be >= 1")
     engine = ServingEngine(executor=args.executor, workers=args.workers)
 
     print("Training + quantizing the node classifier ...")
@@ -128,16 +139,32 @@ def main() -> None:
     )
 
     if args.gateway:
-        print(f"\n== Session gateway (live ingestion, max_batch={args.max_batch}) ==")
-        gateway = StreamGateway(
-            classifier, records[0].fs, n_leads=3, max_batch=args.max_batch
-        )
+        streams = {record.name: record.signal for record in records}
         chunk = max(1, int(round(args.chunk_ms * 1e-3 * records[0].fs)))
-        start = time.perf_counter()
-        events = serve_round_robin(
-            gateway, {record.name: record.signal for record in records}, chunk
-        )
-        elapsed = time.perf_counter() - start
+        sharded = args.gateway_workers > 1
+        if sharded:
+            print(
+                f"\n== Sharded session gateway ({args.gateway_workers} worker "
+                f"processes, live ingestion, max_batch={args.max_batch}) =="
+            )
+            context = ShardedGateway(
+                classifier, records[0].fs, workers=args.gateway_workers,
+                n_leads=3, max_batch=args.max_batch,
+            )
+        else:
+            print(f"\n== Session gateway (live ingestion, max_batch={args.max_batch}) ==")
+            context = nullcontext(StreamGateway(
+                classifier, records[0].fs, n_leads=3, max_batch=args.max_batch
+            ))
+        with context as gateway:
+            start = time.perf_counter()
+            events = serve_round_robin(gateway, streams, chunk)
+            elapsed = time.perf_counter() - start
+            if sharded:
+                stats = gateway.stats()
+                n_classified, n_flushes = stats["n_classified"], stats["n_flushes"]
+            else:
+                n_classified, n_flushes = gateway.n_classified, gateway.n_flushes
         for record in records:
             session = events[record.name]
             flagged = sum(1 for e in session if e.flagged)
@@ -146,8 +173,8 @@ def main() -> None:
         print(
             f"served {total} live events in {elapsed * 1e3:.0f} ms "
             f"({total / elapsed:.0f} events/s, {signal_s / elapsed:.0f}x realtime); "
-            f"{gateway.n_classified} beats in {gateway.n_flushes} batched passes "
-            f"({gateway.n_classified / max(1, gateway.n_flushes):.1f} beats/pass)"
+            f"{n_classified} beats in {n_flushes} batched passes "
+            f"({n_classified / max(1, n_flushes):.1f} beats/pass)"
         )
 
 

@@ -14,8 +14,10 @@ Commands
     Emit the C header for a saved embedded classifier.
 ``serve``
     Run many concurrently live session streams through the
-    :class:`~repro.serving.gateway.StreamGateway` and report the
-    fleet's throughput and batching statistics.
+    :class:`~repro.serving.gateway.StreamGateway` — or, with
+    ``--workers N``, through a multi-process
+    :class:`~repro.serving.sharded.ShardedGateway` pool — and report
+    the fleet's throughput and batching statistics.
 
 Common options: ``--scale`` (fraction of the Table-I set sizes;
 ``--full`` is shorthand for the paper's exact configuration, including
@@ -175,7 +177,7 @@ def cmd_serve(args) -> int:
 
     from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
     from repro.experiments.table3 import Table3Config, build_embedded_classifier
-    from repro.serving import StreamGateway, serve_round_robin
+    from repro.serving import ShardedGateway, StreamGateway, serve_round_robin
 
     config = Table3Config(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
     print("Training + quantizing the shared classifier ...")
@@ -194,23 +196,36 @@ def cmd_serve(args) -> int:
         )
     fs = records[0].fs
     chunk = max(1, int(round(args.chunk_ms * 1e-3 * fs)))
-
-    gateway = StreamGateway(
-        classifier,
-        fs,
+    gateway_kwargs = dict(
         n_leads=3,
         max_batch=args.max_batch,
         max_latency_ticks=args.max_latency_ticks,
     )
+
+    from contextlib import nullcontext
+
+    sharded = args.workers > 1
+    tier = f"{args.workers} worker processes" if sharded else "single process"
     print(
-        f"Ingesting round-robin ({args.chunk_ms:.0f} ms chunks, "
+        f"Ingesting round-robin ({tier}, {args.chunk_ms:.0f} ms chunks, "
         f"max_batch={args.max_batch}, max_latency_ticks={args.max_latency_ticks}) ..."
     )
-    start = time.perf_counter()
-    events = serve_round_robin(
-        gateway, {record.name: record.signal for record in records}, chunk
+    context = (
+        ShardedGateway(classifier, fs, workers=args.workers, **gateway_kwargs)
+        if sharded
+        else nullcontext(StreamGateway(classifier, fs, **gateway_kwargs))
     )
-    elapsed = time.perf_counter() - start
+    with context as gateway:
+        start = time.perf_counter()
+        events = serve_round_robin(
+            gateway, {record.name: record.signal for record in records}, chunk
+        )
+        elapsed = time.perf_counter() - start
+        if sharded:
+            stats = gateway.stats()
+            n_classified, n_flushes = stats["n_classified"], stats["n_flushes"]
+        else:
+            n_classified, n_flushes = gateway.n_classified, gateway.n_flushes
 
     for record in records:
         session = events[record.name]
@@ -222,8 +237,8 @@ def cmd_serve(args) -> int:
         f"served {total} beats from {signal_s:.0f} s of live signal in "
         f"{elapsed * 1e3:.0f} ms ({total / elapsed:.0f} events/s, "
         f"{signal_s / elapsed:.0f}x realtime); "
-        f"{gateway.n_classified} beats classified in {gateway.n_flushes} batched "
-        f"passes ({gateway.n_classified / max(1, gateway.n_flushes):.1f} beats/pass)"
+        f"{n_classified} beats classified in {n_flushes} batched "
+        f"passes ({n_classified / max(1, n_flushes):.1f} beats/pass)"
     )
     return 0
 
@@ -355,6 +370,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flush the cross-session batch at this many beats")
     serve.add_argument("--max-latency-ticks", type=int, default=8,
                        help="flush when the oldest beat waited this many ingests")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes; > 1 shards the sessions "
+                            "across a ShardedGateway pool")
     serve.set_defaults(fn=cmd_serve)
 
     report = subparsers.add_parser(

@@ -16,7 +16,14 @@ once; this package is that workload's engine, in two shapes:
   ``open_session`` / ``ingest`` / ``close_session`` — into
   size- and latency-bounded cross-session classifier batches, with
   per-session results bit-exact with a standalone
-  :class:`~repro.dsp.streaming.StreamingNode`.
+  :class:`~repro.dsp.streaming.StreamingNode`, per-session QoS
+  (latency budgets, idle eviction) and session migration.
+* **Sharded live** (:mod:`repro.serving.sharded`):
+  :class:`ShardedGateway` runs one ``StreamGateway`` per worker
+  process, hash-assigns sessions across the pool, migrates them live,
+  and applies bounded-inbox backpressure (:class:`SessionInbox`) —
+  same session surface, same per-session bit-exactness, for every
+  worker count.
 
 Both shapes accept plain lists/arrays, so callers can queue above them
 without this package taking a position on the transport.
@@ -28,6 +35,7 @@ from repro.serving.engine import (
     classify_streams,
     simulate_records,
 )
+from repro.serving.executors import INBOX_POLICIES
 from repro.serving.gateway import (
     BeatBatch,
     SessionExport,
@@ -35,13 +43,17 @@ from repro.serving.gateway import (
     serve_round_robin,
 )
 from repro.serving.results import FleetTrace, StreamResult
+from repro.serving.sharded import SessionInbox, ShardedGateway
 
 __all__ = [
     "EXECUTORS",
+    "INBOX_POLICIES",
     "BeatBatch",
     "FleetTrace",
     "ServingEngine",
     "SessionExport",
+    "SessionInbox",
+    "ShardedGateway",
     "StreamGateway",
     "StreamResult",
     "classify_streams",

@@ -17,6 +17,10 @@ import numpy as np
 #: Executor names the serving layer accepts.
 EXECUTORS = ("serial", "threads", "processes")
 
+#: Overflow policies a bounded session inbox accepts
+#: (:class:`repro.serving.sharded.SessionInbox`).
+INBOX_POLICIES = ("block", "drop")
+
 
 def validate_executor(executor: str) -> str:
     """Return ``executor`` or raise a :class:`ValueError` naming the
@@ -34,6 +38,29 @@ def validate_workers(workers: int) -> int:
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     return workers
+
+
+def validate_at_least(name: str, value: int, minimum: int = 1) -> int:
+    """Return ``value`` or raise a :class:`ValueError` naming the bound.
+
+    The shared lower-bound check every serving knob goes through, so
+    ``StreamGateway``, ``ShardedGateway`` and ``ServingEngine`` all
+    phrase their errors the same way (``"<name> must be >= <minimum>,
+    got <value>"``).
+    """
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def validate_inbox_policy(policy: str) -> str:
+    """Return ``policy`` or raise a :class:`ValueError` naming the
+    allowed values."""
+    if policy not in INBOX_POLICIES:
+        raise ValueError(
+            f"unknown inbox policy {policy!r}; expected one of {INBOX_POLICIES}"
+        )
+    return policy
 
 
 def split_shards(items: list, n_shards: int) -> list[list]:

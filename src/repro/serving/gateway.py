@@ -31,9 +31,25 @@ independent; the float caveat of :mod:`repro.serving.engine` applies).
 
 Sessions migrate: :meth:`StreamGateway.export_session` captures a live
 session as a picklable :class:`SessionExport`
-(:class:`~repro.dsp.streaming.NodeSnapshot` + undrained events) and
-:meth:`StreamGateway.import_session` resumes it on another gateway —
-another shard, another host — mid-stream, bit-exactly.
+(:class:`~repro.dsp.streaming.NodeSnapshot` + undrained events + QoS
+settings) and :meth:`StreamGateway.import_session` resumes it on
+another gateway — another shard, another host — mid-stream,
+bit-exactly (:meth:`StreamGateway.release_session` is the same capture
+but also removes the session, for a clean hand-off).
+
+Per-session QoS overrides the global flush policy:
+
+* ``open_session(..., max_latency_ticks=n)`` gives one session a
+  *tighter* latency budget — the cross-session batch is flushed as
+  soon as any session's oldest pending beat exceeds its own budget,
+  so a latency-critical session never waits for the fleet-wide bound.
+* ``open_session(..., evict_after_ticks=n)`` (or the gateway-wide
+  default) evicts a session that has not ingested for ``n`` gateway
+  ticks: its stream is closed exactly like :meth:`close_session`
+  (front-end flush, final batched classification, delineator
+  finalization) and the complete remaining event sequence goes to the
+  ``on_evict`` hook and :meth:`take_evicted` — well-formed, never
+  silently dropped.
 """
 
 from __future__ import annotations
@@ -43,6 +59,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dsp.streaming import NodeSnapshot, StreamBeatEvent, StreamingNode
+from repro.serving.executors import validate_at_least
 
 __all__ = ["BeatBatch", "SessionExport", "StreamGateway", "serve_round_robin"]
 
@@ -57,6 +74,7 @@ class BeatBatch:
     def __init__(self) -> None:
         self._entries: list[tuple[str, object, np.ndarray]] = []
         self._oldest_tick: int | None = None
+        self._session_oldest: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -66,10 +84,17 @@ class BeatBatch:
         """Tick stamp of the longest-waiting beat (``None`` when empty)."""
         return self._oldest_tick
 
+    @property
+    def session_oldest(self) -> dict[str, int]:
+        """Tick stamp of each session's longest-waiting beat (the
+        per-session latency budgets are enforced against these)."""
+        return self._session_oldest
+
     def add(self, session_id: str, handle: object, row: np.ndarray, tick: int) -> None:
         """Queue one beat of ``session_id`` for the next flush."""
         if self._oldest_tick is None:
             self._oldest_tick = tick
+        self._session_oldest.setdefault(session_id, tick)
         self._entries.append((session_id, handle, row))
 
     def drain(self) -> list[tuple[str, object, np.ndarray]]:
@@ -77,26 +102,43 @@ class BeatBatch:
         entries = self._entries
         self._entries = []
         self._oldest_tick = None
+        self._session_oldest = {}
         return entries
 
 
 @dataclass(frozen=True)
 class SessionExport:
-    """Picklable capture of one live gateway session (for migration)."""
+    """Picklable capture of one live gateway session (for migration).
+
+    Carries the session's QoS settings too, so a migrated session keeps
+    its latency budget and eviction threshold on the receiving gateway.
+    """
 
     session_id: str
     snapshot: NodeSnapshot
     events: list[StreamBeatEvent] = field(default_factory=list)
+    max_latency_ticks: int | None = None
+    evict_after_ticks: int | None = None
 
 
 class _Session:
     """Gateway-side bookkeeping for one open session."""
 
-    __slots__ = ("node", "events")
+    __slots__ = ("node", "events", "latency_budget", "evict_after", "last_active")
 
-    def __init__(self, node: StreamingNode, events: list[StreamBeatEvent] | None = None):
+    def __init__(
+        self,
+        node: StreamingNode,
+        events: list[StreamBeatEvent] | None = None,
+        latency_budget: int | None = None,
+        evict_after: int | None = None,
+        last_active: int = 0,
+    ):
         self.node = node
         self.events: list[StreamBeatEvent] = list(events or [])
+        self.latency_budget = latency_budget
+        self.evict_after = evict_after
+        self.last_active = last_active
 
     def drain(self) -> list[StreamBeatEvent]:
         events = self.events
@@ -123,7 +165,19 @@ class StreamGateway:
     max_latency_ticks:
         Flush whenever the oldest pending beat has waited this many
         ticks (one tick = one ``ingest`` call, any session; >= 1), so
-        a beat's verdict never stalls behind a quiet fleet.
+        a beat's verdict never stalls behind a quiet fleet.  A session
+        opened with its own (tighter) budget flushes by that budget
+        instead.
+    evict_after_ticks:
+        Default idle-eviction threshold for every session (>= 1, or
+        ``None`` = never evict): a session that has not ingested for
+        this many gateway ticks is closed on its behalf and its final
+        event sequence routed to ``on_evict`` / :meth:`take_evicted`.
+        Per-session values passed to :meth:`open_session` override it.
+    on_evict:
+        Optional ``hook(session_id, events)`` called when a session is
+        evicted, with its complete remaining event sequence (identical
+        to what :meth:`close_session` would have returned).
     n_leads / lead / decimation / window / detector_config /
     delineation_config / overhead_bytes:
         Per-session :class:`~repro.dsp.streaming.StreamingNode`
@@ -145,6 +199,8 @@ class StreamGateway:
         *,
         max_batch: int = 64,
         max_latency_ticks: int = 8,
+        evict_after_ticks: int | None = None,
+        on_evict=None,
         n_leads: int = 1,
         lead: int = 0,
         decimation: int = 4,
@@ -153,14 +209,16 @@ class StreamGateway:
         delineation_config=None,
         overhead_bytes: int = 2,
     ):
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
-        if max_latency_ticks < 1:
-            raise ValueError(f"max_latency_ticks must be >= 1, got {max_latency_ticks}")
+        validate_at_least("max_batch", max_batch)
+        validate_at_least("max_latency_ticks", max_latency_ticks)
+        if evict_after_ticks is not None:
+            validate_at_least("evict_after_ticks", evict_after_ticks)
         self.classifier = classifier
         self.fs = fs
         self.max_batch = int(max_batch)
         self.max_latency_ticks = int(max_latency_ticks)
+        self.evict_after_ticks = evict_after_ticks
+        self.on_evict = on_evict
         self._node_kwargs = dict(
             n_leads=n_leads,
             lead=lead,
@@ -171,10 +229,17 @@ class StreamGateway:
             overhead_bytes=overhead_bytes,
         )
         self._sessions: dict[str, _Session] = {}
+        # Sessions with an eviction threshold, so the per-ingest idle
+        # scan touches only them (zero cost for a fleet without QoS);
+        # same idea for the count of sessions with latency budgets.
+        self._evictable: dict[str, _Session] = {}
+        self._n_budgeted = 0
         self._batch = BeatBatch()
         self._tick = 0
+        self._evicted: dict[str, list[StreamBeatEvent]] = {}
         self.n_flushes = 0
         self.n_classified = 0
+        self.n_evicted = 0
 
     @property
     def n_sessions(self) -> int:
@@ -190,21 +255,56 @@ class StreamGateway:
         """Open session ids, in opening order."""
         return list(self._sessions)
 
-    def open_session(self, session_id: str) -> None:
-        """Start a new live session."""
+    def open_session(
+        self,
+        session_id: str,
+        *,
+        max_latency_ticks: int | None = None,
+        evict_after_ticks: int | None = None,
+    ) -> None:
+        """Start a new live session, optionally with its own QoS.
+
+        Parameters
+        ----------
+        max_latency_ticks:
+            Per-session latency budget (>= 1).  The batch is flushed
+            as soon as this session's oldest pending beat has waited
+            ``min(budget, gateway.max_latency_ticks)`` ticks — a
+            latency-critical session flushes earlier than the global
+            policy, without tightening anyone else's bound.
+        evict_after_ticks:
+            Per-session idle-eviction threshold (>= 1); overrides the
+            gateway-wide ``evict_after_ticks`` default.
+        """
         if session_id in self._sessions:
             raise ValueError(f"session {session_id!r} is already open")
+        if max_latency_ticks is not None:
+            validate_at_least("max_latency_ticks", max_latency_ticks)
+        if evict_after_ticks is not None:
+            validate_at_least("evict_after_ticks", evict_after_ticks)
         node = StreamingNode(
             self.classifier, self.fs, defer_classification=True, **self._node_kwargs
         )
-        self._sessions[session_id] = _Session(node)
+        self._add_session(
+            session_id,
+            _Session(
+                node,
+                latency_budget=max_latency_ticks,
+                evict_after=(
+                    evict_after_ticks if evict_after_ticks is not None
+                    else self.evict_after_ticks
+                ),
+                last_active=self._tick,
+            ),
+        )
 
     def ingest(self, session_id: str, chunk: np.ndarray) -> list[StreamBeatEvent]:
         """Feed one chunk of raw samples; return the session's new events.
 
-        Advances the gateway clock by one tick and flushes the
-        cross-session batch if it is full or its oldest beat has hit
-        the latency bound.  The returned events are exactly the ones a
+        Advances the gateway clock by one tick, flushes the
+        cross-session batch if it is full or any session's oldest beat
+        has hit its latency budget, and evicts sessions idle past
+        their threshold.  The returned events are exactly the ones a
         standalone ``StreamingNode`` would have emitted by this point
         (possibly later in stream time, never different in content or
         order).
@@ -213,12 +313,58 @@ class StreamGateway:
         session.events.extend(session.node.push(chunk))
         self._collect(session_id, session.node)
         self._tick += 1
-        oldest = self._batch.oldest_tick
-        if len(self._batch) >= self.max_batch or (
-            oldest is not None and self._tick - oldest >= self.max_latency_ticks
-        ):
+        session.last_active = self._tick
+        if len(self._batch) >= self.max_batch or self._latency_budget_hit():
             self.flush_batch()
+        self._evict_idle()
         return session.drain()
+
+    def _latency_budget_hit(self) -> bool:
+        """Has any session's oldest pending beat outlived its budget?
+
+        Each queued session is bounded by the tighter of the global
+        ``max_latency_ticks`` and its own budget; with no per-session
+        budgets anywhere this is the original O(1) global-oldest check.
+        """
+        if not self._n_budgeted:
+            oldest = self._batch.oldest_tick
+            return oldest is not None and self._tick - oldest >= self.max_latency_ticks
+        for session_id, oldest in self._batch.session_oldest.items():
+            budget = self.max_latency_ticks
+            session = self._sessions.get(session_id)
+            if session is not None and session.latency_budget is not None:
+                budget = min(budget, session.latency_budget)
+            if self._tick - oldest >= budget:
+                return True
+        return False
+
+    def _evict_idle(self) -> None:
+        """Evict every session idle past its threshold (slow-session QoS).
+
+        Eviction is a forced :meth:`close_session` on the gateway's
+        initiative: the final event sequence is complete and
+        well-formed, handed to ``on_evict`` and kept for
+        :meth:`take_evicted` — never silently dropped.
+        """
+        if not self._evictable:
+            return
+        stale = [
+            session_id
+            for session_id, session in self._evictable.items()
+            if self._tick - session.last_active >= session.evict_after
+        ]
+        for session_id in stale:
+            events = self.close_session(session_id)
+            self._evicted[session_id] = events
+            self.n_evicted += 1
+            if self.on_evict is not None:
+                self.on_evict(session_id, events)
+
+    def take_evicted(self) -> dict[str, list[StreamBeatEvent]]:
+        """Final event sequences of evicted sessions; clears the store."""
+        evicted = self._evicted
+        self._evicted = {}
+        return evicted
 
     def poll(self, session_id: str) -> list[StreamBeatEvent]:
         """Drain the session's queued events without ingesting samples."""
@@ -237,7 +383,7 @@ class StreamGateway:
         self._collect(session_id, session.node)
         self.flush_batch()
         session.events.extend(session.node.finalize())
-        del self._sessions[session_id]
+        self._remove_session(session_id)
         return session.drain()
 
     def flush_batch(self) -> int:
@@ -284,16 +430,57 @@ class StreamGateway:
             session_id=session_id,
             snapshot=session.node.snapshot(),
             events=session.drain(),
+            max_latency_ticks=session.latency_budget,
+            evict_after_ticks=session.evict_after,
         )
 
+    def release_session(self, session_id: str) -> SessionExport:
+        """Capture a live session for migration and remove it here.
+
+        :meth:`export_session` plus the hand-off: the session is gone
+        from this gateway afterwards (without the stream-end
+        finalization of :meth:`close_session` — it continues on the
+        gateway that imports the export).
+        """
+        export = self.export_session(session_id)
+        self._remove_session(session_id)
+        return export
+
     def import_session(self, export: SessionExport, session_id: str | None = None) -> str:
-        """Resume an exported session on this gateway; return its id."""
+        """Resume an exported session on this gateway; return its id.
+
+        The export's QoS settings (latency budget, eviction threshold)
+        travel with the session; its idle clock restarts at this
+        gateway's current tick.
+        """
         session_id = export.session_id if session_id is None else session_id
         if session_id in self._sessions:
             raise ValueError(f"session {session_id!r} is already open")
         node = StreamingNode.restore(self.classifier, export.snapshot)
-        self._sessions[session_id] = _Session(node, events=export.events)
+        self._add_session(
+            session_id,
+            _Session(
+                node,
+                events=export.events,
+                latency_budget=export.max_latency_ticks,
+                evict_after=export.evict_after_ticks,
+                last_active=self._tick,
+            ),
+        )
         return session_id
+
+    def _add_session(self, session_id: str, session: _Session) -> None:
+        self._sessions[session_id] = session
+        if session.evict_after is not None:
+            self._evictable[session_id] = session
+        if session.latency_budget is not None:
+            self._n_budgeted += 1
+
+    def _remove_session(self, session_id: str) -> None:
+        session = self._sessions.pop(session_id)
+        self._evictable.pop(session_id, None)
+        if session.latency_budget is not None:
+            self._n_budgeted -= 1
 
     def _get(self, session_id: str) -> _Session:
         try:

@@ -1,0 +1,658 @@
+"""Multi-worker session gateway: live sessions sharded across processes.
+
+:class:`~repro.serving.gateway.StreamGateway` multiplexes live sessions
+into batched classifier passes inside one process;
+:class:`ShardedGateway` scales that across a pool of worker processes,
+the way :class:`~repro.serving.engine.ServingEngine` shards *complete*
+streams:
+
+* every worker process runs its own ``StreamGateway`` (one batched
+  classifier flush per worker per tick, same size/latency policy);
+* sessions are hash-assigned to workers at ``open_session`` (stable
+  CRC-32 of the session id, so an id always lands on the same worker
+  for a given pool size) and can be moved live with
+  :meth:`ShardedGateway.migrate_session`, built on the existing
+  :class:`~repro.serving.gateway.SessionExport` migration;
+* ``ingest`` is **pipelined**: the chunk is shipped to the owning
+  worker and the call returns the session's already-resolved events
+  without waiting for the worker to process it.  Each worker's command
+  pipe is FIFO, so per-session ordering — and therefore the
+  per-session bit-exactness guarantee of the single-process gateway —
+  is preserved for every worker count, interleaving and chunking.
+  ``close_session`` / ``export_session`` synchronize, so a session's
+  event sequence is always complete when it ends or migrates.
+
+Backpressure: with ``inbox_capacity`` set, each session has a bounded
+inbox (:class:`SessionInbox`) of accepted-but-unprocessed chunks.  When
+it is full the documented overflow policy applies (the
+:data:`~repro.serving.executors.INBOX_POLICIES`):
+
+* ``"block"`` — ``ingest`` waits for the owning worker to catch up
+  before accepting the chunk.  No data is ever lost; the producer is
+  slowed to the worker's pace.  Progress is guaranteed because the
+  worker always consumes its pipe (the wait actively drains worker
+  responses, so it cannot deadlock).
+* ``"drop"`` — the chunk is rejected *and counted*
+  (:meth:`ShardedGateway.dropped_chunks`,
+  :attr:`SessionInbox.n_dropped`); ``ingest`` still returns the
+  session's resolved events.  Load shedding is explicit and audited —
+  never a silent loss — but the session's event stream then reflects
+  the thinned signal (bit-exactness holds for the samples actually
+  accepted).
+
+QoS settings (per-session latency budgets, idle eviction) are forwarded
+to the worker gateways; evicted sessions' final event sequences travel
+back with the next response from that worker and reach the parent's
+``on_evict`` hook / :meth:`ShardedGateway.take_evicted`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import zlib
+from collections import deque
+
+import numpy as np
+
+from repro.serving.executors import (
+    INBOX_POLICIES,
+    validate_at_least,
+    validate_inbox_policy,
+    validate_workers,
+)
+from repro.serving.gateway import SessionExport, StreamGateway
+
+__all__ = ["SessionInbox", "ShardedGateway"]
+
+
+class SessionInbox:
+    """Bounded inbox of accepted-but-unprocessed chunks for one session.
+
+    A thread-safe bounded queue with the serving layer's two documented
+    overflow policies (:data:`~repro.serving.executors.INBOX_POLICIES`):
+
+    * ``"block"``: :meth:`put` waits until the consumer has taken an
+      item.  Nothing is ever lost; the producer runs at the consumer's
+      pace.  The caller may supply a ``wait`` hook that *drives* the
+      consumer (how :class:`ShardedGateway` drains worker responses
+      while waiting), which guarantees progress without a second
+      thread.
+    * ``"drop"``: :meth:`put` rejects the item when full, returns
+      ``False`` and increments :attr:`n_dropped` — shedding is
+      explicit and counted, never silent.
+
+    ``high_water`` records the maximum occupancy ever reached, so tests
+    and monitoring can verify the bound actually held.
+    """
+
+    def __init__(self, capacity: int, policy: str = "block"):
+        validate_at_least("inbox_capacity", capacity)
+        validate_inbox_policy(policy)
+        self.capacity = int(capacity)
+        self.policy = policy
+        self.n_dropped = 0
+        self.n_accepted = 0
+        self.high_water = 0
+        self._items: deque = deque()
+        self._closed = False
+        self._cond = threading.Condition(threading.RLock())
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item, wait=None) -> bool:
+        """Offer one item; apply the overflow policy when full.
+
+        Returns ``True`` when the item was accepted.  In ``"drop"``
+        mode a full inbox returns ``False`` (and counts the drop); in
+        ``"block"`` mode the call waits for space — via ``wait()`` if
+        given (called repeatedly until space frees up; it may consume
+        from this inbox or :meth:`close` it), else on the internal
+        condition until another thread calls :meth:`take`.  Offering
+        to a closed inbox (its session ended, e.g. evicted) returns
+        ``False`` without counting a drop: the caller must re-check
+        the session, not retry.
+        """
+        with self._cond:
+            while not self._closed and len(self._items) >= self.capacity:
+                if self.policy == "drop":
+                    self.n_dropped += 1
+                    return False
+                if wait is None:
+                    self._cond.wait()
+                else:
+                    wait()
+            if self._closed:
+                return False
+            self._items.append(item)
+            self.n_accepted += 1
+            self.high_water = max(self.high_water, len(self._items))
+            return True
+
+    def take(self):
+        """Consume the oldest item (FIFO); unblocks a waiting producer."""
+        with self._cond:
+            item = self._items.popleft()
+            self._cond.notify_all()
+            return item
+
+    def close(self) -> None:
+        """End the inbox's session: unblock any waiting producer.
+
+        A blocked :meth:`put` returns ``False`` instead of waiting for
+        space that will never free up (the guard against a producer
+        deadlocking on a session evicted under it).
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+def _worker_main(conn, classifier, fs: float, gateway_kwargs: dict) -> None:
+    """Worker-process loop: one ``StreamGateway``, commands over a pipe.
+
+    Every request is answered with ``(op, session_id, payload,
+    evictions)`` in request order; ``payload`` is ``("ok", value)`` or
+    ``("err", exception)``.  Evictions that fired while handling the
+    request (the worker gateway's idle clock advances on its own
+    ingest ticks) ride along on the response, each as a complete
+    ``(session_id, events)`` final sequence.
+    """
+    evictions: list[tuple[str, list]] = []
+    gateway = StreamGateway(
+        classifier,
+        fs,
+        on_evict=lambda sid, events: evictions.append((sid, events)),
+        **gateway_kwargs,
+    )
+    evicted_ids: set[str] = set()
+    while True:
+        try:
+            request = conn.recv()
+        except EOFError:  # parent died; nothing left to serve
+            break
+        op, session_id = request[0], request[1]
+        try:
+            if op == "ingest":
+                if session_id in evicted_ids:
+                    value = []  # chunk was in flight when the session was evicted
+                else:
+                    value = gateway.ingest(session_id, request[2])
+            elif op == "open":
+                value = gateway.open_session(session_id, **request[2])
+                evicted_ids.discard(session_id)  # the id is live again
+            elif op == "poll":
+                value = gateway.poll(session_id)
+            elif op == "close":
+                if session_id in evicted_ids:
+                    value = []
+                else:
+                    value = gateway.close_session(session_id)
+            elif op == "export":
+                value = gateway.export_session(session_id)
+            elif op == "release":
+                value = gateway.release_session(session_id)
+            elif op == "import":
+                value = gateway.import_session(request[2], session_id)
+                evicted_ids.discard(session_id)  # the id is live again
+            elif op == "flush":
+                value = gateway.flush_batch()
+            elif op == "stats":
+                value = {
+                    "n_sessions": gateway.n_sessions,
+                    "n_queued": gateway.n_queued,
+                    "n_flushes": gateway.n_flushes,
+                    "n_classified": gateway.n_classified,
+                    "n_evicted": gateway.n_evicted,
+                }
+            elif op == "stop":
+                conn.send(("stop", None, ("ok", None), []))
+                break
+            else:
+                raise ValueError(f"unknown worker op {op!r}")
+            payload = ("ok", value)
+        except Exception as exc:  # travels back to the caller
+            payload = ("err", exc)
+        new_evictions, evictions = evictions, []
+        evicted_ids.update(sid for sid, _ in new_evictions)
+        gateway.take_evicted()  # delivered via the response instead
+        conn.send((op, session_id, payload, new_evictions))
+    conn.close()
+
+
+class ShardedGateway:
+    """A pool of worker processes, each running a :class:`StreamGateway`.
+
+    Drop-in for the single-process gateway's session surface
+    (``open_session`` / ``ingest`` / ``poll`` / ``close_session`` /
+    ``export_session`` / ``import_session``, so
+    :func:`~repro.serving.gateway.serve_round_robin` drives it
+    unchanged), with sessions sharded across ``workers`` processes.
+    Per-session event sequences stay bit-exact with a standalone
+    :class:`~repro.dsp.streaming.StreamingNode` for every worker
+    count — see the module docs for how pipelining preserves ordering.
+
+    Parameters
+    ----------
+    classifier / fs / max_batch / max_latency_ticks /
+    evict_after_ticks / on_evict / node configuration:
+        As for :class:`~repro.serving.gateway.StreamGateway`; applied
+        per worker (each worker's gateway batches and flushes its own
+        sessions — one batched classifier pass per worker per tick).
+    workers:
+        Worker process count (>= 1).
+    inbox_capacity:
+        Bound on each session's accepted-but-unprocessed chunks
+        (>= 1, or ``None`` = unbounded).  See the module docs for the
+        backpressure contract.
+    inbox_policy:
+        Overflow policy when a session's inbox is full — one of
+        :data:`~repro.serving.executors.INBOX_POLICIES`.
+    mp_context:
+        Optional :mod:`multiprocessing` start method (e.g. ``"fork"``,
+        ``"spawn"``); default is the platform's.
+
+    Use as a context manager (or call :meth:`shutdown`) so the worker
+    processes are reaped.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        fs: float,
+        *,
+        workers: int = 2,
+        max_batch: int = 64,
+        max_latency_ticks: int = 8,
+        evict_after_ticks: int | None = None,
+        on_evict=None,
+        inbox_capacity: int | None = None,
+        inbox_policy: str = "block",
+        mp_context: str | None = None,
+        n_leads: int = 1,
+        lead: int = 0,
+        decimation: int = 4,
+        window=None,
+        detector_config=None,
+        delineation_config=None,
+        overhead_bytes: int = 2,
+    ):
+        validate_workers(workers)
+        validate_at_least("max_batch", max_batch)
+        validate_at_least("max_latency_ticks", max_latency_ticks)
+        if evict_after_ticks is not None:
+            validate_at_least("evict_after_ticks", evict_after_ticks)
+        if inbox_capacity is not None:
+            validate_at_least("inbox_capacity", inbox_capacity)
+        validate_inbox_policy(inbox_policy)
+        self.fs = fs
+        self.workers = int(workers)
+        self.inbox_capacity = inbox_capacity
+        self.inbox_policy = inbox_policy
+        self.on_evict = on_evict
+        gateway_kwargs = dict(
+            max_batch=max_batch,
+            max_latency_ticks=max_latency_ticks,
+            evict_after_ticks=evict_after_ticks,
+            n_leads=n_leads,
+            lead=lead,
+            decimation=decimation,
+            window=window,
+            detector_config=detector_config,
+            delineation_config=delineation_config,
+            overhead_bytes=overhead_bytes,
+        )
+        ctx = multiprocessing.get_context(mp_context)
+        self._conns = []
+        self._procs = []
+        for _ in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, classifier, fs, gateway_kwargs),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._owner: dict[str, int] = {}
+        self._events: dict[str, list] = {}
+        self._inboxes: dict[str, SessionInbox] = {}
+        self._evicted: dict[str, list] = {}
+        self._errors: dict[str, Exception] = {}
+        self._closed = False
+
+    # -- session surface -------------------------------------------------
+
+    @property
+    def n_sessions(self) -> int:
+        """Currently open sessions, fleet-wide."""
+        return len(self._owner)
+
+    def session_ids(self) -> list[str]:
+        """Open session ids, in opening order."""
+        return list(self._owner)
+
+    def worker_of(self, session_id: str) -> int:
+        """Index of the worker currently running ``session_id``."""
+        return self._owner_or_raise(session_id)
+
+    def _assign(self, session_id: str) -> int:
+        """Stable hash assignment (CRC-32, not the salted ``hash``)."""
+        return zlib.crc32(session_id.encode()) % self.workers
+
+    def open_session(
+        self,
+        session_id: str,
+        *,
+        max_latency_ticks: int | None = None,
+        evict_after_ticks: int | None = None,
+        worker: int | None = None,
+    ) -> None:
+        """Open a session on its hash-assigned (or explicit) worker.
+
+        The QoS keywords are forwarded to the worker gateway's
+        :meth:`~repro.serving.gateway.StreamGateway.open_session`.
+        """
+        if session_id in self._owner:
+            raise ValueError(f"session {session_id!r} is already open")
+        index = self._assign(session_id) if worker is None else self._validate_worker(worker)
+        qos = {
+            "max_latency_ticks": max_latency_ticks,
+            "evict_after_ticks": evict_after_ticks,
+        }
+        self._request(index, ("open", session_id, qos))
+        self._register(session_id, index)
+
+    def ingest(self, session_id: str, chunk: np.ndarray) -> list:
+        """Ship one chunk to the owning worker; return resolved events.
+
+        Pipelined: the call does not wait for the worker to process
+        the chunk — it returns the session's events that have already
+        come back.  With a bounded inbox the overflow policy applies
+        first (see the module docs); a dropped chunk is counted in
+        :meth:`dropped_chunks` and never reaches the worker.
+        """
+        index = self._owner_or_raise(session_id)
+        self._drain(block=False)
+        self._raise_parked(session_id)  # e.g. this session's previous chunk
+        if session_id not in self._owner:  # evicted by a just-drained notice
+            raise KeyError(f"no open session {session_id!r}")
+        inbox = self._inboxes.get(session_id)
+        if inbox is not None:
+            accepted = inbox.put(
+                len(chunk), wait=lambda: self._drain_one(index, block=True)
+            )
+            if session_id not in self._owner:  # evicted while blocked
+                raise KeyError(f"no open session {session_id!r}")
+            if not accepted:
+                return self._events.pop(session_id, [])
+        self._conns[index].send(("ingest", session_id, np.asarray(chunk, dtype=float)))
+        return self._events.pop(session_id, [])
+
+    def poll(self, session_id: str) -> list:
+        """Drain the session's queued events without ingesting samples.
+
+        Synchronizes with the owning worker, so events resolved by a
+        flush another session triggered are fetched too (the parent
+        otherwise only sees a session's events on its own responses).
+        """
+        index = self._owner_or_raise(session_id)
+        value = self._request(index, ("poll", session_id))
+        return self._events.pop(session_id, []) + value
+
+    def close_session(self, session_id: str) -> list:
+        """End a session; wait for and return the rest of its events."""
+        index = self._owner_or_raise(session_id)
+        value = self._request(index, ("close", session_id))
+        events = self._events.pop(session_id, []) + value
+        # The close may have crossed an in-flight eviction notice for
+        # this very session; its final events are the authoritative tail.
+        events += self._evicted.pop(session_id, [])
+        self._unregister(session_id)
+        return events
+
+    def export_session(self, session_id: str) -> SessionExport:
+        """Capture a live session for migration; it stays open here.
+
+        Synchronizes with the owning worker first (every accepted
+        chunk is processed before the snapshot), then merges the
+        parent-buffered events into the export so nothing is left
+        behind.
+        """
+        index = self._owner_or_raise(session_id)
+        export = self._request(index, ("export", session_id))
+        return self._merge_buffer(session_id, export)
+
+    def release_session(self, session_id: str) -> SessionExport:
+        """Capture a live session for migration and remove it here."""
+        index = self._owner_or_raise(session_id)
+        export = self._request(index, ("release", session_id))
+        export = self._merge_buffer(session_id, export)
+        self._unregister(session_id)
+        return export
+
+    def import_session(self, export: SessionExport, session_id: str | None = None) -> str:
+        """Resume an exported session on its hash-assigned worker."""
+        session_id = export.session_id if session_id is None else session_id
+        if session_id in self._owner:
+            raise ValueError(f"session {session_id!r} is already open")
+        index = self._assign(session_id)
+        self._request(index, ("import", session_id, export))
+        self._register(session_id, index)
+        return session_id
+
+    def migrate_session(self, session_id: str, worker: int) -> None:
+        """Move a live session to another worker, mid-stream.
+
+        ``release`` on the current owner + ``import`` on the target:
+        the session's event sequence is unaffected (the chaos suite
+        pins this), only its placement changes.  Rebalancing after a
+        load skew is this call in a loop.
+        """
+        index = self._owner_or_raise(session_id)
+        target = self._validate_worker(worker)
+        if target == index:
+            return
+        export = self._request(index, ("release", session_id))
+        export = self._merge_buffer(session_id, export)
+        old_inbox = self._inboxes.get(session_id)
+        self._unregister(session_id)
+        self._request(target, ("import", session_id, export))
+        self._register(session_id, target)
+        if old_inbox is not None and session_id in self._inboxes:
+            # The shedding audit survives rebalancing.
+            self._inboxes[session_id].n_dropped = old_inbox.n_dropped
+
+    def flush(self) -> int:
+        """Force one batched classifier pass on every worker."""
+        return sum(self._request(i, ("flush", None)) for i in range(self.workers))
+
+    def dropped_chunks(self, session_id: str | None = None) -> int:
+        """Chunks rejected by the ``"drop"`` overflow policy (audited
+        loss — see the module docs), for one session or fleet-wide."""
+        if session_id is not None:
+            inbox = self._inboxes.get(session_id)
+            return 0 if inbox is None else inbox.n_dropped
+        return sum(inbox.n_dropped for inbox in self._inboxes.values())
+
+    def take_evicted(self) -> dict[str, list]:
+        """Final event sequences of evicted sessions; clears the store."""
+        self._drain(block=False)
+        evicted = self._evicted
+        self._evicted = {}
+        return evicted
+
+    def stats(self) -> dict:
+        """Aggregate + per-worker gateway statistics (synchronizes)."""
+        per_worker = [self._request(i, ("stats", None)) for i in range(self.workers)]
+        totals = {
+            key: sum(stats[key] for stats in per_worker)
+            for key in ("n_sessions", "n_queued", "n_flushes", "n_classified", "n_evicted")
+        }
+        totals["per_worker"] = per_worker
+        return totals
+
+    # -- lifecycle -------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop and reap the worker pool (open sessions are discarded)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn, proc in zip(self._conns, self._procs):
+            try:
+                conn.send(("stop", None))
+                while True:
+                    response = conn.recv()
+                    if response[0] == "stop":
+                        break
+                    self._handle(response)
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive reap
+                proc.terminate()
+                proc.join(timeout=1.0)
+
+    def __enter__(self) -> "ShardedGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - best-effort reap
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    # -- plumbing --------------------------------------------------------
+
+    def _validate_worker(self, worker: int) -> int:
+        if not 0 <= worker < self.workers:
+            raise ValueError(
+                f"worker must be in [0, {self.workers}), got {worker}"
+            )
+        return worker
+
+    def _raise_parked(self, session_id: str) -> None:
+        error = self._errors.pop(session_id, None)
+        if error is not None:
+            raise error  # parked by _handle from a pipelined response
+
+    def _owner_or_raise(self, session_id: str) -> int:
+        self._raise_parked(session_id)
+        try:
+            return self._owner[session_id]
+        except KeyError:
+            raise KeyError(f"no open session {session_id!r}") from None
+
+    def _merge_buffer(self, session_id: str, export: SessionExport) -> SessionExport:
+        """Fold parent-buffered events into an export (they precede the
+        worker-side undrained events in per-session order)."""
+        buffered = self._events.pop(session_id, [])
+        if not buffered:
+            return export
+        return SessionExport(
+            session_id=export.session_id,
+            snapshot=export.snapshot,
+            events=buffered + list(export.events),
+            max_latency_ticks=export.max_latency_ticks,
+            evict_after_ticks=export.evict_after_ticks,
+        )
+
+    def _register(self, session_id: str, index: int) -> None:
+        self._owner[session_id] = index
+        if self.inbox_capacity is not None:
+            self._inboxes[session_id] = SessionInbox(
+                self.inbox_capacity, self.inbox_policy
+            )
+
+    def _unregister(self, session_id: str) -> None:
+        self._owner.pop(session_id, None)
+        self._events.pop(session_id, None)
+        self._errors.pop(session_id, None)  # must not leak to a reused id
+        inbox = self._inboxes.pop(session_id, None)
+        if inbox is not None:
+            inbox.close()  # a producer blocked on it must not wait forever
+
+    def _request(self, index: int, request: tuple):
+        """Send one synchronous command; handle interleaved pipelined
+        responses until this command's (FIFO-ordered) answer arrives."""
+        op = request[0]
+        self._conns[index].send(request)
+        while True:
+            response = self._conns[index].recv()
+            if response[0] == op:
+                self._note_evictions(response[3])
+                status, value = response[2]
+                if status == "err":
+                    raise value
+                return value
+            self._handle(response)
+
+    def _drain(self, block: bool) -> None:
+        for index in range(self.workers):
+            self._drain_one(index, block=block)
+
+    def _drain_one(self, index: int, block: bool) -> bool:
+        """Process pending responses from one worker.
+
+        Non-blocking: handle everything already in the pipe.  Blocking:
+        wait for (at least) one response — the backpressure wait hook,
+        guaranteed to make progress because the worker consumes its
+        command queue in order.
+        """
+        conn = self._conns[index]
+        handled = False
+        if block and not conn.poll():
+            self._handle(conn.recv())
+            handled = True
+        while conn.poll():
+            self._handle(conn.recv())
+            handled = True
+        return handled
+
+    def _handle(self, response: tuple) -> None:
+        """Route one pipelined (ingest) response into the buffers.
+
+        A worker-side ingest error (e.g. a malformed chunk) arrives
+        here asynchronously, possibly while a synchronous request for
+        another session is waiting — raising now would both blame the
+        wrong call and desynchronize the pipe's request/response
+        pairing.  It is parked instead and raised by the erroring
+        session's next call (:meth:`_owner_or_raise`).
+        """
+        op, session_id, (status, value), evictions = response
+        self._note_evictions(evictions)
+        if op != "ingest":  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unexpected unsolicited {op!r} response")
+        inbox = self._inboxes.get(session_id)
+        if inbox is not None and len(inbox):
+            inbox.take()  # the worker consumed the chunk either way
+        if status == "err":
+            self._errors[session_id] = value
+            return
+        if session_id in self._owner:
+            self._events.setdefault(session_id, []).extend(value)
+        elif session_id in self._evicted:
+            self._evicted[session_id].extend(value)
+
+    def _note_evictions(self, evictions: list) -> None:
+        for session_id, events in evictions:
+            if session_id not in self._owner:
+                continue
+            final = self._events.pop(session_id, []) + list(events)
+            self._unregister(session_id)
+            self._evicted[session_id] = final
+            if self.on_evict is not None:
+                self.on_evict(session_id, final)

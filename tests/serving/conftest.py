@@ -1,0 +1,47 @@
+"""Shared fixtures/helpers for the serving-layer test modules.
+
+The gateway tier's single contract — per-session event sequences
+bit-exact with a standalone inline-mode ``StreamingNode`` — is asserted
+the same way everywhere, so the comparison helpers live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.streaming import StreamingNode
+
+
+def _assert_events_equal(expected, actual) -> None:
+    """Event sequences identical: peaks, labels, flags, payloads, fiducials."""
+    assert len(expected) == len(actual)
+    for a, b in zip(expected, actual):
+        assert (a.peak, a.label, a.flagged, a.tx_bytes) == (
+            b.peak, b.label, b.flagged, b.tx_bytes
+        )
+        if a.fiducials is None:
+            assert b.fiducials is None
+        else:
+            np.testing.assert_array_equal(
+                a.fiducials.as_array(), b.fiducials.as_array()
+            )
+
+
+def _standalone_events(classifier, record_or_signal, fs, n_leads, upto=None):
+    """Reference: one inline-mode node fed the (prefix of the) stream."""
+    signal = getattr(record_or_signal, "signal", record_or_signal)
+    if upto is not None:
+        signal = signal[:upto]
+    node = StreamingNode(classifier, fs, n_leads=n_leads)
+    return node.push(signal) + node.flush()
+
+
+@pytest.fixture(scope="session")
+def assert_events_equal():
+    return _assert_events_equal
+
+
+@pytest.fixture(scope="session")
+def standalone_events():
+    return _standalone_events

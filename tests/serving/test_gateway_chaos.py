@@ -1,0 +1,236 @@
+"""Fault-injection / property suite for the live serving layer.
+
+Seeded random schedules of ``open`` / ``ingest`` / ``migrate`` /
+``evict`` / ``close`` interleavings — arbitrary chunk sizes, arbitrary
+session interleaving, migrations mid-stream (between in-process
+gateways, through pickle, and between the workers of a sharded pool),
+random manual flushes and early closes — always asserting the one
+contract everything above the DSP layer leans on: **per-session event
+sequences are bit-exact with a standalone inline-mode
+``StreamingNode``** fed exactly the samples the session ingested.
+
+Every schedule is derived from a seeded ``default_rng``, so failures
+replay deterministically.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+from repro.serving import ShardedGateway, StreamGateway
+
+N_LEADS = 1
+
+
+@pytest.fixture(scope="module")
+def records():
+    return [
+        RecordSynthesizer(SynthesisConfig(n_leads=N_LEADS), seed=s).synthesize(
+            12.0, class_mix={"N": 0.55, "V": 0.3, "L": 0.15}, name=f"chaos-{s}"
+        )
+        for s in (101, 102, 103)
+    ]
+
+
+def chunk_queue(record, rng):
+    """Split a record into random 5..700-sample ingest chunks."""
+    chunks, i = [], 0
+    while i < record.n_samples:
+        n = int(rng.integers(5, 700))
+        chunks.append(record.signal[i : i + n])
+        i += n
+    return chunks
+
+
+def random_gateway_kwargs(rng):
+    return dict(
+        max_batch=int(rng.integers(1, 48)),
+        max_latency_ticks=int(rng.integers(1, 16)),
+    )
+
+
+class TestInterGatewayChaos:
+    """Random schedules over a pair of in-process gateways."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_schedule_with_migration_is_bit_exact(
+        self, seed, records, embedded_classifier, assert_events_equal,
+        standalone_events,
+    ):
+        rng = np.random.default_rng(seed)
+        fs = records[0].fs
+        gateways = [
+            StreamGateway(
+                embedded_classifier, fs, n_leads=N_LEADS, **random_gateway_kwargs(rng)
+            )
+            for _ in range(2)
+        ]
+        sessions = {}
+        for i, record in enumerate(records):
+            home = int(rng.integers(0, 2))
+            sessions[f"s{i}"] = dict(
+                record=record,
+                chunks=chunk_queue(record, rng),
+                fed=0,
+                home=home,
+                events=[],
+            )
+            gateways[home].open_session(f"s{i}")
+        n_migrations = 0
+
+        def close(sid):
+            state = sessions.pop(sid)
+            state["events"] += gateways[state["home"]].close_session(sid)
+            assert_events_equal(
+                standalone_events(
+                    embedded_classifier, state["record"], fs, N_LEADS,
+                    upto=state["fed"],
+                ),
+                state["events"],
+            )
+
+        while sessions:
+            sid = str(rng.choice(sorted(sessions)))
+            state = sessions[sid]
+            roll = rng.random()
+            if roll < 0.62:
+                if not state["chunks"]:
+                    close(sid)
+                    continue
+                chunk = state["chunks"].pop(0)
+                state["events"] += gateways[state["home"]].ingest(sid, chunk)
+                state["fed"] += len(chunk)
+            elif roll < 0.82:
+                export = gateways[state["home"]].release_session(sid)
+                if rng.random() < 0.5:  # sometimes cross a (simulated) host
+                    export = pickle.loads(pickle.dumps(export))
+                state["home"] = 1 - state["home"]
+                gateways[state["home"]].import_session(export)
+                n_migrations += 1
+            elif roll < 0.93:
+                state["events"] += gateways[state["home"]].poll(sid)
+            elif roll < 0.97:
+                gateways[int(rng.integers(0, 2))].flush_batch()
+            else:
+                close(sid)  # early close, mid-stream
+        assert n_migrations > 0
+
+
+class TestShardedChaos:
+    """Random schedules over the multi-worker gateway, every pool size."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_schedule_with_worker_migration_is_bit_exact(
+        self, workers, seed, records, embedded_classifier, assert_events_equal,
+        standalone_events,
+    ):
+        rng = np.random.default_rng(100 * workers + seed)
+        fs = records[0].fs
+        with ShardedGateway(
+            embedded_classifier, fs, workers=workers, n_leads=N_LEADS,
+            **random_gateway_kwargs(rng),
+        ) as gateway:
+            sessions = {}
+            for i, record in enumerate(records):
+                sessions[f"s{i}"] = dict(
+                    record=record, chunks=chunk_queue(record, rng), fed=0, events=[]
+                )
+                gateway.open_session(f"s{i}")
+            n_migrations = 0
+
+            def close(sid):
+                state = sessions.pop(sid)
+                state["events"] += gateway.close_session(sid)
+                assert_events_equal(
+                    standalone_events(
+                        embedded_classifier, state["record"], fs, N_LEADS,
+                        upto=state["fed"],
+                    ),
+                    state["events"],
+                )
+
+            while sessions:
+                sid = str(rng.choice(sorted(sessions)))
+                state = sessions[sid]
+                roll = rng.random()
+                if roll < 0.62:
+                    if not state["chunks"]:
+                        close(sid)
+                        continue
+                    chunk = state["chunks"].pop(0)
+                    state["events"] += gateway.ingest(sid, chunk)
+                    state["fed"] += len(chunk)
+                elif roll < 0.86:
+                    gateway.migrate_session(sid, int(rng.integers(0, workers)))
+                    n_migrations += 1
+                elif roll < 0.94:
+                    state["events"] += gateway.poll(sid)
+                elif roll < 0.97:
+                    gateway.flush()
+                else:
+                    close(sid)
+            if workers > 1:
+                assert n_migrations > 0
+
+
+class TestEvictionChaos:
+    """Random schedules where slow sessions get evicted mid-stream."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_evicted_sessions_emit_their_exact_remainder(
+        self, seed, records, embedded_classifier, assert_events_equal,
+        standalone_events,
+    ):
+        rng = np.random.default_rng(1000 + seed)
+        fs = records[0].fs
+        evicted = {}
+        gateway = StreamGateway(
+            embedded_classifier, fs, n_leads=N_LEADS,
+            evict_after_ticks=int(rng.integers(3, 8)),
+            on_evict=lambda sid, events: evicted.update({sid: events}),
+            **random_gateway_kwargs(rng),
+        )
+        sessions = {}
+        for i, record in enumerate(records):
+            # Each session abandons its stream at a random point; the
+            # survivors' ticks then evict it.
+            stop_after = int(rng.integers(1, record.n_samples))
+            sessions[f"s{i}"] = dict(
+                record=record, chunks=chunk_queue(record, rng), fed=0, events=[],
+                stop_after=stop_after,
+            )
+            gateway.open_session(f"s{i}")
+        live = set(sessions)
+        while live:
+            still_feeding = [
+                sid for sid in sorted(live)
+                if sid in gateway.session_ids()
+                and sessions[sid]["chunks"]
+                and sessions[sid]["fed"] < sessions[sid]["stop_after"]
+            ]
+            for sid in sorted(live - set(gateway.session_ids())):
+                live.discard(sid)  # evicted under us
+            if not still_feeding:
+                # Everyone alive is done feeding: close the remainder.
+                for sid in sorted(live & set(gateway.session_ids())):
+                    sessions[sid]["events"] += gateway.close_session(sid)
+                    live.discard(sid)
+                continue
+            sid = str(rng.choice(still_feeding))
+            state = sessions[sid]
+            chunk = state["chunks"].pop(0)
+            state["events"] += gateway.ingest(sid, chunk)
+            state["fed"] += len(chunk)
+        for sid, state in sessions.items():
+            events = state["events"] + evicted.get(sid, [])
+            assert_events_equal(
+                standalone_events(
+                    embedded_classifier, state["record"], fs, N_LEADS,
+                    upto=state["fed"],
+                ),
+                events,
+            )
+        assert evicted  # at least one session actually got evicted

@@ -1,0 +1,270 @@
+"""ShardedGateway: the multi-worker gateway vs standalone StreamingNode.
+
+The sharded tier inherits the single-process gateway's contract — every
+session's event sequence is bit-exact with a standalone inline-mode
+``StreamingNode`` — for every worker count, and adds placement:
+hash-assignment, explicit placement, and live migration between
+workers (and across gateway tiers, via the shared ``SessionExport``).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+from repro.serving import (
+    EXECUTORS,
+    SessionExport,
+    ShardedGateway,
+    StreamGateway,
+    serve_round_robin,
+)
+
+N_LEADS = 3
+
+
+@pytest.fixture(scope="module")
+def records():
+    return [
+        RecordSynthesizer(SynthesisConfig(n_leads=N_LEADS), seed=s).synthesize(
+            15.0, class_mix={"N": 0.6, "V": 0.3, "L": 0.1}, name=f"sess-{s}"
+        )
+        for s in (91, 92, 93)
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference_events(records, embedded_classifier, standalone_events):
+    return [
+        standalone_events(embedded_classifier, record, record.fs, N_LEADS)
+        for record in records
+    ]
+
+
+class TestShardedBitExactness:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_round_robin_matches_standalone(
+        self, workers, records, embedded_classifier, reference_events,
+        assert_events_equal,
+    ):
+        """serve_round_robin drives the sharded gateway unchanged; the
+        per-session sequences are bit-exact for every worker count."""
+        fs = records[0].fs
+        with ShardedGateway(
+            embedded_classifier, fs, workers=workers, n_leads=N_LEADS, max_batch=16
+        ) as gateway:
+            events = serve_round_robin(
+                gateway,
+                {f"s{i}": record.signal for i, record in enumerate(records)},
+                int(0.5 * fs),
+            )
+            assert gateway.n_sessions == 0
+            stats = gateway.stats()
+        for i, expected in enumerate(reference_events):
+            assert_events_equal(expected, events[f"s{i}"])
+        assert stats["n_classified"] == sum(len(e) for e in reference_events)
+        assert stats["n_flushes"] >= 1
+
+    def test_migration_between_workers_mid_stream(
+        self, records, embedded_classifier, reference_events, assert_events_equal
+    ):
+        """A session moved to another worker mid-stream continues
+        bit-exactly (release + import under the hood)."""
+        record = records[0]
+        fs = record.fs
+        block = int(0.4 * fs)
+        with ShardedGateway(
+            embedded_classifier, fs, workers=2, n_leads=N_LEADS, max_batch=8
+        ) as gateway:
+            gateway.open_session("p")
+            origin = gateway.worker_of("p")
+            events, i = [], 0
+            while i < record.n_samples // 2:
+                events += gateway.ingest("p", record.signal[i : i + block])
+                i += block
+            gateway.migrate_session("p", 1 - origin)
+            assert gateway.worker_of("p") == 1 - origin
+            while i < record.n_samples:
+                events += gateway.ingest("p", record.signal[i : i + block])
+                i += block
+            events += gateway.close_session("p")
+        assert_events_equal(reference_events[0], events)
+
+    def test_cross_tier_migration(
+        self, records, embedded_classifier, reference_events, assert_events_equal
+    ):
+        """SessionExport is one currency: a session can leave a sharded
+        gateway and resume on a plain StreamGateway (through pickle,
+        i.e. across hosts), and vice versa."""
+        record = records[1]
+        fs = record.fs
+        block = int(0.4 * fs)
+        single = StreamGateway(embedded_classifier, fs, n_leads=N_LEADS)
+        events, i = [], 0
+        with ShardedGateway(
+            embedded_classifier, fs, workers=2, n_leads=N_LEADS
+        ) as sharded:
+            sharded.open_session("p")
+            while i < record.n_samples // 3:
+                events += sharded.ingest("p", record.signal[i : i + block])
+                i += block
+            export = pickle.loads(pickle.dumps(sharded.release_session("p")))
+            assert sharded.n_sessions == 0
+            single.import_session(export)
+            while i < 2 * record.n_samples // 3:
+                events += single.ingest("p", record.signal[i : i + block])
+                i += block
+            sharded.import_session(single.release_session("p"))
+            while i < record.n_samples:
+                events += sharded.ingest("p", record.signal[i : i + block])
+                i += block
+            events += sharded.close_session("p")
+        assert_events_equal(reference_events[1], events)
+
+    def test_poll_fetches_cross_session_flushes(
+        self, records, embedded_classifier
+    ):
+        """Events resolved by another session's flush on the same worker
+        are reachable via poll, without ingesting more samples."""
+        record = records[0]
+        fs = records[0].fs
+        with ShardedGateway(
+            embedded_classifier, fs, workers=2, n_leads=N_LEADS, max_batch=1
+        ) as gateway:
+            gateway.open_session("a", worker=0)
+            gateway.open_session("b", worker=0)
+            gateway.ingest("a", record.signal)  # whole stream; flushes repeatedly
+            gateway.ingest("b", records[1].signal[: int(0.1 * fs)])
+            polled = gateway.poll("a")
+            assert len(polled) >= 5
+            peaks = [e.peak for e in polled]
+            assert peaks == sorted(peaks)
+            gateway.close_session("a")
+            gateway.close_session("b")
+
+
+class TestShardedSessions:
+    def test_lifecycle_and_placement(self, records, embedded_classifier):
+        fs = records[0].fs
+        with ShardedGateway(
+            embedded_classifier, fs, workers=3, n_leads=N_LEADS
+        ) as gateway:
+            gateway.open_session("x")
+            assert gateway.session_ids() == ["x"]
+            assert 0 <= gateway.worker_of("x") < 3
+            with pytest.raises(ValueError, match="already open"):
+                gateway.open_session("x")
+            with pytest.raises(KeyError, match="no open session"):
+                gateway.ingest("ghost", np.zeros((10, N_LEADS)))
+            with pytest.raises(KeyError, match="no open session"):
+                gateway.close_session("ghost")
+            gateway.open_session("y", worker=2)
+            assert gateway.worker_of("y") == 2
+            assert gateway.n_sessions == 2
+            gateway.close_session("x")
+            gateway.close_session("y")
+            assert gateway.n_sessions == 0
+
+    def test_hash_assignment_is_stable(self, records, embedded_classifier):
+        """The same id lands on the same worker in any two pools of the
+        same size (CRC-32, not the per-process salted hash)."""
+        fs = records[0].fs
+        with ShardedGateway(embedded_classifier, fs, workers=4) as a:
+            with ShardedGateway(embedded_classifier, fs, workers=4) as b:
+                for sid in ("alpha", "beta", "gamma", "delta"):
+                    assert a._assign(sid) == b._assign(sid)
+
+    def test_import_rejects_open_id(self, records, embedded_classifier):
+        fs = records[0].fs
+        with ShardedGateway(
+            embedded_classifier, fs, workers=2, n_leads=N_LEADS
+        ) as gateway:
+            gateway.open_session("p")
+            export = gateway.export_session("p")
+            with pytest.raises(ValueError, match="already open"):
+                gateway.import_session(export)
+            gateway.close_session("p")
+
+    def test_migrate_validates_target(self, records, embedded_classifier):
+        fs = records[0].fs
+        with ShardedGateway(embedded_classifier, fs, workers=2) as gateway:
+            gateway.open_session("p")
+            with pytest.raises(ValueError, match=r"worker must be in \[0, 2\)"):
+                gateway.migrate_session("p", 2)
+            with pytest.raises(KeyError, match="no open session"):
+                gateway.migrate_session("ghost", 0)
+            gateway.migrate_session("p", gateway.worker_of("p"))  # no-op allowed
+
+
+class TestShardedValidation:
+    """Constructor errors name the allowed values, like executors.py."""
+
+    def test_workers_bound_named(self, embedded_classifier):
+        with pytest.raises(ValueError, match=r"workers must be >= 1, got 0"):
+            ShardedGateway(embedded_classifier, 360.0, workers=0)
+        with pytest.raises(ValueError, match=r"workers must be >= 1, got -2"):
+            ShardedGateway(embedded_classifier, 360.0, workers=-2)
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            (dict(max_batch=0), r"max_batch must be >= 1, got 0"),
+            (dict(max_latency_ticks=0), r"max_latency_ticks must be >= 1, got 0"),
+            (dict(evict_after_ticks=0), r"evict_after_ticks must be >= 1, got 0"),
+            (dict(inbox_capacity=0), r"inbox_capacity must be >= 1, got 0"),
+        ],
+    )
+    def test_bounds_named(self, kwargs, match, embedded_classifier):
+        with pytest.raises(ValueError, match=match):
+            ShardedGateway(embedded_classifier, 360.0, **kwargs)
+
+    def test_unknown_inbox_policy_names_allowed_values(self, embedded_classifier):
+        """The error must teach the caller what IS accepted."""
+        with pytest.raises(ValueError) as excinfo:
+            ShardedGateway(embedded_classifier, 360.0, inbox_policy="spill")
+        message = str(excinfo.value)
+        assert "spill" in message
+        for name in ("block", "drop"):
+            assert name in message
+
+    def test_stream_gateway_bounds_named(self, embedded_classifier):
+        """StreamGateway phrases its bounds the same way (shared
+        validate_at_least), including the new QoS knobs."""
+        with pytest.raises(ValueError, match=r"max_batch must be >= 1, got 0"):
+            StreamGateway(embedded_classifier, 360.0, max_batch=0)
+        with pytest.raises(
+            ValueError, match=r"max_latency_ticks must be >= 1, got -1"
+        ):
+            StreamGateway(embedded_classifier, 360.0, max_latency_ticks=-1)
+        with pytest.raises(ValueError, match=r"evict_after_ticks must be >= 1, got 0"):
+            StreamGateway(embedded_classifier, 360.0, evict_after_ticks=0)
+        gateway = StreamGateway(embedded_classifier, 360.0)
+        with pytest.raises(ValueError, match=r"max_latency_ticks must be >= 1"):
+            gateway.open_session("s", max_latency_ticks=0)
+        with pytest.raises(ValueError, match=r"evict_after_ticks must be >= 1"):
+            gateway.open_session("s", evict_after_ticks=0)
+
+    def test_invalid_construction_leaves_no_processes(self, embedded_classifier):
+        """Validation happens before any worker is spawned."""
+        import multiprocessing
+
+        before = len(multiprocessing.active_children())
+        for kwargs in (dict(workers=0), dict(max_batch=0), dict(inbox_policy="x")):
+            with pytest.raises(ValueError):
+                ShardedGateway(embedded_classifier, 360.0, **kwargs)
+        assert len(multiprocessing.active_children()) == before
+
+    def test_executors_export_inbox_policies(self):
+        from repro.serving import INBOX_POLICIES
+        from repro.serving.executors import validate_inbox_policy
+
+        assert INBOX_POLICIES == ("block", "drop")
+        assert EXECUTORS == ("serial", "threads", "processes")
+        assert validate_inbox_policy("block") == "block"
+
+    def test_session_export_defaults_are_backward_compatible(self):
+        """Old-style three-field exports (pre-QoS pickles) still load."""
+        export = SessionExport(session_id="s", snapshot=None)
+        assert export.max_latency_ticks is None
+        assert export.evict_after_ticks is None

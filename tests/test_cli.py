@@ -114,6 +114,34 @@ class TestCommands:
         assert "events/s" in out and "batched" in out
         assert "session-0" in out and "session-2" in out
 
+    def test_serve_multi_worker(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scale",
+                    "0.02",
+                    "--ga-pop",
+                    "4",
+                    "--ga-gen",
+                    "2",
+                    "--sessions",
+                    "3",
+                    "--duration",
+                    "15",
+                    "--max-batch",
+                    "16",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 worker processes" in out
+        assert "events/s" in out and "batched" in out
+        assert "session-0" in out and "session-2" in out
+
 
 class TestTrainAndCodegen:
     def test_train_saves_both_models(self, tmp_path, capsys):

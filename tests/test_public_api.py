@@ -74,6 +74,7 @@ PUBLIC_MODULES = [
     "repro.serving.executors",
     "repro.serving.gateway",
     "repro.serving.results",
+    "repro.serving.sharded",
     "repro.io",
     "repro.cli",
 ]
