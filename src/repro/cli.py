@@ -17,7 +17,12 @@ Commands
     :class:`~repro.serving.gateway.StreamGateway` — or, with
     ``--workers N``, through a multi-process
     :class:`~repro.serving.sharded.ShardedGateway` pool — and report
-    the fleet's throughput and batching statistics.
+    the fleet's throughput and batching statistics.  With
+    ``--autoscale`` the pool is elastic: an
+    :class:`~repro.serving.autoscale.Autoscaler` grows/shrinks it
+    between ``--min-workers`` and ``--max-workers`` and an
+    :class:`~repro.serving.autoscale.AutoBalancer` migrates sessions
+    off hot workers, both ticked between ingest rounds.
 
 Common options: ``--scale`` (fraction of the Table-I set sizes;
 ``--full`` is shorthand for the paper's exact configuration, including
@@ -30,6 +35,7 @@ import argparse
 import sys
 
 from repro.core.genetic import GeneticConfig
+from repro.serving.executors import PLACEMENTS
 
 
 def _genetic(args) -> GeneticConfig:
@@ -177,7 +183,25 @@ def cmd_serve(args) -> int:
 
     from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
     from repro.experiments.table3 import Table3Config, build_embedded_classifier
-    from repro.serving import ShardedGateway, StreamGateway, serve_round_robin
+    from repro.serving import (
+        AutoBalancer,
+        Autoscaler,
+        ShardedGateway,
+        StreamGateway,
+        serve_autoscaled,
+        serve_round_robin,
+    )
+
+    # Fail on bad serving knobs before the (slow) training, not after.
+    if args.autoscale:
+        if not 1 <= args.min_workers <= args.max_workers:
+            raise SystemExit("error: need 1 <= --min-workers <= --max-workers")
+        if args.target_depth < 1:
+            raise SystemExit("error: --target-depth must be >= 1")
+    if args.placement is not None and not (args.autoscale or args.workers > 1):
+        raise SystemExit(
+            "error: --placement requires --autoscale or --workers > 1"
+        )
 
     config = Table3Config(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
     print("Training + quantizing the shared classifier ...")
@@ -204,26 +228,73 @@ def cmd_serve(args) -> int:
 
     from contextlib import nullcontext
 
-    sharded = args.workers > 1
-    tier = f"{args.workers} worker processes" if sharded else "single process"
+    autoscaled = args.autoscale
+    sharded = autoscaled or args.workers > 1
+    # Mode-aware default: least-loaded suits an elastic pool (new
+    # workers fill immediately), hash keeps the static pool's stable
+    # assignment.  An explicit --placement wins in either sharded mode.
+    placement = args.placement or ("least-loaded" if autoscaled else "hash")
+    if autoscaled:
+        tier = (
+            f"elastic pool {args.min_workers}..{args.max_workers} workers, "
+            f"{placement} placement"
+        )
+    elif sharded:
+        tier = f"{args.workers} worker processes, {placement} placement"
+    else:
+        tier = "single process"
     print(
         f"Ingesting round-robin ({tier}, {args.chunk_ms:.0f} ms chunks, "
         f"max_batch={args.max_batch}, max_latency_ticks={args.max_latency_ticks}) ..."
     )
-    context = (
-        ShardedGateway(classifier, fs, workers=args.workers, **gateway_kwargs)
-        if sharded
-        else nullcontext(StreamGateway(classifier, fs, **gateway_kwargs))
-    )
+    if autoscaled:
+        context = ShardedGateway(
+            classifier, fs, workers=args.min_workers,
+            placement=placement, **gateway_kwargs,
+        )
+    elif sharded:
+        context = ShardedGateway(
+            classifier, fs, workers=args.workers,
+            placement=placement, **gateway_kwargs,
+        )
+    else:
+        context = nullcontext(StreamGateway(classifier, fs, **gateway_kwargs))
     with context as gateway:
         start = time.perf_counter()
-        events = serve_round_robin(
-            gateway, {record.name: record.signal for record in records}, chunk
-        )
+        if autoscaled:
+            autoscaler = Autoscaler(
+                gateway,
+                target_depth=args.target_depth,
+                min_workers=args.min_workers,
+                max_workers=args.max_workers,
+            )
+            balancer = AutoBalancer(gateway)
+            events = serve_autoscaled(
+                gateway,
+                {record.name: record.signal for record in records},
+                chunk,
+                autoscaler=autoscaler,
+                balancer=balancer,
+            )
+        else:
+            events = serve_round_robin(
+                gateway, {record.name: record.signal for record in records}, chunk
+            )
         elapsed = time.perf_counter() - start
         if sharded:
             stats = gateway.stats()
             n_classified, n_flushes = stats["n_classified"], stats["n_flushes"]
+            if autoscaled:
+                # stats() has current-pool semantics: retired workers
+                # take their flush/classified counters with them, so
+                # the batching figures below describe the final pool.
+                print(
+                    f"  autoscaler: {stats['workers']} workers at end, "
+                    f"{stats['scale_events']} scale events "
+                    f"({autoscaler.n_scale_ups} up / {autoscaler.n_scale_downs} down), "
+                    f"{stats['migrations']} session migrations; "
+                    f"batching stats cover the final pool"
+                )
         else:
             n_classified, n_flushes = gateway.n_classified, gateway.n_flushes
 
@@ -373,6 +444,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes; > 1 shards the sessions "
                             "across a ShardedGateway pool")
+    serve.add_argument("--autoscale", action="store_true",
+                       help="elastic pool: an Autoscaler grows/shrinks the "
+                            "workers and an AutoBalancer migrates sessions "
+                            "off hot workers between ingest rounds")
+    serve.add_argument("--min-workers", type=int, default=1,
+                       help="lower pool bound for --autoscale (also the "
+                            "starting size)")
+    serve.add_argument("--max-workers", type=int, default=4,
+                       help="upper pool bound for --autoscale")
+    serve.add_argument("--target-depth", type=int, default=4,
+                       help="autoscaler target load (sessions + queued beats) "
+                            "per worker")
+    serve.add_argument("--placement", default=None, choices=PLACEMENTS,
+                       help="session placement policy for sharded pools "
+                            "(default: least-loaded with --autoscale, "
+                            "hash with --workers N)")
     serve.set_defaults(fn=cmd_serve)
 
     report = subparsers.add_parser(

@@ -20,22 +20,35 @@ once; this package is that workload's engine, in two shapes:
   (latency budgets, idle eviction) and session migration.
 * **Sharded live** (:mod:`repro.serving.sharded`):
   :class:`ShardedGateway` runs one ``StreamGateway`` per worker
-  process, hash-assigns sessions across the pool, migrates them live,
-  and applies bounded-inbox backpressure (:class:`SessionInbox`) —
-  same session surface, same per-session bit-exactness, for every
-  worker count.
+  process, places sessions across the pool by a pluggable policy
+  (:data:`PLACEMENTS`), migrates them live, grows/shrinks the pool
+  elastically (``add_worker`` / ``retire_worker``), and applies
+  bounded-inbox backpressure (:class:`SessionInbox`) — same session
+  surface, same per-session bit-exactness, for every worker count.
+* **Autoscaling** (:mod:`repro.serving.autoscale`):
+  :class:`AutoBalancer` evens per-worker load by live migration under
+  a hysteresis band; :class:`Autoscaler` sizes the pool toward a
+  target load per worker between ``min_workers`` and ``max_workers``.
+  Both read the load from :meth:`ShardedGateway.stats` and never
+  perturb per-session event sequences.
 
 Both shapes accept plain lists/arrays, so callers can queue above them
 without this package taking a position on the transport.
 """
 
+from repro.serving.autoscale import (
+    AutoBalancer,
+    Autoscaler,
+    serve_autoscaled,
+    worker_loads,
+)
 from repro.serving.engine import (
     EXECUTORS,
     ServingEngine,
     classify_streams,
     simulate_records,
 )
-from repro.serving.executors import INBOX_POLICIES
+from repro.serving.executors import INBOX_POLICIES, PLACEMENTS
 from repro.serving.gateway import (
     BeatBatch,
     SessionExport,
@@ -48,6 +61,9 @@ from repro.serving.sharded import SessionInbox, ShardedGateway
 __all__ = [
     "EXECUTORS",
     "INBOX_POLICIES",
+    "PLACEMENTS",
+    "AutoBalancer",
+    "Autoscaler",
     "BeatBatch",
     "FleetTrace",
     "ServingEngine",
@@ -57,6 +73,8 @@ __all__ = [
     "StreamGateway",
     "StreamResult",
     "classify_streams",
+    "serve_autoscaled",
     "serve_round_robin",
     "simulate_records",
+    "worker_loads",
 ]

@@ -1,0 +1,291 @@
+"""Load-aware autoscaling for the sharded gateway: rebalance + elastic pool.
+
+:class:`~repro.serving.sharded.ShardedGateway` provides the
+*primitives* — placement policies at ``open_session``
+(:data:`~repro.serving.executors.PLACEMENTS`), live
+``migrate_session``, and an elastic pool (``add_worker`` /
+``retire_worker``).  This module provides the *policies* that drive
+them from the load statistics ``stats()`` already exposes:
+
+* :class:`AutoBalancer` — evens out per-worker load (open sessions +
+  queued beats) by migrating sessions from the busiest worker to the
+  idlest one.  It acts under a **hysteresis band** so it never
+  thrashes: migrations fire only when the busiest-minus-idlest load
+  spread exceeds ``imbalance_threshold`` (moving one session changes
+  the spread by two, so any threshold >= 1 makes the band absorbing —
+  once inside, no migration can leave it, which is why the fixed point
+  is ping-pong-free), at most ``max_migrations_per_tick`` per tick,
+  with ``cooldown_ticks`` quiet ticks after any migrating tick.
+  Under a static load the balancer therefore *converges*: total
+  migrations are bounded by the initial imbalance, and once balanced
+  it goes permanently quiet (the property suite pins this).
+* :class:`Autoscaler` — sizes the pool itself.  It targets
+  ``target_depth`` load per worker: when the fleet-wide load implies
+  more workers than the pool has (and ``max_workers`` allows), it
+  calls ``add_worker``; when the load implies fewer (respecting
+  ``min_workers``), it retires the idlest worker — whose sessions
+  drain losslessly onto the survivors.  Scale events also respect a
+  ``cooldown_ticks`` hysteresis, and scale one worker per tick, so a
+  transient spike cannot slosh the pool.
+
+Both policies are *pull*-driven: call :meth:`~AutoBalancer.tick`
+periodically (e.g. once per ingest round, or from a timer).  Every
+tick synchronizes with the workers through ``stats()``; nothing runs
+in the background, so per-session event sequences stay **bit-exact
+with a standalone** :class:`~repro.dsp.streaming.StreamingNode`
+through any sequence of scale and rebalance events — migrations and
+drains ride the same ``SessionExport`` path the chaos suite pins.
+
+:func:`serve_autoscaled` is the canonical driver: the round-robin
+replay of :func:`~repro.serving.gateway.serve_round_robin` with the
+policies ticked between rounds (the CLI's ``repro serve --autoscale``,
+the fleet example and the skewed-load benchmark all use it).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.serving.executors import validate_at_least
+from repro.serving.gateway import serve_round_robin
+
+__all__ = ["AutoBalancer", "Autoscaler", "serve_autoscaled", "worker_loads"]
+
+
+def worker_loads(stats: dict) -> list[int]:
+    """Per-worker load from a ``ShardedGateway.stats()`` snapshot.
+
+    Load is **open sessions + queued beats** (queue depth): sessions
+    measure steady-state work (every open session's front end runs on
+    its worker), queued beats measure the classification backlog a
+    slow worker is accumulating right now.
+    """
+    return [w["n_sessions"] + w["n_queued"] for w in stats["per_worker"]]
+
+
+class AutoBalancer:
+    """Migrate sessions off hot workers under a hysteresis band.
+
+    Parameters
+    ----------
+    gateway:
+        The :class:`~repro.serving.sharded.ShardedGateway` to balance.
+    imbalance_threshold:
+        The hysteresis band (>= 1): no migration fires while
+        ``max(load) - min(load) <= imbalance_threshold``.  One
+        migration moves the spread by two, so the band is absorbing
+        and the balancer cannot ping-pong a session between workers.
+    cooldown_ticks:
+        Quiet ticks after a tick that migrated (>= 0); a second layer
+        of hysteresis so bursts of rebalancing are spaced out.
+    max_migrations_per_tick:
+        Bound on migrations per tick (>= 1) — rebalancing is spread
+        over ticks instead of stalling one tick on a mass migration.
+
+    Attributes
+    ----------
+    n_ticks / n_migrations:
+        Lifetime counters (`n_migrations` counts this balancer's own
+        moves; the gateway's ``stats()['migrations']`` counts all).
+    """
+
+    def __init__(
+        self,
+        gateway,
+        *,
+        imbalance_threshold: int = 2,
+        cooldown_ticks: int = 1,
+        max_migrations_per_tick: int = 4,
+    ):
+        validate_at_least("imbalance_threshold", imbalance_threshold)
+        validate_at_least("cooldown_ticks", cooldown_ticks, minimum=0)
+        validate_at_least("max_migrations_per_tick", max_migrations_per_tick)
+        self.gateway = gateway
+        self.imbalance_threshold = int(imbalance_threshold)
+        self.cooldown_ticks = int(cooldown_ticks)
+        self.max_migrations_per_tick = int(max_migrations_per_tick)
+        self.n_ticks = 0
+        self.n_migrations = 0
+        self._cooldown = 0
+
+    @property
+    def cooling(self) -> bool:
+        """Whether the next :meth:`tick` will be a cooldown no-op."""
+        return self._cooldown > 0
+
+    def tick(self, stats: dict | None = None) -> list[tuple[str, int, int]]:
+        """Run one balancing pass; return the migrations performed.
+
+        Each entry is ``(session_id, source_worker, target_worker)``.
+        Returns ``[]`` when cooling down, when the pool has one worker,
+        or when the load spread is inside the hysteresis band.  Pass a
+        just-fetched ``gateway.stats()`` snapshot to reuse one
+        synchronization across policies (how :func:`serve_autoscaled`
+        avoids a second per-worker round-trip per round); with ``None``
+        the tick fetches its own.
+        """
+        self.n_ticks += 1
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return []
+        if self.gateway.workers < 2:
+            return []
+        loads = worker_loads(self.gateway.stats() if stats is None else stats)
+        moved: list[tuple[str, int, int]] = []
+        while len(moved) < self.max_migrations_per_tick:
+            busiest = max(range(len(loads)), key=lambda i: (loads[i], -i))
+            idlest = min(range(len(loads)), key=lambda i: (loads[i], i))
+            if loads[busiest] - loads[idlest] <= self.imbalance_threshold:
+                break
+            candidates = self.gateway.sessions_on(busiest)
+            if not candidates:
+                break  # the backlog is queued beats, not movable sessions
+            session_id = candidates[-1]  # most recently placed leaves first
+            try:
+                self.gateway.migrate_session(session_id, idlest)
+            except KeyError:
+                # Evicted under us: an undrained eviction notice was
+                # processed between the load snapshot and the move
+                # (same race retire_worker guards).  The session is
+                # gone from the busy worker either way.
+                loads[busiest] -= 1
+                continue
+            # Estimate between stats() syncs: the session counts as one
+            # unit of load (its queued beats flush on release anyway).
+            loads[busiest] -= 1
+            loads[idlest] += 1
+            moved.append((session_id, busiest, idlest))
+        if moved:
+            self.n_migrations += len(moved)
+            self._cooldown = self.cooldown_ticks
+        return moved
+
+
+class Autoscaler:
+    """Grow/shrink a sharded pool toward a target load per worker.
+
+    Parameters
+    ----------
+    gateway:
+        The :class:`~repro.serving.sharded.ShardedGateway` to size.
+    target_depth:
+        Desired load (sessions + queued beats, see
+        :func:`worker_loads`) per worker (>= 1).  The desired pool
+        size is ``ceil(total_load / target_depth)``, clamped to
+        ``[min_workers, max_workers]``.
+    min_workers / max_workers:
+        Pool size bounds (1 <= min <= max).
+    cooldown_ticks:
+        Quiet ticks after any scale event (>= 0) — the hysteresis that
+        keeps a load level near a sizing boundary from flapping the
+        pool.
+
+    Attributes
+    ----------
+    n_ticks / n_scale_ups / n_scale_downs:
+        Lifetime counters.
+    """
+
+    def __init__(
+        self,
+        gateway,
+        *,
+        target_depth: int = 4,
+        min_workers: int = 1,
+        max_workers: int = 4,
+        cooldown_ticks: int = 2,
+    ):
+        validate_at_least("target_depth", target_depth)
+        validate_at_least("min_workers", min_workers)
+        validate_at_least("max_workers", max_workers, minimum=min_workers)
+        validate_at_least("cooldown_ticks", cooldown_ticks, minimum=0)
+        self.gateway = gateway
+        self.target_depth = int(target_depth)
+        self.min_workers = int(min_workers)
+        self.max_workers = int(max_workers)
+        self.cooldown_ticks = int(cooldown_ticks)
+        self.n_ticks = 0
+        self.n_scale_ups = 0
+        self.n_scale_downs = 0
+        self._cooldown = 0
+
+    def desired_workers(self, total_load: int) -> int:
+        """Pool size the policy wants for a fleet-wide load."""
+        wanted = math.ceil(total_load / self.target_depth) if total_load else 0
+        return max(self.min_workers, min(self.max_workers, wanted))
+
+    @property
+    def cooling(self) -> bool:
+        """Whether the next :meth:`tick` will be a cooldown no-op."""
+        return self._cooldown > 0
+
+    def tick(self, stats: dict | None = None) -> list[tuple[str, int]]:
+        """Run one sizing pass; return the scale events performed.
+
+        Each entry is ``("add", new_worker_index)`` or
+        ``("retire", retired_worker_index)``.  At most one worker is
+        added or retired per tick (gradual scaling), followed by
+        ``cooldown_ticks`` quiet ticks.  ``stats`` as in
+        :meth:`AutoBalancer.tick`.
+        """
+        self.n_ticks += 1
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return []
+        if stats is None:
+            stats = self.gateway.stats()
+        loads = worker_loads(stats)
+        desired = self.desired_workers(sum(loads))
+        if desired > self.gateway.workers:
+            index = self.gateway.add_worker()
+            self.n_scale_ups += 1
+            self._cooldown = self.cooldown_ticks
+            return [("add", index)]
+        if desired < self.gateway.workers:
+            # Retire the idlest worker: fewest sessions to drain.
+            index = min(
+                range(len(loads)),
+                key=lambda i: (stats["per_worker"][i]["n_sessions"], loads[i], i),
+            )
+            self.gateway.retire_worker(index)
+            self.n_scale_downs += 1
+            self._cooldown = self.cooldown_ticks
+            return [("retire", index)]
+        return []
+
+
+def serve_autoscaled(
+    gateway,
+    streams,
+    chunk: int,
+    *,
+    autoscaler: Autoscaler | None = None,
+    balancer: AutoBalancer | None = None,
+) -> dict:
+    """Round-robin replay with the autoscaling policies in the loop.
+
+    The elastic counterpart of
+    :func:`~repro.serving.gateway.serve_round_robin` (and a thin
+    wrapper over it): same open / round-robin ingest / close schedule,
+    with the :class:`Autoscaler` and :class:`AutoBalancer` (either may
+    be ``None``) ticked after every full round, so the pool resizes
+    and rebalances while the fleet is live.  Returns each session's
+    complete event sequence — bit-exact with a standalone
+    :class:`~repro.dsp.streaming.StreamingNode` per stream, whatever
+    the policies did.
+    """
+
+    def tick_policies():
+        # One stats synchronization serves both policies; a scale
+        # event invalidates the snapshot (worker indices shift), so
+        # the balancer refetches only in that case.
+        need_stats = (autoscaler is not None and not autoscaler.cooling) or (
+            balancer is not None and not balancer.cooling
+        )
+        stats = gateway.stats() if need_stats else None
+        if autoscaler is not None and autoscaler.tick(stats):
+            stats = None
+        if balancer is not None:
+            balancer.tick(stats)
+
+    return serve_round_robin(gateway, streams, chunk, on_round=tick_policies)

@@ -21,6 +21,11 @@ EXECUTORS = ("serial", "threads", "processes")
 #: (:class:`repro.serving.sharded.SessionInbox`).
 INBOX_POLICIES = ("block", "drop")
 
+#: Placement policies :class:`repro.serving.sharded.ShardedGateway`
+#: accepts for assigning sessions to workers (``open_session`` /
+#: ``import_session`` consult the configured placer).
+PLACEMENTS = ("hash", "least-loaded", "round-robin")
+
 
 def validate_executor(executor: str) -> str:
     """Return ``executor`` or raise a :class:`ValueError` naming the
@@ -61,6 +66,16 @@ def validate_inbox_policy(policy: str) -> str:
             f"unknown inbox policy {policy!r}; expected one of {INBOX_POLICIES}"
         )
     return policy
+
+
+def validate_placement(placement: str) -> str:
+    """Return ``placement`` or raise a :class:`ValueError` naming the
+    allowed values."""
+    if placement not in PLACEMENTS:
+        raise ValueError(
+            f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
+        )
+    return placement
 
 
 def split_shards(items: list, n_shards: int) -> list[list]:

@@ -494,7 +494,7 @@ class StreamGateway:
 
 
 def serve_round_robin(
-    gateway: StreamGateway, streams, chunk: int
+    gateway: StreamGateway, streams, chunk: int, *, on_round=None
 ) -> dict[str, list[StreamBeatEvent]]:
     """Replay complete streams through a gateway as interleaved live sessions.
 
@@ -514,6 +514,11 @@ def serve_round_robin(
         ``(n, n_leads)``), or an iterable of such pairs.
     chunk:
         Ingest slice length in samples (>= 1).
+    on_round:
+        Optional zero-argument hook called after every full
+        round-robin pass — the seam where
+        :func:`~repro.serving.autoscale.serve_autoscaled` ticks its
+        scaling policies.
 
     Returns
     -------
@@ -539,6 +544,8 @@ def serve_round_robin(
             events[session_id].extend(gateway.ingest(session_id, x[i : i + chunk]))
             offsets[session_id] = i + chunk
             live = True
+        if on_round is not None:
+            on_round()
     for session_id in streams:
         events[session_id].extend(gateway.close_session(session_id))
     return events

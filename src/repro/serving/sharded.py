@@ -8,11 +8,21 @@ streams:
 
 * every worker process runs its own ``StreamGateway`` (one batched
   classifier flush per worker per tick, same size/latency policy);
-* sessions are hash-assigned to workers at ``open_session`` (stable
-  CRC-32 of the session id, so an id always lands on the same worker
-  for a given pool size) and can be moved live with
+* sessions are assigned to workers at ``open_session`` by a pluggable
+  placement policy (:data:`~repro.serving.executors.PLACEMENTS`):
+  ``"hash"`` (stable CRC-32 of the session id, so an id always lands
+  on the same worker for a given pool size), ``"least-loaded"`` (the
+  worker with the fewest open sessions) or ``"round-robin"`` (cyclic).
+  Any session can be moved live with
   :meth:`ShardedGateway.migrate_session`, built on the existing
   :class:`~repro.serving.gateway.SessionExport` migration;
+* the pool is **elastic**: :meth:`ShardedGateway.add_worker` spawns a
+  new worker process mid-flight and :meth:`ShardedGateway.retire_worker`
+  drains one — live-migrating every session it owns onto the remaining
+  workers (losslessly, including sessions with backlogged inboxes) —
+  before reaping it.  :mod:`repro.serving.autoscale` builds the
+  load-aware policies (``AutoBalancer`` / ``Autoscaler``) that drive
+  these primitives automatically;
 * ``ingest`` is **pipelined**: the chunk is shipped to the owning
   worker and the call returns the session's already-resolved events
   without waiting for the worker to process it.  Each worker's command
@@ -57,8 +67,10 @@ import numpy as np
 
 from repro.serving.executors import (
     INBOX_POLICIES,
+    PLACEMENTS,
     validate_at_least,
     validate_inbox_policy,
+    validate_placement,
     validate_workers,
 )
 from repro.serving.gateway import SessionExport, StreamGateway
@@ -246,7 +258,16 @@ class ShardedGateway:
         per worker (each worker's gateway batches and flushes its own
         sessions — one batched classifier pass per worker per tick).
     workers:
-        Worker process count (>= 1).
+        Initial worker process count (>= 1).  The pool is elastic:
+        :meth:`add_worker` / :meth:`retire_worker` grow and shrink it
+        live (typically driven by a
+        :class:`repro.serving.autoscale.Autoscaler`).
+    placement:
+        Session-to-worker assignment policy consulted by
+        :meth:`open_session` and :meth:`import_session` — one of
+        :data:`~repro.serving.executors.PLACEMENTS` (``"hash"``,
+        ``"least-loaded"``, ``"round-robin"``).  An explicit
+        ``worker=`` argument always wins.
     inbox_capacity:
         Bound on each session's accepted-but-unprocessed chunks
         (>= 1, or ``None`` = unbounded).  See the module docs for the
@@ -268,6 +289,7 @@ class ShardedGateway:
         fs: float,
         *,
         workers: int = 2,
+        placement: str = "hash",
         max_batch: int = 64,
         max_latency_ticks: int = 8,
         evict_after_ticks: int | None = None,
@@ -284,6 +306,7 @@ class ShardedGateway:
         overhead_bytes: int = 2,
     ):
         validate_workers(workers)
+        validate_placement(placement)
         validate_at_least("max_batch", max_batch)
         validate_at_least("max_latency_ticks", max_latency_ticks)
         if evict_after_ticks is not None:
@@ -293,6 +316,7 @@ class ShardedGateway:
         validate_inbox_policy(inbox_policy)
         self.fs = fs
         self.workers = int(workers)
+        self.placement = placement
         self.inbox_capacity = inbox_capacity
         self.inbox_policy = inbox_policy
         self.on_evict = on_evict
@@ -308,26 +332,34 @@ class ShardedGateway:
             delineation_config=delineation_config,
             overhead_bytes=overhead_bytes,
         )
-        ctx = multiprocessing.get_context(mp_context)
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._classifier = classifier
+        self._gateway_kwargs = gateway_kwargs
         self._conns = []
         self._procs = []
         for _ in range(self.workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, classifier, fs, gateway_kwargs),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+            self._spawn_worker()
         self._owner: dict[str, int] = {}
         self._events: dict[str, list] = {}
         self._inboxes: dict[str, SessionInbox] = {}
         self._evicted: dict[str, list] = {}
         self._errors: dict[str, Exception] = {}
+        self._rr_next = 0
+        self.n_migrations = 0
+        self.n_scale_events = 0
         self._closed = False
+
+    def _spawn_worker(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._classifier, self.fs, self._gateway_kwargs),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns.append(parent_conn)
+        self._procs.append(proc)
 
     # -- session surface -------------------------------------------------
 
@@ -344,9 +376,37 @@ class ShardedGateway:
         """Index of the worker currently running ``session_id``."""
         return self._owner_or_raise(session_id)
 
-    def _assign(self, session_id: str) -> int:
-        """Stable hash assignment (CRC-32, not the salted ``hash``)."""
-        return zlib.crc32(session_id.encode()) % self.workers
+    def sessions_on(self, worker: int) -> list[str]:
+        """Ids of the sessions currently placed on one worker (opening
+        order) — the candidate set a rebalancer migrates from."""
+        index = self._validate_worker(worker)
+        return [sid for sid, owner in self._owner.items() if owner == index]
+
+    def session_counts(self) -> list[int]:
+        """Open sessions per worker, from the parent's placement map
+        (no worker round-trip; :meth:`stats` is the synchronized view)."""
+        counts = [0] * self.workers
+        for owner in self._owner.values():
+            counts[owner] += 1
+        return counts
+
+    @staticmethod
+    def _hash(session_id: str) -> int:
+        """Stable session hash (CRC-32, not the salted ``hash``)."""
+        return zlib.crc32(session_id.encode())
+
+    def _place(self, session_id: str, exclude: int | None = None) -> int:
+        """Pick a worker for a session under the configured placement
+        policy, optionally excluding one index (a draining worker)."""
+        candidates = [i for i in range(self.workers) if i != exclude]
+        if self.placement == "hash":
+            return candidates[self._hash(session_id) % len(candidates)]
+        if self.placement == "round-robin":
+            index = candidates[self._rr_next % len(candidates)]
+            self._rr_next += 1
+            return index
+        counts = self.session_counts()  # least-loaded, ties -> lowest index
+        return min(candidates, key=lambda i: (counts[i], i))
 
     def open_session(
         self,
@@ -356,14 +416,14 @@ class ShardedGateway:
         evict_after_ticks: int | None = None,
         worker: int | None = None,
     ) -> None:
-        """Open a session on its hash-assigned (or explicit) worker.
+        """Open a session on its policy-placed (or explicit) worker.
 
         The QoS keywords are forwarded to the worker gateway's
         :meth:`~repro.serving.gateway.StreamGateway.open_session`.
         """
         if session_id in self._owner:
             raise ValueError(f"session {session_id!r} is already open")
-        index = self._assign(session_id) if worker is None else self._validate_worker(worker)
+        index = self._place(session_id) if worker is None else self._validate_worker(worker)
         qos = {
             "max_latency_ticks": max_latency_ticks,
             "evict_after_ticks": evict_after_ticks,
@@ -440,11 +500,11 @@ class ShardedGateway:
         return export
 
     def import_session(self, export: SessionExport, session_id: str | None = None) -> str:
-        """Resume an exported session on its hash-assigned worker."""
+        """Resume an exported session on its policy-placed worker."""
         session_id = export.session_id if session_id is None else session_id
         if session_id in self._owner:
             raise ValueError(f"session {session_id!r} is already open")
-        index = self._assign(session_id)
+        index = self._place(session_id)
         self._request(index, ("import", session_id, export))
         self._register(session_id, index)
         return session_id
@@ -454,13 +514,21 @@ class ShardedGateway:
 
         ``release`` on the current owner + ``import`` on the target:
         the session's event sequence is unaffected (the chaos suite
-        pins this), only its placement changes.  Rebalancing after a
-        load skew is this call in a loop.
+        pins this), only its placement changes.
+        :class:`repro.serving.autoscale.AutoBalancer` is this call
+        driven by the load statistics.
         """
         index = self._owner_or_raise(session_id)
         target = self._validate_worker(worker)
         if target == index:
             return
+        self._move(session_id, index, target)
+
+    def _move(self, session_id: str, index: int, target: int) -> None:
+        """Live-migrate one session between two workers (release +
+        import), preserving buffered events and the shedding audit.
+        Every move — explicit, rebalance, or retirement drain — counts
+        in :attr:`n_migrations` / ``stats()['migrations']``."""
         export = self._request(index, ("release", session_id))
         export = self._merge_buffer(session_id, export)
         old_inbox = self._inboxes.get(session_id)
@@ -470,6 +538,84 @@ class ShardedGateway:
         if old_inbox is not None and session_id in self._inboxes:
             # The shedding audit survives rebalancing.
             self._inboxes[session_id].n_dropped = old_inbox.n_dropped
+        self.n_migrations += 1
+
+    # -- elastic pool ----------------------------------------------------
+
+    def add_worker(self) -> int:
+        """Grow the pool by one worker process; return its index.
+
+        The new worker starts empty — existing sessions stay where
+        they are (a rebalancer migrates load onto it; ``least-loaded``
+        placement favors it for new sessions immediately).
+        """
+        if self._closed:
+            raise RuntimeError("gateway is shut down")
+        self._spawn_worker()
+        self.workers += 1
+        self.n_scale_events += 1
+        return self.workers - 1
+
+    def retire_worker(self, worker: int) -> int:
+        """Shrink the pool: drain one worker's sessions and reap it.
+
+        Every session the worker owns is live-migrated onto the
+        remaining workers via the configured placement policy — the
+        same lossless ``release`` + ``import`` path as
+        :meth:`migrate_session`, so per-session event sequences are
+        unaffected and backlogged (even blocked-inbox) sessions drain
+        completely before the process exits.  Returns the number of
+        sessions migrated.  Worker indices above the retired one shift
+        down by one.
+        """
+        if self._closed:
+            raise RuntimeError("gateway is shut down")
+        index = self._validate_worker(worker)
+        if self.workers == 1:
+            raise ValueError("cannot retire the last worker")
+        moved = 0
+        for session_id in self.sessions_on(index):
+            # An eviction notice handled mid-drain may close a session
+            # under us; re-check ownership before each move.
+            if self._owner.get(session_id) != index:
+                continue
+            try:
+                self._move(session_id, index, self._place(session_id, exclude=index))
+            except KeyError:
+                if session_id in self._owner:
+                    raise
+                continue  # evicted between the check and the release
+            moved += 1
+        self._stop_worker(index)
+        del self._conns[index], self._procs[index]
+        self.workers -= 1
+        self._owner = {
+            sid: owner - 1 if owner > index else owner
+            for sid, owner in self._owner.items()
+        }
+        self.n_scale_events += 1
+        return moved
+
+    def _stop_worker(self, index: int) -> None:
+        """Synchronously stop one worker process and close its pipe."""
+        conn, proc = self._conns[index], self._procs[index]
+        try:
+            conn.send(("stop", None))
+            while True:
+                response = conn.recv()
+                if response[0] == "stop":
+                    break
+                self._handle(response)
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - defensive reap
+            proc.terminate()
+            proc.join(timeout=1.0)
 
     def flush(self) -> int:
         """Force one batched classifier pass on every worker."""
@@ -491,37 +637,51 @@ class ShardedGateway:
         return evicted
 
     def stats(self) -> dict:
-        """Aggregate + per-worker gateway statistics (synchronizes)."""
+        """Aggregate + per-worker gateway statistics (synchronizes).
+
+        The per-worker entries (``n_sessions`` open sessions,
+        ``n_queued`` beats pending in the worker's cross-session batch
+        — its queue depth — plus flush/classification/eviction
+        counters) are the inputs the autoscaling policies read; the
+        top level adds their sums, the current ``workers`` count and
+        the parent-side ``migrations`` / ``scale_events`` counters.
+        The schema is pinned by a regression test so policy inputs
+        cannot silently drift.
+
+        Semantics are *current pool*: a retired worker's flush /
+        classification counters leave with it (its sessions — and
+        their events — migrate to the survivors, but work it already
+        did is not re-attributed).  The totals are therefore always
+        exactly the sum over the live ``per_worker`` entries.
+        """
         per_worker = [self._request(i, ("stats", None)) for i in range(self.workers)]
         totals = {
             key: sum(stats[key] for stats in per_worker)
             for key in ("n_sessions", "n_queued", "n_flushes", "n_classified", "n_evicted")
         }
         totals["per_worker"] = per_worker
+        totals["workers"] = self.workers
+        totals["migrations"] = self.n_migrations
+        totals["scale_events"] = self.n_scale_events
         return totals
 
     # -- lifecycle -------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Stop and reap the worker pool (open sessions are discarded)."""
-        if self._closed:
+        """Stop and reap the worker pool (open sessions are discarded).
+
+        Idempotent and safe on a half-torn-down instance: a pipe that
+        is already closed (or breaks mid-handshake) is skipped, so the
+        best-effort ``__del__`` reap cannot raise during interpreter
+        shutdown.
+        """
+        if getattr(self, "_closed", True):
+            # Also covers an instance whose __init__ raised before any
+            # worker was spawned (the attribute is set last).
             return
         self._closed = True
-        for conn, proc in zip(self._conns, self._procs):
-            try:
-                conn.send(("stop", None))
-                while True:
-                    response = conn.recv()
-                    if response[0] == "stop":
-                        break
-                    self._handle(response)
-            except (BrokenPipeError, EOFError, OSError):
-                pass
-            conn.close()
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - defensive reap
-                proc.terminate()
-                proc.join(timeout=1.0)
+        for index in range(len(self._conns)):
+            self._stop_worker(index)
 
     def __enter__(self) -> "ShardedGateway":
         return self
@@ -532,7 +692,9 @@ class ShardedGateway:
     def __del__(self):  # pragma: no cover - best-effort reap
         try:
             self.shutdown()
-        except Exception:
+        except BaseException:
+            # Interpreter shutdown may have closed pipes or torn down
+            # modules under us; a destructor must never propagate.
             pass
 
     # -- plumbing --------------------------------------------------------

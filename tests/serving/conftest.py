@@ -7,10 +7,38 @@ the same way everywhere, so the comparison helpers live here.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.dsp.streaming import StreamingNode
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize ``chaos_seed`` arguments, overridable via env.
+
+    A chaos test declares its default seed set with
+    ``@pytest.mark.chaos_seeds(0, 1, 2)`` and takes a ``chaos_seed``
+    argument.  ``REPRO_CHAOS_SEED`` (a comma-separated list of ints)
+    overrides every default set, so a CI failure seed can be replayed
+    locally with ``REPRO_CHAOS_SEED=<seed> pytest tests/serving/...``
+    without editing the suite.
+    """
+    if "chaos_seed" not in metafunc.fixturenames:
+        return
+    marker = metafunc.definition.get_closest_marker("chaos_seeds")
+    seeds = list(marker.args) if marker is not None else [0]
+    override = os.environ.get("REPRO_CHAOS_SEED")
+    if override:
+        seeds = [int(part) for part in override.split(",")]
+    metafunc.parametrize("chaos_seed", seeds)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "chaos_seeds(*seeds): default seed set for a chaos test"
+    )
 
 
 def _assert_events_equal(expected, actual) -> None:

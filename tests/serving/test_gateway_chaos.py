@@ -9,8 +9,15 @@ contract everything above the DSP layer leans on: **per-session event
 sequences are bit-exact with a standalone inline-mode
 ``StreamingNode``** fed exactly the samples the session ingested.
 
+The scaling chaos class adds live **scale events** to the schedule:
+the worker pool grows 1 -> 4, shrinks 4 -> 1, or oscillates
+(``add_worker`` / ``retire_worker`` / ``AutoBalancer`` rebalance
+ticks interleaved with everything above), with the same per-session
+bit-exactness asserted on exactly the ingested prefixes.
+
 Every schedule is derived from a seeded ``default_rng``, so failures
-replay deterministically.
+replay deterministically; set ``REPRO_CHAOS_SEED=<int>[,<int>...]`` to
+override the seed sets (see ``conftest.pytest_generate_tests``).
 """
 
 import pickle
@@ -19,7 +26,7 @@ import numpy as np
 import pytest
 
 from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
-from repro.serving import ShardedGateway, StreamGateway
+from repro.serving import AutoBalancer, ShardedGateway, StreamGateway
 
 N_LEADS = 1
 
@@ -54,12 +61,12 @@ def random_gateway_kwargs(rng):
 class TestInterGatewayChaos:
     """Random schedules over a pair of in-process gateways."""
 
-    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.chaos_seeds(0, 1, 2, 3)
     def test_random_schedule_with_migration_is_bit_exact(
-        self, seed, records, embedded_classifier, assert_events_equal,
+        self, chaos_seed, records, embedded_classifier, assert_events_equal,
         standalone_events,
     ):
-        rng = np.random.default_rng(seed)
+        rng = np.random.default_rng(chaos_seed)
         fs = records[0].fs
         gateways = [
             StreamGateway(
@@ -122,12 +129,12 @@ class TestShardedChaos:
     """Random schedules over the multi-worker gateway, every pool size."""
 
     @pytest.mark.parametrize("workers", [1, 2, 4])
-    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.chaos_seeds(0, 1)
     def test_random_schedule_with_worker_migration_is_bit_exact(
-        self, workers, seed, records, embedded_classifier, assert_events_equal,
-        standalone_events,
+        self, workers, chaos_seed, records, embedded_classifier,
+        assert_events_equal, standalone_events,
     ):
-        rng = np.random.default_rng(100 * workers + seed)
+        rng = np.random.default_rng(100 * workers + chaos_seed)
         fs = records[0].fs
         with ShardedGateway(
             embedded_classifier, fs, workers=workers, n_leads=N_LEADS,
@@ -179,12 +186,12 @@ class TestShardedChaos:
 class TestEvictionChaos:
     """Random schedules where slow sessions get evicted mid-stream."""
 
-    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.chaos_seeds(0, 1, 2)
     def test_evicted_sessions_emit_their_exact_remainder(
-        self, seed, records, embedded_classifier, assert_events_equal,
+        self, chaos_seed, records, embedded_classifier, assert_events_equal,
         standalone_events,
     ):
-        rng = np.random.default_rng(1000 + seed)
+        rng = np.random.default_rng(1000 + chaos_seed)
         fs = records[0].fs
         evicted = {}
         gateway = StreamGateway(
@@ -234,3 +241,159 @@ class TestEvictionChaos:
                 events,
             )
         assert evicted  # at least one session actually got evicted
+
+
+class TestScalingChaos:
+    """Random schedules with live scale events on an elastic pool.
+
+    The worker pool grows 1 -> 4, shrinks 4 -> 1, or oscillates while
+    sessions open late, ingest random chunks, migrate (explicitly and
+    via ``AutoBalancer`` rebalance ticks), get evicted mid-stream and
+    close early — per-session event sequences must stay bit-exact with
+    a standalone node on exactly the ingested prefixes through it all.
+    """
+
+    @pytest.mark.parametrize("trajectory", ["grow", "shrink", "oscillate"])
+    @pytest.mark.chaos_seeds(0, 1)
+    def test_scale_events_preserve_bit_exactness(
+        self, trajectory, chaos_seed, records, embedded_classifier,
+        assert_events_equal, standalone_events,
+    ):
+        rng = np.random.default_rng(
+            5000 + 10 * chaos_seed + {"grow": 0, "shrink": 1, "oscillate": 2}[trajectory]
+        )
+        fs = records[0].fs
+        start_workers = {"grow": 1, "shrink": 4, "oscillate": 2}[trajectory]
+        evicted = {}
+        placement = str(rng.choice(["hash", "least-loaded", "round-robin"]))
+        with ShardedGateway(
+            embedded_classifier, fs, workers=start_workers, n_leads=N_LEADS,
+            placement=placement,
+            evict_after_ticks=int(rng.integers(25, 60)),
+            on_evict=lambda sid, events: evicted.update({sid: events}),
+            **random_gateway_kwargs(rng),
+        ) as gateway:
+            balancer = AutoBalancer(
+                gateway, imbalance_threshold=1, cooldown_ticks=0,
+                max_migrations_per_tick=2,
+            )
+            sessions = {}
+            for i in range(5):  # more sessions than records: reuse streams
+                record = records[i % len(records)]
+                sessions[f"s{i}"] = dict(
+                    record=record, chunks=chunk_queue(record, rng), fed=0,
+                    events=[], open=False, done=False,
+                )
+            # A couple of sessions are live from the start; the rest
+            # open at random points of the schedule.
+            for sid in ("s0", "s1"):
+                gateway.open_session(sid)
+                sessions[sid]["open"] = True
+            n_scale_ups = n_scale_downs = 0
+            max_workers = 4
+
+            def finish(sid, final_events):
+                state = sessions[sid]
+                state["events"] += final_events
+                state["done"] = True
+                assert_events_equal(
+                    standalone_events(
+                        embedded_classifier, state["record"], fs, N_LEADS,
+                        upto=state["fed"],
+                    ),
+                    state["events"],
+                )
+
+            def close_out(sid):
+                events = gateway.close_session(sid)
+                # An eviction that crossed this close in flight already
+                # has its tail folded into the close's return value.
+                evicted.pop(sid, None)
+                finish(sid, events)
+
+            def sweep_evicted():
+                for sid in list(sessions):
+                    state = sessions[sid]
+                    if (
+                        state["open"] and not state["done"]
+                        and sid not in gateway.session_ids()
+                    ):
+                        # The on_evict hook carried the complete final
+                        # event sequence when the notice was drained.
+                        finish(sid, evicted.pop(sid))
+
+            while any(not s["done"] for s in sessions.values()):
+                sweep_evicted()
+                unopened = [
+                    sid for sid, s in sessions.items() if not s["open"]
+                ]
+                live = [
+                    sid for sid, s in sessions.items()
+                    if s["open"] and not s["done"] and sid in gateway.session_ids()
+                ]
+                if not live and not unopened:
+                    continue  # remaining sessions are being evicted
+                roll = rng.random()
+                if (roll < 0.08 or not live) and unopened:
+                    sid = str(rng.choice(unopened))
+                    gateway.open_session(sid)
+                    sessions[sid]["open"] = True
+                    continue
+                if roll < 0.16:  # scale event, per trajectory
+                    if trajectory == "grow" and gateway.workers < max_workers:
+                        gateway.add_worker()
+                        n_scale_ups += 1
+                    elif trajectory == "shrink" and gateway.workers > 1:
+                        gateway.retire_worker(int(rng.integers(0, gateway.workers)))
+                        n_scale_downs += 1
+                    elif trajectory == "oscillate":
+                        if gateway.workers == 1 or (
+                            gateway.workers < max_workers and rng.random() < 0.5
+                        ):
+                            gateway.add_worker()
+                            n_scale_ups += 1
+                        else:
+                            gateway.retire_worker(
+                                int(rng.integers(0, gateway.workers))
+                            )
+                            n_scale_downs += 1
+                    continue
+                if roll < 0.22:
+                    balancer.tick()  # load-aware rebalance
+                    continue
+                sid = str(rng.choice(sorted(live)))
+                state = sessions[sid]
+                roll = rng.random()
+                try:
+                    if roll < 0.70:
+                        if not state["chunks"]:
+                            close_out(sid)
+                            continue
+                        chunk = state["chunks"][0]
+                        got = gateway.ingest(sid, chunk)
+                        state["chunks"].pop(0)
+                        state["events"] += got
+                        state["fed"] += len(chunk)
+                    elif roll < 0.82:
+                        gateway.migrate_session(
+                            sid, int(rng.integers(0, gateway.workers))
+                        )
+                    elif roll < 0.92:
+                        state["events"] += gateway.poll(sid)
+                    elif roll < 0.96:
+                        gateway.flush()
+                    else:
+                        close_out(sid)
+                except KeyError:
+                    # Evicted between the liveness check and the call
+                    # (the ingest drains the eviction notice first and
+                    # never ships the chunk); the sweep picks it up.
+                    assert sid not in gateway.session_ids()
+            sweep_evicted()
+            if trajectory == "grow":
+                assert gateway.workers > 1 and n_scale_ups > 0
+            elif trajectory == "shrink":
+                assert n_scale_downs > 0
+            else:
+                assert n_scale_ups > 0 and n_scale_downs > 0
+            assert gateway.stats()["scale_events"] == n_scale_ups + n_scale_downs

@@ -35,6 +35,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_placement_validated_at_parse_time(self):
+        """A typo'd placement fails before any training starts."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--placement", "least-load"])
+
+    def test_serve_autoscale_bounds_checked_before_training(self, capsys):
+        with pytest.raises(SystemExit, match="min-workers"):
+            main(["serve", "--autoscale", "--min-workers", "3",
+                  "--max-workers", "2"])
+        with pytest.raises(SystemExit, match="target-depth"):
+            main(["serve", "--autoscale", "--target-depth", "0"])
+
+    def test_serve_placement_rejected_without_sharded_mode(self):
+        """--placement on a single-process serve is a no-op; refuse it
+        loudly instead of silently ignoring it."""
+        with pytest.raises(SystemExit, match="placement"):
+            main(["serve", "--placement", "round-robin"])
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -141,6 +159,39 @@ class TestCommands:
         assert "2 worker processes" in out
         assert "events/s" in out and "batched" in out
         assert "session-0" in out and "session-2" in out
+
+    def test_serve_autoscale(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scale",
+                    "0.02",
+                    "--ga-pop",
+                    "4",
+                    "--ga-gen",
+                    "2",
+                    "--sessions",
+                    "4",
+                    "--duration",
+                    "15",
+                    "--max-batch",
+                    "16",
+                    "--autoscale",
+                    "--min-workers",
+                    "1",
+                    "--max-workers",
+                    "3",
+                    "--target-depth",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "elastic pool 1..3 workers" in out
+        assert "autoscaler:" in out and "scale events" in out
+        assert "events/s" in out and "session-3" in out
 
 
 class TestTrainAndCodegen:
