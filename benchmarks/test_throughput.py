@@ -19,7 +19,13 @@ record these over time):
   serial is recorded in ``extra_info`` either way);
 * the session gateway vs per-beat classification of the same live
   sessions (the batched-classifier amortization of ``StreamGateway``;
-  asserted >= 2x events/sec);
+  asserted >= 2x events/sec — plus an absolute events/sec floor under
+  ``REPRO_BENCH_ASSERT_FLOOR=1``, the post-flattening figure — with an
+  unpaced loadgen replay recording p50/p99 per-event latency);
+* the closed-loop loadgen smoke: ramp a synthesized mixed fleet to its
+  max sustained offered rate; achieved events/sec and p50/p99 latency
+  always land in ``extra_info`` (>= 20x the fleet's nominal rate under
+  ``REPRO_BENCH_ASSERT_FLOOR=1``);
 * the multi-worker ``ShardedGateway`` vs the single-process gateway on
   the same live fleet (the cross-process sharding payoff; >= 1.3x on
   two workers, asserted on >= 2-CPU hosts under
@@ -52,9 +58,12 @@ from repro.serving import (
     ShardedGateway,
     StreamGateway,
     classify_streams,
+    find_max_sustained,
+    replay_fleet,
     serve_autoscaled,
     serve_round_robin,
     simulate_records,
+    synthesize_fleet,
 )
 
 
@@ -325,9 +334,34 @@ def test_gateway_vs_per_beat_classification(
     benchmark.extra_info["per_beat_events_per_s"] = n_events / per_beat_s
     benchmark.extra_info["gateway_events_per_s"] = n_events / gateway_s
     benchmark.extra_info["speedup_vs_per_beat"] = speedup
+
+    # Per-event latency (chunk ingest -> verdict returned) of one
+    # unpaced replay of the same fleet, recorded alongside throughput
+    # so the artifact always carries both axes of the serving SLO.
+    latency_report = replay_fleet(
+        StreamGateway(
+            bench_embedded_classifier, fs, n_leads=1,
+            max_batch=256, max_latency_ticks=24,
+        ),
+        {f"s{i}": record.signal for i, record in enumerate(records)},
+        fs=fs,
+        chunk=block,
+    )
+    benchmark.extra_info["latency_p50_ms"] = latency_report.p50_ms
+    benchmark.extra_info["latency_p99_ms"] = latency_report.p99_ms
     assert n_events > 300
     if os.environ.get("REPRO_BENCH_ASSERT_GATEWAY") != "0":
         assert speedup >= 2.0
+    if os.environ.get("REPRO_BENCH_ASSERT_FLOOR") == "1":
+        # Absolute post-flattening floor, not a ratio: the vectorized
+        # hot path sped up the per-beat BASELINE too (decode-once
+        # projection, batched delineation), so speedup-vs-per-beat
+        # understates the win.  The flattening measured ~1.5x the
+        # pre-flattening 2619 events/s on the reference runner; the
+        # gate is 1.3x that with slack for host variance, overridable
+        # for other runner classes via REPRO_BENCH_FLOOR_EPS.
+        floor_eps = float(os.environ.get("REPRO_BENCH_FLOOR_EPS", "3400"))
+        assert n_events / gateway_s >= floor_eps
 
 
 @pytest.fixture(scope="module")
@@ -486,3 +520,51 @@ def test_autoscaled_vs_static_skewed_load(
     assert n_events > 400
     if os.environ.get("REPRO_BENCH_ASSERT_SHARDED") == "1" and (os.cpu_count() or 1) >= 2:
         assert speedup >= 1.2
+
+
+def test_loadgen_max_sustained_smoke(benchmark, bench_embedded_classifier):
+    """Closed-loop loadgen smoke: ramp a small mixed fleet to its max
+    sustained offered rate and record throughput + latency percentiles.
+
+    This is the end-to-end serving SLO number: a synthesized
+    morphology/noise/rate-skewed fleet is replayed at a geometrically
+    ramped offered events/sec until the gateway can no longer keep the
+    schedule; the best sustained step's achieved rate and p50/p99
+    per-event latency land in ``extra_info`` (and the benchmark JSON
+    artifact) on every run.  Under ``REPRO_BENCH_ASSERT_FLOOR=1`` the
+    max sustained rate must clear 20x the fleet's nominal (real-time)
+    event rate — far below what one core delivers, so the gate catches
+    regressions, not noisy hosts.
+    """
+    fs = 360.0
+    streams, nominal_eps = synthesize_fleet(4, 10.0, fs=fs, seed=31)
+    chunk = int(0.25 * fs)
+
+    def make_gateway():
+        return StreamGateway(
+            bench_embedded_classifier, fs, n_leads=1,
+            max_batch=64, max_latency_ticks=8,
+        )
+
+    def run():
+        return find_max_sustained(
+            make_gateway, streams, fs=fs, chunk=chunk,
+            nominal_eps=nominal_eps, start_eps=25.0 * nominal_eps,
+            growth=2.0, max_steps=3,
+        )
+
+    # The ramp is itself a timing loop (paced replays); one round is
+    # the measurement, re-running it would only repeat the schedule.
+    best, reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert reports, "ramp ran no steps"
+    benchmark.extra_info["n_sessions"] = len(streams)
+    benchmark.extra_info["nominal_eps"] = nominal_eps
+    benchmark.extra_info["ramp_steps"] = len(reports)
+    if best is not None:
+        benchmark.extra_info["max_sustained_eps"] = best.achieved_eps
+        benchmark.extra_info["p50_ms"] = best.p50_ms
+        benchmark.extra_info["p99_ms"] = best.p99_ms
+        benchmark.extra_info["n_events"] = best.n_events
+    if os.environ.get("REPRO_BENCH_ASSERT_FLOOR") == "1":
+        assert best is not None, "no sustained operating point"
+        assert best.achieved_eps >= 20.0 * nominal_eps

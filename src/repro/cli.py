@@ -12,6 +12,11 @@ Commands
     Train a classifier and save both its float and embedded forms.
 ``codegen``
     Emit the C header for a saved embedded classifier.
+``loadgen``
+    Closed-loop fleet load generator: replay a synthesized mixed
+    fleet (morphology x noise x rate-skew) at a geometrically ramped
+    offered rate and report the max sustained throughput with p50/p99
+    event latency (:mod:`repro.serving.loadgen`).
 ``serve``
     Run many concurrently live session streams through the
     :class:`~repro.serving.gateway.StreamGateway` — or, with
@@ -35,7 +40,7 @@ import argparse
 import sys
 
 from repro.core.genetic import GeneticConfig
-from repro.serving.executors import PLACEMENTS
+from repro.serving.executors import PLACEMENTS, WORKER_MODES
 
 
 def _genetic(args) -> GeneticConfig:
@@ -240,7 +245,7 @@ def cmd_serve(args) -> int:
             f"{placement} placement"
         )
     elif sharded:
-        tier = f"{args.workers} worker processes, {placement} placement"
+        tier = f"{args.workers} {args.worker_mode} workers, {placement} placement"
     else:
         tier = "single process"
     print(
@@ -250,16 +255,25 @@ def cmd_serve(args) -> int:
     if autoscaled:
         context = ShardedGateway(
             classifier, fs, workers=args.min_workers,
-            placement=placement, **gateway_kwargs,
+            placement=placement, worker_mode=args.worker_mode,
+            **gateway_kwargs,
         )
     elif sharded:
         context = ShardedGateway(
             classifier, fs, workers=args.workers,
-            placement=placement, **gateway_kwargs,
+            placement=placement, worker_mode=args.worker_mode,
+            **gateway_kwargs,
         )
     else:
         context = nullcontext(StreamGateway(classifier, fs, **gateway_kwargs))
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
     with context as gateway:
+        if profiler is not None:
+            profiler.enable()
         start = time.perf_counter()
         if autoscaled:
             autoscaler = Autoscaler(
@@ -281,6 +295,8 @@ def cmd_serve(args) -> int:
                 gateway, {record.name: record.signal for record in records}, chunk
             )
         elapsed = time.perf_counter() - start
+        if profiler is not None:
+            profiler.disable()
         if sharded:
             stats = gateway.stats()
             n_classified, n_flushes = stats["n_classified"], stats["n_flushes"]
@@ -310,6 +326,98 @@ def cmd_serve(args) -> int:
         f"{signal_s / elapsed:.0f}x realtime); "
         f"{n_classified} beats classified in {n_flushes} batched "
         f"passes ({n_classified / max(1, n_flushes):.1f} beats/pass)"
+    )
+    if profiler is not None:
+        import pstats
+
+        print(
+            f"\n--profile: top {args.profile_top} functions by cumulative "
+            "time (serve loop only; training excluded)"
+        )
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.profile_top)
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Find the max sustained fleet throughput via a closed-loop ramp."""
+    from repro.experiments.table3 import Table3Config, build_embedded_classifier
+    from repro.serving import (
+        ShardedGateway,
+        StreamGateway,
+        find_max_sustained,
+        synthesize_fleet,
+    )
+
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be >= 1")
+
+    config = Table3Config(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
+    print("Training + quantizing the shared classifier ...")
+    classifier, _ = build_embedded_classifier(config)
+
+    fs = 360.0
+    print(
+        f"Synthesizing a {args.sessions}-session fleet "
+        f"({args.duration:.0f} s each, mixed morphology/noise/rate) ..."
+    )
+    streams, nominal_eps = synthesize_fleet(
+        args.sessions, args.duration, fs=fs, seed=args.seed
+    )
+    chunk = max(1, int(round(args.chunk_ms * 1e-3 * fs)))
+    gateway_kwargs = dict(
+        n_leads=1,
+        max_batch=args.max_batch,
+        max_latency_ticks=args.max_latency_ticks,
+    )
+
+    def make_gateway():
+        if args.workers > 1:
+            return ShardedGateway(
+                classifier, fs, workers=args.workers,
+                worker_mode=args.worker_mode, **gateway_kwargs,
+            )
+        return StreamGateway(classifier, fs, **gateway_kwargs)
+
+    tier = (
+        f"{args.workers} {args.worker_mode} workers"
+        if args.workers > 1
+        else "single process"
+    )
+    print(
+        f"Ramping offered load ({tier}, nominal fleet rate "
+        f"{nominal_eps:.1f} events/s, growth x{args.growth:.2f}, "
+        f"up to {args.steps} steps) ..."
+    )
+    best, reports = find_max_sustained(
+        make_gateway,
+        streams,
+        fs=fs,
+        chunk=chunk,
+        nominal_eps=nominal_eps,
+        start_eps=args.start_eps,
+        growth=args.growth,
+        max_steps=args.steps,
+    )
+    header = (
+        f"  {'target':>10} {'offered':>10} {'achieved':>10} "
+        f"{'p50':>9} {'p99':>9}  status"
+    )
+    print(header)
+    for report in reports:
+        status = "sustained" if report.sustained else "UNSUSTAINED"
+        print(
+            f"  {report.target_eps:>8.1f}/s {report.offered_eps:>8.1f}/s "
+            f"{report.achieved_eps:>8.1f}/s {report.p50_ms:>6.1f} ms "
+            f"{report.p99_ms:>6.1f} ms  {status}"
+        )
+    if best is None:
+        print("no sustained operating point found; lower --start-eps")
+        return 1
+    print(
+        f"max sustained: {best.achieved_eps:.0f} events/s "
+        f"({best.achieved_eps / nominal_eps:.1f}x the nominal fleet rate) "
+        f"at p50 {best.p50_ms:.1f} ms / p99 {best.p99_ms:.1f} ms over "
+        f"{best.n_events} events"
     )
     return 0
 
@@ -460,7 +568,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="session placement policy for sharded pools "
                             "(default: least-loaded with --autoscale, "
                             "hash with --workers N)")
+    serve.add_argument("--worker-mode", default="process", choices=WORKER_MODES,
+                       help="sharded worker execution: separate processes, or "
+                            "inline in-process workers sharing one batch")
+    serve.add_argument("--profile", action="store_true",
+                       help="cProfile the serve loop (training excluded) and "
+                            "print the hottest functions on exit")
+    serve.add_argument("--profile-top", type=int, default=15,
+                       help="rows to print from the --profile stats")
     serve.set_defaults(fn=cmd_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="closed-loop load generator: ramp a synthetic fleet to its "
+             "max sustained events/s with p50/p99 latency",
+    )
+    _add_common(loadgen)
+    loadgen.add_argument("--sessions", type=int, default=6,
+                         help="fleet size (morphology/noise/rate mixed)")
+    loadgen.add_argument("--duration", type=float, default=30.0,
+                         help="per-session stream length in seconds")
+    loadgen.add_argument("--chunk-ms", type=float, default=250.0,
+                         help="ingest chunk size in milliseconds")
+    loadgen.add_argument("--max-batch", type=int, default=64,
+                         help="flush the cross-session batch at this many beats")
+    loadgen.add_argument("--max-latency-ticks", type=int, default=8,
+                         help="flush when the oldest beat waited this many ingests")
+    loadgen.add_argument("--workers", type=int, default=1,
+                         help="worker count; > 1 shards across a ShardedGateway")
+    loadgen.add_argument("--worker-mode", default="process", choices=WORKER_MODES,
+                         help="sharded worker execution mode")
+    loadgen.add_argument("--start-eps", type=float, default=None,
+                         help="first ramp step's offered events/s "
+                              "(default: the fleet's nominal rate)")
+    loadgen.add_argument("--growth", type=float, default=1.4,
+                         help="offered-rate multiplier between ramp steps")
+    loadgen.add_argument("--steps", type=int, default=6,
+                         help="max ramp steps")
+    loadgen.set_defaults(fn=cmd_loadgen)
 
     report = subparsers.add_parser(
         "report", help="write report.md + CSV sweeps for every artifact"

@@ -641,6 +641,11 @@ def _combine_leads_batch(per_lead: np.ndarray) -> np.ndarray:
     import warnings
 
     n_leads = per_lead.shape[1]
+    if n_leads == 1:
+        # One lead: the median of a found value is itself and the
+        # majority test is just "found" — absent fiducials are already
+        # -1, so the lead's row passes through unchanged.
+        return per_lead[:, 0].astype(np.int64, copy=True)
     found = per_lead >= 0
     counts = found.sum(axis=1)
     with warnings.catch_warnings():
@@ -928,6 +933,37 @@ class StreamingDelineator:
         self._trim()
         return out
 
+    def add_beats(self, beats) -> list[tuple[int, BeatFiducials]]:
+        """Schedule several beats at once; return beats that became final.
+
+        ``beats`` is an iterable of ``(peak, previous_peak)`` or
+        ``(peak, previous_peak, counter)`` items.  Equivalent to
+        calling :meth:`add_beat` once per item — same validation, same
+        results, same charged op counts — but beats finalized together
+        are delineated in one vectorized pass (one MMD transform per
+        merged segment run per lead instead of one per beat), which is
+        what makes a batched gateway flush cheap when it schedules many
+        flagged beats in one delivery.
+        """
+        items: list[tuple[int, int | None, object]] = []
+        for item in beats:
+            peak = int(item[0])
+            previous_peak = item[1]
+            counter = item[2] if len(item) > 2 else None
+            if not self._origin <= peak < self._end:
+                raise ValueError("peak index outside the current stream")
+            if self._seg_lo(peak) < self._start:
+                raise ValueError(
+                    "left context of this beat was already discarded; "
+                    "construct the delineator with a larger lookback_s"
+                )
+            items.append((peak, previous_peak, counter))
+        for entry in items:
+            insort(self._pending, entry, key=lambda item: item[0])
+        out = self._finalize(final=False)
+        self._trim()
+        return out
+
     def hold(self, peak: int | None) -> None:
         """Retain the left context of ``peak`` until further notice.
 
@@ -958,26 +994,100 @@ class StreamingDelineator:
         return max(self._origin, peak - self._left)
 
     def _finalize(self, final: bool) -> list[tuple[int, BeatFiducials]]:
-        out: list[tuple[int, BeatFiducials]] = []
+        ready: list[tuple[int, int | None, object]] = []
         remaining: list[tuple[int, int | None, object]] = []
-        for peak, previous_peak, counter in self._pending:
-            seg_hi = peak + self._right
-            if not final and seg_hi > self._end:
-                remaining.append((peak, previous_peak, counter))
+        for item in self._pending:
+            if not final and item[0] + self._right > self._end:
+                remaining.append(item)
+            else:
+                ready.append(item)
+        self._pending = remaining
+        if not ready:
+            return []
+        # Stream-interior beats share one segment geometry
+        # (``_left + _right`` samples, peak at ``_left``), so — exactly
+        # like the record-interior fast path of ``delineate_beats`` —
+        # they vectorize; origin- or end-clamped beats take the scalar
+        # per-segment core.
+        seg_len = self._left + self._right
+        scales = self.config.mmd_scales(self.fs)
+        results: list[BeatFiducials | None] = [None] * len(ready)
+        if seg_len > 2 * max(scales):
+            batch_rows = [
+                idx
+                for idx, (peak, _, _) in enumerate(ready)
+                if peak - self._left >= self._origin and peak + self._right <= self._end
+            ]
+            if len(batch_rows) > 1:
+                fiducials = self._delineate_batch(
+                    [ready[idx] for idx in batch_rows], seg_len, scales
+                )
+                for idx, fid in zip(batch_rows, fiducials):
+                    results[idx] = fid
+        for idx, (peak, previous_peak, counter) in enumerate(ready):
+            if results[idx] is not None:
                 continue
             seg_lo = self._seg_lo(peak)
-            seg_hi = min(self._end, seg_hi)
+            seg_hi = min(self._end, peak + self._right)
             segment = self._buffer[seg_lo - self._start : seg_hi - self._start]
-            out.append(
-                (
-                    peak,
-                    _delineate_segment_multilead(
-                        segment, seg_lo, peak, self.fs, self.config, previous_peak, counter
-                    ),
-                )
+            results[idx] = _delineate_segment_multilead(
+                segment, seg_lo, peak, self.fs, self.config, previous_peak, counter
             )
-        self._pending = remaining
-        return out
+        return [(item[0], results[idx]) for idx, item in enumerate(ready)]
+
+    def _delineate_batch(
+        self,
+        items: list[tuple[int, int | None, object]],
+        seg_len: int,
+        scales: tuple[int, ...],
+    ) -> list[BeatFiducials]:
+        """Vectorized finalization of stream-interior beats.
+
+        Mirrors the interior fast path of :func:`delineate_beats` on
+        the sliding buffer: one MMD transform per merged segment run
+        per lead, per-beat edge fixups, then the batched fiducial
+        search — bit-exact with the scalar per-segment core, beat for
+        beat, in both fiducials and charged op counts.
+        """
+        peaks = np.asarray([item[0] for item in items], dtype=np.int64)
+        previous = np.asarray(
+            [
+                -1 if prev is None or int(prev) < 0 else int(prev)
+                for _, prev, _ in items
+            ],
+            dtype=np.int64,
+        )
+        seg_lo = peaks - self._left  # absolute; interior => >= _start
+        lo = seg_lo - self._start  # buffer coordinates
+        gather = lo[:, np.newaxis] + np.arange(seg_len)[np.newaxis, :]
+        runs, _ = _merge_segments([(int(i), int(i) + seg_len) for i in lo])
+        n_leads = self._buffer.shape[1]
+        full = np.empty(self._buffer.shape[0])
+        per_lead = np.empty((peaks.size, n_leads, len(FIDUCIAL_NAMES)), dtype=np.int64)
+        for lead in range(n_leads):
+            x = np.ascontiguousarray(self._buffer[:, lead])
+            segments = x[gather]
+            r_amps = np.abs(segments[:, self._left] - np.median(segments, axis=1))
+            mmds = []
+            for scale in scales:
+                for run_lo, run_hi in runs:
+                    full[run_lo:run_hi] = mmd_transform(x[run_lo:run_hi], scale)
+                mmds.append(_segment_mmd_batch(segments, full[gather], scale))
+            per_lead[:, lead] = _locate_fiducials_batch(
+                segments,
+                *mmds,
+                self._left,
+                seg_lo,
+                peaks,
+                self.fs,
+                self.config,
+                previous,
+                r_amps,
+            )
+        combined = _combine_leads_batch(per_lead)
+        for _, _, counter in items:
+            _charge_beat_ops(counter, seg_len, scales, n_leads)
+        return [BeatFiducials.from_array(row) for row in combined]
 
     def _trim(self) -> None:
         if self._buffer is None:

@@ -709,22 +709,30 @@ class StreamingNode:
 
         if not self.defer_classification:
             raise RuntimeError("deliver() applies to deferred-classify nodes")
-        for beat, label in resolved:
+        resolved = list(resolved)
+        flagged = is_abnormal(
+            np.asarray([label for _, label in resolved], dtype=np.int64)
+        )
+        scheduled: list[tuple[int, int | None]] = []
+        for (beat, label), flag in zip(resolved, flagged):
             if not isinstance(beat, _PendingBeat) or not beat.extracted:
                 raise ValueError("unknown classification handle")
             if beat.classified:
                 raise ValueError(f"beat at {beat.peak} was already delivered")
             beat.label = int(label)
-            beat.flagged = bool(is_abnormal(np.asarray([beat.label]))[0])
+            beat.flagged = bool(flag)
             beat.classified = True
             beat.row = None  # window no longer needed once labeled
             previous = self._last_kept
             self._last_kept = beat.peak
             if beat.flagged:
-                for peak, fiducials in self._delineator.add_beat(
-                    beat.peak, previous_peak=previous
-                ):
-                    self._done[peak] = fiducials
+                scheduled.append((beat.peak, previous))
+        if scheduled:
+            # One vectorized delineation pass for the whole delivery —
+            # the pre-delivery hold floor keeps every scheduled beat's
+            # left context buffered, so batching the adds is safe.
+            for peak, fiducials in self._delineator.add_beats(scheduled):
+                self._done[peak] = fiducials
         self._update_hold()
         return self._emit_ready()
 

@@ -94,6 +94,20 @@ class EmbeddedClassifier:
         """Defuzzified labels (class index or Unknown)."""
         return integer_defuzzify(self.fuzzy_values(X, counter), self.alpha_q16, counter)
 
+    def predict_serial(self, X: np.ndarray, counter=None) -> np.ndarray:
+        """Per-beat reference for :meth:`predict`.
+
+        Classifies one beat at a time, exactly like the node firmware's
+        main loop; the batched :meth:`predict` is bit-exact with this
+        path in labels and charged op counts (all charges are linear in
+        the batch size and the block-normalization shift is per beat).
+        """
+        X = np.atleast_2d(np.asarray(X))
+        if X.shape[0] == 0:
+            return self.predict(X, counter)
+        labels = [int(self.predict(X[i : i + 1], counter)[0]) for i in range(X.shape[0])]
+        return np.asarray(labels, dtype=np.int64)
+
     def evaluate(self, beats: LabeledBeats) -> ClassificationReport:
         """Evaluation report on a labeled set."""
         return ClassificationReport.from_labels(beats.y, self.predict(beats.X))

@@ -68,7 +68,7 @@ def block_fuzzify(grades: np.ndarray, counter=None) -> np.ndarray:
     grades = np.asarray(grades, dtype=np.int64)
     if grades.ndim != 3:
         raise ValueError("grades must be (n, k, L)")
-    if np.any(grades < 0) or np.any(grades > GRADE_MAX):
+    if grades.size and (grades.min() < 0 or grades.max() > GRADE_MAX):
         raise ValueError(f"grades must lie in [0, {GRADE_MAX}]")
     n, k, n_classes = grades.shape
     if k < 1:
@@ -90,9 +90,29 @@ def block_fuzzify(grades: np.ndarray, counter=None) -> np.ndarray:
             counter.add("cmp", n * (n_classes - 1))  # max scan
             counter.add("shift", n * (n_classes + 1))  # clz + normalize
     # 32-bit envelope check of the modelled hardware.
-    if np.any(acc >= (np.int64(1) << 32)):
+    if acc.size and acc.max() >= (np.int64(1) << 32):
         raise OverflowError("fuzzification accumulator exceeded 32 bits")
     return acc
+
+
+def block_fuzzify_serial(grades: np.ndarray, counter=None) -> np.ndarray:
+    """Per-beat reference loop for :func:`block_fuzzify`.
+
+    Runs the embedded schedule one beat at a time — exactly what the
+    node's firmware does — and stacks the results.  The batched
+    :func:`block_fuzzify` is bit-exact with this loop in both the
+    fuzzy values and the charged op counts (the block-normalization
+    shift is derived per beat in either path, and every charge is
+    linear in ``n``); the regression suite pins that equivalence.
+    """
+    grades = np.asarray(grades, dtype=np.int64)
+    if grades.ndim != 3:
+        raise ValueError("grades must be (n, k, L)")
+    n, _, n_classes = grades.shape
+    if n == 0:
+        # Validate shape/range exactly like the batched path would.
+        return block_fuzzify(grades, counter)
+    return np.vstack([block_fuzzify(grades[i : i + 1], counter) for i in range(n)])
 
 
 def integer_defuzzify(
@@ -220,6 +240,22 @@ class IntegerNFC:
     def fuzzy_values(self, U: np.ndarray, counter=None) -> np.ndarray:
         """Integer fuzzy values ``(n, L)`` via block fuzzification."""
         return block_fuzzify(self.membership_grades(U, counter), counter)
+
+    def fuzzy_values_serial(self, U: np.ndarray, counter=None) -> np.ndarray:
+        """Per-beat reference for :meth:`fuzzy_values`.
+
+        Processes one beat at a time, like the firmware's main loop.
+        The batched path is bit-exact with this one in values and in
+        charged op counts; ``tests/fixedpoint`` pins the equivalence.
+        """
+        U = np.asarray(U, dtype=np.int64)
+        if U.ndim != 2 or U.shape[1] != self.n_coefficients:
+            raise ValueError("U must be (n, k)")
+        if U.shape[0] == 0:
+            return self.fuzzy_values(U, counter)
+        return np.vstack(
+            [self.fuzzy_values(U[i : i + 1], counter) for i in range(U.shape[0])]
+        )
 
     def memory_bytes(self) -> int:
         """Parameter footprint per (k, L) MF.

@@ -119,21 +119,19 @@ def evaluate_linearized(
     fixed-point multiply so every intermediate fits in 32 + 16 bits on
     the target, independent of how far an outlier coefficient lands.
     """
-    r = np.abs(x - center)
-    r = np.minimum(r, 4 * s)
-    grades = np.zeros(np.broadcast(r, s).shape, dtype=np.int64)
-    rb, sb = np.broadcast_arrays(r, s)
-    inner_slope = np.broadcast_to(slope_inner_q16, grades.shape)
-    outer_slope = np.broadcast_to(slope_outer_q16, grades.shape)
-
-    inner = rb < sb
-    middle = (rb >= sb) & (rb < 2 * sb)
-    outer = (rb >= 2 * sb) & (rb < 4 * sb)
-    grades[inner] = GRADE_MAX - ((rb[inner] * inner_slope[inner]) >> SLOPE_FRAC_BITS)
-    grades[middle] = GRADE_AT_S - (
-        ((rb[middle] - sb[middle]) * outer_slope[middle]) >> SLOPE_FRAC_BITS
+    r = np.minimum(np.abs(x - center), 4 * s)
+    # Every branch value is computed with the exact arithmetic the
+    # segment-selected path used, then selected per element — no
+    # boolean gather/scatter on the hot path.  The clamp above bounds
+    # r * slope at 4S * slope < 2^35, so evaluating the inner product
+    # outside its own segment cannot overflow int64.
+    inner = GRADE_MAX - ((r * slope_inner_q16) >> SLOPE_FRAC_BITS)
+    middle = GRADE_AT_S - (((r - s) * slope_outer_q16) >> SLOPE_FRAC_BITS)
+    grades = np.where(
+        r < s,
+        inner,
+        np.where(r < 2 * s, middle, np.where(r < 4 * s, np.int64(1), np.int64(0))),
     )
-    grades[outer] = 1
     return np.clip(grades, 0, GRADE_MAX)
 
 

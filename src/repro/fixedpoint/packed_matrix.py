@@ -111,6 +111,34 @@ class PackedTernaryMatrix:
         """Unpack into an :class:`AchlioptasMatrix`."""
         return AchlioptasMatrix(self.unpack())
 
+    def _decoded(self) -> dict:
+        """Decode-once cache for the projection hot path.
+
+        The packed buffer is the canonical (immutable) state; the dense
+        matrix, its transposed integer/float operand forms and the
+        non-zero count are derived views computed on first use.  The
+        cache is dropped on pickling (see ``__getstate__``) so worker
+        hand-offs ship only the 2-bit representation, like the node's
+        radio would.
+        """
+        cache = self.__dict__.get("_decoded_cache")
+        if cache is None:
+            dense = self.unpack()
+            cache = {
+                "nnz": int(np.count_nonzero(dense)),
+                "t_i64": np.ascontiguousarray(dense.T.astype(np.int64)),
+                "t_f64": np.ascontiguousarray(dense.T.astype(np.float64)),
+            }
+            object.__setattr__(self, "_decoded_cache", cache)
+        return cache
+
+    def __getstate__(self) -> dict:
+        return {"data": self.data, "shape": self.shape}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     # ------------------------------------------------------------------
     # Projection and footprint
     # ------------------------------------------------------------------
@@ -118,10 +146,11 @@ class PackedTernaryMatrix:
         """Integer projection ``u = P v`` from the packed form.
 
         The embedded loop decodes two bits at a time and conditionally
-        adds/subtracts the sample; here the decode is vectorized but the
-        recorded operation counts match the element-serial loop.
+        adds/subtracts the sample; here the decode runs once per matrix
+        (cached, see :meth:`_decoded`) but the recorded operation counts
+        still match the element-serial loop.
         """
-        matrix = self.unpack()
+        decoded = self._decoded()
         v = np.asarray(v)
         single = v.ndim == 1
         if single:
@@ -129,16 +158,15 @@ class PackedTernaryMatrix:
         if v.shape[1] != self.shape[1]:
             raise ValueError("beat length does not match matrix width")
         if counter is not None:
-            nnz = int(np.count_nonzero(matrix))
             n = v.shape[0]
             counter.add("load", n * self.shape[0] * self._row_bytes(self.shape[1]))
             counter.add("shift", n * self.shape[0] * self.shape[1])  # 2-bit decode
-            counter.add("add", n * nnz)
+            counter.add("add", n * decoded["nnz"])
             counter.add("store", n * self.shape[0])
         if np.issubdtype(v.dtype, np.integer):
-            u = v.astype(np.int64) @ matrix.T.astype(np.int64)
+            u = v.astype(np.int64) @ decoded["t_i64"]
         else:
-            u = v @ matrix.T.astype(np.float64)
+            u = v @ decoded["t_f64"]
         return u[0] if single else u
 
     @property

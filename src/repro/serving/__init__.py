@@ -51,9 +51,16 @@ from repro.serving.engine import (
 from repro.serving.executors import INBOX_POLICIES, PLACEMENTS
 from repro.serving.gateway import (
     BeatBatch,
+    GatewayGroup,
     SessionExport,
     StreamGateway,
     serve_round_robin,
+)
+from repro.serving.loadgen import (
+    LoadgenReport,
+    find_max_sustained,
+    replay_fleet,
+    synthesize_fleet,
 )
 from repro.serving.results import FleetTrace, StreamResult
 from repro.serving.sharded import SessionInbox, ShardedGateway
@@ -66,6 +73,8 @@ __all__ = [
     "Autoscaler",
     "BeatBatch",
     "FleetTrace",
+    "GatewayGroup",
+    "LoadgenReport",
     "ServingEngine",
     "SessionExport",
     "SessionInbox",
@@ -73,8 +82,11 @@ __all__ = [
     "StreamGateway",
     "StreamResult",
     "classify_streams",
+    "find_max_sustained",
+    "replay_fleet",
     "serve_autoscaled",
     "serve_round_robin",
     "simulate_records",
+    "synthesize_fleet",
     "worker_loads",
 ]

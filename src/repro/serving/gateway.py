@@ -61,23 +61,48 @@ import numpy as np
 from repro.dsp.streaming import NodeSnapshot, StreamBeatEvent, StreamingNode
 from repro.serving.executors import validate_at_least
 
-__all__ = ["BeatBatch", "SessionExport", "StreamGateway", "serve_round_robin"]
+__all__ = [
+    "BeatBatch",
+    "GatewayGroup",
+    "SessionExport",
+    "StreamGateway",
+    "serve_round_robin",
+]
+
+#: Initial row capacity of a :class:`BeatBatch` buffer.
+_BATCH_INITIAL_CAPACITY = 64
 
 
 class BeatBatch:
     """Cross-session accumulator of beats awaiting classification.
 
+    Structure-of-arrays layout: beat rows land in one preallocated
+    ``(capacity, d)`` matrix (doubled when full, never per-beat), with
+    parallel object arrays for the session ids and delivery handles.
+    :meth:`drain` hands the row block straight to ``predict`` — no
+    per-flush ``vstack``, no per-beat tuple allocation.
+
     Entries preserve global insertion order (and therefore per-session
     extraction order, which :meth:`StreamingNode.deliver` requires).
+
+    The latency bookkeeping the gateway polls on **every** ingest is
+    maintained incrementally on :meth:`add`/:meth:`drain`:
+    ``oldest_tick``, ``session_oldest`` and ``min_deadline`` are all
+    O(1) reads — there is no O(batch) or O(sessions) rescan anywhere
+    on the hot path.
     """
 
     def __init__(self) -> None:
-        self._entries: list[tuple[str, object, np.ndarray]] = []
+        self._rows: np.ndarray | None = None
+        self._session_ids = np.empty(_BATCH_INITIAL_CAPACITY, dtype=object)
+        self._handles = np.empty(_BATCH_INITIAL_CAPACITY, dtype=object)
+        self._count = 0
         self._oldest_tick: int | None = None
         self._session_oldest: dict[str, int] = {}
+        self._min_deadline: int | None = None
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._count
 
     @property
     def oldest_tick(self) -> int | None:
@@ -86,24 +111,80 @@ class BeatBatch:
 
     @property
     def session_oldest(self) -> dict[str, int]:
-        """Tick stamp of each session's longest-waiting beat (the
-        per-session latency budgets are enforced against these)."""
+        """Tick stamp of each session's longest-waiting beat."""
         return self._session_oldest
 
-    def add(self, session_id: str, handle: object, row: np.ndarray, tick: int) -> None:
-        """Queue one beat of ``session_id`` for the next flush."""
+    @property
+    def min_deadline(self) -> int | None:
+        """Earliest flush deadline over queued sessions (``None`` when
+        empty).  ``add`` folds each session's budget in on its *first*
+        queued beat, so the gateway's per-ingest latency check is one
+        integer compare instead of a walk over ``session_oldest``."""
+        return self._min_deadline
+
+    def _grow(self, d: int) -> None:
+        if self._rows is None:
+            capacity = max(_BATCH_INITIAL_CAPACITY, self._session_ids.shape[0])
+            self._rows = np.empty((capacity, d), dtype=np.float64)
+        if self._count == self._rows.shape[0]:
+            capacity = 2 * self._rows.shape[0]
+            rows = np.empty((capacity, self._rows.shape[1]), dtype=self._rows.dtype)
+            rows[: self._count] = self._rows
+            self._rows = rows
+            for name in ("_session_ids", "_handles"):
+                old = getattr(self, name)
+                grown = np.empty(capacity, dtype=object)
+                grown[: self._count] = old
+                setattr(self, name, grown)
+
+    def add(
+        self,
+        session_id: str,
+        handle: object,
+        row: np.ndarray,
+        tick: int,
+        budget: int | None = None,
+    ) -> None:
+        """Queue one beat of ``session_id`` for the next flush.
+
+        ``budget`` is the session's effective latency budget in ticks;
+        when given, the first queued beat of the session arms a flush
+        deadline at ``tick + budget`` (see :attr:`min_deadline`).
+        """
+        row = np.asarray(row, dtype=np.float64)
+        if self._rows is None or self._count == self._rows.shape[0]:
+            self._grow(row.shape[-1])
+        self._rows[self._count] = row
+        self._session_ids[self._count] = session_id
+        self._handles[self._count] = handle
+        self._count += 1
         if self._oldest_tick is None:
             self._oldest_tick = tick
-        self._session_oldest.setdefault(session_id, tick)
-        self._entries.append((session_id, handle, row))
+        if session_id not in self._session_oldest:
+            self._session_oldest[session_id] = tick
+            if budget is not None:
+                deadline = tick + budget
+                if self._min_deadline is None or deadline < self._min_deadline:
+                    self._min_deadline = deadline
 
-    def drain(self) -> list[tuple[str, object, np.ndarray]]:
-        """Take every queued entry; the batch is empty afterwards."""
-        entries = self._entries
-        self._entries = []
+    def drain(self) -> tuple[list[str], list[object], np.ndarray | None]:
+        """Take everything queued as ``(session_ids, handles, rows)``.
+
+        ``rows`` is a zero-copy ``(n, d)`` view into the reused buffer
+        — valid until the next :meth:`add` — or ``None`` when the
+        batch is empty.  The batch is empty afterwards.
+        """
+        n = self._count
+        if n == 0:
+            return [], [], None
+        session_ids = self._session_ids[:n].tolist()
+        handles = self._handles[:n].tolist()
+        rows = self._rows[:n]
+        self._count = 0
         self._oldest_tick = None
         self._session_oldest = {}
-        return entries
+        self._min_deadline = None
+        return session_ids, handles, rows
 
 
 @dataclass(frozen=True)
@@ -146,6 +227,59 @@ class _Session:
         return events
 
 
+class _Clock:
+    """Shared monotonic tick counter (one ``ingest`` anywhere = one tick)."""
+
+    __slots__ = ("tick",)
+
+    def __init__(self) -> None:
+        self.tick = 0
+
+
+class GatewayGroup:
+    """Shared batch + clock for a set of co-located gateways.
+
+    Gateways constructed with ``group=`` queue their pending beats
+    into **one** cross-gateway :class:`BeatBatch` on **one** shared
+    tick clock, so a flush triggered by any member classifies every
+    member's beats in a single ``predict`` call — the in-process
+    analogue of the sharded tier's per-worker batches, collapsed.
+    Labeled beats are routed back to whichever member owns the
+    session; flush/classified counters accrue on the member that
+    triggered the flush.
+
+    The flush policy stays each member's own (``max_batch`` /
+    latency budgets), evaluated against the shared batch — semantics
+    identical to running every session on one big gateway.
+    """
+
+    def __init__(self) -> None:
+        self.batch = BeatBatch()
+        self.clock = _Clock()
+        self.gateways: list["StreamGateway"] = []
+
+    def _register(self, gateway: "StreamGateway") -> None:
+        self.gateways.append(gateway)
+
+    def _unregister(self, gateway: "StreamGateway") -> None:
+        if gateway in self.gateways:
+            self.gateways.remove(gateway)
+
+    def find_session(self, session_id: str):
+        """The owning member's session record, or ``None``."""
+        for gateway in self.gateways:
+            session = gateway._sessions.get(session_id)
+            if session is not None:
+                return session
+        return None
+
+    def flush(self) -> int:
+        """Flush the shared batch through one member (one ``predict``)."""
+        if not self.gateways:
+            return 0
+        return self.gateways[0].flush_batch()
+
+
 class StreamGateway:
     """Multiplex live streaming sessions into batched classifier passes.
 
@@ -182,6 +316,10 @@ class StreamGateway:
     delineation_config / overhead_bytes:
         Per-session :class:`~repro.dsp.streaming.StreamingNode`
         configuration, identical for every session.
+    group:
+        Optional :class:`GatewayGroup`.  Member gateways share one
+        cross-gateway batch and tick clock, so one flush classifies
+        every member's pending beats in a single ``predict`` call.
 
     Notes
     -----
@@ -208,6 +346,7 @@ class StreamGateway:
         detector_config=None,
         delineation_config=None,
         overhead_bytes: int = 2,
+        group: GatewayGroup | None = None,
     ):
         validate_at_least("max_batch", max_batch)
         validate_at_least("max_latency_ticks", max_latency_ticks)
@@ -230,12 +369,16 @@ class StreamGateway:
         )
         self._sessions: dict[str, _Session] = {}
         # Sessions with an eviction threshold, so the per-ingest idle
-        # scan touches only them (zero cost for a fleet without QoS);
-        # same idea for the count of sessions with latency budgets.
+        # scan touches only them (zero cost for a fleet without QoS).
         self._evictable: dict[str, _Session] = {}
-        self._n_budgeted = 0
-        self._batch = BeatBatch()
-        self._tick = 0
+        self.group = group
+        if group is not None:
+            self._batch = group.batch
+            self._clock = group.clock
+            group._register(self)
+        else:
+            self._batch = BeatBatch()
+            self._clock = _Clock()
         self._evicted: dict[str, list[StreamBeatEvent]] = {}
         self.n_flushes = 0
         self.n_classified = 0
@@ -294,7 +437,7 @@ class StreamGateway:
                     evict_after_ticks if evict_after_ticks is not None
                     else self.evict_after_ticks
                 ),
-                last_active=self._tick,
+                last_active=self._clock.tick,
             ),
         )
 
@@ -311,9 +454,10 @@ class StreamGateway:
         """
         session = self._get(session_id)
         session.events.extend(session.node.push(chunk))
-        self._collect(session_id, session.node)
-        self._tick += 1
-        session.last_active = self._tick
+        self._collect(session_id, session)
+        clock = self._clock
+        clock.tick += 1
+        session.last_active = clock.tick
         if len(self._batch) >= self.max_batch or self._latency_budget_hit():
             self.flush_batch()
         self._evict_idle()
@@ -322,21 +466,16 @@ class StreamGateway:
     def _latency_budget_hit(self) -> bool:
         """Has any session's oldest pending beat outlived its budget?
 
-        Each queued session is bounded by the tighter of the global
-        ``max_latency_ticks`` and its own budget; with no per-session
-        budgets anywhere this is the original O(1) global-oldest check.
+        O(1): every queued session armed its effective deadline (the
+        tighter of the global ``max_latency_ticks`` and its own budget)
+        when its first beat entered the batch, and the batch keeps the
+        minimum incrementally — this is one integer compare per ingest
+        regardless of fleet size or batch depth.  Budgets cannot change
+        for queued beats (close/evict/export/import all flush first),
+        so the armed deadlines never go stale.
         """
-        if not self._n_budgeted:
-            oldest = self._batch.oldest_tick
-            return oldest is not None and self._tick - oldest >= self.max_latency_ticks
-        for session_id, oldest in self._batch.session_oldest.items():
-            budget = self.max_latency_ticks
-            session = self._sessions.get(session_id)
-            if session is not None and session.latency_budget is not None:
-                budget = min(budget, session.latency_budget)
-            if self._tick - oldest >= budget:
-                return True
-        return False
+        deadline = self._batch.min_deadline
+        return deadline is not None and self._clock.tick >= deadline
 
     def _evict_idle(self) -> None:
         """Evict every session idle past its threshold (slow-session QoS).
@@ -348,10 +487,11 @@ class StreamGateway:
         """
         if not self._evictable:
             return
+        tick = self._clock.tick
         stale = [
             session_id
             for session_id, session in self._evictable.items()
-            if self._tick - session.last_active >= session.evict_after
+            if tick - session.last_active >= session.evict_after
         ]
         for session_id in stale:
             events = self.close_session(session_id)
@@ -380,7 +520,7 @@ class StreamGateway:
         """
         session = self._get(session_id)
         session.events.extend(session.node.finish_input())
-        self._collect(session_id, session.node)
+        self._collect(session_id, session)
         self.flush_batch()
         session.events.extend(session.node.finalize())
         self._remove_session(session_id)
@@ -394,23 +534,29 @@ class StreamGateway:
         to bound latency externally (e.g. from a timer) or before a
         quiet period.
         """
-        entries = self._batch.drain()
-        if not entries:
+        session_ids, handles, rows = self._batch.drain()
+        if rows is None:
             return 0
-        rows = np.vstack([row for _, _, row in entries])
         labels = np.asarray(self.classifier.predict(rows))
         # Group per session, preserving extraction order within each.
         per_session: dict[str, list[tuple[object, int]]] = {}
-        for (session_id, handle, _), label in zip(entries, labels):
+        for session_id, handle, label in zip(session_ids, handles, labels):
             per_session.setdefault(session_id, []).append((handle, label))
         for session_id, resolved in per_session.items():
-            session = self._sessions.get(session_id)
+            session = self._find_session(session_id)
             if session is None:  # closed mid-flight; nothing to route to
                 continue
             session.events.extend(session.node.deliver(resolved))
         self.n_flushes += 1
-        self.n_classified += len(entries)
-        return len(entries)
+        self.n_classified += len(handles)
+        return len(handles)
+
+    def _find_session(self, session_id: str) -> _Session | None:
+        """Resolve a flushed session id — ours, or a group peer's."""
+        session = self._sessions.get(session_id)
+        if session is None and self.group is not None:
+            session = self.group.find_session(session_id)
+        return session
 
     def export_session(self, session_id: str) -> SessionExport:
         """Capture a live session for migration; the session stays open.
@@ -464,7 +610,7 @@ class StreamGateway:
                 events=export.events,
                 latency_budget=export.max_latency_ticks,
                 evict_after=export.evict_after_ticks,
-                last_active=self._tick,
+                last_active=self._clock.tick,
             ),
         )
         return session_id
@@ -473,14 +619,10 @@ class StreamGateway:
         self._sessions[session_id] = session
         if session.evict_after is not None:
             self._evictable[session_id] = session
-        if session.latency_budget is not None:
-            self._n_budgeted += 1
 
     def _remove_session(self, session_id: str) -> None:
-        session = self._sessions.pop(session_id)
+        self._sessions.pop(session_id)
         self._evictable.pop(session_id, None)
-        if session.latency_budget is not None:
-            self._n_budgeted -= 1
 
     def _get(self, session_id: str) -> _Session:
         try:
@@ -488,9 +630,17 @@ class StreamGateway:
         except KeyError:
             raise KeyError(f"no open session {session_id!r}") from None
 
-    def _collect(self, session_id: str, node: StreamingNode) -> None:
-        for handle, row in node.take_pending():
-            self._batch.add(session_id, handle, row, self._tick)
+    def _collect(self, session_id: str, session: _Session) -> None:
+        pending = session.node.take_pending()
+        if not pending:
+            return
+        budget = self.max_latency_ticks
+        if session.latency_budget is not None:
+            budget = min(budget, session.latency_budget)
+        tick = self._clock.tick
+        batch = self._batch
+        for handle, row in pending:
+            batch.add(session_id, handle, row, tick, budget)
 
 
 def serve_round_robin(

@@ -71,9 +71,10 @@ from repro.serving.executors import (
     validate_at_least,
     validate_inbox_policy,
     validate_placement,
+    validate_worker_mode,
     validate_workers,
 )
-from repro.serving.gateway import SessionExport, StreamGateway
+from repro.serving.gateway import GatewayGroup, SessionExport, StreamGateway
 
 __all__ = ["SessionInbox", "ShardedGateway"]
 
@@ -166,43 +167,48 @@ class SessionInbox:
             self._cond.notify_all()
 
 
-def _worker_main(conn, classifier, fs: float, gateway_kwargs: dict) -> None:
-    """Worker-process loop: one ``StreamGateway``, commands over a pipe.
+class _WorkerState:
+    """One worker's gateway + the shared request dispatch.
 
-    Every request is answered with ``(op, session_id, payload,
-    evictions)`` in request order; ``payload`` is ``("ok", value)`` or
-    ``("err", exception)``.  Evictions that fired while handling the
-    request (the worker gateway's idle clock advances on its own
-    ingest ticks) ride along on the response, each as a complete
+    The same state machine backs both execution modes: the worker
+    *process* loop (:func:`_worker_main`) drives it over a pipe, and
+    the *inline* mode (:class:`_InlineWorker`) drives it directly in
+    the parent process.  Requests map to gateway calls; the response
+    is ``(op, session_id, payload, evictions)`` where ``payload`` is
+    ``("ok", value)`` or ``("err", exception)``.  Evictions that fired
+    while handling a request (the gateway's idle clock advances on its
+    own ingest ticks) ride along on the response, each as a complete
     ``(session_id, events)`` final sequence.
     """
-    evictions: list[tuple[str, list]] = []
-    gateway = StreamGateway(
-        classifier,
-        fs,
-        on_evict=lambda sid, events: evictions.append((sid, events)),
-        **gateway_kwargs,
-    )
-    evicted_ids: set[str] = set()
-    while True:
-        try:
-            request = conn.recv()
-        except EOFError:  # parent died; nothing left to serve
-            break
+
+    def __init__(self, classifier, fs: float, gateway_kwargs: dict, group=None):
+        self._evictions: list[tuple[str, list]] = []
+        self.gateway = StreamGateway(
+            classifier,
+            fs,
+            on_evict=lambda sid, events: self._evictions.append((sid, events)),
+            group=group,
+            **gateway_kwargs,
+        )
+        self._evicted_ids: set[str] = set()
+
+    def handle(self, request: tuple) -> tuple:
+        """Serve one request; return its wire response (never raises)."""
+        gateway = self.gateway
         op, session_id = request[0], request[1]
         try:
             if op == "ingest":
-                if session_id in evicted_ids:
+                if session_id in self._evicted_ids:
                     value = []  # chunk was in flight when the session was evicted
                 else:
                     value = gateway.ingest(session_id, request[2])
             elif op == "open":
                 value = gateway.open_session(session_id, **request[2])
-                evicted_ids.discard(session_id)  # the id is live again
+                self._evicted_ids.discard(session_id)  # the id is live again
             elif op == "poll":
                 value = gateway.poll(session_id)
             elif op == "close":
-                if session_id in evicted_ids:
+                if session_id in self._evicted_ids:
                     value = []
                 else:
                     value = gateway.close_session(session_id)
@@ -212,7 +218,7 @@ def _worker_main(conn, classifier, fs: float, gateway_kwargs: dict) -> None:
                 value = gateway.release_session(session_id)
             elif op == "import":
                 value = gateway.import_session(request[2], session_id)
-                evicted_ids.discard(session_id)  # the id is live again
+                self._evicted_ids.discard(session_id)  # the id is live again
             elif op == "flush":
                 value = gateway.flush_batch()
             elif op == "stats":
@@ -223,19 +229,82 @@ def _worker_main(conn, classifier, fs: float, gateway_kwargs: dict) -> None:
                     "n_classified": gateway.n_classified,
                     "n_evicted": gateway.n_evicted,
                 }
-            elif op == "stop":
-                conn.send(("stop", None, ("ok", None), []))
-                break
             else:
                 raise ValueError(f"unknown worker op {op!r}")
             payload = ("ok", value)
         except Exception as exc:  # travels back to the caller
             payload = ("err", exc)
-        new_evictions, evictions = evictions, []
-        evicted_ids.update(sid for sid, _ in new_evictions)
+        new_evictions, self._evictions = self._evictions, []
+        self._evicted_ids.update(sid for sid, _ in new_evictions)
         gateway.take_evicted()  # delivered via the response instead
-        conn.send((op, session_id, payload, new_evictions))
+        return (op, session_id, payload, new_evictions)
+
+
+def _worker_main(conn, classifier, fs: float, gateway_kwargs: dict) -> None:
+    """Worker-process loop: one :class:`_WorkerState`, commands over a
+    pipe, responses in request order (the FIFO the parent relies on)."""
+    state = _WorkerState(classifier, fs, gateway_kwargs)
+    while True:
+        try:
+            request = conn.recv()
+        except EOFError:  # parent died; nothing left to serve
+            break
+        if request[0] == "stop":
+            conn.send(("stop", None, ("ok", None), []))
+            break
+        conn.send(state.handle(request))
     conn.close()
+
+
+class _InlineWorker:
+    """Duck-typed pipe end that serves requests in the calling process.
+
+    ``send`` handles the request synchronously against the worker's
+    :class:`_WorkerState` and queues the response; ``recv``/``poll``
+    read the queue — so the parent's pipelined FIFO protocol works
+    unchanged, with zero processes and zero serialization.  Workers
+    constructed over one shared
+    :class:`~repro.serving.gateway.GatewayGroup` queue their beats
+    into a single cross-worker batch, so one flush classifies the
+    whole pool's pending beats in one ``predict`` call.
+    """
+
+    def __init__(self, state: _WorkerState):
+        self._state = state
+        self._responses: deque = deque()
+
+    def send(self, request: tuple) -> None:
+        if request[0] == "stop":
+            self._responses.append(("stop", None, ("ok", None), []))
+            return
+        self._responses.append(self._state.handle(request))
+
+    def recv(self) -> tuple:
+        if not self._responses:
+            raise EOFError("no pending inline response")
+        return self._responses.popleft()
+
+    def poll(self, timeout=None) -> bool:
+        return bool(self._responses)
+
+    def close(self) -> None:
+        pass
+
+
+class _InlineProcess:
+    """Process-interface stub for inline workers (nothing to reap)."""
+
+    def start(self) -> None:
+        pass
+
+    def join(self, timeout=None) -> None:
+        pass
+
+    def is_alive(self) -> bool:
+        return False
+
+    def terminate(self) -> None:
+        pass
 
 
 class ShardedGateway:
@@ -275,6 +344,18 @@ class ShardedGateway:
     inbox_policy:
         Overflow policy when a session's inbox is full — one of
         :data:`~repro.serving.executors.INBOX_POLICIES`.
+    worker_mode:
+        One of :data:`~repro.serving.executors.WORKER_MODES`.
+        ``"process"`` (default) spawns one OS process per worker —
+        true parallelism, per-worker classifier flushes.  ``"inline"``
+        runs every worker in the calling process over one shared
+        :class:`~repro.serving.gateway.GatewayGroup`: same session
+        surface, same placement/migration/QoS semantics and the same
+        per-session bit-exactness, but a flush triggered anywhere
+        classifies **all** workers' pending beats in a single
+        ``predict`` call (the tick clock is fleet-wide, exactly like
+        one big ``StreamGateway``).  Best single-core throughput; no
+        processes to reap.
     mp_context:
         Optional :mod:`multiprocessing` start method (e.g. ``"fork"``,
         ``"spawn"``); default is the platform's.
@@ -296,6 +377,7 @@ class ShardedGateway:
         on_evict=None,
         inbox_capacity: int | None = None,
         inbox_policy: str = "block",
+        worker_mode: str = "process",
         mp_context: str | None = None,
         n_leads: int = 1,
         lead: int = 0,
@@ -314,11 +396,13 @@ class ShardedGateway:
         if inbox_capacity is not None:
             validate_at_least("inbox_capacity", inbox_capacity)
         validate_inbox_policy(inbox_policy)
+        validate_worker_mode(worker_mode)
         self.fs = fs
         self.workers = int(workers)
         self.placement = placement
         self.inbox_capacity = inbox_capacity
         self.inbox_policy = inbox_policy
+        self.worker_mode = worker_mode
         self.on_evict = on_evict
         gateway_kwargs = dict(
             max_batch=max_batch,
@@ -335,6 +419,7 @@ class ShardedGateway:
         self._ctx = multiprocessing.get_context(mp_context)
         self._classifier = classifier
         self._gateway_kwargs = gateway_kwargs
+        self._group = GatewayGroup() if worker_mode == "inline" else None
         self._conns = []
         self._procs = []
         for _ in range(self.workers):
@@ -350,6 +435,13 @@ class ShardedGateway:
         self._closed = False
 
     def _spawn_worker(self) -> None:
+        if self._group is not None:
+            state = _WorkerState(
+                self._classifier, self.fs, self._gateway_kwargs, group=self._group
+            )
+            self._conns.append(_InlineWorker(state))
+            self._procs.append(_InlineProcess())
+            return
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_worker_main,
@@ -608,6 +700,10 @@ class ShardedGateway:
                 self._handle(response)
         except (BrokenPipeError, EOFError, OSError):
             pass
+        if isinstance(conn, _InlineWorker):
+            # Drop the retired gateway from the shared group so flush
+            # routing only scans live members.
+            self._group._unregister(conn._state.gateway)
         try:
             conn.close()
         except OSError:  # pragma: no cover - already torn down

@@ -209,3 +209,89 @@ class TestStreamingDelineator:
         # Beats from the previous stream are rejected outright.
         with pytest.raises(ValueError):
             delineator.add_beat(origin - 10)
+
+
+class TestAddBeatsBatch:
+    """``add_beats`` == one ``add_beat`` per item, bit-exactly."""
+
+    @pytest.mark.parametrize("block", [333, 720])
+    def test_bit_exact_vs_sequential(self, setup, block):
+        fs, filtered, peaks, previous, reference, ref_counts = setup
+        delineator = StreamingDelineator(fs, lookback_s=3.0)
+        results: dict[int, np.ndarray] = {}
+        counters = {int(p): OpCounter() for p in peaks}
+        next_beat = 0
+        n = filtered.shape[0]
+        for i in range(0, n, block):
+            for peak, fid in delineator.push(filtered[i : i + block]):
+                results[peak] = fid.as_array()
+            batch = []
+            while next_beat < peaks.size and peaks[next_beat] < delineator.n_samples:
+                peak = int(peaks[next_beat])
+                batch.append((peak, previous[next_beat], counters[peak]))
+                next_beat += 1
+            for done_peak, fid in delineator.add_beats(batch):
+                results[done_peak] = fid.as_array()
+        for peak, fid in delineator.flush():
+            results[peak] = fid.as_array()
+        assert len(results) == peaks.size
+        for peak, ref, counts in zip(peaks, reference, ref_counts):
+            np.testing.assert_array_equal(ref, results[int(peak)])
+            assert counters[int(peak)].counts == counts
+
+    def test_two_item_form_without_counter(self, setup):
+        fs, filtered, peaks, previous, reference, _ = setup
+        delineator = StreamingDelineator(fs, lookback_s=60.0)
+        delineator.push(filtered)
+        batch = [(int(p), prev) for p, prev in zip(peaks[:8], previous[:8])]
+        done = dict(delineator.add_beats(batch))
+        for peak, ref in zip(peaks[:8], reference[:8]):
+            np.testing.assert_array_equal(ref, done[int(peak)].as_array())
+
+    def test_origin_clamped_and_tail_beats(self, setup):
+        """Edge beats (clamped left at origin, finalized only at flush)
+        go through add_beats like through add_beat."""
+        fs, filtered, _, _, _, _ = setup
+        n = filtered.shape[0]
+        edge_peaks = [5, 60, n - 160, n - 30]
+        delineator = StreamingDelineator(fs, lookback_s=60.0)
+        delineator.push(filtered)
+        results = dict(delineator.add_beats([(p, None) for p in edge_peaks]))
+        results.update(delineator.flush())
+        assert set(results) == set(edge_peaks)
+        for peak in edge_peaks:
+            np.testing.assert_array_equal(
+                delineate_multilead(filtered, peak, fs).as_array(),
+                results[peak].as_array(),
+            )
+
+    def test_empty_batch(self, setup):
+        fs, filtered, _, _, _, _ = setup
+        delineator = StreamingDelineator(fs)
+        delineator.push(filtered[:1000])
+        assert delineator.add_beats([]) == []
+
+    def test_validation_is_all_or_nothing(self, setup):
+        fs, filtered, _, _, _, _ = setup
+        delineator = StreamingDelineator(fs, lookback_s=60.0)
+        delineator.push(filtered[:3000])
+        with pytest.raises(ValueError):
+            delineator.add_beats([(500, None), (5000, None)])  # 2nd not pushed
+        # The valid first item must NOT have been scheduled.
+        assert delineator.flush() == []
+
+    def test_single_lead_batch(self, setup):
+        fs, filtered, peaks, previous, _, _ = setup
+        one = filtered[:, :1]
+        delineator = StreamingDelineator(fs, lookback_s=60.0)
+        delineator.push(one)
+        batch = [(int(p), prev) for p, prev in zip(peaks[:10], previous[:10])]
+        done = dict(delineator.add_beats(batch))
+        for peak, prev in zip(peaks[:10], previous[:10]):
+            if int(peak) in done:
+                np.testing.assert_array_equal(
+                    delineate_multilead(
+                        one, int(peak), fs, previous_peak=prev
+                    ).as_array(),
+                    done[int(peak)].as_array(),
+                )

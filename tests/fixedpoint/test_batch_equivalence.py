@@ -1,0 +1,137 @@
+"""Batched fixed-point inference must match the per-beat serial path.
+
+The batch implementations (``block_fuzzify``, ``IntegerNFC.fuzzy_values``,
+``EmbeddedClassifier.predict``) are the hot path; the ``*_serial``
+companions run the same code one beat at a time and exist as the
+bit-exactness reference.  Labels AND charged op counts must agree for
+every Q-format / MF shape and for the edge shapes n=0, n=1 and L=1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.integer_nfc import (
+    IntegerNFC,
+    block_fuzzify,
+    block_fuzzify_serial,
+)
+from repro.fixedpoint.linearize import GRADE_MAX, linearize_mf
+from repro.platform.opcount import OpCounter
+
+
+def _nfc(k=4, L=3, shape="linear", seed=5):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 500, size=(k, L))
+    sigmas = 50 + 200 * rng.random((k, L))
+    c, s, si, so = linearize_mf(centers, sigmas, 1.0)
+    return IntegerNFC(c, s, si, so, shape=shape)
+
+
+def _counts(counter):
+    return dict(counter.counts)
+
+
+class TestBlockFuzzifySerial:
+    @pytest.mark.parametrize("n,k,L", [(1, 4, 3), (7, 8, 3), (50, 16, 2)])
+    def test_matches_batch(self, n, k, L):
+        rng = np.random.default_rng(n * 31 + k)
+        grades = rng.integers(0, GRADE_MAX + 1, size=(n, k, L))
+        batch_counter, serial_counter = OpCounter(), OpCounter()
+        batch = block_fuzzify(grades, batch_counter)
+        serial = block_fuzzify_serial(grades, serial_counter)
+        np.testing.assert_array_equal(batch, serial)
+        assert _counts(batch_counter) == _counts(serial_counter)
+
+    def test_empty_batch(self):
+        grades = np.empty((0, 8, 3), dtype=np.int64)
+        batch_counter, serial_counter = OpCounter(), OpCounter()
+        batch = block_fuzzify(grades, batch_counter)
+        serial = block_fuzzify_serial(grades, serial_counter)
+        assert batch.shape == serial.shape == (0, 3)
+        assert _counts(batch_counter) == _counts(serial_counter)
+
+    def test_single_class(self):
+        rng = np.random.default_rng(3)
+        grades = rng.integers(0, GRADE_MAX + 1, size=(5, 6, 1))
+        np.testing.assert_array_equal(
+            block_fuzzify(grades), block_fuzzify_serial(grades)
+        )
+
+    def test_serial_validation(self):
+        with pytest.raises(ValueError):
+            block_fuzzify_serial(np.zeros((2, 3), dtype=np.int64))
+
+
+class TestFuzzyValuesSerial:
+    @pytest.mark.parametrize("shape", ["linear", "triangular"])
+    @pytest.mark.parametrize("n", [1, 2, 25])
+    def test_matches_batch(self, shape, n):
+        nfc = _nfc(shape=shape)
+        U = np.random.default_rng(n).integers(-2000, 2000, size=(n, 4))
+        batch_counter, serial_counter = OpCounter(), OpCounter()
+        batch = nfc.fuzzy_values(U, batch_counter)
+        serial = nfc.fuzzy_values_serial(U, serial_counter)
+        np.testing.assert_array_equal(batch, serial)
+        assert _counts(batch_counter) == _counts(serial_counter)
+
+    def test_empty_batch(self):
+        nfc = _nfc()
+        U = np.empty((0, 4), dtype=np.int64)
+        batch_counter, serial_counter = OpCounter(), OpCounter()
+        batch = nfc.fuzzy_values(U, batch_counter)
+        serial = nfc.fuzzy_values_serial(U, serial_counter)
+        assert batch.shape == serial.shape == (0, 3)
+        assert _counts(batch_counter) == _counts(serial_counter)
+
+    def test_single_class(self):
+        nfc = _nfc(L=1)
+        U = np.random.default_rng(9).integers(-1000, 1000, size=(6, 4))
+        np.testing.assert_array_equal(
+            nfc.fuzzy_values(U), nfc.fuzzy_values_serial(U)
+        )
+
+    def test_serial_validation(self):
+        nfc = _nfc()
+        with pytest.raises(ValueError):
+            nfc.fuzzy_values_serial(np.zeros((2, 2, 4), dtype=np.int64))
+
+
+class TestPredictSerial:
+    def test_matches_batch(self, embedded_classifier, embedded_datasets):
+        _, _, test = embedded_datasets
+        X = test.X[:64]
+        batch_counter, serial_counter = OpCounter(), OpCounter()
+        batch = embedded_classifier.predict(X, batch_counter)
+        serial = embedded_classifier.predict_serial(X, serial_counter)
+        np.testing.assert_array_equal(batch, serial)
+        assert _counts(batch_counter) == _counts(serial_counter)
+
+    def test_single_beat(self, embedded_classifier, embedded_datasets):
+        _, _, test = embedded_datasets
+        np.testing.assert_array_equal(
+            embedded_classifier.predict(test.X[:1]),
+            embedded_classifier.predict_serial(test.X[:1]),
+        )
+
+    def test_empty_batch(self, embedded_classifier, embedded_datasets):
+        _, _, test = embedded_datasets
+        X = np.empty((0, test.X.shape[1]))
+        labels = embedded_classifier.predict_serial(X)
+        assert labels.shape == (0,)
+        np.testing.assert_array_equal(labels, embedded_classifier.predict(X))
+
+    def test_across_fixed_point_formats(
+        self, embedded_classifier, embedded_datasets
+    ):
+        """Bit-exact whatever the alpha Q0.16 value or ADC grid."""
+        from dataclasses import replace
+
+        _, _, test = embedded_datasets
+        X = test.X[:32]
+        for alpha_q16, gain_factor in ((0, 1.0), (1 << 15, 0.5), (1 << 16, 2.0)):
+            clf = replace(
+                embedded_classifier,
+                alpha_q16=alpha_q16,
+                adc_gain=embedded_classifier.adc_gain * gain_factor,
+            )
+            np.testing.assert_array_equal(clf.predict(X), clf.predict_serial(X))

@@ -167,3 +167,59 @@ def test_intermediates_fit_hardware_registers(sigma, scale):
     mf = LinearizedMF.from_float(0.0, sigma, scale)
     r_max = 4 * mf.s
     assert r_max * mf.slope_inner_q16 < 2**48
+
+
+def _linearized_reference(x, center, s, slope_inner_q16, slope_outer_q16):
+    """Per-element python transcription of the 4-segment MF spec."""
+    from repro.fixedpoint.linearize import SLOPE_FRAC_BITS
+
+    r = min(abs(int(x) - int(center)), 4 * int(s))
+    if r < s:
+        grade = GRADE_MAX - ((r * int(slope_inner_q16)) >> SLOPE_FRAC_BITS)
+    elif r < 2 * s:
+        grade = GRADE_AT_S - (((r - int(s)) * int(slope_outer_q16)) >> SLOPE_FRAC_BITS)
+    elif r < 4 * s:
+        grade = 1
+    else:
+        grade = 0
+    return max(0, min(grade, GRADE_MAX))
+
+
+def test_evaluate_linearized_matches_scalar_reference():
+    """The where-arithmetic batch kernel == the branchy per-element spec."""
+    rng = np.random.default_rng(12)
+    centers = rng.integers(-500, 500, size=8)
+    sigmas = rng.integers(20, 300, size=8)
+    mfs = [LinearizedMF.from_float(float(c), float(s), 1.0) for c, s in zip(centers, sigmas)]
+    xs = rng.integers(-3000, 3000, size=200)
+    for mf in mfs:
+        batch = evaluate_linearized(
+            xs, mf.center, mf.s, mf.slope_inner_q16, mf.slope_outer_q16
+        )
+        expected = [
+            _linearized_reference(
+                x, mf.center, mf.s, mf.slope_inner_q16, mf.slope_outer_q16
+            )
+            for x in xs
+        ]
+        np.testing.assert_array_equal(batch, expected)
+
+
+def test_evaluate_linearized_segment_boundaries():
+    """Exact values at r = 0, S, 2S, 4S-1, 4S and far outliers."""
+    mf = LinearizedMF.from_float(0.0, 25.0, 1.0)
+    s = int(mf.s)
+    points = np.array([0, s - 1, s, 2 * s - 1, 2 * s, 4 * s - 1, 4 * s, 10 * s])
+    batch = evaluate_linearized(
+        points, mf.center, mf.s, mf.slope_inner_q16, mf.slope_outer_q16
+    )
+    expected = [
+        _linearized_reference(
+            x, mf.center, mf.s, mf.slope_inner_q16, mf.slope_outer_q16
+        )
+        for x in points
+    ]
+    np.testing.assert_array_equal(batch, expected)
+    assert batch[0] == GRADE_MAX
+    assert batch[-2] == 1 or batch[-2] == 0  # r = 4S clamps to the floor segment
+    assert batch[-1] == 0

@@ -117,3 +117,41 @@ def test_roundtrip_property(matrix):
     packed = PackedTernaryMatrix.pack(matrix)
     np.testing.assert_array_equal(packed.unpack(), matrix)
     assert packed.n_bytes == matrix.shape[0] * ((matrix.shape[1] + 3) // 4)
+
+
+class TestDecodeCache:
+    """The decode-once cache must be invisible except for speed."""
+
+    def test_cache_reused_across_projections(self):
+        m = generate_achlioptas(6, 40, rng=7)
+        packed = PackedTernaryMatrix.pack(m)
+        v = np.random.default_rng(0).integers(-100, 100, size=(3, 40))
+        first = packed.project(v)
+        cache = packed.__dict__["_decoded_cache"]
+        second = packed.project(v)
+        assert packed.__dict__["_decoded_cache"] is cache
+        np.testing.assert_array_equal(first, second)
+
+    def test_cache_matches_unpack(self):
+        m = generate_achlioptas(5, 17, rng=8)
+        packed = PackedTernaryMatrix.pack(m)
+        packed.project(np.zeros((1, 17), dtype=np.int64))
+        cache = packed.__dict__["_decoded_cache"]
+        dense = packed.unpack()
+        assert cache["nnz"] == int(np.count_nonzero(dense))
+        np.testing.assert_array_equal(cache["t_i64"], dense.T)
+        np.testing.assert_array_equal(cache["t_f64"], dense.T.astype(np.float64))
+
+    def test_pickle_drops_cache(self):
+        import pickle
+
+        m = generate_achlioptas(4, 20, rng=9)
+        packed = PackedTernaryMatrix.pack(m)
+        v = np.random.default_rng(1).integers(-50, 50, size=(2, 20))
+        before = packed.project(v)  # warm the cache
+        assert "_decoded_cache" in packed.__dict__
+        clone = pickle.loads(pickle.dumps(packed))
+        # Only the 2-bit buffer ships; the clone re-decodes on demand.
+        assert "_decoded_cache" not in clone.__dict__
+        np.testing.assert_array_equal(clone.data, packed.data)
+        np.testing.assert_array_equal(clone.project(v), before)

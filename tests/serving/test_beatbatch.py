@@ -1,0 +1,160 @@
+"""BeatBatch: structure-of-arrays accumulator + O(1) latency bookkeeping.
+
+The batch is the gateway's per-ingest hot path, so these tests pin the
+two properties the rewrite bought: beat rows land in a reused
+preallocated buffer (no per-beat list appends, zero-copy drain) and
+the latency-budget check never rescans the batch or the per-session
+tick map — ``min_deadline`` is maintained incrementally by ``add``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+from repro.serving import StreamGateway
+from repro.serving.gateway import _BATCH_INITIAL_CAPACITY, BeatBatch
+
+
+class TestBeatBatchAccumulation:
+    def test_add_then_drain_preserves_order(self):
+        batch = BeatBatch()
+        rows = np.arange(12, dtype=np.float64).reshape(4, 3)
+        for i, row in enumerate(rows):
+            batch.add(f"s{i % 2}", ("handle", i), row, tick=i)
+        assert len(batch) == 4
+        session_ids, handles, drained = batch.drain()
+        assert session_ids == ["s0", "s1", "s0", "s1"]
+        assert handles == [("handle", i) for i in range(4)]
+        np.testing.assert_array_equal(drained, rows)
+        assert len(batch) == 0
+
+    def test_drain_empty(self):
+        assert BeatBatch().drain() == ([], [], None)
+
+    def test_drain_is_zero_copy(self):
+        batch = BeatBatch()
+        batch.add("s", 0, np.zeros(5), tick=0)
+        _, _, rows = batch.drain()
+        assert np.shares_memory(rows, batch._rows)
+
+    def test_buffer_reused_across_drains(self):
+        batch = BeatBatch()
+        batch.add("s", 0, np.zeros(4), tick=0)
+        batch.drain()
+        buffer = batch._rows
+        batch.add("s", 1, np.ones(4), tick=1)
+        assert batch._rows is buffer
+
+    def test_growth_beyond_initial_capacity(self):
+        batch = BeatBatch()
+        n = 3 * _BATCH_INITIAL_CAPACITY + 7
+        rows = np.random.default_rng(0).normal(size=(n, 6))
+        for i, row in enumerate(rows):
+            batch.add(f"s{i % 5}", i, row, tick=i)
+        session_ids, handles, drained = batch.drain()
+        assert handles == list(range(n))
+        assert session_ids == [f"s{i % 5}" for i in range(n)]
+        np.testing.assert_array_equal(drained, rows)
+        # Doubling, not per-add reallocation.
+        assert batch._rows.shape[0] >= n
+        assert batch._rows.shape[0] & (batch._rows.shape[0] - 1) == 0
+
+
+class TestLatencyBookkeeping:
+    def test_oldest_tick_is_first_add(self):
+        batch = BeatBatch()
+        assert batch.oldest_tick is None
+        batch.add("a", 0, np.zeros(2), tick=7)
+        batch.add("b", 1, np.zeros(2), tick=9)
+        assert batch.oldest_tick == 7
+
+    def test_session_oldest_per_session(self):
+        batch = BeatBatch()
+        batch.add("a", 0, np.zeros(2), tick=3)
+        batch.add("a", 1, np.zeros(2), tick=5)
+        batch.add("b", 2, np.zeros(2), tick=5)
+        assert batch.session_oldest == {"a": 3, "b": 5}
+
+    def test_min_deadline_armed_on_first_queued_beat(self):
+        batch = BeatBatch()
+        assert batch.min_deadline is None
+        batch.add("a", 0, np.zeros(2), tick=10, budget=8)
+        assert batch.min_deadline == 18
+        # A later beat of the same session must not re-arm ...
+        batch.add("a", 1, np.zeros(2), tick=14, budget=8)
+        assert batch.min_deadline == 18
+        # ... but a tighter session's first beat takes the min.
+        batch.add("b", 2, np.zeros(2), tick=12, budget=2)
+        assert batch.min_deadline == 14
+        batch.add("c", 3, np.zeros(2), tick=13, budget=50)
+        assert batch.min_deadline == 14
+
+    def test_budgetless_beats_never_arm(self):
+        batch = BeatBatch()
+        batch.add("a", 0, np.zeros(2), tick=4)
+        assert batch.min_deadline is None
+
+    def test_drain_resets_bookkeeping(self):
+        batch = BeatBatch()
+        batch.add("a", 0, np.zeros(2), tick=1, budget=3)
+        batch.drain()
+        assert batch.oldest_tick is None
+        assert batch.session_oldest == {}
+        assert batch.min_deadline is None
+        batch.add("b", 1, np.zeros(2), tick=20, budget=5)
+        assert batch.oldest_tick == 20
+        assert batch.min_deadline == 25
+
+
+class _CountingBatch(BeatBatch):
+    """Counts reads of the O(sessions)/O(batch) bookkeeping views."""
+
+    def __init__(self):
+        super().__init__()
+        self.session_oldest_reads = 0
+        self.oldest_tick_reads = 0
+
+    @property
+    def session_oldest(self):
+        self.session_oldest_reads += 1
+        return BeatBatch.session_oldest.fget(self)
+
+    @property
+    def oldest_tick(self):
+        self.oldest_tick_reads += 1
+        return BeatBatch.oldest_tick.fget(self)
+
+
+class TestNoRescanRegression:
+    def test_budget_flushes_without_scanning_sessions(self, embedded_classifier):
+        """Latency flushes must fire off ``min_deadline`` alone.
+
+        Regression guard for the O(sessions) walk the per-ingest
+        budget check used to do over ``session_oldest``: a gateway
+        serving a budgeted session still flushes on time while never
+        reading the per-session tick map (or the oldest-tick scan).
+        """
+        record = RecordSynthesizer(
+            SynthesisConfig(n_leads=1), seed=81
+        ).synthesize(12.0, class_mix={"N": 0.7, "V": 0.3}, name="budgeted")
+        gateway = StreamGateway(
+            embedded_classifier,
+            record.fs,
+            n_leads=1,
+            max_batch=10_000,  # only latency budgets may trigger flushes
+            max_latency_ticks=3,
+        )
+        batch = _CountingBatch()
+        gateway._batch = batch
+        gateway.open_session("budgeted", max_latency_ticks=2)
+        chunk = int(0.25 * record.fs)
+        events = []
+        for lo in range(0, record.n_samples, chunk):
+            events.extend(gateway.ingest("budgeted", record.signal[lo : lo + chunk]))
+        assert gateway.n_flushes > 0, "budget flushes never fired"
+        assert events, "no beats resolved mid-stream"
+        assert batch.session_oldest_reads == 0
+        assert batch.oldest_tick_reads == 0
+        events.extend(gateway.close_session("budgeted"))
+        labels = {e.label for e in events}
+        assert labels  # classified via the injected batch end to end

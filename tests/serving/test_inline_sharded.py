@@ -1,0 +1,208 @@
+"""Inline worker mode: sharded semantics, one shared batch, no pipes.
+
+``worker_mode="inline"`` runs every worker's ``_WorkerState`` in the
+calling process, and co-locates their gateways on one
+:class:`~repro.serving.gateway.GatewayGroup` — a single cross-worker
+:class:`BeatBatch`, so one flush means ONE classifier pass for the
+whole pool.  The mode must keep the sharded tier's entire contract
+(bit-exactness, migration, stats, elastic retire) while collapsing the
+per-worker batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+from repro.serving import ShardedGateway
+
+N_LEADS = 3
+
+
+@pytest.fixture(scope="module")
+def records():
+    return [
+        RecordSynthesizer(SynthesisConfig(n_leads=N_LEADS), seed=s).synthesize(
+            12.0, class_mix={"N": 0.6, "V": 0.3, "L": 0.1}, name=f"inline-{s}"
+        )
+        for s in (71, 72, 73)
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference_events(records, embedded_classifier, standalone_events):
+    return [
+        standalone_events(embedded_classifier, record, record.fs, N_LEADS)
+        for record in records
+    ]
+
+
+class _CountingClassifier:
+    """Delegating wrapper that records every ``predict`` call."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.calls = []  # rows per call
+
+    def predict(self, X, counter=None):
+        X = np.atleast_2d(np.asarray(X))
+        self.calls.append(X.shape[0])
+        return self._inner.predict(X, counter)
+
+
+def _drive(gateway, records, block_s=0.4):
+    fs = records[0].fs
+    block = int(block_s * fs)
+    for i in range(len(records)):
+        gateway.open_session(f"s{i}", worker=i % gateway.workers)
+    events = {f"s{i}": [] for i in range(len(records))}
+    offsets = [0] * len(records)
+    while any(o < r.n_samples for o, r in zip(offsets, records)):
+        for i, record in enumerate(records):
+            if offsets[i] < record.n_samples:
+                chunk = record.signal[offsets[i] : offsets[i] + block]
+                events[f"s{i}"].extend(gateway.ingest(f"s{i}", chunk))
+                offsets[i] += block
+    for i in range(len(records)):
+        events[f"s{i}"].extend(gateway.close_session(f"s{i}"))
+    return events
+
+
+class TestInlineBitExactness:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_matches_standalone(
+        self, workers, records, embedded_classifier, reference_events,
+        assert_events_equal,
+    ):
+        with ShardedGateway(
+            embedded_classifier, records[0].fs, workers=workers,
+            worker_mode="inline", n_leads=N_LEADS, max_batch=16,
+        ) as gateway:
+            assert gateway.worker_mode == "inline"
+            events = _drive(gateway, records)
+        for i, expected in enumerate(reference_events):
+            assert_events_equal(expected, events[f"s{i}"])
+
+    def test_inline_matches_process_mode(
+        self, records, embedded_classifier, assert_events_equal
+    ):
+        """Same fleet, same knobs: the two modes emit identical events."""
+        outcomes = []
+        for mode in ("process", "inline"):
+            with ShardedGateway(
+                embedded_classifier, records[0].fs, workers=2,
+                worker_mode=mode, n_leads=N_LEADS, max_batch=8,
+            ) as gateway:
+                outcomes.append(_drive(gateway, records[:2]))
+        for key in outcomes[0]:
+            assert_events_equal(outcomes[0][key], outcomes[1][key])
+
+
+class TestSharedBatch:
+    def test_one_predict_per_fleet_flush(self, records, embedded_classifier):
+        """A flush classifies EVERY inline worker's beats in one pass.
+
+        With per-worker batches (process mode) ``flush()`` costs one
+        ``predict`` per worker holding beats; the inline group's shared
+        batch collapses that to exactly one call fleet-wide.
+        """
+        counting = _CountingClassifier(embedded_classifier)
+        fs = records[0].fs
+        with ShardedGateway(
+            counting, fs, workers=2, worker_mode="inline",
+            n_leads=N_LEADS, max_batch=10_000, max_latency_ticks=10_000,
+        ) as gateway:
+            gateway.open_session("a", worker=0)
+            gateway.open_session("b", worker=1)
+            # Whole streams: beats queue on BOTH workers, nowhere near
+            # the flush thresholds.
+            gateway.ingest("a", records[0].signal)
+            gateway.ingest("b", records[1].signal)
+            assert len(gateway._group.batch) > 0
+            calls_before = len(counting.calls)
+            flushed = gateway.flush()
+            assert flushed > 0
+            assert len(counting.calls) == calls_before + 1
+            assert counting.calls[-1] == flushed
+            gateway.close_session("a")
+            gateway.close_session("b")
+
+    def test_ingest_flush_covers_other_workers_beats(
+        self, records, embedded_classifier
+    ):
+        """One worker's max_batch trip drains the other worker's queue
+        too — visible via poll without further ingests."""
+        fs = records[0].fs
+        with ShardedGateway(
+            embedded_classifier, fs, workers=2, worker_mode="inline",
+            n_leads=N_LEADS, max_batch=12, max_latency_ticks=10_000,
+        ) as gateway:
+            gateway.open_session("a", worker=0)
+            gateway.open_session("b", worker=1)
+            # b's whole stream queues below max_batch; a's stream then
+            # pushes the SHARED batch over it, so a's ingest flushes
+            # b's beats on the other worker.
+            assert gateway.ingest("b", records[1].signal) == []
+            queued = len(gateway._group.batch)
+            assert 0 < queued < 12
+            gateway.ingest("a", records[0].signal)
+            assert len(gateway.poll("b")) == queued
+            gateway.close_session("a")
+            gateway.close_session("b")
+
+
+class TestInlineLifecycle:
+    def test_migration_and_stats(
+        self, records, embedded_classifier, reference_events, assert_events_equal
+    ):
+        record = records[0]
+        fs = record.fs
+        block = int(0.4 * fs)
+        with ShardedGateway(
+            embedded_classifier, fs, workers=2, worker_mode="inline",
+            n_leads=N_LEADS, max_batch=8,
+        ) as gateway:
+            gateway.open_session("p")
+            origin = gateway.worker_of("p")
+            events, i = [], 0
+            while i < record.n_samples // 2:
+                events += gateway.ingest("p", record.signal[i : i + block])
+                i += block
+            gateway.migrate_session("p", 1 - origin)
+            assert gateway.worker_of("p") == 1 - origin
+            while i < record.n_samples:
+                events += gateway.ingest("p", record.signal[i : i + block])
+                i += block
+            events += gateway.close_session("p")
+            stats = gateway.stats()
+        assert_events_equal(reference_events[0], events)
+        assert stats["workers"] == 2
+        assert stats["n_classified"] == len(events)
+
+    def test_retire_worker_unregisters_from_group(
+        self, records, embedded_classifier
+    ):
+        fs = records[0].fs
+        with ShardedGateway(
+            embedded_classifier, fs, workers=3, worker_mode="inline",
+            n_leads=N_LEADS,
+        ) as gateway:
+            group = gateway._group
+            assert len(group.gateways) == 3
+            gateway.open_session("p", worker=2)
+            gateway.ingest("p", records[0].signal[: int(2.0 * fs)])
+            moved = gateway.retire_worker(2)
+            assert moved == 1
+            assert gateway.workers == 2
+            # The retired worker's gateway must leave the group, or the
+            # shared flush would route beats to a dead member.
+            assert len(group.gateways) == 2
+            gateway.ingest("p", records[0].signal[int(2.0 * fs) : int(4.0 * fs)])
+            events = gateway.close_session("p")
+            assert events
+        assert len(group.gateways) == 0
+
+    def test_unknown_worker_mode_names_allowed_values(self, embedded_classifier):
+        with pytest.raises(ValueError, match="process.*inline"):
+            ShardedGateway(
+                embedded_classifier, 360.0, workers=2, worker_mode="thread"
+            )

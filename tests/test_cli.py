@@ -28,6 +28,7 @@ class TestParser:
             "codegen",
             "simulate",
             "serve",
+            "loadgen",
             "report",
         } <= commands
 
@@ -156,9 +157,63 @@ class TestCommands:
             == 0
         )
         out = capsys.readouterr().out
-        assert "2 worker processes" in out
+        assert "2 process workers" in out
         assert "events/s" in out and "batched" in out
         assert "session-0" in out and "session-2" in out
+
+    def test_serve_profile(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scale",
+                    "0.02",
+                    "--ga-pop",
+                    "4",
+                    "--ga-gen",
+                    "2",
+                    "--sessions",
+                    "2",
+                    "--duration",
+                    "10",
+                    "--profile",
+                    "--profile-top",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "--profile: top 5 functions" in out
+        assert "cumulative" in out and "serve_round_robin" in out
+        # Training happens outside the profiled window.
+        assert "build_embedded_classifier" not in out
+
+    def test_loadgen(self, capsys):
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--scale",
+                    "0.02",
+                    "--ga-pop",
+                    "4",
+                    "--ga-gen",
+                    "2",
+                    "--sessions",
+                    "2",
+                    "--duration",
+                    "10",
+                    "--steps",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Ramping offered load" in out
+        assert "sustained" in out
+        assert "max sustained:" in out and "p99" in out
 
     def test_serve_autoscale(self, capsys):
         assert (
