@@ -27,7 +27,16 @@ Commands
     :class:`~repro.serving.autoscale.Autoscaler` grows/shrinks it
     between ``--min-workers`` and ``--max-workers`` and an
     :class:`~repro.serving.autoscale.AutoBalancer` migrates sessions
-    off hot workers, both ticked between ingest rounds.
+    off hot workers, both ticked between ingest rounds.  With
+    ``--listen HOST:PORT`` the gateway is instead exposed on a TCP
+    socket speaking the zero-copy framed protocol
+    (:mod:`repro.serving.net`).
+``connect``
+    Client side of ``serve --listen``: stream a synthesized fleet
+    into a remote gateway over TCP via the pipelined
+    :class:`~repro.serving.net.client.GatewayClient` and report the
+    client-observed throughput and latency.  ``loadgen --connect``
+    runs the closed-loop ramp against a remote gateway the same way.
 
 Common options: ``--scale`` (fraction of the Table-I set sizes;
 ``--full`` is shorthand for the paper's exact configuration, including
@@ -51,6 +60,16 @@ def _genetic(args) -> GeneticConfig:
 
 def _scale(args) -> float:
     return 1.0 if args.full else args.scale
+
+
+def _parse_hostport(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"error: expected HOST:PORT, got {value!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"error: bad port in {value!r}") from None
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -198,6 +217,8 @@ def cmd_serve(args) -> int:
     )
 
     # Fail on bad serving knobs before the (slow) training, not after.
+    if args.listen and args.autoscale:
+        raise SystemExit("error: --listen does not support --autoscale yet")
     if args.autoscale:
         if not 1 <= args.min_workers <= args.max_workers:
             raise SystemExit("error: need 1 <= --min-workers <= --max-workers")
@@ -211,6 +232,9 @@ def cmd_serve(args) -> int:
     config = Table3Config(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
     print("Training + quantizing the shared classifier ...")
     classifier, _ = build_embedded_classifier(config)
+
+    if args.listen:
+        return _serve_listen(args, classifier)
 
     print(f"Synthesizing {args.sessions} live session streams ...")
     rng = np.random.default_rng(args.seed)
@@ -338,6 +362,96 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _serve_listen(args, classifier) -> int:
+    """Expose the gateway on a TCP socket (``repro serve --listen``)."""
+    import asyncio
+    from contextlib import nullcontext
+
+    from repro.serving import ShardedGateway, StreamGateway
+    from repro.serving.net import GatewayServer
+
+    host, port = _parse_hostport(args.listen)
+    fs = 360.0
+    # One-lead sessions: the wire fleet (`repro connect` / `repro
+    # loadgen --connect`) streams the synthesize_fleet shape.
+    gateway_kwargs = dict(
+        n_leads=1,
+        max_batch=args.max_batch,
+        max_latency_ticks=args.max_latency_ticks,
+    )
+    if args.workers > 1:
+        context = ShardedGateway(
+            classifier, fs, workers=args.workers,
+            placement=args.placement or "hash",
+            worker_mode=args.worker_mode, **gateway_kwargs,
+        )
+        tier = f"{args.workers} {args.worker_mode} workers"
+    else:
+        context = nullcontext(StreamGateway(classifier, fs, **gateway_kwargs))
+        tier = "single process"
+
+    async def _run(gateway) -> None:
+        server = GatewayServer(gateway, host=host, port=port)
+        await server.start()
+        print(
+            f"serving on {server.host}:{server.port} ({tier}, fs={fs:.0f} Hz, "
+            "1-lead sessions; Ctrl-C to stop)",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    with context as gateway:
+        try:
+            asyncio.run(_run(gateway))
+        except KeyboardInterrupt:
+            print("stopped")
+    return 0
+
+
+def cmd_connect(args) -> int:
+    """Stream a synthesized fleet into a remote ``repro serve --listen``."""
+    from repro.serving import replay_fleet, synthesize_fleet
+    from repro.serving.net import GatewayClient
+
+    host, port = _parse_hostport(args.connect)
+    fs = 360.0
+    print(
+        f"Synthesizing a {args.sessions}-session fleet "
+        f"({args.duration:.0f} s each, mixed morphology/noise/rate) ..."
+    )
+    streams, nominal_eps = synthesize_fleet(
+        args.sessions, args.duration, fs=fs, seed=args.seed
+    )
+    chunk = max(1, int(round(args.chunk_ms * 1e-3 * fs)))
+    print(f"Connecting to {host}:{port} (window {args.window}) ...")
+    client = GatewayClient(host, port, window=args.window).connect()
+    try:
+        report = replay_fleet(
+            client,
+            streams,
+            fs=fs,
+            chunk=chunk,
+            target_eps=args.target_eps,
+            nominal_eps=nominal_eps if args.target_eps is not None else None,
+        )
+    finally:
+        client.close()
+    pacing = (
+        "unpaced" if args.target_eps is None
+        else f"paced at {args.target_eps:.0f} events/s"
+    )
+    print(
+        f"streamed {report.n_events} events over the socket ({pacing}): "
+        f"{report.achieved_eps:.0f} events/s achieved, "
+        f"p50 {report.p50_ms:.1f} ms / p99 {report.p99_ms:.1f} ms, "
+        f"{'sustained' if report.sustained else 'UNSUSTAINED'}"
+    )
+    return 0
+
+
 def cmd_loadgen(args) -> int:
     """Find the max sustained fleet throughput via a closed-loop ramp."""
     from repro.experiments.table3 import Table3Config, build_embedded_classifier
@@ -350,10 +464,22 @@ def cmd_loadgen(args) -> int:
 
     if args.workers < 1:
         raise SystemExit("error: --workers must be >= 1")
+    if args.connect and args.workers > 1:
+        raise SystemExit(
+            "error: --connect drives a remote server; sharding is the "
+            "server's choice (repro serve --listen --workers N)"
+        )
 
-    config = Table3Config(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
-    print("Training + quantizing the shared classifier ...")
-    classifier, _ = build_embedded_classifier(config)
+    if args.connect:
+        # The remote server owns the classifier; nothing to train here.
+        connect_host, connect_port = _parse_hostport(args.connect)
+        classifier = None
+    else:
+        config = Table3Config(
+            scale=_scale(args), seed=args.seed, genetic=_genetic(args)
+        )
+        print("Training + quantizing the shared classifier ...")
+        classifier, _ = build_embedded_classifier(config)
 
     fs = 360.0
     print(
@@ -370,7 +496,13 @@ def cmd_loadgen(args) -> int:
         max_latency_ticks=args.max_latency_ticks,
     )
 
-    def make_gateway():
+    def make_target():
+        if args.connect:
+            from repro.serving.net import GatewayClient
+
+            return GatewayClient(
+                connect_host, connect_port, window=args.window
+            ).connect()
         if args.workers > 1:
             return ShardedGateway(
                 classifier, fs, workers=args.workers,
@@ -378,18 +510,19 @@ def cmd_loadgen(args) -> int:
             )
         return StreamGateway(classifier, fs, **gateway_kwargs)
 
-    tier = (
-        f"{args.workers} {args.worker_mode} workers"
-        if args.workers > 1
-        else "single process"
-    )
+    if args.connect:
+        tier = f"remote {args.connect} (window {args.window})"
+    elif args.workers > 1:
+        tier = f"{args.workers} {args.worker_mode} workers"
+    else:
+        tier = "single process"
     print(
         f"Ramping offered load ({tier}, nominal fleet rate "
         f"{nominal_eps:.1f} events/s, growth x{args.growth:.2f}, "
         f"up to {args.steps} steps) ..."
     )
     best, reports = find_max_sustained(
-        make_gateway,
+        make_target,
         streams,
         fs=fs,
         chunk=chunk,
@@ -571,6 +704,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--worker-mode", default="process", choices=WORKER_MODES,
                        help="sharded worker execution: separate processes, or "
                             "inline in-process workers sharing one batch")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="expose the gateway on a TCP socket (zero-copy "
+                            "framed protocol) instead of replaying a local "
+                            "fleet; clients attach with 'repro connect' or "
+                            "'repro loadgen --connect'")
     serve.add_argument("--profile", action="store_true",
                        help="cProfile the serve loop (training excluded) and "
                             "print the hottest functions on exit")
@@ -605,7 +743,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="offered-rate multiplier between ramp steps")
     loadgen.add_argument("--steps", type=int, default=6,
                          help="max ramp steps")
+    loadgen.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         help="drive a remote 'repro serve --listen' gateway "
+                              "over TCP instead of an in-process one (skips "
+                              "local training)")
+    loadgen.add_argument("--window", type=int, default=8,
+                         help="client pipelining depth for --connect")
     loadgen.set_defaults(fn=cmd_loadgen)
+
+    connect = subparsers.add_parser(
+        "connect",
+        help="stream a synthesized fleet into a remote 'repro serve --listen' "
+             "gateway and report client-observed throughput/latency",
+    )
+    connect.add_argument("connect", metavar="HOST:PORT",
+                         help="address of the remote gateway")
+    connect.add_argument("--sessions", type=int, default=6,
+                         help="fleet size (morphology/noise/rate mixed)")
+    connect.add_argument("--duration", type=float, default=30.0,
+                         help="per-session stream length in seconds")
+    connect.add_argument("--chunk-ms", type=float, default=250.0,
+                         help="ingest chunk size in milliseconds")
+    connect.add_argument("--window", type=int, default=8,
+                         help="chunks in flight per session (pipelining)")
+    connect.add_argument("--target-eps", type=float, default=None,
+                         help="pace the replay at this offered events/s "
+                              "(default: unpaced, as fast as accepted)")
+    connect.add_argument("--seed", type=int, default=7)
+    connect.set_defaults(fn=cmd_connect)
 
     report = subparsers.add_parser(
         "report", help="write report.md + CSV sweeps for every artifact"

@@ -499,6 +499,16 @@ class StreamingNode:
         :meth:`deliver`.  Event content and order are identical in
         both modes; only the ``predict`` batching differs (exact for
         the integer classifier).
+    coalesce:
+        Input-coalescing threshold in samples (default 1 = process
+        every push immediately).  With ``coalesce > 1``, pushes
+        smaller than the threshold are stashed and the front end runs
+        once the stash reaches it — amortizing the per-call kernel
+        overhead when callers stream tiny (per-ADC-block or per-frame)
+        chunks.  The streaming stages are partition-invariant, so the
+        event sequence is bit-identical to uncoalesced pushes; only
+        *when* events are returned shifts (by at most ``coalesce``
+        samples, and never past :meth:`flush`).
     """
 
     def __init__(
@@ -513,6 +523,7 @@ class StreamingNode:
         delineation_config: DelineationConfig | None = None,
         overhead_bytes: int = 2,
         defer_classification: bool = False,
+        coalesce: int = 1,
     ):
         from repro.ecg.segmentation import BeatWindow
         from repro.platform.radio import FULL_FIDUCIAL_PAYLOAD, PEAK_ONLY_PAYLOAD
@@ -527,6 +538,8 @@ class StreamingNode:
             raise ValueError("decimation must be >= 1")
         if overhead_bytes < 0:
             raise ValueError("overhead must be non-negative")
+        if coalesce < 1:
+            raise ValueError("coalesce must be >= 1 sample")
         self.classifier = classifier
         self.fs = fs
         self.n_leads = n_leads
@@ -555,6 +568,9 @@ class StreamingNode:
         self._peak_bytes = PEAK_ONLY_PAYLOAD + overhead_bytes
         self.defer_classification = bool(defer_classification)
         self._outbox: list[tuple[_PendingBeat, np.ndarray]] = []
+        self._coalesce = int(coalesce)
+        self._stash: list[np.ndarray] = []
+        self._stashed = 0
 
     @property
     def n_pending(self) -> int:
@@ -614,6 +630,23 @@ class StreamingNode:
             block = block[:, np.newaxis]
         if block.ndim != 2 or block.shape[1] != self.n_leads:
             raise ValueError(f"blocks must be (n,) or (n, {self.n_leads})")
+        if self._coalesce > 1:
+            # Stash sub-threshold pushes; run the kernels once enough
+            # samples accumulate.  The stages are partition-invariant,
+            # so this only shifts *when* events surface, never which.
+            self._stash.append(block)
+            self._stashed += block.shape[0]
+            if self._stashed < self._coalesce:
+                return []
+            block = (
+                self._stash[0] if len(self._stash) == 1
+                else np.concatenate(self._stash, axis=0)
+            )
+            self._stash.clear()
+            self._stashed = 0
+        return self._process(block)
+
+    def _process(self, block: np.ndarray) -> list[StreamBeatEvent]:
         events: list[StreamBeatEvent] = []
         for i in range(0, block.shape[0], self._chop):
             chunk = block[i : i + self._chop]
@@ -642,10 +675,23 @@ class StreamingNode:
                 "deliver the remaining labels, then finalize() "
                 "(StreamGateway.close_session drives this)"
             )
+        events = self._drain_stash()
         tail = np.column_stack([f.flush() for f in self._filters])
-        events = self._advance(tail, final=True)
+        events += self._advance(tail, final=True)
         self._reset_stream()
         return events
+
+    def _drain_stash(self) -> list[StreamBeatEvent]:
+        """Process any coalesced samples still waiting in the stash."""
+        if not self._stash:
+            return []
+        block = (
+            self._stash[0] if len(self._stash) == 1
+            else np.concatenate(self._stash, axis=0)
+        )
+        self._stash.clear()
+        self._stashed = 0
+        return self._process(block)
 
     def finish_input(self) -> list[StreamBeatEvent]:
         """Deferred mode, step 1 of the stream end: flush the front end.
@@ -660,8 +706,9 @@ class StreamingNode:
         """
         if not self.defer_classification:
             raise RuntimeError("finish_input() applies to deferred-classify nodes; use flush()")
+        events = self._drain_stash()
         tail = np.column_stack([f.flush() for f in self._filters])
-        return self._advance(tail, final=True)
+        return events + self._advance(tail, final=True)
 
     def finalize(self) -> list[StreamBeatEvent]:
         """Deferred mode, step 3 of the stream end: emit the tail events.
@@ -741,6 +788,8 @@ class StreamingNode:
         self._origin = self._seg_start = self._count
         self._done.clear()
         self._last_kept = None
+        self._stash.clear()
+        self._stashed = 0
 
     def _advance(self, filtered: np.ndarray, final: bool) -> list[StreamBeatEvent]:
         if filtered.shape[0]:

@@ -31,9 +31,16 @@ once; this package is that workload's engine, in two shapes:
   target load per worker between ``min_workers`` and ``max_workers``.
   Both read the load from :meth:`ShardedGateway.stats` and never
   perturb per-session event sequences.
+* **Off-box** (:mod:`repro.serving.net`): a zero-copy length-prefixed
+  wire protocol, an asyncio :class:`GatewayServer` fronting any of the
+  gateways above, and a pipelined :class:`GatewayClient` with
+  retry/backoff and bit-exact reconnect-resume — the same session
+  surface over TCP, so fleet drivers run unmodified off-host.
 
-Both shapes accept plain lists/arrays, so callers can queue above them
-without this package taking a position on the transport.
+Both in-process shapes accept plain lists/arrays, so callers can queue
+above them without this package taking a position on the transport;
+the :mod:`~repro.serving.net` subpackage is that transport when the
+producer is on another host.
 """
 
 from repro.serving.autoscale import (
@@ -62,6 +69,7 @@ from repro.serving.loadgen import (
     replay_fleet,
     synthesize_fleet,
 )
+from repro.serving.net import GatewayClient, GatewayServer, serve_in_thread
 from repro.serving.results import FleetTrace, StreamResult
 from repro.serving.sharded import SessionInbox, ShardedGateway
 
@@ -73,7 +81,9 @@ __all__ = [
     "Autoscaler",
     "BeatBatch",
     "FleetTrace",
+    "GatewayClient",
     "GatewayGroup",
+    "GatewayServer",
     "LoadgenReport",
     "ServingEngine",
     "SessionExport",
@@ -85,6 +95,7 @@ __all__ = [
     "find_max_sustained",
     "replay_fleet",
     "serve_autoscaled",
+    "serve_in_thread",
     "serve_round_robin",
     "simulate_records",
     "synthesize_fleet",

@@ -313,9 +313,11 @@ class StreamGateway:
         evicted, with its complete remaining event sequence (identical
         to what :meth:`close_session` would have returned).
     n_leads / lead / decimation / window / detector_config /
-    delineation_config / overhead_bytes:
+    delineation_config / overhead_bytes / coalesce:
         Per-session :class:`~repro.dsp.streaming.StreamingNode`
-        configuration, identical for every session.
+        configuration, identical for every session (``coalesce``
+        amortizes the front-end kernels when producers stream tiny
+        per-frame chunks; the event sequences are unchanged).
     group:
         Optional :class:`GatewayGroup`.  Member gateways share one
         cross-gateway batch and tick clock, so one flush classifies
@@ -346,6 +348,7 @@ class StreamGateway:
         detector_config=None,
         delineation_config=None,
         overhead_bytes: int = 2,
+        coalesce: int = 1,
         group: GatewayGroup | None = None,
     ):
         validate_at_least("max_batch", max_batch)
@@ -366,6 +369,7 @@ class StreamGateway:
             detector_config=detector_config,
             delineation_config=delineation_config,
             overhead_bytes=overhead_bytes,
+            coalesce=coalesce,
         )
         self._sessions: dict[str, _Session] = {}
         # Sessions with an eviction threshold, so the per-ingest idle

@@ -10,12 +10,15 @@ module produces those numbers:
   (:mod:`repro.ecg.noise_stress` — clean / ``em`` / ``ma`` / ``bw``)
   and heart-rate skews, so a throughput number reflects mixed traffic
   rather than one friendly waveform.
-* :func:`replay_fleet` — replay a fleet through any gateway
-  (:class:`~repro.serving.gateway.StreamGateway` or
-  :class:`~repro.serving.sharded.ShardedGateway`) at a **controlled
-  offered rate** in events/sec, wall-clock paced, recording per-event
-  latency (chunk ingested -> event returned) and whether the gateway
-  kept up (:attr:`LoadgenReport.sustained`).
+* :func:`replay_fleet` — replay a fleet through any **ingest
+  target** — an in-process gateway
+  (:class:`~repro.serving.gateway.StreamGateway`,
+  :class:`~repro.serving.sharded.ShardedGateway`) or the TCP
+  :class:`~repro.serving.net.client.GatewayClient`, anything exposing
+  ``open_session`` / ``ingest`` / ``close_session`` — at a
+  **controlled offered rate** in events/sec, wall-clock paced,
+  recording per-event latency (chunk ingested -> event returned) and
+  whether the target kept up (:attr:`LoadgenReport.sustained`).
 * :func:`find_max_sustained` — closed-loop ramp: raise the offered
   rate geometrically until the gateway falls behind; the last
   sustained step is the max-sustained-throughput claim, with its
@@ -177,7 +180,7 @@ class LoadgenReport:
 
 
 def replay_fleet(
-    gateway,
+    target,
     streams,
     *,
     fs: float,
@@ -186,7 +189,7 @@ def replay_fleet(
     nominal_eps: float | None = None,
     tolerance: float = 0.1,
 ) -> LoadgenReport:
-    """Replay a fleet through a live gateway at a controlled rate.
+    """Replay a fleet through a live ingest target at a controlled rate.
 
     Chunks are offered round-robin (the canonical
     :func:`~repro.serving.gateway.serve_round_robin` order, so event
@@ -194,14 +197,20 @@ def replay_fleet(
     replay is wall-clock paced: after round ``r`` the scheduled time
     is ``(r + 1) * chunk / fs / speed`` where
     ``speed = target_eps / nominal_eps``, and the replayer sleeps when
-    ahead.  A gateway that falls behind simply finishes late — which
+    ahead.  A target that falls behind simply finishes late — which
     the report flags via :attr:`LoadgenReport.sustained`.
 
     Parameters
     ----------
-    gateway:
-        Open-session surface (``open_session`` / ``ingest`` /
-        ``close_session``); must have no colliding sessions.
+    target:
+        Pluggable ingest target: any open-session surface
+        (``open_session`` / ``ingest`` / ``close_session``) with no
+        colliding sessions.  In-process gateways and the TCP
+        :class:`~repro.serving.net.client.GatewayClient` both
+        qualify, so the same synthesized fleet measures either path.
+        Pipelined targets may return a chunk's events from a later
+        ``ingest`` call; the latency attribution (by the chunk
+        containing each beat's peak) is unaffected.
     streams:
         Mapping of session id to 1-D sample array (see
         :func:`synthesize_fleet`).
@@ -229,7 +238,7 @@ def replay_fleet(
     speed = None if target_eps is None else target_eps / nominal_eps
 
     for session_id in streams:
-        gateway.open_session(session_id)
+        target.open_session(session_id)
     events: dict[str, list] = {sid: [] for sid in streams}
     # Wall-clock ingest time of every (session, round) chunk, for the
     # latency attribution of events whose peak falls in that chunk.
@@ -255,7 +264,7 @@ def replay_fleet(
                 continue
             now = time.perf_counter()
             ingest_times[session_id].append(now)
-            returned = gateway.ingest(session_id, x[i : i + chunk])
+            returned = target.ingest(session_id, x[i : i + chunk])
             _note(session_id, returned, time.perf_counter())
             offsets[session_id] = i + chunk
             live = True
@@ -265,7 +274,7 @@ def replay_fleet(
             if ahead > 0:
                 time.sleep(ahead)
     for session_id in streams:
-        returned = gateway.close_session(session_id)
+        returned = target.close_session(session_id)
         _note(session_id, returned, time.perf_counter())
     wall_s = time.perf_counter() - start
 
@@ -295,7 +304,7 @@ def replay_fleet(
 
 
 def find_max_sustained(
-    make_gateway,
+    make_target,
     streams,
     *,
     fs: float,
@@ -306,13 +315,16 @@ def find_max_sustained(
     max_steps: int = 6,
     tolerance: float = 0.1,
 ) -> tuple[LoadgenReport | None, list[LoadgenReport]]:
-    """Closed-loop ramp to the gateway's max sustained throughput.
+    """Closed-loop ramp to the ingest target's max sustained throughput.
 
     Offers the fleet at ``start_eps`` (default: the fleet's real-time
     rate) and multiplies the rate by ``growth`` after every sustained
-    step — each step on a **fresh** gateway from ``make_gateway()`` so
-    steps are independent — stopping at the first unsustained step or
-    after ``max_steps``.
+    step — each step on a **fresh** target from ``make_target()``
+    (a gateway constructor, or a factory returning a connected
+    :class:`~repro.serving.net.client.GatewayClient`) so steps are
+    independent — stopping at the first unsustained step or after
+    ``max_steps``.  Targets exposing ``shutdown`` are torn down after
+    each step.
 
     Returns
     -------
@@ -329,10 +341,10 @@ def find_max_sustained(
     best: LoadgenReport | None = None
     reports: list[LoadgenReport] = []
     for _ in range(max_steps):
-        gateway = make_gateway()
+        ingest_target = make_target()
         try:
             report = replay_fleet(
-                gateway,
+                ingest_target,
                 streams,
                 fs=fs,
                 chunk=chunk,
@@ -341,7 +353,7 @@ def find_max_sustained(
                 tolerance=tolerance,
             )
         finally:
-            shutdown = getattr(gateway, "shutdown", None)
+            shutdown = getattr(ingest_target, "shutdown", None)
             if shutdown is not None:
                 shutdown()
         reports.append(report)

@@ -1,0 +1,568 @@
+"""Wire protocol of the off-box serving layer: framed binary codec.
+
+The network tier's throughput is decided almost entirely here — by how
+cheaply an ingest chunk or an event batch crosses the wire — so the
+protocol is designed around zero-copy numpy buffers from the first
+byte:
+
+* **Framing**: every message is one *frame* — a 4-byte little-endian
+  unsigned length prefix followed by the payload, whose first byte is
+  the opcode.  Frames above the negotiated ``max_frame`` are rejected
+  (:class:`FrameTooLarge`) before any allocation, so a corrupt or
+  hostile length prefix cannot balloon memory.
+* **Chunks** (:func:`encode_ingest`): raw ``<f8`` (little-endian
+  float64) sample bytes after a 21-byte packed header — no pickle, no
+  per-sample Python objects.  ``numpy.frombuffer`` reconstructs the
+  array without copying.  Shape is ``(n_samples,)`` or
+  ``(n_samples, n_leads)``; dtype and byte order are pinned by the
+  protocol, not the host.
+* **Event batches** (:func:`encode_events`): structure-of-arrays —
+  parallel ``<i8`` peaks, ``<i4`` labels, ``<u1`` flags and ``<i4``
+  payload sizes, plus a sparse fiducial block (``<u4`` indices into
+  the batch and 9 ``<i8`` fiducials per flagged beat) — so a burst of
+  dozens of events is a handful of ``frombuffer`` calls, not dozens
+  of pickled objects.
+
+Reliability fields: every ``INGEST`` carries a per-session sequence
+number and every ``EVENTS`` frame acknowledges the count of chunks the
+server has processed (``acked_seq``) and states the index of its first
+event in the session's event stream (``base_index``).  Together with
+the client's piggybacked ``ack_events`` these bound both replay
+buffers and make the reconnect-resume handshake (``RESUME`` /
+``RESUME_OK``) bit-exact: the client retransmits exactly the chunks
+the server never processed, the server re-sends exactly the events the
+client never received.
+
+The opcode map, header layouts and the resume handshake are documented
+in the README's wire-protocol spec; this module is the single source
+of truth for both sides of the connection.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsp.delineation import BeatFiducials
+from repro.dsp.streaming import StreamBeatEvent
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "FLAG_FINAL",
+    "FLAG_SYNC",
+    "PROTOCOL_MAGIC",
+    "PROTOCOL_VERSION",
+    "Close",
+    "Error",
+    "Events",
+    "FrameDecoder",
+    "FrameTooLarge",
+    "Hello",
+    "HelloOk",
+    "Ingest",
+    "Open",
+    "OpenOk",
+    "Poll",
+    "ProtocolError",
+    "Resume",
+    "ResumeOk",
+    "decode",
+    "encode_close",
+    "encode_error",
+    "encode_events",
+    "encode_hello",
+    "encode_hello_ok",
+    "encode_ingest",
+    "encode_open",
+    "encode_open_ok",
+    "encode_poll",
+    "encode_resume",
+    "encode_resume_ok",
+    "pack_frame",
+    "read_frame",
+]
+
+#: Protocol magic ("RPN1" — Random-Projection Net v1) and version.
+PROTOCOL_MAGIC = 0x52504E31
+PROTOCOL_VERSION = 1
+
+#: Default bound on one frame's payload size (4 MiB).  A 250 ms chunk
+#: of 3-lead 360 Hz float64 signal is ~2 KiB; this leaves three
+#: orders of magnitude of headroom while still rejecting a corrupt
+#: length prefix before allocation.
+DEFAULT_MAX_FRAME = 4 * 1024 * 1024
+
+_LEN = struct.Struct("<I")
+
+# -- opcodes -----------------------------------------------------------------
+
+OP_HELLO = 0x01
+OP_HELLO_OK = 0x02
+OP_OPEN = 0x10
+OP_OPEN_OK = 0x11
+OP_INGEST = 0x12
+OP_POLL = 0x13
+OP_CLOSE = 0x14
+OP_RESUME = 0x15
+OP_RESUME_OK = 0x16
+OP_EVENTS = 0x20
+OP_ERROR = 0x30
+
+#: ``EVENTS`` frame flags: ``SYNC`` marks the (exactly one) reply to a
+#: ``POLL`` — the client's synchronization barrier — and ``FINAL`` the
+#: reply to a ``CLOSE``, carrying the tail of the session's stream.
+FLAG_SYNC = 0x01
+FLAG_FINAL = 0x02
+
+_HELLO = struct.Struct("<IHQ")  # magic, version, max_frame
+_QOS = struct.Struct("<II")  # max_latency_ticks, evict_after_ticks (0 = unset)
+_INGEST = struct.Struct("<QQIB")  # seq, ack_events, n_samples, n_leads (0 = 1-D)
+_U64 = struct.Struct("<Q")
+_EVENTS = struct.Struct("<QQBII")  # acked_seq, base_index, flags, n, n_fid
+_SID_LEN = struct.Struct("<H")
+
+_N_FIDUCIALS = 9
+
+
+class ProtocolError(ValueError):
+    """A frame or payload that violates the wire protocol."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame whose declared length exceeds the negotiated bound."""
+
+
+# -- message types -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    max_frame: int
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class HelloOk:
+    max_frame: int
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class Open:
+    session_id: str
+    max_latency_ticks: int | None = None
+    evict_after_ticks: int | None = None
+
+
+@dataclass(frozen=True)
+class OpenOk:
+    session_id: str
+
+
+@dataclass(frozen=True)
+class Ingest:
+    session_id: str
+    seq: int
+    ack_events: int
+    chunk: np.ndarray = field(repr=False)
+
+
+@dataclass(frozen=True)
+class Poll:
+    session_id: str
+    ack_events: int
+
+
+@dataclass(frozen=True)
+class Close:
+    session_id: str
+    ack_events: int
+
+
+@dataclass(frozen=True)
+class Resume:
+    session_id: str
+    ack_events: int
+
+
+@dataclass(frozen=True)
+class ResumeOk:
+    session_id: str
+    next_seq: int
+
+
+@dataclass(frozen=True)
+class Events:
+    session_id: str
+    acked_seq: int
+    base_index: int
+    flags: int
+    events: list[StreamBeatEvent] = field(repr=False, default_factory=list)
+
+    @property
+    def sync(self) -> bool:
+        return bool(self.flags & FLAG_SYNC)
+
+    @property
+    def final(self) -> bool:
+        return bool(self.flags & FLAG_FINAL)
+
+
+@dataclass(frozen=True)
+class Error:
+    session_id: str
+    sync: bool
+    message: str
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def pack_frame(payload: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Prefix one payload with its little-endian length."""
+    if len(payload) > max_frame:
+        raise FrameTooLarge(
+            f"frame payload of {len(payload)} bytes exceeds max_frame={max_frame}"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream (the sync client side).
+
+    Feed it whatever the socket produced; it yields complete payloads
+    and buffers the remainder.  A declared length above ``max_frame``
+    raises :class:`FrameTooLarge` immediately — before the oversized
+    body is ever buffered.
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME):
+        self.max_frame = int(max_frame)
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb ``data``; return every now-complete frame payload."""
+        self._buffer.extend(data)
+        frames: list[bytes] = []
+        while True:
+            if len(self._buffer) < _LEN.size:
+                return frames
+            (length,) = _LEN.unpack_from(self._buffer)
+            if length > self.max_frame:
+                raise FrameTooLarge(
+                    f"incoming frame of {length} bytes exceeds "
+                    f"max_frame={self.max_frame}"
+                )
+            if len(self._buffer) < _LEN.size + length:
+                return frames
+            frames.append(bytes(self._buffer[_LEN.size : _LEN.size + length]))
+            del self._buffer[: _LEN.size + length]
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+
+async def read_frame(reader, max_frame: int = DEFAULT_MAX_FRAME) -> bytes | None:
+    """Read one frame payload from an asyncio stream reader.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`ProtocolError` on a truncated frame (EOF mid-frame) and
+    :class:`FrameTooLarge` on an oversized length prefix.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame (truncated header)") from None
+    (length,) = _LEN.unpack(header)
+    if length > max_frame:
+        raise FrameTooLarge(
+            f"incoming frame of {length} bytes exceeds max_frame={max_frame}"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame (truncated body)") from None
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def _encode_sid(session_id: str) -> bytes:
+    raw = session_id.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ProtocolError("session id longer than 65535 bytes")
+    return _SID_LEN.pack(len(raw)) + raw
+
+
+def encode_hello(max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    return bytes([OP_HELLO]) + _HELLO.pack(PROTOCOL_MAGIC, PROTOCOL_VERSION, max_frame)
+
+
+def encode_hello_ok(max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    return bytes([OP_HELLO_OK]) + _HELLO.pack(
+        PROTOCOL_MAGIC, PROTOCOL_VERSION, max_frame
+    )
+
+
+def encode_open(
+    session_id: str,
+    *,
+    max_latency_ticks: int | None = None,
+    evict_after_ticks: int | None = None,
+) -> bytes:
+    return (
+        bytes([OP_OPEN])
+        + _encode_sid(session_id)
+        + _QOS.pack(max_latency_ticks or 0, evict_after_ticks or 0)
+    )
+
+
+def encode_open_ok(session_id: str) -> bytes:
+    return bytes([OP_OPEN_OK]) + _encode_sid(session_id)
+
+
+def encode_ingest(session_id: str, seq: int, ack_events: int, chunk) -> bytes:
+    """One ingest chunk as raw little-endian float64 sample bytes.
+
+    The dtype and byte order are pinned by the protocol — any input is
+    converted to ``<f8`` here (a no-op copy-wise on little-endian
+    hosts with float64 input), so both peers agree bit-for-bit on the
+    samples regardless of host endianness.
+    """
+    arr = np.ascontiguousarray(chunk, dtype="<f8")
+    if arr.ndim == 1:
+        n_leads = 0
+    elif arr.ndim == 2:
+        n_leads = arr.shape[1]
+        if not 1 <= n_leads <= 0xFF:
+            raise ProtocolError(f"n_leads must be in [1, 255], got {n_leads}")
+    else:
+        raise ProtocolError(f"chunk must be 1-D or 2-D, got ndim={arr.ndim}")
+    return (
+        bytes([OP_INGEST])
+        + _encode_sid(session_id)
+        + _INGEST.pack(seq, ack_events, arr.shape[0], n_leads)
+        + arr.tobytes()
+    )
+
+
+def encode_poll(session_id: str, ack_events: int) -> bytes:
+    return bytes([OP_POLL]) + _encode_sid(session_id) + _U64.pack(ack_events)
+
+
+def encode_close(session_id: str, ack_events: int) -> bytes:
+    return bytes([OP_CLOSE]) + _encode_sid(session_id) + _U64.pack(ack_events)
+
+
+def encode_resume(session_id: str, ack_events: int) -> bytes:
+    return bytes([OP_RESUME]) + _encode_sid(session_id) + _U64.pack(ack_events)
+
+
+def encode_resume_ok(session_id: str, next_seq: int) -> bytes:
+    return bytes([OP_RESUME_OK]) + _encode_sid(session_id) + _U64.pack(next_seq)
+
+
+def encode_events(
+    session_id: str,
+    acked_seq: int,
+    base_index: int,
+    events,
+    *,
+    flags: int = 0,
+) -> bytes:
+    """A batch of resolved beat events as parallel packed arrays."""
+    events = list(events)
+    n = len(events)
+    fid_idx = [i for i, e in enumerate(events) if e.fiducials is not None]
+    parts = [
+        bytes([OP_EVENTS]),
+        _encode_sid(session_id),
+        _EVENTS.pack(acked_seq, base_index, flags, n, len(fid_idx)),
+        np.fromiter((e.peak for e in events), dtype="<i8", count=n).tobytes(),
+        np.fromiter((e.label for e in events), dtype="<i4", count=n).tobytes(),
+        np.fromiter((e.flagged for e in events), dtype="<u1", count=n).tobytes(),
+        np.fromiter((e.tx_bytes for e in events), dtype="<i4", count=n).tobytes(),
+        np.asarray(fid_idx, dtype="<u4").tobytes(),
+    ]
+    if fid_idx:
+        fid = np.stack([events[i].fiducials.as_array() for i in fid_idx])
+        parts.append(np.ascontiguousarray(fid, dtype="<i8").tobytes())
+    return b"".join(parts)
+
+
+def encode_error(session_id: str, message: str, *, sync: bool = False) -> bytes:
+    return (
+        bytes([OP_ERROR])
+        + _encode_sid(session_id)
+        + bytes([1 if sync else 0])
+        + message.encode("utf-8")
+    )
+
+
+# -- decoding ----------------------------------------------------------------
+
+
+class _Cursor:
+    """Bounds-checked reader over one frame payload."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0):
+        self.data = data
+        self.pos = pos
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise ProtocolError(
+                f"truncated payload: wanted {n} bytes at offset {self.pos}, "
+                f"frame has {len(self.data)}"
+            )
+        out = self.data[self.pos : end]
+        self.pos = end
+        return out
+
+    def unpack(self, fmt: struct.Struct) -> tuple:
+        return fmt.unpack(self.take(fmt.size))
+
+    def sid(self) -> str:
+        (length,) = self.unpack(_SID_LEN)
+        return self.take(length).decode("utf-8")
+
+    def rest(self) -> bytes:
+        out = self.data[self.pos :]
+        self.pos = len(self.data)
+        return out
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise ProtocolError(
+                f"{len(self.data) - self.pos} trailing bytes after payload"
+            )
+
+
+def _decode_hello(cursor: _Cursor, ok: bool):
+    magic, version, max_frame = cursor.unpack(_HELLO)
+    cursor.done()
+    if magic != PROTOCOL_MAGIC:
+        raise ProtocolError(f"bad protocol magic 0x{magic:08x}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    cls = HelloOk if ok else Hello
+    return cls(max_frame=max_frame, version=version)
+
+
+def _decode_array(cursor: _Cursor, dtype: str, n: int) -> np.ndarray:
+    itemsize = np.dtype(dtype).itemsize
+    return np.frombuffer(cursor.take(n * itemsize), dtype=dtype)
+
+
+def _decode_events(cursor: _Cursor) -> Events:
+    session_id = cursor.sid()
+    acked_seq, base_index, flags, n, n_fid = cursor.unpack(_EVENTS)
+    if n_fid > n:
+        raise ProtocolError(f"fiducial count {n_fid} exceeds event count {n}")
+    peaks = _decode_array(cursor, "<i8", n)
+    labels = _decode_array(cursor, "<i4", n)
+    flagged = _decode_array(cursor, "<u1", n)
+    tx = _decode_array(cursor, "<i4", n)
+    fid_idx = _decode_array(cursor, "<u4", n_fid)
+    fid = _decode_array(cursor, "<i8", n_fid * _N_FIDUCIALS).reshape(
+        n_fid, _N_FIDUCIALS
+    )
+    cursor.done()
+    fiducials: dict[int, BeatFiducials] = {
+        int(i): BeatFiducials.from_array(row) for i, row in zip(fid_idx, fid)
+    }
+    events = [
+        StreamBeatEvent(
+            peak=int(peaks[i]),
+            label=int(labels[i]),
+            flagged=bool(flagged[i]),
+            tx_bytes=int(tx[i]),
+            fiducials=fiducials.get(i),
+        )
+        for i in range(n)
+    ]
+    return Events(
+        session_id=session_id,
+        acked_seq=acked_seq,
+        base_index=base_index,
+        flags=flags,
+        events=events,
+    )
+
+
+def decode(payload: bytes):
+    """Decode one frame payload into its message object."""
+    if not payload:
+        raise ProtocolError("empty frame payload")
+    op = payload[0]
+    cursor = _Cursor(payload, 1)
+    if op == OP_HELLO:
+        return _decode_hello(cursor, ok=False)
+    if op == OP_HELLO_OK:
+        return _decode_hello(cursor, ok=True)
+    if op == OP_OPEN:
+        session_id = cursor.sid()
+        mlt, eat = cursor.unpack(_QOS)
+        cursor.done()
+        return Open(
+            session_id=session_id,
+            max_latency_ticks=mlt or None,
+            evict_after_ticks=eat or None,
+        )
+    if op == OP_OPEN_OK:
+        session_id = cursor.sid()
+        cursor.done()
+        return OpenOk(session_id=session_id)
+    if op == OP_INGEST:
+        session_id = cursor.sid()
+        seq, ack_events, n_samples, n_leads = cursor.unpack(_INGEST)
+        width = max(1, n_leads)
+        chunk = _decode_array(cursor, "<f8", n_samples * width)
+        cursor.done()
+        if n_leads:
+            chunk = chunk.reshape(n_samples, n_leads)
+        return Ingest(
+            session_id=session_id, seq=seq, ack_events=ack_events, chunk=chunk
+        )
+    if op == OP_POLL:
+        session_id = cursor.sid()
+        (ack_events,) = cursor.unpack(_U64)
+        cursor.done()
+        return Poll(session_id=session_id, ack_events=ack_events)
+    if op == OP_CLOSE:
+        session_id = cursor.sid()
+        (ack_events,) = cursor.unpack(_U64)
+        cursor.done()
+        return Close(session_id=session_id, ack_events=ack_events)
+    if op == OP_RESUME:
+        session_id = cursor.sid()
+        (ack_events,) = cursor.unpack(_U64)
+        cursor.done()
+        return Resume(session_id=session_id, ack_events=ack_events)
+    if op == OP_RESUME_OK:
+        session_id = cursor.sid()
+        (next_seq,) = cursor.unpack(_U64)
+        cursor.done()
+        return ResumeOk(session_id=session_id, next_seq=next_seq)
+    if op == OP_EVENTS:
+        return _decode_events(cursor)
+    if op == OP_ERROR:
+        session_id = cursor.sid()
+        (sync,) = cursor.take(1)
+        return Error(
+            session_id=session_id,
+            sync=bool(sync),
+            message=cursor.rest().decode("utf-8", errors="replace"),
+        )
+    raise ProtocolError(f"unknown opcode 0x{op:02x}")

@@ -1,0 +1,541 @@
+"""Asyncio socket server fronting a session gateway.
+
+:class:`GatewayServer` exposes a :class:`~repro.serving.gateway.StreamGateway`
+(or a :class:`~repro.serving.sharded.ShardedGateway` — anything with the
+open/ingest/poll/close/release/import session surface) over the framed
+binary protocol of :mod:`repro.serving.net.protocol`, one asyncio task
+pair per connection:
+
+* the **reader** task decodes frames in order and dispatches them
+  against the gateway — ingest is pipelined exactly like the sharded
+  tier's pipe IPC: the chunk is applied and whatever events are
+  already resolved ship back without a per-chunk round trip;
+* the **writer** task drains a bounded per-connection queue, joining
+  everything queued into a single ``write()`` per wakeup — so all the
+  events a gateway flush resolved leave as **one framed burst** per
+  connection (the writev-style coalescing the wire-speed design calls
+  for), with ``TCP_NODELAY`` set so the burst departs immediately.
+
+Backpressure end to end: the writer queue is bounded, so a slow reader
+stalls the writer, which stalls the reader task's ``put``, which stops
+reading the socket — TCP flow control then pushes back on the client,
+whose pipelining window bounds its chunks in flight.  No tier buffers
+unboundedly.
+
+**Flush coalescing**: when the fronted gateway exposes ``n_flushes``
+(the single-process and inline-sharded tiers do), the server detects
+that an ingest triggered a cross-session flush and immediately harvests
+*every* tracked session's newly resolved events — batching them into
+one burst per owning connection instead of waiting for each session's
+next ingest.  Process-mode sharded gateways deliver per-session on
+their own pipelined responses, so no harvest is needed (or possible)
+there.
+
+**Reconnect-resume**: sessions survive their connection.  When a
+connection dies, every session it owns is captured via the existing
+:meth:`~repro.serving.gateway.StreamGateway.release_session` /
+:class:`~repro.serving.gateway.SessionExport` migration path and
+parked, together with its chunk sequence number and the recently
+delivered-but-unacknowledged events.  A client that reconnects and
+sends ``RESUME`` gets the session imported back bit-exactly:
+``RESUME_OK`` tells it the next chunk sequence the server expects (so
+it retransmits exactly the chunks that were lost in flight) and a
+replay ``EVENTS`` frame re-sends exactly the events it never
+acknowledged.  The chaos suite pins that a forced mid-stream
+disconnect is invisible in the per-session event sequence.
+
+:func:`serve_in_thread` runs a server on a background event-loop
+thread — the harness the benchmarks, the chaos suite and the
+``repro serve --listen`` CLI all build on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from dataclasses import dataclass, field
+
+from repro.serving.net import protocol as wire
+
+__all__ = ["GatewayServer", "ServerHandle", "serve_in_thread"]
+
+#: Default bound on a connection's outgoing queue (bursts, not bytes).
+DEFAULT_QUEUE_BURSTS = 64
+
+#: Socket read size for the bulk reader loop.
+_READ_BUF = 1 << 16
+
+
+class _NetSession:
+    """Server-side reliability state for one live or parked session.
+
+    ``seq`` counts the chunks the gateway has processed (the next
+    expected :attr:`~repro.serving.net.protocol.Ingest.seq`);
+    ``delivered`` counts the events written toward the client;
+    ``retained`` keeps the delivered-but-unacknowledged tail for
+    resume replay (bounded by the client's acks, which ride on every
+    ingest/poll/close/resume frame).
+    """
+
+    __slots__ = ("session_id", "seq", "delivered", "retained")
+
+    def __init__(self, session_id: str):
+        self.session_id = session_id
+        self.seq = 0
+        self.delivered = 0
+        self.retained: list = []
+
+    @property
+    def retained_base(self) -> int:
+        """Stream index of the first retained (unacked) event."""
+        return self.delivered - len(self.retained)
+
+    def ack(self, n_received: int) -> None:
+        """Drop retained events the client has confirmed receiving."""
+        drop = n_received - self.retained_base
+        if drop > 0:
+            del self.retained[:drop]
+
+    def deliver(self, events: list) -> None:
+        self.retained.extend(events)
+        self.delivered += len(events)
+
+    def replay_from(self, n_received: int) -> list:
+        start = n_received - self.retained_base
+        if start < 0:
+            raise wire.ProtocolError(
+                f"cannot resume {self.session_id!r}: events "
+                f"[{n_received}, {self.retained_base}) are no longer retained"
+            )
+        return self.retained[start:]
+
+
+@dataclass
+class _Parked:
+    """A disconnected connection's session, waiting for a ``RESUME``."""
+
+    export: object
+    state: _NetSession = field(repr=False)
+
+
+class _Connection:
+    """Per-connection bookkeeping: owned sessions + the outgoing queue."""
+
+    def __init__(self, queue_bursts: int):
+        self.owned: set[str] = set()
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_bursts)
+        self.alive = True
+
+    async def send_burst(self, frames: list[bytes]) -> None:
+        if frames and self.alive:
+            await self.queue.put(b"".join(frames))
+
+
+class GatewayServer:
+    """Serve a session gateway over the framed binary wire protocol.
+
+    Parameters
+    ----------
+    gateway:
+        The fronted gateway — opened sessions, chunk ingestion and
+        event resolution all happen here, in the server's thread.
+    host / port:
+        Listen address; ``port=0`` picks an ephemeral port (read the
+        bound address back from :attr:`address` after :meth:`start`).
+    max_frame:
+        Payload bound for both directions, advertised in the
+        ``HELLO_OK`` handshake and enforced on every incoming length
+        prefix before allocation.
+    queue_bursts:
+        Outgoing-queue bound per connection (coalesced bursts); the
+        server-side backpressure knob for slow readers.
+    """
+
+    def __init__(
+        self,
+        gateway,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame: int = wire.DEFAULT_MAX_FRAME,
+        queue_bursts: int = DEFAULT_QUEUE_BURSTS,
+    ):
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self.max_frame = int(max_frame)
+        self.queue_bursts = int(queue_bursts)
+        self._server: asyncio.AbstractServer | None = None
+        self._sessions: dict[str, _NetSession] = {}
+        self._owners: dict[str, _Connection] = {}
+        self._parked: dict[str, _Parked] = {}
+        self.n_connections = 0
+        self.n_resumes = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        return (self.host, self.port)
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; return the address."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # -- connection lifecycle -------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.n_connections += 1
+        conn = _Connection(self.queue_bursts)
+        writer_task = asyncio.ensure_future(self._writer_loop(conn, writer))
+        try:
+            await self._reader_loop(conn, reader)
+        except (
+            wire.ProtocolError,
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            OSError,
+        ):
+            pass  # the connection is unusable; park and move on
+        finally:
+            conn.alive = False
+            self._park_connection(conn)
+            writer_task.cancel()
+            try:
+                await writer_task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+            # Parting frames (e.g. the pre-handshake refusal) may still
+            # sit in the queue if the writer was cancelled between
+            # wakeups: flush them best-effort before closing.
+            try:
+                tail = []
+                while not conn.queue.empty():
+                    tail.append(conn.queue.get_nowait())
+                if tail:
+                    writer.write(b"".join(tail))
+                    await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _writer_loop(self, conn: _Connection, writer) -> None:
+        """Drain the queue, joining everything pending into one write.
+
+        The single ``write`` + ``drain`` per wakeup is the coalescing
+        burst; ``drain`` blocking on a slow reader is the backpressure
+        seam (the bounded queue then stalls the reader task).
+        """
+        queue = conn.queue
+        while True:
+            burst = [await queue.get()]
+            while not queue.empty():
+                burst.append(queue.get_nowait())
+            writer.write(b"".join(burst))
+            await writer.drain()
+
+    async def _reader_loop(self, conn: _Connection, reader) -> None:
+        # Bulk reads through the incremental FrameDecoder: one await
+        # per socket buffer, not two per frame — at wire-speed chunk
+        # rates the per-frame event-loop round trips dominate the
+        # server's transport cost.
+        decoder = wire.FrameDecoder(self.max_frame)
+        greeted = False
+        while True:
+            data = await reader.read(_READ_BUF)
+            if not data:
+                if decoder.pending_bytes:
+                    raise wire.ProtocolError("connection closed mid-frame")
+                return
+            for payload in decoder.feed(data):
+                message = wire.decode(payload)
+                if not greeted:
+                    if not isinstance(message, wire.Hello):
+                        await conn.send_burst(
+                            [self._frame(
+                                wire.encode_error("", "expected HELLO", sync=True)
+                            )]
+                        )
+                        return
+                    await conn.send_burst(
+                        [self._frame(wire.encode_hello_ok(self.max_frame))]
+                    )
+                    greeted = True
+                    continue
+                await self._dispatch(conn, message)
+
+    def _park_connection(self, conn: _Connection) -> None:
+        """Capture every session the dead connection owned, for resume.
+
+        Uses the gateway's own migration path
+        (:meth:`~repro.serving.gateway.StreamGateway.release_session`),
+        so the parked export carries the full node snapshot plus every
+        event resolved but not yet delivered; the reliability state
+        keeps the delivered-but-unacked tail.
+        """
+        for session_id in list(conn.owned):
+            state = self._sessions.pop(session_id, None)
+            self._owners.pop(session_id, None)
+            if state is None:
+                continue
+            try:
+                export = self.gateway.release_session(session_id)
+            except Exception:
+                continue  # closed or evicted under us; nothing to park
+            self._parked[session_id] = _Parked(export=export, state=state)
+        conn.owned.clear()
+
+    # -- dispatch --------------------------------------------------------
+
+    def _frame(self, payload: bytes) -> bytes:
+        return wire.pack_frame(payload, self.max_frame)
+
+    async def _dispatch(self, conn: _Connection, message) -> None:
+        sync = not isinstance(message, wire.Ingest)
+        session_id = getattr(message, "session_id", "")
+        try:
+            if isinstance(message, wire.Open):
+                await self._on_open(conn, message)
+            elif isinstance(message, wire.Ingest):
+                await self._on_ingest(conn, message)
+            elif isinstance(message, wire.Poll):
+                await self._on_poll(conn, message)
+            elif isinstance(message, wire.Close):
+                await self._on_close(conn, message)
+            elif isinstance(message, wire.Resume):
+                await self._on_resume(conn, message)
+            else:
+                raise wire.ProtocolError(
+                    f"unexpected {type(message).__name__} frame from client"
+                )
+        except (KeyError, ValueError, RuntimeError) as exc:
+            await conn.send_burst(
+                [self._frame(wire.encode_error(session_id, str(exc), sync=sync))]
+            )
+
+    def _owned_state(self, conn: _Connection, session_id: str) -> _NetSession:
+        if session_id not in conn.owned:
+            raise KeyError(f"no open session {session_id!r} on this connection")
+        return self._sessions[session_id]
+
+    async def _on_open(self, conn: _Connection, message: wire.Open) -> None:
+        if message.session_id in self._parked:
+            raise ValueError(
+                f"session {message.session_id!r} is parked awaiting RESUME"
+            )
+        self.gateway.open_session(
+            message.session_id,
+            max_latency_ticks=message.max_latency_ticks,
+            evict_after_ticks=message.evict_after_ticks,
+        )
+        self._adopt(conn, message.session_id, _NetSession(message.session_id))
+        await conn.send_burst([self._frame(wire.encode_open_ok(message.session_id))])
+
+    async def _on_ingest(self, conn: _Connection, message: wire.Ingest) -> None:
+        state = self._owned_state(conn, message.session_id)
+        state.ack(message.ack_events)
+        if message.seq < state.seq:
+            return  # duplicate retransmit of an already-processed chunk
+        if message.seq > state.seq:
+            raise wire.ProtocolError(
+                f"ingest gap for {message.session_id!r}: expected seq "
+                f"{state.seq}, got {message.seq}"
+            )
+        flushes_before = getattr(self.gateway, "n_flushes", None)
+        events = self.gateway.ingest(message.session_id, message.chunk)
+        state.seq += 1
+        frames: list[bytes] = []
+        if events:
+            frames.append(self._events_frame(state, events))
+        await conn.send_burst(frames)
+        if flushes_before is not None and self.gateway.n_flushes != flushes_before:
+            await self._harvest_flush(exclude=message.session_id)
+
+    async def _harvest_flush(self, exclude: str) -> None:
+        """Ship every session's newly resolved events after a flush.
+
+        One coalesced burst per owning connection — the events a single
+        batched classifier pass resolved leave the box together instead
+        of trickling out on each session's next ingest.
+        """
+        per_conn: dict[int, tuple[_Connection, list[bytes]]] = {}
+        for session_id, state in self._sessions.items():
+            if session_id == exclude:
+                continue
+            events = self.gateway.poll(session_id)
+            if not events:
+                continue
+            owner = self._owners[session_id]
+            frames = per_conn.setdefault(id(owner), (owner, []))[1]
+            frames.append(self._events_frame(state, events))
+        for owner, frames in per_conn.values():
+            await owner.send_burst(frames)
+
+    async def _on_poll(self, conn: _Connection, message: wire.Poll) -> None:
+        state = self._owned_state(conn, message.session_id)
+        state.ack(message.ack_events)
+        events = self.gateway.poll(message.session_id)
+        await conn.send_burst(
+            [self._events_frame(state, events, flags=wire.FLAG_SYNC)]
+        )
+
+    async def _on_close(self, conn: _Connection, message: wire.Close) -> None:
+        state = self._owned_state(conn, message.session_id)
+        state.ack(message.ack_events)
+        events = self.gateway.close_session(message.session_id)
+        frame = self._events_frame(state, events, flags=wire.FLAG_FINAL)
+        conn.owned.discard(message.session_id)
+        self._sessions.pop(message.session_id, None)
+        self._owners.pop(message.session_id, None)
+        await conn.send_burst([frame])
+
+    async def _on_resume(self, conn: _Connection, message: wire.Resume) -> None:
+        """Re-attach a parked (or orphaned live) session to this connection.
+
+        The reply burst is ``RESUME_OK`` (carrying ``next_seq``, the
+        chunk count already processed — the client retransmits from
+        there) followed by a replay ``EVENTS`` frame holding exactly
+        the events the client has not acknowledged.
+        """
+        session_id = message.session_id
+        parked = self._parked.pop(session_id, None)
+        if parked is not None:
+            self.gateway.import_session(parked.export)
+            state = parked.state
+        elif session_id in self._sessions:
+            # The old connection has not been reaped yet (an abrupt
+            # disconnect is only detected on its next read) — take the
+            # session over; the stale owner loses it.
+            state = self._sessions[session_id]
+            old = self._owners.get(session_id)
+            if old is not None and old is not conn:
+                old.owned.discard(session_id)
+        else:
+            raise KeyError(f"no parked or live session {session_id!r} to resume")
+        replay = state.replay_from(message.ack_events)
+        state.ack(message.ack_events)
+        self._adopt(conn, session_id, state)
+        self.n_resumes += 1
+        await conn.send_burst(
+            [
+                self._frame(wire.encode_resume_ok(session_id, state.seq)),
+                self._frame(
+                    wire.encode_events(
+                        session_id, state.seq, message.ack_events, replay
+                    )
+                ),
+            ]
+        )
+
+    def _adopt(self, conn: _Connection, session_id: str, state: _NetSession) -> None:
+        conn.owned.add(session_id)
+        self._sessions[session_id] = state
+        self._owners[session_id] = conn
+
+    def _events_frame(self, state: _NetSession, events: list, *, flags: int = 0) -> bytes:
+        frame = self._frame(
+            wire.encode_events(
+                state.session_id, state.seq, state.delivered, events, flags=flags
+            )
+        )
+        state.deliver(events)
+        return frame
+
+
+@dataclass
+class ServerHandle:
+    """A running background server: address + lifecycle control."""
+
+    host: str
+    port: int
+    server: GatewayServer
+    _loop: asyncio.AbstractEventLoop
+    _thread: threading.Thread
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the server and join its event-loop thread."""
+        loop = self._loop
+
+        def _shutdown() -> None:
+            task = asyncio.ensure_future(self.server.stop())
+            task.add_done_callback(lambda _: loop.stop())
+
+        if self._thread.is_alive():
+            loop.call_soon_threadsafe(_shutdown)
+            self._thread.join(timeout)
+        if not loop.is_closed():
+            loop.close()
+
+
+def serve_in_thread(
+    gateway,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_frame: int = wire.DEFAULT_MAX_FRAME,
+    queue_bursts: int = DEFAULT_QUEUE_BURSTS,
+) -> ServerHandle:
+    """Run a :class:`GatewayServer` on a background event-loop thread.
+
+    Returns once the listening socket is bound, with the resolved
+    address on the handle.  The gateway is driven exclusively from the
+    server thread; call :meth:`ServerHandle.stop` to shut down.
+    """
+    server = GatewayServer(
+        gateway, host=host, port=port, max_frame=max_frame, queue_bursts=queue_bursts
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            # Cancel whatever connection tasks are still alive so the
+            # loop can close without "task was destroyed" noise.
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+            try:
+                loop.run_until_complete(
+                    asyncio.gather(*asyncio.all_tasks(loop), return_exceptions=True)
+                )
+            except RuntimeError:  # pragma: no cover - loop already closing
+                pass
+
+    thread = threading.Thread(target=_run, name="repro-net-server", daemon=True)
+    thread.start()
+    if not started.wait(10.0):  # pragma: no cover - defensive
+        raise RuntimeError("gateway server failed to start within 10 s")
+    return ServerHandle(
+        host=server.host, port=server.port, server=server, _loop=loop, _thread=thread
+    )

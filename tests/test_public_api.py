@@ -74,6 +74,11 @@ PUBLIC_MODULES = [
     "repro.serving.engine",
     "repro.serving.executors",
     "repro.serving.gateway",
+    "repro.serving.loadgen",
+    "repro.serving.net",
+    "repro.serving.net.client",
+    "repro.serving.net.protocol",
+    "repro.serving.net.server",
     "repro.serving.results",
     "repro.serving.sharded",
     "repro.io",
