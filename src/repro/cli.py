@@ -36,7 +36,18 @@ Commands
     into a remote gateway over TCP via the pipelined
     :class:`~repro.serving.net.client.GatewayClient` and report the
     client-observed throughput and latency.  ``loadgen --connect``
-    runs the closed-loop ramp against a remote gateway the same way.
+    runs the closed-loop ramp against a remote gateway the same way —
+    and accepts ``--connect`` repeatedly to drive several hosts
+    through one :class:`~repro.serving.federation.FederatedGateway`
+    front door.
+``federate``
+    Horizontal scale-out demo: spawn ``--hosts N`` local gateway host
+    processes (:func:`~repro.serving.federation.spawn_host`), route a
+    synthesized fleet through a
+    :class:`~repro.serving.federation.FederatedGateway` with the
+    across-host :class:`~repro.serving.autoscale.AutoBalancer` in the
+    loop, and report aggregate throughput with the per-host breakdown
+    and migration counts.
 
 Common options: ``--scale`` (fraction of the Table-I set sizes;
 ``--full`` is shorthand for the paper's exact configuration, including
@@ -471,8 +482,8 @@ def cmd_loadgen(args) -> int:
         )
 
     if args.connect:
-        # The remote server owns the classifier; nothing to train here.
-        connect_host, connect_port = _parse_hostport(args.connect)
+        # The remote servers own the classifier; nothing to train here.
+        endpoints = [_parse_hostport(spec) for spec in args.connect]
         classifier = None
     else:
         config = Table3Config(
@@ -500,8 +511,12 @@ def cmd_loadgen(args) -> int:
         if args.connect:
             from repro.serving.net import GatewayClient
 
+            if len(endpoints) > 1:
+                from repro.serving.federation import FederatedGateway
+
+                return FederatedGateway(endpoints, window=args.window)
             return GatewayClient(
-                connect_host, connect_port, window=args.window
+                endpoints[0][0], endpoints[0][1], window=args.window
             ).connect()
         if args.workers > 1:
             return ShardedGateway(
@@ -510,8 +525,10 @@ def cmd_loadgen(args) -> int:
             )
         return StreamGateway(classifier, fs, **gateway_kwargs)
 
-    if args.connect:
-        tier = f"remote {args.connect} (window {args.window})"
+    if args.connect and len(endpoints) > 1:
+        tier = f"federated over {len(endpoints)} hosts (window {args.window})"
+    elif args.connect:
+        tier = f"remote {args.connect[0]} (window {args.window})"
     elif args.workers > 1:
         tier = f"{args.workers} {args.worker_mode} workers"
     else:
@@ -552,6 +569,89 @@ def cmd_loadgen(args) -> int:
         f"at p50 {best.p50_ms:.1f} ms / p99 {best.p99_ms:.1f} ms over "
         f"{best.n_events} events"
     )
+    return 0
+
+
+def cmd_federate(args) -> int:
+    """Scale-out demo: a FederatedGateway over N local host processes."""
+    from repro.experiments.table3 import Table3Config, build_embedded_classifier
+    from repro.serving import (
+        AutoBalancer,
+        FederatedGateway,
+        replay_fleet,
+        spawn_host,
+        synthesize_fleet,
+    )
+
+    if args.hosts < 1:
+        raise SystemExit("error: --hosts must be >= 1")
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be >= 1")
+
+    config = Table3Config(
+        scale=_scale(args), seed=args.seed, genetic=_genetic(args)
+    )
+    print("Training + quantizing the shared classifier ...")
+    classifier, _ = build_embedded_classifier(config)
+
+    fs = 360.0
+    chunk = max(1, int(round(args.chunk_ms * 1e-3 * fs)))
+    gateway_kwargs = dict(
+        n_leads=1,
+        max_batch=args.max_batch,
+        max_latency_ticks=args.max_latency_ticks,
+    )
+    if args.workers == 1:
+        # Single-gateway hosts coalesce tiny wire chunks before the
+        # front-end kernels (the sharded tier has its own batching).
+        gateway_kwargs["coalesce"] = max(1, int(0.5 * fs))
+    print(f"Spawning {args.hosts} local gateway host process(es) ...")
+    hosts = [
+        spawn_host(
+            classifier, fs,
+            workers=args.workers,
+            worker_mode=args.worker_mode,
+            balance_every=64 if args.workers > 1 else None,
+            gateway_kwargs=gateway_kwargs,
+        )
+        for _ in range(args.hosts)
+    ]
+    try:
+        streams, nominal_eps = synthesize_fleet(
+            args.sessions, args.duration, fs=fs, seed=args.seed
+        )
+        with FederatedGateway(
+            [h.address for h in hosts],
+            placement=args.placement or "least-loaded",
+            window=args.window,
+            send_buffer=1 << 14,
+        ) as fed:
+            balancer = AutoBalancer(fed)
+            print(
+                f"Replaying {len(streams)} sessions across {fed.hosts} "
+                f"host(s) (chunk {args.chunk_ms:.0f} ms, window "
+                f"{args.window}, across-host balancer in the loop) ..."
+            )
+            report = replay_fleet(
+                fed, streams, fs=fs, chunk=chunk, on_round=balancer.tick
+            )
+            stats = fed.stats()
+            migrations = fed.n_migrations
+    finally:
+        for host in hosts:
+            host.stop()
+    print(
+        f"aggregate: {report.n_events} events at "
+        f"{report.achieved_eps:.0f} events/s "
+        f"({report.achieved_eps / nominal_eps:.1f}x the nominal fleet "
+        f"rate), p50 {report.p50_ms:.1f} ms / p99 {report.p99_ms:.1f} ms"
+    )
+    for index, host_stats in enumerate(stats["per_host"]):
+        print(
+            f"  host {index}: {host_stats['n_flushes']} flushes, "
+            f"{host_stats['n_classified']} beats classified"
+        )
+    print(f"cross-host migrations: {migrations}")
     return 0
 
 
@@ -744,12 +844,44 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--steps", type=int, default=6,
                          help="max ramp steps")
     loadgen.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         action="append",
                          help="drive a remote 'repro serve --listen' gateway "
                               "over TCP instead of an in-process one (skips "
-                              "local training)")
+                              "local training); repeat the flag to federate "
+                              "across several hosts through one front door")
     loadgen.add_argument("--window", type=int, default=8,
                          help="client pipelining depth for --connect")
     loadgen.set_defaults(fn=cmd_loadgen)
+
+    federate = subparsers.add_parser(
+        "federate",
+        help="horizontal scale-out demo: N local gateway host processes "
+             "behind a FederatedGateway front door",
+    )
+    _add_common(federate)
+    federate.add_argument("--hosts", type=int, default=2,
+                          help="local gateway host processes to spawn")
+    federate.add_argument("--sessions", type=int, default=8,
+                          help="fleet size (morphology/noise/rate mixed)")
+    federate.add_argument("--duration", type=float, default=30.0,
+                          help="per-session stream length in seconds")
+    federate.add_argument("--chunk-ms", type=float, default=100.0,
+                          help="ingest chunk size in milliseconds")
+    federate.add_argument("--max-batch", type=int, default=64,
+                          help="flush the cross-session batch at this many beats")
+    federate.add_argument("--max-latency-ticks", type=int, default=8,
+                          help="flush when the oldest beat waited this many ingests")
+    federate.add_argument("--workers", type=int, default=1,
+                          help="workers per host; > 1 runs a ShardedGateway "
+                               "with a within-host balancer on each host")
+    federate.add_argument("--worker-mode", default="inline", choices=WORKER_MODES,
+                          help="per-host sharded worker execution mode")
+    federate.add_argument("--placement", default=None, choices=PLACEMENTS,
+                          help="cross-host session placement policy "
+                               "(default: least-loaded)")
+    federate.add_argument("--window", type=int, default=32,
+                          help="per-host client pipelining depth")
+    federate.set_defaults(fn=cmd_federate)
 
     connect = subparsers.add_parser(
         "connect",

@@ -36,6 +36,13 @@ once; this package is that workload's engine, in two shapes:
   gateways above, and a pipelined :class:`GatewayClient` with
   retry/backoff and bit-exact reconnect-resume — the same session
   surface over TCP, so fleet drivers run unmodified off-host.
+* **Federation** (:mod:`repro.serving.federation`):
+  :class:`FederatedGateway` routes sessions across N gateway hosts —
+  cross-host placement (:data:`PLACEMENTS`), wire-level live migration
+  (``MIGRATE``), lossless ``retire_host`` drains, fleet-wide
+  ``stats()`` rollup, and the across-host level of the two-tier
+  :class:`AutoBalancer` hierarchy; :func:`spawn_host` launches local
+  backend hosts as separate processes for true multi-core scale-out.
 
 Both in-process shapes accept plain lists/arrays, so callers can queue
 above them without this package taking a position on the transport;
@@ -56,6 +63,7 @@ from repro.serving.engine import (
     simulate_records,
 )
 from repro.serving.executors import INBOX_POLICIES, PLACEMENTS
+from repro.serving.federation import FederatedGateway, HostProcess, spawn_host
 from repro.serving.gateway import (
     BeatBatch,
     GatewayGroup,
@@ -80,8 +88,10 @@ __all__ = [
     "AutoBalancer",
     "Autoscaler",
     "BeatBatch",
+    "FederatedGateway",
     "FleetTrace",
     "GatewayClient",
+    "HostProcess",
     "GatewayGroup",
     "GatewayServer",
     "LoadgenReport",
@@ -98,6 +108,7 @@ __all__ = [
     "serve_in_thread",
     "serve_round_robin",
     "simulate_records",
+    "spawn_host",
     "synthesize_fleet",
     "worker_loads",
 ]

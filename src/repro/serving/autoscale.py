@@ -53,14 +53,21 @@ __all__ = ["AutoBalancer", "Autoscaler", "serve_autoscaled", "worker_loads"]
 
 
 def worker_loads(stats: dict) -> list[int]:
-    """Per-worker load from a ``ShardedGateway.stats()`` snapshot.
+    """Per-member load from a gateway ``stats()`` snapshot.
 
     Load is **open sessions + queued beats** (queue depth): sessions
     measure steady-state work (every open session's front end runs on
     its worker), queued beats measure the classification backlog a
     slow worker is accumulating right now.
+
+    Reads ``per_host`` when present (a
+    :class:`~repro.serving.federation.FederatedGateway` fleet rollup —
+    each entry is itself a host's ``stats()`` with the summed
+    counters), else ``per_worker`` (one ``ShardedGateway``) — the same
+    formula at both levels of the two-tier balancing hierarchy.
     """
-    return [w["n_sessions"] + w["n_queued"] for w in stats["per_worker"]]
+    members = stats["per_host"] if "per_host" in stats else stats["per_worker"]
+    return [m["n_sessions"] + m["n_queued"] for m in members]
 
 
 class AutoBalancer:
@@ -69,7 +76,13 @@ class AutoBalancer:
     Parameters
     ----------
     gateway:
-        The :class:`~repro.serving.sharded.ShardedGateway` to balance.
+        The :class:`~repro.serving.sharded.ShardedGateway` to balance —
+        or any gateway exposing the same surface (``workers``,
+        ``stats()``, ``sessions_on``, ``migrate_session``):
+        a :class:`~repro.serving.federation.FederatedGateway` plugs in
+        unchanged, making this the **across-host** level of the
+        two-tier hierarchy (each host's server ticks its own
+        within-host balancer via the ``tick_hook`` seam).
     imbalance_threshold:
         The hysteresis band (>= 1): no migration fires while
         ``max(load) - min(load) <= imbalance_threshold``.  One

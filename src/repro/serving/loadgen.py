@@ -188,6 +188,7 @@ def replay_fleet(
     target_eps: float | None = None,
     nominal_eps: float | None = None,
     tolerance: float = 0.1,
+    on_round=None,
 ) -> LoadgenReport:
     """Replay a fleet through a live ingest target at a controlled rate.
 
@@ -226,6 +227,14 @@ def replay_fleet(
         set.
     tolerance:
         Relative schedule slack before a run counts as unsustained.
+    on_round:
+        Optional zero-argument callback fired after each full
+        round-robin pass, mirroring
+        :func:`~repro.serving.gateway.serve_round_robin`'s hook — the
+        seam an across-host
+        :class:`~repro.serving.autoscale.AutoBalancer` ticks through
+        when the target is a
+        :class:`~repro.serving.federation.FederatedGateway`.
     """
     streams = {sid: np.asarray(x) for sid, x in streams.items()}
     if chunk < 1:
@@ -269,6 +278,8 @@ def replay_fleet(
             offsets[session_id] = i + chunk
             live = True
         rounds += 1
+        if on_round is not None and live:
+            on_round()
         if speed is not None and live:
             ahead = start + rounds * chunk / fs / speed - time.perf_counter()
             if ahead > 0:

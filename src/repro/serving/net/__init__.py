@@ -24,6 +24,7 @@ from repro.serving.net.client import (
     ClientTimeout,
     ConnectError,
     GatewayClient,
+    MigratedSession,
     RemoteError,
 )
 from repro.serving.net.protocol import (
@@ -43,6 +44,7 @@ __all__ = [
     "FrameTooLarge",
     "GatewayClient",
     "GatewayServer",
+    "MigratedSession",
     "ProtocolError",
     "RemoteError",
     "ServerHandle",

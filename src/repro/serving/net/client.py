@@ -48,6 +48,7 @@ import select
 import socket
 import time
 from collections import deque
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -58,6 +59,7 @@ __all__ = [
     "ClientTimeout",
     "ConnectError",
     "GatewayClient",
+    "MigratedSession",
     "RemoteError",
 ]
 
@@ -82,6 +84,30 @@ class RemoteError(ClientError):
 
 class _ConnectionLost(Exception):
     """Internal: the transport died mid-operation (triggers resume)."""
+
+
+@dataclass(frozen=True)
+class MigratedSession:
+    """A session captured off one host, ready to import into another.
+
+    Produced by :meth:`GatewayClient.migrate_out`, consumed by
+    :meth:`GatewayClient.migrate_in` on the destination host's client.
+    ``blob`` is the server-pickled ``SessionExport`` (opaque here);
+    ``base_events`` is the receive count the capture was taken at —
+    the importing host restarts its delivery index there, so the
+    client-side dedupe seam lines up across hosts.  ``events`` holds
+    whatever the source host delivered between that stamp and the
+    capture acknowledgment (the caller must hand them to the consumer
+    — they are part of the session's event sequence), and
+    ``events_received`` is the post-drain receive count the importing
+    client must continue from.
+    """
+
+    session_id: str
+    blob: bytes = field(repr=False)
+    base_events: int = 0
+    events: list = field(default_factory=list)
+    events_received: int = 0
 
 
 class _SessionState:
@@ -142,6 +168,16 @@ class GatewayClient:
     resume:
         When ``False``, a dead connection raises instead of resuming
         (for callers that manage sessions themselves).
+    retry_budget:
+        Optional cap in seconds on the **total** wall time one public
+        operation may spend retrying (connection attempts, backoff
+        sleeps and reconnect-resume rounds combined).  ``timeout``
+        bounds each synchronous wait individually, so against a
+        flapping host the per-attempt bounds compound; the budget is
+        armed when the operation enters the SDK and every retry seam
+        checks it — backoff sleeps and connect timeouts are truncated
+        to what remains, and exhaustion raises :class:`ConnectError`.
+        ``None`` (default) preserves the per-op-only behavior.
     sleep / monotonic:
         Injectable clock (defaults :func:`time.sleep` /
         :func:`time.monotonic`) so retry/backoff/timeout behavior is
@@ -166,6 +202,7 @@ class GatewayClient:
         max_frame: int = wire.DEFAULT_MAX_FRAME,
         send_buffer: int = 0,
         resume: bool = True,
+        retry_budget: float | None = None,
         sleep=time.sleep,
         monotonic=time.monotonic,
         connect_factory=_default_connect,
@@ -183,6 +220,8 @@ class GatewayClient:
         self.max_frame = int(max_frame)
         self.send_buffer = int(send_buffer)
         self.resume = bool(resume)
+        self.retry_budget = None if retry_budget is None else float(retry_budget)
+        self._retry_deadline: float | None = None
         self._sleep = sleep
         self._monotonic = monotonic
         self._connect_factory = connect_factory
@@ -210,6 +249,7 @@ class GatewayClient:
     def connect(self) -> "GatewayClient":
         """Establish the connection (retry/backoff) and handshake."""
         if self._sock is None:
+            self._arm_budget()
             self._connect_raw()
         return self
 
@@ -245,6 +285,7 @@ class GatewayClient:
         if session_id in self._sessions:
             raise ValueError(f"session {session_id!r} is already open")
         self.connect()
+        self._arm_budget()
         payload = wire.encode_open(
             session_id,
             max_latency_ticks=max_latency_ticks,
@@ -275,6 +316,7 @@ class GatewayClient:
         if session_id in self._sessions:
             raise ValueError(f"session {session_id!r} is already open")
         self.connect()
+        self._arm_budget()
         sess = _SessionState()
         sess.events_received = int(events_received)
         # Registered before the RESUME so the replay EVENTS frame (and
@@ -305,6 +347,7 @@ class GatewayClient:
         has produced), then the chunk is sent.
         """
         sess = self._session(session_id)
+        self._arm_budget()
         # In write-coalescing mode the opportunistic drain happens at
         # burst boundaries (buffer empty = a flush or sync just ran),
         # not per chunk — one readiness syscall per burst, not per 10 ms
@@ -330,6 +373,7 @@ class GatewayClient:
     def poll(self, session_id: str) -> list:
         """Synchronize with the server; return the session's events."""
         self._session(session_id)
+        self._arm_budget()
         self._raise_parked(session_id)
         self._sync(session_id)
         self._raise_parked(session_id)
@@ -338,6 +382,7 @@ class GatewayClient:
     def close_session(self, session_id: str) -> list:
         """End a session; return the remainder of its event sequence."""
         sess = self._session(session_id)
+        self._arm_budget()
         self._raise_parked(session_id)
         for _ in self._op_attempts():
             try:
@@ -351,6 +396,100 @@ class GatewayClient:
         events = sess.drain()
         del self._sessions[session_id]
         return events
+
+    # -- cross-host migration + fleet stats ------------------------------
+
+    def migrate_out(self, session_id: str) -> MigratedSession:
+        """Capture a live session off this host for import elsewhere.
+
+        Sends ``MIGRATE`` (no blob) — the server processes every
+        pipelined chunk still in flight first (FIFO), releases the
+        session via its ``SessionExport`` path, and ships the capture
+        back in ``MIGRATE_OK``.  Events delivered between the request
+        and the acknowledgment land in :attr:`MigratedSession.events`;
+        hand them to the consumer, then feed the capture to
+        :meth:`migrate_in` on the destination client.
+
+        Not resume-safe mid-handshake: if the connection dies after
+        the server released the session but before ``MIGRATE_OK``
+        arrived, the capture is lost with the socket (the federation
+        tier treats the move as an atomic control-plane step).
+        """
+        sess = self._session(session_id)
+        self._arm_budget()
+        self._raise_parked(session_id)
+        ok = None
+        base = sess.events_received
+        for _ in self._op_attempts():
+            try:
+                base = sess.events_received
+                self._send_payload(wire.encode_migrate(session_id, base))
+                ok = self._wait_for("migrate_ok", session_id)
+                break
+            except _ConnectionLost:
+                self._reconnect_and_resume()
+        migrated = MigratedSession(
+            session_id=session_id,
+            blob=ok.blob,
+            base_events=base,
+            events=sess.drain(),
+            events_received=sess.events_received,
+        )
+        del self._sessions[session_id]
+        self._errors.pop(session_id, None)
+        return migrated
+
+    def migrate_in(self, migrated: MigratedSession) -> None:
+        """Import a session captured by another host's :meth:`migrate_out`.
+
+        The ``MIGRATE`` frame carries the opaque capture blob plus the
+        receive count the capture was taken at; the server imports the
+        session and restarts its delivery index there, so redelivered
+        events dedupe against what the source host already shipped.
+        """
+        session_id = migrated.session_id
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} is already open")
+        self.connect()
+        self._arm_budget()
+        payload = wire.encode_migrate(
+            session_id, migrated.base_events, migrated.blob
+        )
+        sess = _SessionState()
+        sess.events_received = migrated.events_received
+        self._sessions[session_id] = sess
+        try:
+            for _ in self._op_attempts():
+                try:
+                    self._send_payload(payload)
+                    self._wait_for("migrate_ok", session_id)
+                    return
+                except _ConnectionLost:
+                    # The import may or may not have landed before the
+                    # transport died.  Deregister so the resume loop
+                    # skips it, then probe: if the server holds the
+                    # session, adopt it; otherwise re-send the import.
+                    del self._sessions[session_id]
+                    self._reconnect_and_resume()
+                    if self._try_adopt(
+                        session_id, events_received=migrated.events_received
+                    ):
+                        return
+                    self._sessions[session_id] = sess
+        except BaseException:
+            self._sessions.pop(session_id, None)
+            raise
+
+    def stats(self) -> dict:
+        """Fetch the remote gateway's statistics snapshot."""
+        self.connect()
+        self._arm_budget()
+        for _ in self._op_attempts():
+            try:
+                self._send_payload(wire.encode_stats())
+                return self._wait_for("stats_ok").stats
+            except _ConnectionLost:
+                self._reconnect_and_resume()
 
     # -- internals -------------------------------------------------------
 
@@ -366,12 +505,34 @@ class GatewayClient:
             raise RemoteError(message)
 
     def _op_attempts(self):
-        """At most ``1 + max_retries`` tries for one synchronous op."""
+        """At most ``1 + max_retries`` tries for one synchronous op,
+        abandoned early when the armed retry budget runs out."""
         for attempt in range(1 + self.max_retries):
+            if attempt and self._budget_exhausted():
+                raise ConnectError(
+                    f"operation abandoned after {attempt} attempts: retry "
+                    f"budget of {self.retry_budget:.3f} s exhausted"
+                )
             yield attempt
         raise ConnectError(
             f"operation failed after {1 + self.max_retries} attempts"
         )
+
+    # -- retry budget ----------------------------------------------------
+
+    def _arm_budget(self) -> None:
+        """Start the total-retry-wall-time clock for one public op."""
+        if self.retry_budget is not None:
+            self._retry_deadline = self._monotonic() + self.retry_budget
+
+    def _budget_remaining(self) -> float | None:
+        if self.retry_budget is None or self._retry_deadline is None:
+            return None
+        return self._retry_deadline - self._monotonic()
+
+    def _budget_exhausted(self) -> bool:
+        remaining = self._budget_remaining()
+        return remaining is not None and remaining <= 0.0
 
     def _sync(self, session_id: str) -> None:
         """One ``POLL`` round trip: the pipelining barrier.
@@ -391,17 +552,21 @@ class GatewayClient:
             except _ConnectionLost:
                 self._reconnect_and_resume()
 
-    def _try_adopt(self, session_id: str) -> bool:
-        """After a reconnect mid-``open``, check whether the server had
-        in fact opened (and then parked + resumed) the session."""
+    def _try_adopt(self, session_id: str, *, events_received: int = 0) -> bool:
+        """After a reconnect mid-``open`` (or mid-``migrate_in``), check
+        whether the server had in fact registered the session — and if
+        so, adopt it at the given receive count."""
         if session_id in self._sessions:
             return True
         try:
-            self._send_payload(wire.encode_resume(session_id, 0))
-            self._wait_for("resume_ok", session_id)
+            self._send_payload(wire.encode_resume(session_id, events_received))
+            resume_ok = self._wait_for("resume_ok", session_id)
         except (RemoteError, _ConnectionLost):
             return False
-        self._sessions[session_id] = _SessionState()
+        sess = _SessionState()
+        sess.events_received = events_received
+        sess.seq_next = resume_ok.next_seq
+        self._sessions[session_id] = sess
         return True
 
     # -- transport -------------------------------------------------------
@@ -409,9 +574,19 @@ class GatewayClient:
     def _connect_raw(self) -> None:
         attempt = 0
         while True:
+            connect_timeout = self.connect_timeout
+            remaining = self._budget_remaining()
+            if remaining is not None:
+                if remaining <= 0.0:
+                    raise ConnectError(
+                        f"could not connect to {self.host}:{self.port}: retry "
+                        f"budget of {self.retry_budget:.3f} s exhausted after "
+                        f"{attempt} attempts"
+                    )
+                connect_timeout = min(connect_timeout, remaining)
             try:
                 sock = self._connect_factory(
-                    (self.host, self.port), self.connect_timeout
+                    (self.host, self.port), connect_timeout
                 )
                 break
             except OSError as exc:
@@ -420,9 +595,17 @@ class GatewayClient:
                         f"could not connect to {self.host}:{self.port} after "
                         f"{attempt + 1} attempts: {exc}"
                     ) from exc
-                self._sleep(
-                    min(self.backoff_max, self.backoff_base * (2.0 ** attempt))
-                )
+                delay = min(self.backoff_max, self.backoff_base * (2.0 ** attempt))
+                remaining = self._budget_remaining()
+                if remaining is not None:
+                    if remaining <= 0.0:
+                        raise ConnectError(
+                            f"could not connect to {self.host}:{self.port}: "
+                            f"retry budget of {self.retry_budget:.3f} s "
+                            f"exhausted after {attempt + 1} attempts: {exc}"
+                        ) from exc
+                    delay = min(delay, remaining)
+                self._sleep(delay)
                 attempt += 1
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -588,6 +771,10 @@ class GatewayClient:
             self._mail.append(("open_ok", message.session_id, message))
         elif isinstance(message, wire.ResumeOk):
             self._mail.append(("resume_ok", message.session_id, message))
+        elif isinstance(message, wire.MigrateOk):
+            self._mail.append(("migrate_ok", message.session_id, message))
+        elif isinstance(message, wire.StatsOk):
+            self._mail.append(("stats_ok", "", message))
         elif isinstance(message, wire.Error):
             if message.sync:
                 self._mail.append(("error", message.session_id, message.message))

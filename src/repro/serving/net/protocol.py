@@ -23,6 +23,19 @@ byte:
   dozens of events is a handful of ``frombuffer`` calls, not dozens
   of pickled objects.
 
+Control-plane frames (the federation tier, PR 8): ``MIGRATE`` /
+``MIGRATE_OK`` move one live session between hosts over the wire.  A
+``MIGRATE`` without a payload asks the server to *release* the session
+(the :class:`~repro.serving.gateway.SessionExport` migration path) and
+ship its capture back inside ``MIGRATE_OK``; a ``MIGRATE`` carrying
+that capture asks a different server to *import* it.  The capture
+travels as an opaque blob — pickled only at the server edge (see
+:mod:`repro.serving.net.server`; the serving protocol assumes a
+trusted cluster network, exactly like the sharded tier's process
+pipes).  ``STATS`` / ``STATS_OK`` fetch the remote gateway's
+statistics snapshot (JSON — small, infrequent, schema-pinned) so a
+front-door router can roll up fleet-wide load.
+
 Reliability fields: every ``INGEST`` carries a per-session sequence
 number and every ``EVENTS`` frame acknowledges the count of chunks the
 server has processed (``acked_seq``) and states the index of its first
@@ -40,6 +53,7 @@ of truth for both sides of the connection.
 
 from __future__ import annotations
 
+import json
 import struct
 from dataclasses import dataclass, field
 
@@ -62,12 +76,16 @@ __all__ = [
     "Hello",
     "HelloOk",
     "Ingest",
+    "Migrate",
+    "MigrateOk",
     "Open",
     "OpenOk",
     "Poll",
     "ProtocolError",
     "Resume",
     "ResumeOk",
+    "Stats",
+    "StatsOk",
     "decode",
     "encode_close",
     "encode_error",
@@ -75,11 +93,15 @@ __all__ = [
     "encode_hello",
     "encode_hello_ok",
     "encode_ingest",
+    "encode_migrate",
+    "encode_migrate_ok",
     "encode_open",
     "encode_open_ok",
     "encode_poll",
     "encode_resume",
     "encode_resume_ok",
+    "encode_stats",
+    "encode_stats_ok",
     "pack_frame",
     "read_frame",
 ]
@@ -107,6 +129,10 @@ OP_POLL = 0x13
 OP_CLOSE = 0x14
 OP_RESUME = 0x15
 OP_RESUME_OK = 0x16
+OP_MIGRATE = 0x17
+OP_MIGRATE_OK = 0x18
+OP_STATS = 0x19
+OP_STATS_OK = 0x1A
 OP_EVENTS = 0x20
 OP_ERROR = 0x30
 
@@ -191,6 +217,55 @@ class Resume:
 class ResumeOk:
     session_id: str
     next_seq: int
+
+
+@dataclass(frozen=True)
+class Migrate:
+    """Cross-host session migration, both directions.
+
+    ``blob is None`` — *capture* request: release the session and
+    return its export inside ``MIGRATE_OK``.  ``ack_events`` is the
+    client's event count at request time; events delivered beyond it
+    (sent but unacknowledged) are folded back into the export so the
+    importing host replays them.
+
+    ``blob`` set — *import* request: adopt the shipped capture;
+    ``ack_events`` must be the value the capture was taken at (the
+    importing server's delivery index starts there, so the client-side
+    dedupe seam lines up across hosts).
+    """
+
+    session_id: str
+    ack_events: int
+    blob: bytes | None = field(repr=False, default=None)
+
+
+@dataclass(frozen=True)
+class MigrateOk:
+    """Reply to ``MIGRATE``: the capture (release) or an ack (import).
+
+    ``next_seq`` is the chunk sequence the releasing server had
+    processed up to (every pipelined chunk before the ``MIGRATE`` —
+    FIFO — so the client's replay buffer is empty by construction);
+    ``0`` on an import ack, where the adopted session's chunk
+    numbering restarts.
+    """
+
+    session_id: str
+    next_seq: int
+    blob: bytes = field(repr=False, default=b"")
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Request the remote gateway's statistics snapshot."""
+
+
+@dataclass(frozen=True)
+class StatsOk:
+    """The remote gateway's ``stats()`` dict (JSON on the wire)."""
+
+    stats: dict = field(repr=False, default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -368,6 +443,34 @@ def encode_resume(session_id: str, ack_events: int) -> bytes:
 
 def encode_resume_ok(session_id: str, next_seq: int) -> bytes:
     return bytes([OP_RESUME_OK]) + _encode_sid(session_id) + _U64.pack(next_seq)
+
+
+def encode_migrate(session_id: str, ack_events: int, blob: bytes | None = None) -> bytes:
+    """Capture request (``blob=None``) or import request (``blob`` set)."""
+    has_blob = blob is not None
+    return (
+        bytes([OP_MIGRATE])
+        + _encode_sid(session_id)
+        + _U64.pack(ack_events)
+        + bytes([1 if has_blob else 0])
+        + (blob if has_blob else b"")
+    )
+
+
+def encode_migrate_ok(session_id: str, next_seq: int, blob: bytes = b"") -> bytes:
+    return (
+        bytes([OP_MIGRATE_OK]) + _encode_sid(session_id) + _U64.pack(next_seq) + blob
+    )
+
+
+def encode_stats() -> bytes:
+    return bytes([OP_STATS])
+
+
+def encode_stats_ok(stats: dict) -> bytes:
+    return bytes([OP_STATS_OK]) + json.dumps(
+        stats, separators=(",", ":")
+    ).encode("utf-8")
 
 
 def encode_events(
@@ -555,6 +658,32 @@ def decode(payload: bytes):
         (next_seq,) = cursor.unpack(_U64)
         cursor.done()
         return ResumeOk(session_id=session_id, next_seq=next_seq)
+    if op == OP_MIGRATE:
+        session_id = cursor.sid()
+        (ack_events,) = cursor.unpack(_U64)
+        (has_blob,) = cursor.take(1)
+        if has_blob:
+            return Migrate(
+                session_id=session_id, ack_events=ack_events, blob=cursor.rest()
+            )
+        cursor.done()
+        return Migrate(session_id=session_id, ack_events=ack_events, blob=None)
+    if op == OP_MIGRATE_OK:
+        session_id = cursor.sid()
+        (next_seq,) = cursor.unpack(_U64)
+        return MigrateOk(session_id=session_id, next_seq=next_seq, blob=cursor.rest())
+    if op == OP_STATS:
+        cursor.done()
+        return Stats()
+    if op == OP_STATS_OK:
+        raw = cursor.rest()
+        try:
+            stats = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"malformed STATS_OK payload: {exc}") from None
+        if not isinstance(stats, dict):
+            raise ProtocolError("STATS_OK payload is not a JSON object")
+        return StatsOk(stats=stats)
     if op == OP_EVENTS:
         return _decode_events(cursor)
     if op == OP_ERROR:

@@ -52,9 +52,10 @@ thread — the harness the benchmarks, the chaos suite and the
 from __future__ import annotations
 
 import asyncio
+import pickle
 import socket
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.serving.net import protocol as wire
 
@@ -150,6 +151,13 @@ class GatewayServer:
     queue_bursts:
         Outgoing-queue bound per connection (coalesced bursts); the
         server-side backpressure knob for slow readers.
+    tick_hook / tick_every:
+        Optional control-plane callback fired from the event-loop
+        thread after every ``tick_every`` ingest dispatches.  The hook
+        runs where the gateway lives, so it may safely call
+        ``stats()`` / ``migrate_session()`` — the seam a within-host
+        :class:`~repro.serving.autoscale.AutoBalancer` ticks through
+        when the host is fronted remotely.
     """
 
     def __init__(
@@ -160,18 +168,28 @@ class GatewayServer:
         port: int = 0,
         max_frame: int = wire.DEFAULT_MAX_FRAME,
         queue_bursts: int = DEFAULT_QUEUE_BURSTS,
+        tick_hook=None,
+        tick_every: int = 64,
     ):
         self.gateway = gateway
         self.host = host
         self.port = port
         self.max_frame = int(max_frame)
         self.queue_bursts = int(queue_bursts)
+        self.tick_hook = tick_hook
+        self.tick_every = max(1, int(tick_every))
+        self._ingests_since_tick = 0
         self._server: asyncio.AbstractServer | None = None
         self._sessions: dict[str, _NetSession] = {}
         self._owners: dict[str, _Connection] = {}
         self._parked: dict[str, _Parked] = {}
         self.n_connections = 0
         self.n_resumes = 0
+        self.n_migrations_in = 0
+        self.n_migrations_out = 0
+        #: TCP_NODELAY readback from the most recently accepted socket
+        #: (``None`` until a connection arrives) — regression-test seam.
+        self.last_accept_nodelay: bool | None = None
 
     @property
     def address(self) -> tuple[str, int]:
@@ -204,6 +222,9 @@ class GatewayServer:
         sock = writer.get_extra_info("socket")
         if sock is not None:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self.last_accept_nodelay = bool(
+                sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY)
+            )
         self.n_connections += 1
         conn = _Connection(self.queue_bursts)
         writer_task = asyncio.ensure_future(self._writer_loop(conn, writer))
@@ -327,6 +348,10 @@ class GatewayServer:
                 await self._on_close(conn, message)
             elif isinstance(message, wire.Resume):
                 await self._on_resume(conn, message)
+            elif isinstance(message, wire.Migrate):
+                await self._on_migrate(conn, message)
+            elif isinstance(message, wire.Stats):
+                await self._on_stats(conn)
             else:
                 raise wire.ProtocolError(
                     f"unexpected {type(message).__name__} frame from client"
@@ -373,6 +398,11 @@ class GatewayServer:
         await conn.send_burst(frames)
         if flushes_before is not None and self.gateway.n_flushes != flushes_before:
             await self._harvest_flush(exclude=message.session_id)
+        if self.tick_hook is not None:
+            self._ingests_since_tick += 1
+            if self._ingests_since_tick >= self.tick_every:
+                self._ingests_since_tick = 0
+                self.tick_hook()
 
     async def _harvest_flush(self, exclude: str) -> None:
         """Ship every session's newly resolved events after a flush.
@@ -450,6 +480,77 @@ class GatewayServer:
             ]
         )
 
+    async def _on_migrate(self, conn: _Connection, message: wire.Migrate) -> None:
+        """Ship a session out of — or import one into — this host.
+
+        A ``MIGRATE`` without a blob releases the session via the
+        gateway's migration path and returns its capture inside
+        ``MIGRATE_OK``; the events the client never acknowledged (its
+        ``ack_events`` tells us where its receive count stood when it
+        initiated the move) are prepended to the export's pending
+        events, so the importing host redelivers them from that exact
+        index and the client-side dedupe seam lines up.  A ``MIGRATE``
+        carrying a blob unpickles and imports it, adopting the session
+        on this connection with the delivery index starting at
+        ``ack_events``.
+        """
+        session_id = message.session_id
+        if message.blob is not None:
+            if session_id in self._parked or session_id in self._sessions:
+                raise ValueError(
+                    f"cannot import {session_id!r}: session already exists here"
+                )
+            export = pickle.loads(message.blob)
+            self.gateway.import_session(export)
+            state = _NetSession(session_id)
+            state.delivered = message.ack_events
+            self._adopt(conn, session_id, state)
+            self.n_migrations_in += 1
+            await conn.send_burst(
+                [self._frame(wire.encode_migrate_ok(session_id, state.seq))]
+            )
+            return
+        state = self._owned_state(conn, session_id)
+        replay = state.replay_from(message.ack_events)
+        export = self.gateway.release_session(session_id)
+        if replay:
+            export = replace(export, events=list(replay) + list(export.events))
+        conn.owned.discard(session_id)
+        self._sessions.pop(session_id, None)
+        self._owners.pop(session_id, None)
+        self.n_migrations_out += 1
+        blob = pickle.dumps(export, protocol=pickle.HIGHEST_PROTOCOL)
+        await conn.send_burst(
+            [self._frame(wire.encode_migrate_ok(session_id, state.seq, blob))]
+        )
+
+    async def _on_stats(self, conn: _Connection) -> None:
+        """Reply with the gateway's statistics snapshot as ``STATS_OK``.
+
+        Sharded gateways answer their own schema-pinned ``stats()``;
+        for a plain :class:`~repro.serving.gateway.StreamGateway` host
+        a compatible single-worker rollup is synthesized so federation
+        callers read one shape either way.
+        """
+        stats_fn = getattr(self.gateway, "stats", None)
+        if stats_fn is not None:
+            stats = stats_fn()
+        else:
+            g = self.gateway
+            worker = {
+                "n_sessions": g.n_sessions,
+                "n_queued": g.n_queued,
+                "n_flushes": g.n_flushes,
+                "n_classified": g.n_classified,
+                "n_evicted": g.n_evicted,
+            }
+            stats = dict(worker)
+            stats["per_worker"] = [worker]
+            stats["workers"] = 1
+            stats["migrations"] = 0
+            stats["scale_events"] = 0
+        await conn.send_burst([self._frame(wire.encode_stats_ok(stats))])
+
     def _adopt(self, conn: _Connection, session_id: str, state: _NetSession) -> None:
         conn.owned.add(session_id)
         self._sessions[session_id] = state
@@ -501,6 +602,8 @@ def serve_in_thread(
     port: int = 0,
     max_frame: int = wire.DEFAULT_MAX_FRAME,
     queue_bursts: int = DEFAULT_QUEUE_BURSTS,
+    tick_hook=None,
+    tick_every: int = 64,
 ) -> ServerHandle:
     """Run a :class:`GatewayServer` on a background event-loop thread.
 
@@ -509,7 +612,13 @@ def serve_in_thread(
     server thread; call :meth:`ServerHandle.stop` to shut down.
     """
     server = GatewayServer(
-        gateway, host=host, port=port, max_frame=max_frame, queue_bursts=queue_bursts
+        gateway,
+        host=host,
+        port=port,
+        max_frame=max_frame,
+        queue_bursts=queue_bursts,
+        tick_hook=tick_hook,
+        tick_every=tick_every,
     )
     loop = asyncio.new_event_loop()
     started = threading.Event()

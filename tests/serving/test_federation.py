@@ -1,0 +1,389 @@
+"""Federation tier tests: cross-host routing over real loopback hosts.
+
+The :class:`FederatedGateway` front door inherits the gateway tier's
+single contract — per-session event sequences bit-exact with a
+standalone inline-mode ``StreamingNode`` — and must uphold it through
+cross-host placement, wire-level live migration, lossless host drains
+and fleet growth.  These tests run real ``GatewayServer`` hosts (one
+event-loop thread each) behind one front door and compare against the
+standalone reference; ``test_federation_chaos.py`` stresses the same
+invariant under seeded interleavings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import (
+    AutoBalancer,
+    FederatedGateway,
+    StreamGateway,
+    spawn_host,
+    synthesize_fleet,
+)
+from repro.serving.federation import _endpoint
+from repro.serving.net import GatewayClient, serve_in_thread
+
+FS = 360.0
+CHUNK = 256
+
+FLEET_KEYS = {
+    "n_sessions", "n_queued", "n_flushes", "n_classified", "n_evicted",
+    "per_host", "hosts", "migrations", "scale_events",
+}
+HOST_KEYS = {
+    "n_sessions", "n_queued", "n_flushes", "n_classified", "n_evicted",
+    "per_worker", "workers", "migrations", "scale_events",
+}
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return synthesize_fleet(4, 8.0, fs=FS, seed=33)
+
+
+def start_host(classifier):
+    gateway = StreamGateway(
+        classifier, FS, n_leads=1, max_batch=16, max_latency_ticks=8
+    )
+    return serve_in_thread(gateway)
+
+
+@pytest.fixture()
+def two_hosts(embedded_classifier):
+    handles = [start_host(embedded_classifier) for _ in range(2)]
+    yield handles
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture()
+def fed(two_hosts):
+    with FederatedGateway(
+        [h.address for h in two_hosts], window=4
+    ) as gateway:
+        yield gateway
+
+
+class TestEndpointParsing:
+    def test_host_port_string(self):
+        assert _endpoint("127.0.0.1:9000") == ("127.0.0.1", 9000)
+
+    def test_tuple(self):
+        assert _endpoint(("box", "9000")) == ("box", 9000)
+
+    def test_missing_port_rejected(self):
+        with pytest.raises(ValueError, match="host:port"):
+            _endpoint("lonely-host")
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(ValueError, match="host:port"):
+            _endpoint(":9000")
+
+    def test_no_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="at least one host"):
+            FederatedGateway([])
+
+
+class TestPlacement:
+    def test_hash_is_deterministic(self, two_hosts):
+        placements = []
+        for _ in range(2):
+            with FederatedGateway(
+                [h.address for h in two_hosts], placement="hash", window=4
+            ) as fed:
+                for sid in ("a", "b", "c", "d"):
+                    fed.open_session(sid)
+                placements.append([fed.host_of(sid) for sid in "abcd"])
+                for sid in "abcd":
+                    fed.close_session(sid)
+        assert placements[0] == placements[1]
+
+    def test_round_robin_alternates(self, two_hosts):
+        with FederatedGateway(
+            [h.address for h in two_hosts], placement="round-robin", window=4
+        ) as fed:
+            for sid in ("a", "b", "c", "d"):
+                fed.open_session(sid)
+            assert [fed.host_of(sid) for sid in "abcd"] == [0, 1, 0, 1]
+
+    def test_least_loaded_fills_the_emptiest_host(self, fed):
+        fed.open_session("pinned-0", host=0)
+        fed.open_session("pinned-1", host=0)
+        fed.open_session("floater")
+        assert fed.host_of("floater") == 1
+
+    def test_explicit_host_wins(self, fed):
+        fed.open_session("pinned", host=1)
+        assert fed.host_of("pinned") == 1
+        assert fed.worker_of("pinned") == 1  # sharded-surface alias
+
+    def test_session_bookkeeping(self, fed):
+        fed.open_session("a", host=0)
+        fed.open_session("b", host=1)
+        fed.open_session("c", host=1)
+        assert fed.n_sessions == 3
+        assert fed.session_ids() == ["a", "b", "c"]
+        assert fed.sessions_on(1) == ["b", "c"]
+        assert fed.session_counts() == [1, 2]
+        assert fed.hosts == fed.workers == 2
+
+
+class TestBitExactness:
+    def test_fleet_bit_exact_across_migrate_retire_add(
+        self, two_hosts, fleet, embedded_classifier,
+        standalone_events, assert_events_equal,
+    ):
+        """One fleet streamed through the front door while the fleet
+        itself is reshaped under it: a cross-host migration mid-stream,
+        a lossless host drain, and a fresh host attached and loaded —
+        every session's event sequence must match standalone."""
+        streams, _ = fleet
+        third = start_host(embedded_classifier)
+        try:
+            with FederatedGateway(
+                [h.address for h in two_hosts], placement="round-robin", window=4
+            ) as fed:
+                for sid in streams:
+                    fed.open_session(sid)
+                events = {sid: [] for sid in streams}
+                longest = max(len(x) for x in streams.values())
+                rounds = range(0, longest, CHUNK)
+                for round_no, start in enumerate(rounds):
+                    if round_no == 3:
+                        fed.migrate_session("loadgen-0", 1)
+                    if round_no == 6:
+                        fed.retire_host(0)
+                    if round_no == 8:
+                        index = fed.add_host(third.address)
+                        fed.migrate_session("loadgen-1", index)
+                    for sid, signal in streams.items():
+                        piece = signal[start : start + CHUNK]
+                        if len(piece):
+                            events[sid].extend(fed.ingest(sid, piece))
+                for sid in streams:
+                    events[sid].extend(fed.close_session(sid))
+                assert fed.n_migrations >= 2
+                assert fed.n_scale_events == 2
+        finally:
+            third.stop()
+        for sid, signal in streams.items():
+            reference = standalone_events(embedded_classifier, signal, FS, 1)
+            assert len(events[sid]) > 0
+            assert_events_equal(reference, events[sid])
+
+    def test_retire_host_returns_drain_count(self, fed, fleet):
+        streams, _ = fleet
+        for sid in streams:
+            fed.open_session(sid, host=0)
+        moved = fed.retire_host(0)
+        assert moved == len(streams)
+        assert fed.hosts == 1
+        assert fed.session_counts() == [len(streams)]
+        for sid in streams:
+            fed.close_session(sid)
+
+
+class TestSessionSurface:
+    def test_duplicate_open_rejected(self, fed):
+        fed.open_session("dup")
+        with pytest.raises(ValueError, match="already open"):
+            fed.open_session("dup")
+
+    def test_unknown_session_rejected(self, fed):
+        with pytest.raises(KeyError, match="ghost"):
+            fed.ingest("ghost", [0.0])
+        with pytest.raises(KeyError, match="ghost"):
+            fed.migrate_session("ghost", 0)
+
+    def test_bad_host_index_rejected(self, fed):
+        fed.open_session("s")
+        with pytest.raises(ValueError, match="out of range"):
+            fed.open_session("t", host=2)
+        with pytest.raises(ValueError, match="out of range"):
+            fed.migrate_session("s", -1)
+
+    def test_migrate_to_current_host_is_a_noop(self, fed):
+        fed.open_session("s", host=0)
+        fed.migrate_session("s", 0)
+        assert fed.n_migrations == 0
+
+    def test_cannot_retire_the_last_host(self, fed):
+        fed.retire_host(0)
+        with pytest.raises(ValueError, match="last host"):
+            fed.retire_host(0)
+
+    def test_shutdown_is_idempotent(self, two_hosts):
+        fed = FederatedGateway([h.address for h in two_hosts], window=4)
+        fed.shutdown()
+        fed.shutdown()
+
+
+class TestFleetStats:
+    def test_rollup_schema_is_pinned(self, fed, fleet):
+        """The exact rollup key set, at both levels — fleet policy
+        inputs (``worker_loads``) must not silently drift."""
+        streams, _ = fleet
+        for sid in streams:
+            fed.open_session(sid)
+        stats = fed.stats()
+        assert set(stats) == FLEET_KEYS
+        assert stats["hosts"] == 2
+        assert len(stats["per_host"]) == 2
+        for host_stats in stats["per_host"]:
+            assert set(host_stats) == HOST_KEYS
+            assert host_stats["workers"] == 1
+            assert len(host_stats["per_worker"]) == 1
+        assert stats["n_sessions"] == len(streams)
+        assert stats["n_sessions"] == sum(
+            h["n_sessions"] for h in stats["per_host"]
+        )
+
+    def test_counters_track_fleet_reshaping(self, fed, embedded_classifier):
+        fed.open_session("s", host=0)
+        fed.migrate_session("s", 1)
+        third = start_host(embedded_classifier)
+        try:
+            fed.add_host(third.address)
+            fed.retire_host(0)
+            stats = fed.stats()
+            assert stats["migrations"] == 1
+            assert stats["scale_events"] == 2
+        finally:
+            third.stop()
+
+
+class TestWireMigration:
+    """The client-level MIGRATE/STATS primitives the router composes."""
+
+    def test_migrate_out_then_in_is_bit_exact(
+        self, two_hosts, fleet, embedded_classifier,
+        standalone_events, assert_events_equal,
+    ):
+        streams, _ = fleet
+        signal = streams["loadgen-0"]
+        half = (len(signal) // (2 * CHUNK)) * CHUNK
+        events = []
+        with GatewayClient(*two_hosts[0].address, window=4) as source, \
+                GatewayClient(*two_hosts[1].address, window=4) as target:
+            source.open_session("s")
+            for start in range(0, half, CHUNK):
+                events.extend(source.ingest("s", signal[start : start + CHUNK]))
+            migrated = source.migrate_out("s")
+            assert migrated.session_id == "s"
+            assert len(migrated.blob) > 0
+            events.extend(migrated.events)
+            assert "s" not in source._sessions
+            target.migrate_in(migrated)
+            for start in range(half, len(signal), CHUNK):
+                events.extend(target.ingest("s", signal[start : start + CHUNK]))
+            events.extend(target.close_session("s"))
+        reference = standalone_events(embedded_classifier, signal, FS, 1)
+        assert len(events) > 0
+        assert_events_equal(reference, events)
+
+    def test_migration_counters_on_both_hosts(self, two_hosts):
+        with GatewayClient(*two_hosts[0].address, window=4) as source, \
+                GatewayClient(*two_hosts[1].address, window=4) as target:
+            source.open_session("s")
+            target.migrate_in(source.migrate_out("s"))
+            target.close_session("s")
+        assert two_hosts[0].server.n_migrations_out == 1
+        assert two_hosts[1].server.n_migrations_in == 1
+
+    def test_stats_over_the_wire(self, two_hosts):
+        with GatewayClient(*two_hosts[0].address, window=4) as client:
+            client.open_session("s")
+            stats = client.stats()
+            assert set(stats) == HOST_KEYS
+            assert stats["n_sessions"] == 1
+            client.close_session("s")
+
+
+class TestSpawnHost:
+    def test_spawned_process_host_serves_bit_exact(
+        self, fleet, embedded_classifier,
+        standalone_events, assert_events_equal,
+    ):
+        """A backend host in its own OS process (the ``repro federate``
+        / benchmark building block) behind the front door."""
+        streams, _ = fleet
+        signal = streams["loadgen-0"]
+        host = spawn_host(
+            embedded_classifier, FS,
+            gateway_kwargs=dict(n_leads=1, max_batch=16, max_latency_ticks=8),
+        )
+        try:
+            assert host.process.is_alive()
+            with FederatedGateway([host.address], window=4) as fed:
+                fed.open_session("s")
+                events = []
+                for start in range(0, len(signal), CHUNK):
+                    events.extend(fed.ingest("s", signal[start : start + CHUNK]))
+                events.extend(fed.close_session("s"))
+        finally:
+            host.stop()
+        assert not host.process.is_alive()
+        reference = standalone_events(embedded_classifier, signal, FS, 1)
+        assert_events_equal(reference, events)
+
+
+class TestTwoLevelBalancing:
+    def test_autobalancer_evens_a_skewed_fleet(
+        self, fed, fleet, embedded_classifier,
+        standalone_events, assert_events_equal,
+    ):
+        """The across-host level: the stock ``AutoBalancer`` reads the
+        fleet rollup and live-migrates sessions off the hot host — and
+        the moved sessions' streams stay bit-exact."""
+        streams, _ = fleet
+        for sid in streams:
+            fed.open_session(sid, host=0)  # all on one host: maximal skew
+        balancer = AutoBalancer(
+            fed, imbalance_threshold=1, cooldown_ticks=0
+        )
+        moved = balancer.tick()
+        assert moved  # spread was len(streams) - 0 > 1
+        counts = fed.session_counts()
+        assert max(counts) - min(counts) <= 1
+        assert fed.n_migrations == len(moved)
+        events = {sid: [] for sid in streams}
+        longest = max(len(x) for x in streams.values())
+        for start in range(0, longest, CHUNK):
+            for sid, signal in streams.items():
+                piece = signal[start : start + CHUNK]
+                if len(piece):
+                    events[sid].extend(fed.ingest(sid, piece))
+        for sid in streams:
+            events[sid].extend(fed.close_session(sid))
+        for sid, signal in streams.items():
+            reference = standalone_events(embedded_classifier, signal, FS, 1)
+            assert_events_equal(reference, events[sid])
+
+    def test_within_host_tick_hook_fires_per_ingest_budget(
+        self, embedded_classifier, fleet
+    ):
+        """The server seam the within-host balancing level hangs off:
+        the hook runs on the event-loop thread every ``tick_every``
+        ingests."""
+        streams, _ = fleet
+        ticks = {"n": 0}
+
+        def hook():
+            ticks["n"] += 1
+
+        gateway = StreamGateway(
+            embedded_classifier, FS, n_leads=1, max_batch=16, max_latency_ticks=8
+        )
+        handle = serve_in_thread(gateway, tick_hook=hook, tick_every=4)
+        try:
+            with GatewayClient(handle.host, handle.port, window=4) as client:
+                client.open_session("s")
+                signal = streams["loadgen-0"]
+                n_ingests = 12
+                for i in range(n_ingests):
+                    client.ingest("s", signal[i * CHUNK : (i + 1) * CHUNK])
+                client.close_session("s")
+        finally:
+            handle.stop()
+        assert ticks["n"] == n_ingests // 4

@@ -1,0 +1,198 @@
+"""Federation chaos suite: fleet reshaping + killed links, bit-exactly.
+
+The federation tier's contract under adversity: whatever hosts served
+whatever prefixes of a session — through seeded interleavings of
+opens, ingests, cross-host migrations, host drains and killed host
+connections (with automatic reconnect-resume) over growing/shrinking
+host trajectories — every session's event sequence is identical to a
+standalone inline-mode ``StreamingNode``.
+
+Seeded chaos tests use the shared ``chaos_seeds`` parametrization
+(``REPRO_CHAOS_SEED=<seed>`` replays a CI failure locally).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import FederatedGateway, StreamGateway, synthesize_fleet
+from repro.serving.net import serve_in_thread
+
+FS = 360.0
+CHUNK = 256
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return synthesize_fleet(4, 8.0, fs=FS, seed=47)
+
+
+def start_host(classifier):
+    gateway = StreamGateway(
+        classifier, FS, n_leads=1, max_batch=16, max_latency_ticks=4
+    )
+    return serve_in_thread(gateway)
+
+
+class TestSeededInterleavings:
+    @pytest.mark.chaos_seeds(0, 1, 2)
+    def test_fleet_reshaping_interleaved_with_ingest_stays_bit_exact(
+        self, fleet, embedded_classifier, chaos_seed,
+        standalone_events, assert_events_equal,
+    ):
+        """A 1 -> 2 -> 1 host trajectory with seeded staggered opens,
+        random cross-host migrations and random host-connection kills
+        interleaved between ingest rounds.  Ops are control-plane
+        atomic (a kill lands between front-door calls, never inside a
+        migration) — the event sequences must be indistinguishable
+        from an unperturbed fleet."""
+        rng = np.random.default_rng(chaos_seed)
+        streams, _ = fleet
+        chunks = {
+            sid: [sig[s : s + CHUNK] for s in range(0, len(sig), CHUNK)]
+            for sid, sig in streams.items()
+        }
+        base = start_host(embedded_classifier)
+        spare = start_host(embedded_classifier)
+        handles = [base, spare]
+        try:
+            with FederatedGateway(
+                [base.address], placement="round-robin", window=4,
+                client_kwargs={"backoff_base": 0.01},
+            ) as fed:
+                open_round = {
+                    sid: int(rng.integers(0, 3)) for sid in chunks
+                }
+                cursor = {sid: 0 for sid in chunks}
+                events = {sid: [] for sid in chunks}
+                last_round = max(
+                    open_round[sid] + len(parts)
+                    for sid, parts in chunks.items()
+                )
+                grow_round = 2
+                kills = 0
+                for round_no in range(last_round):
+                    if round_no == grow_round:
+                        fed.add_host(spare.address)  # 1 -> 2 hosts
+                    if round_no > grow_round:
+                        action = rng.choice(
+                            ["migrate", "kill", "noop", "noop"]
+                        )
+                        open_sids = fed.session_ids()
+                        if action == "migrate" and fed.hosts > 1 and open_sids:
+                            sid = open_sids[int(rng.integers(len(open_sids)))]
+                            fed.migrate_session(
+                                sid, int(rng.integers(fed.hosts))
+                            )
+                        elif action == "kill":
+                            victim = int(rng.integers(fed.hosts))
+                            fed._clients[victim]._sock.close()
+                            kills += 1
+                    for sid, parts in chunks.items():
+                        if round_no == open_round[sid]:
+                            fed.open_session(sid)
+                        if round_no >= open_round[sid] and cursor[sid] < len(parts):
+                            events[sid].extend(
+                                fed.ingest(sid, parts[cursor[sid]])
+                            )
+                            cursor[sid] += 1
+                assert all(
+                    cursor[sid] == len(parts)
+                    for sid, parts in chunks.items()
+                )
+                while fed.hosts > 1:  # 2 -> 1: lossless drain
+                    fed.retire_host(int(rng.integers(fed.hosts)))
+                for sid in chunks:
+                    events[sid].extend(fed.close_session(sid))
+                assert fed.n_scale_events >= 2
+        finally:
+            for handle in handles:
+                handle.stop()
+        for sid, signal in streams.items():
+            reference = standalone_events(embedded_classifier, signal, FS, 1)
+            assert len(events[sid]) > 0
+            assert_events_equal(reference, events[sid])
+
+
+class TestKillResumeAroundMigration:
+    @pytest.mark.chaos_seeds(0, 1)
+    def test_killed_link_immediately_before_migrate_resumes_then_moves(
+        self, fleet, embedded_classifier, chaos_seed,
+        standalone_events, assert_events_equal,
+    ):
+        """The hardest ordering: the source host's connection is dead
+        when the cross-host capture starts.  The client must
+        reconnect-resume the parked session first, then capture — and
+        the moved session's stream stays gapless."""
+        rng = np.random.default_rng(chaos_seed)
+        streams, _ = fleet
+        signal = streams["loadgen-0"]
+        parts = [signal[s : s + CHUNK] for s in range(0, len(signal), CHUNK)]
+        kill_at = int(rng.integers(2, len(parts) - 2))
+        hosts = [start_host(embedded_classifier) for _ in range(2)]
+        try:
+            with FederatedGateway(
+                [h.address for h in hosts], window=4,
+                client_kwargs={"backoff_base": 0.01},
+            ) as fed:
+                fed.open_session("mover", host=0)
+                events = []
+                for i, piece in enumerate(parts):
+                    if i == kill_at:
+                        fed._clients[0]._sock.close()  # dead source link
+                        fed.migrate_session("mover", 1)
+                        assert fed._clients[0].n_reconnects >= 1
+                        assert fed.host_of("mover") == 1
+                    events.extend(fed.ingest("mover", piece))
+                events.extend(fed.close_session("mover"))
+        finally:
+            for handle in hosts:
+                handle.stop()
+        reference = standalone_events(embedded_classifier, signal, FS, 1)
+        assert_events_equal(reference, events)
+
+    @pytest.mark.chaos_seeds(0, 1)
+    def test_killed_links_on_both_hosts_mid_stream(
+        self, fleet, embedded_classifier, chaos_seed,
+        standalone_events, assert_events_equal,
+    ):
+        """Every host connection dies at a seeded round while the whole
+        fleet streams through the front door; reconnect-resume on each
+        link keeps every session's sequence exact."""
+        rng = np.random.default_rng(chaos_seed)
+        streams, _ = fleet
+        chunks = {
+            sid: [sig[s : s + CHUNK] for s in range(0, len(sig), CHUNK)]
+            for sid, sig in streams.items()
+        }
+        n_rounds = max(len(parts) for parts in chunks.values())
+        kill_rounds = {
+            0: int(rng.integers(1, n_rounds)),
+            1: int(rng.integers(1, n_rounds)),
+        }
+        hosts = [start_host(embedded_classifier) for _ in range(2)]
+        try:
+            with FederatedGateway(
+                [h.address for h in hosts], placement="round-robin", window=4,
+                client_kwargs={"backoff_base": 0.01},
+            ) as fed:
+                for sid in chunks:
+                    fed.open_session(sid)
+                events = {sid: [] for sid in chunks}
+                for round_no in range(n_rounds):
+                    for host, kill_round in kill_rounds.items():
+                        if round_no == kill_round:
+                            fed._clients[host]._sock.close()
+                    for sid, parts in chunks.items():
+                        if round_no < len(parts):
+                            events[sid].extend(fed.ingest(sid, parts[round_no]))
+                for sid in chunks:
+                    events[sid].extend(fed.close_session(sid))
+                assert sum(c.n_reconnects for c in fed._clients) >= 2
+        finally:
+            for handle in hosts:
+                handle.stop()
+        for sid, signal in streams.items():
+            reference = standalone_events(embedded_classifier, signal, FS, 1)
+            assert_events_equal(reference, events[sid])

@@ -262,3 +262,62 @@ class TestDecodeRejection:
         )
         with pytest.raises(wire.ProtocolError, match="fiducial"):
             wire.decode(payload)
+
+
+class TestFederationFrames:
+    """The cross-host control plane: MIGRATE / MIGRATE_OK / STATS."""
+
+    def test_migrate_capture_request(self):
+        message = roundtrip(wire.encode_migrate("wearable-3", 42))
+        assert isinstance(message, wire.Migrate)
+        assert (message.session_id, message.ack_events) == ("wearable-3", 42)
+        assert message.blob is None
+
+    def test_migrate_import_request(self):
+        blob = b"\x00\x01pickled-export\xff" * 3
+        message = roundtrip(wire.encode_migrate("s", 7, blob))
+        assert message.blob == blob
+        assert (message.session_id, message.ack_events) == ("s", 7)
+
+    def test_migrate_empty_blob_is_an_import(self):
+        """b'' means 'import this (empty) capture', not 'capture'."""
+        message = roundtrip(wire.encode_migrate("s", 0, b""))
+        assert message.blob == b""
+        assert roundtrip(wire.encode_migrate("s", 0)).blob is None
+
+    def test_migrate_ok_with_and_without_blob(self):
+        taken = roundtrip(wire.encode_migrate_ok("s", 9, b"capture"))
+        assert isinstance(taken, wire.MigrateOk)
+        assert (taken.session_id, taken.next_seq, taken.blob) == ("s", 9, b"capture")
+        imported = roundtrip(wire.encode_migrate_ok("s", 0))
+        assert imported.blob == b""
+
+    def test_stats_round_trip(self):
+        assert isinstance(roundtrip(wire.encode_stats()), wire.Stats)
+
+    def test_stats_ok_carries_nested_rollup(self):
+        stats = {
+            "n_sessions": 3,
+            "per_host": [{"n_sessions": 2, "n_queued": 0}, {"n_sessions": 1}],
+            "migrations": 7,
+        }
+        message = roundtrip(wire.encode_stats_ok(stats))
+        assert isinstance(message, wire.StatsOk)
+        assert message.stats == stats
+
+    def test_stats_ok_rejects_malformed_json(self):
+        with pytest.raises(wire.ProtocolError, match="STATS_OK"):
+            wire.decode(bytes([0x1A]) + b"{not json")
+
+    def test_stats_ok_rejects_non_object(self):
+        with pytest.raises(wire.ProtocolError, match="JSON object"):
+            wire.decode(bytes([0x1A]) + b"[1,2,3]")
+
+    def test_migrate_truncated_rejected(self):
+        payload = wire.encode_migrate("session", 1)
+        with pytest.raises(wire.ProtocolError):
+            wire.decode(payload[:-3])
+
+    def test_stats_trailing_bytes_rejected(self):
+        with pytest.raises(wire.ProtocolError, match="trailing"):
+            wire.decode(wire.encode_stats() + b"\x00")

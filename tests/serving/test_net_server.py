@@ -185,6 +185,27 @@ class TestSessionSurface:
             assert c._send_max_frame == 1 << 15
 
 
+class TestNodelay:
+    def test_nodelay_set_on_both_ends_of_the_connection(self, server):
+        """Nagle stays off on both sockets: the protocol's small framed
+        bursts (acks, polls, flush harvests) must not sit in kernel
+        buffers waiting for a coalescing timer."""
+        import socket as socketlib
+
+        with GatewayClient(server.host, server.port, window=4) as c:
+            c.connect()
+            assert (
+                c._sock.getsockopt(
+                    socketlib.IPPROTO_TCP, socketlib.TCP_NODELAY
+                )
+                != 0
+            )
+            # The server records a readback of the option on every
+            # accepted socket; connect() completes the HELLO handshake,
+            # so the accept has already happened.
+            assert server.server.last_accept_nodelay is True
+
+
 class TestCoalescedDelivery:
     def test_flush_burst_reaches_sessions_between_their_ingests(
         self, embedded_classifier

@@ -73,6 +73,7 @@ PUBLIC_MODULES = [
     "repro.serving.autoscale",
     "repro.serving.engine",
     "repro.serving.executors",
+    "repro.serving.federation",
     "repro.serving.gateway",
     "repro.serving.loadgen",
     "repro.serving.net",
