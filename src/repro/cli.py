@@ -223,6 +223,8 @@ def cmd_serve(args) -> int:
         Autoscaler,
         ShardedGateway,
         StreamGateway,
+        SupervisedGateway,
+        open_journal,
         serve_autoscaled,
         serve_round_robin,
     )
@@ -239,6 +241,10 @@ def cmd_serve(args) -> int:
         raise SystemExit(
             "error: --placement requires --autoscale or --workers > 1"
         )
+    if args.snapshot_every < 1:
+        raise SystemExit("error: --snapshot-every must be >= 1")
+    if args.journal is None and args.journal_backend != "file":
+        raise SystemExit("error: --journal-backend requires --journal")
 
     config = Table3Config(scale=_scale(args), seed=args.seed, genetic=_genetic(args))
     print("Training + quantizing the shared classifier ...")
@@ -274,6 +280,14 @@ def cmd_serve(args) -> int:
     # workers fill immediately), hash keeps the static pool's stable
     # assignment.  An explicit --placement wins in either sharded mode.
     placement = args.placement or ("least-loaded" if autoscaled else "hash")
+    journal = None
+    if args.journal is not None:
+        journal = open_journal(
+            args.journal, args.journal_backend,
+            snapshot_every=args.snapshot_every,
+        )
+    # A supervisor only helps where workers can die independently.
+    supervised = journal is not None and sharded and args.worker_mode == "process"
     if autoscaled:
         tier = (
             f"elastic pool {args.min_workers}..{args.max_workers} workers, "
@@ -283,24 +297,33 @@ def cmd_serve(args) -> int:
         tier = f"{args.workers} {args.worker_mode} workers, {placement} placement"
     else:
         tier = "single process"
+    if journal is not None:
+        tier += (
+            f", {args.journal_backend}-journaled"
+            + (" + supervised" if supervised else "")
+        )
     print(
         f"Ingesting round-robin ({tier}, {args.chunk_ms:.0f} ms chunks, "
         f"max_batch={args.max_batch}, max_latency_ticks={args.max_latency_ticks}) ..."
     )
-    if autoscaled:
-        context = ShardedGateway(
-            classifier, fs, workers=args.min_workers,
+    if sharded:
+        pool_kwargs = dict(
+            workers=args.min_workers if autoscaled else args.workers,
             placement=placement, worker_mode=args.worker_mode,
             **gateway_kwargs,
         )
-    elif sharded:
-        context = ShardedGateway(
-            classifier, fs, workers=args.workers,
-            placement=placement, worker_mode=args.worker_mode,
-            **gateway_kwargs,
-        )
+        if supervised:
+            context = SupervisedGateway(
+                classifier, fs, journal=journal, **pool_kwargs
+            )
+        else:
+            context = ShardedGateway(
+                classifier, fs, journal=journal, **pool_kwargs
+            )
     else:
-        context = nullcontext(StreamGateway(classifier, fs, **gateway_kwargs))
+        context = nullcontext(
+            StreamGateway(classifier, fs, journal=journal, **gateway_kwargs)
+        )
     profiler = None
     if args.profile:
         import cProfile
@@ -346,6 +369,13 @@ def cmd_serve(args) -> int:
                     f"{stats['migrations']} session migrations; "
                     f"batching stats cover the final pool"
                 )
+            if supervised:
+                print(
+                    f"  journal: {args.journal_backend} store at "
+                    f"{args.journal}, snapshot every {args.snapshot_every} "
+                    f"chunks; {stats['respawns']} worker respawns, "
+                    f"{stats['sessions_recovered']} sessions recovered"
+                )
         else:
             n_classified, n_flushes = gateway.n_classified, gateway.n_flushes
 
@@ -378,7 +408,13 @@ def _serve_listen(args, classifier) -> int:
     import asyncio
     from contextlib import nullcontext
 
-    from repro.serving import ShardedGateway, StreamGateway
+    from repro.serving import (
+        ShardedGateway,
+        StreamGateway,
+        SupervisedGateway,
+        open_journal,
+        recover_sessions,
+    )
     from repro.serving.net import GatewayServer
 
     host, port = _parse_hostport(args.listen)
@@ -390,16 +426,41 @@ def _serve_listen(args, classifier) -> int:
         max_batch=args.max_batch,
         max_latency_ticks=args.max_latency_ticks,
     )
+    journal = None
+    if args.journal is not None:
+        journal = open_journal(
+            args.journal, args.journal_backend,
+            snapshot_every=args.snapshot_every,
+        )
+    supervised = (
+        journal is not None and args.workers > 1
+        and args.worker_mode == "process"
+    )
     if args.workers > 1:
-        context = ShardedGateway(
-            classifier, fs, workers=args.workers,
+        pool_kwargs = dict(
+            workers=args.workers,
             placement=args.placement or "hash",
             worker_mode=args.worker_mode, **gateway_kwargs,
         )
+        if supervised:
+            context = SupervisedGateway(
+                classifier, fs, journal=journal, **pool_kwargs
+            )
+        else:
+            context = ShardedGateway(
+                classifier, fs, journal=journal, **pool_kwargs
+            )
         tier = f"{args.workers} {args.worker_mode} workers"
     else:
-        context = nullcontext(StreamGateway(classifier, fs, **gateway_kwargs))
+        context = nullcontext(
+            StreamGateway(classifier, fs, journal=journal, **gateway_kwargs)
+        )
         tier = "single process"
+    if journal is not None:
+        tier += (
+            f", {args.journal_backend}-journaled"
+            + (" + supervised" if supervised else "")
+        )
 
     async def _run(gateway) -> None:
         server = GatewayServer(gateway, host=host, port=port)
@@ -415,6 +476,19 @@ def _serve_listen(args, classifier) -> int:
             await server.stop()
 
     with context as gateway:
+        if journal is not None:
+            # Restart recovery: rebuild any sessions journaled by a
+            # previous process before accepting connections.
+            if supervised:
+                recovered = gateway.check_workers()
+            else:
+                recovered = len(recover_sessions(journal, gateway))
+            if recovered:
+                print(
+                    f"recovered {recovered} journaled session(s) "
+                    "from a previous run",
+                    flush=True,
+                )
         try:
             asyncio.run(_run(gateway))
         except KeyboardInterrupt:
@@ -804,6 +878,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--worker-mode", default="process", choices=WORKER_MODES,
                        help="sharded worker execution: separate processes, or "
                             "inline in-process workers sharing one batch")
+    serve.add_argument("--journal", default=None, metavar="DIR",
+                       help="write-ahead session journal directory: chunks "
+                            "are journaled before processing, snapshots taken "
+                            "on a cadence, and (with --workers N process "
+                            "mode) a supervisor respawns crashed workers and "
+                            "recovers their sessions bit-exactly")
+    serve.add_argument("--journal-backend", default="file",
+                       choices=("file", "sqlite"),
+                       help="journal persistence: file-per-session logs or a "
+                            "single sqlite database under the --journal dir")
+    serve.add_argument("--snapshot-every", type=int, default=64,
+                       help="journal snapshot cadence in accepted chunks per "
+                            "session (bounds recovery replay length)")
     serve.add_argument("--listen", default=None, metavar="HOST:PORT",
                        help="expose the gateway on a TCP socket (zero-copy "
                             "framed protocol) instead of replaying a local "

@@ -36,6 +36,13 @@ once; this package is that workload's engine, in two shapes:
   gateways above, and a pipelined :class:`GatewayClient` with
   retry/backoff and bit-exact reconnect-resume — the same session
   surface over TCP, so fleet drivers run unmodified off-host.
+* **Durability** (:mod:`repro.serving.durability`): a write-ahead
+  :class:`SessionJournal` (periodic ``SessionExport`` snapshots + an
+  append-only chunk log per session, over pluggable
+  :class:`JournalStore` backends — memory, file-per-session, sqlite)
+  and a :class:`SupervisedGateway` that detects worker death, respawns
+  the worker and replays snapshot+log to recover every lost session
+  bit-exactly — chunk-invariance as the recovery contract.
 * **Federation** (:mod:`repro.serving.federation`):
   :class:`FederatedGateway` routes sessions across N gateway hosts —
   cross-host placement (:data:`PLACEMENTS`), wire-level live migration
@@ -62,6 +69,16 @@ from repro.serving.engine import (
     classify_streams,
     simulate_records,
 )
+from repro.serving.durability import (
+    FileJournalStore,
+    JournalStore,
+    MemoryJournalStore,
+    SessionJournal,
+    SqliteJournalStore,
+    SupervisedGateway,
+    open_journal,
+    recover_sessions,
+)
 from repro.serving.executors import INBOX_POLICIES, PLACEMENTS
 from repro.serving.federation import FederatedGateway, HostProcess, spawn_host
 from repro.serving.gateway import (
@@ -79,7 +96,7 @@ from repro.serving.loadgen import (
 )
 from repro.serving.net import GatewayClient, GatewayServer, serve_in_thread
 from repro.serving.results import FleetTrace, StreamResult
-from repro.serving.sharded import SessionInbox, ShardedGateway
+from repro.serving.sharded import SessionInbox, ShardedGateway, WorkerCrashError
 
 __all__ = [
     "EXECUTORS",
@@ -89,20 +106,29 @@ __all__ = [
     "Autoscaler",
     "BeatBatch",
     "FederatedGateway",
+    "FileJournalStore",
     "FleetTrace",
     "GatewayClient",
     "HostProcess",
     "GatewayGroup",
     "GatewayServer",
+    "JournalStore",
     "LoadgenReport",
+    "MemoryJournalStore",
     "ServingEngine",
     "SessionExport",
     "SessionInbox",
+    "SessionJournal",
     "ShardedGateway",
+    "SqliteJournalStore",
     "StreamGateway",
     "StreamResult",
+    "SupervisedGateway",
+    "WorkerCrashError",
     "classify_streams",
     "find_max_sustained",
+    "open_journal",
+    "recover_sessions",
     "replay_fleet",
     "serve_autoscaled",
     "serve_in_thread",

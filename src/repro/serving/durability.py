@@ -1,0 +1,1003 @@
+"""Crash durability: write-ahead session journal + worker supervisor.
+
+A ``kill -9`` on a :class:`~repro.serving.sharded.ShardedGateway`
+worker loses every session it owns — the one failure mode the scaling
+tiers (placement, QoS, backpressure, federation) do not cover.  This
+module closes it with the classic write-ahead discipline, leaning on
+the serving stack's oldest invariant:
+
+    **chunk-invariance is the recovery contract.**  A session's event
+    sequence is bit-exact with a standalone inline-mode
+    :class:`~repro.dsp.streaming.StreamingNode` regardless of chunk
+    sizes, interleavings and flush boundaries — so *snapshot + replay*
+    reconstructs a lost session exactly, not approximately.
+
+Three layers:
+
+* :class:`JournalStore` — the pluggable persistence interface (the
+  point of the design: swap the medium, keep the semantics).  Three
+  backends ship: :class:`MemoryJournalStore` (tests, ephemeral),
+  :class:`FileJournalStore` (file-per-session snapshot + framed
+  append-only log), :class:`SqliteJournalStore` (one database file,
+  transactional).
+* :class:`SessionJournal` — the write-ahead policy over a store: an
+  ``open`` record per session, a pickled
+  :class:`~repro.serving.gateway.SessionExport` snapshot refreshed
+  every ``snapshot_every`` accepted chunks, an append-only log of the
+  chunks accepted since that snapshot, and a ``delivered`` counter of
+  the events already returned to the caller since that snapshot (so
+  recovery never re-delivers).  :meth:`SessionJournal.recover` hands
+  back everything needed to rebuild one session.
+* :class:`SupervisedGateway` — a :class:`ShardedGateway` wrapper that
+  journals every accepted chunk *before* it is shipped, detects worker
+  death (``Process.is_alive()`` / broken pipe, surfaced as
+  :class:`~repro.serving.sharded.WorkerCrashError`), respawns the dead
+  worker in place and rebuilds every lost session from its snapshot +
+  logged chunks — callers never see the crash, only a slightly slower
+  call.  The acknowledged prefix rule makes this exact: a chunk is
+  durable the moment ``ingest`` returns, so recovered event sequences
+  are bit-exact with a standalone node over exactly the acknowledged
+  chunks (``tests/serving/test_durability_chaos.py`` pins it under
+  seeded ``kill -9``).
+
+Recovery never writes to the journal (replay uses the raw worker
+protocol underneath the journal hooks), so a second crash mid-recovery
+just starts recovery over from the same durable state — the whole path
+is idempotent.  :func:`recover_sessions` applies the same replay to a
+fresh gateway after a *full-process* restart.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import pickle
+import sqlite3
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.executors import validate_at_least
+from repro.serving.gateway import SessionExport
+from repro.serving.sharded import ShardedGateway, WorkerCrashError, _InlineWorker
+
+__all__ = [
+    "FileJournalStore",
+    "JournalStore",
+    "MemoryJournalStore",
+    "RecoveredSession",
+    "SessionJournal",
+    "SqliteJournalStore",
+    "SupervisedGateway",
+    "open_journal",
+    "recover_sessions",
+]
+
+#: Journal backends :func:`open_journal` (and ``repro serve --journal``)
+#: can construct by name.
+JOURNAL_BACKENDS = ("file", "sqlite", "memory")
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+@dataclass
+class StoredSession:
+    """Raw (still-pickled) journal state of one session, as loaded."""
+
+    open_blob: bytes | None = None
+    snapshot: bytes | None = None
+    chunks: list[bytes] = field(default_factory=list)
+    delivered: int = 0
+
+
+class JournalStore:
+    """Persistence interface of the write-ahead session journal.
+
+    One implementation = one durability medium.  All methods are keyed
+    by session id; blobs are opaque bytes (the
+    :class:`SessionJournal` layer owns pickling).  Contract:
+
+    * :meth:`begin` registers a session, clearing any previous state
+      under the same id (a reopened id starts a fresh history);
+    * :meth:`put_snapshot` replaces the snapshot, **truncates the
+      chunk log** and zeroes the delivered counter — the snapshot
+      subsumes everything before it;
+    * :meth:`append_chunk` / :meth:`add_delivered` append to the
+      post-snapshot state; both must be lenient about an unknown id
+      (auto-register) so hooks never race registration;
+    * :meth:`load` returns the full :class:`StoredSession` (or
+      ``None`` for an unknown id); :meth:`chunk_count` is the cheap
+      cadence probe; :meth:`session_ids` lists every journaled id —
+      including ones persisted by an earlier process (file/sqlite);
+    * :meth:`forget` removes a session entirely (closed, evicted or
+      released sessions need no recovery).
+    """
+
+    def begin(self, session_id: str, open_blob: bytes) -> None:
+        raise NotImplementedError
+
+    def put_snapshot(self, session_id: str, blob: bytes) -> None:
+        raise NotImplementedError
+
+    def append_chunk(self, session_id: str, blob: bytes) -> None:
+        raise NotImplementedError
+
+    def add_delivered(self, session_id: str, n: int) -> None:
+        raise NotImplementedError
+
+    def load(self, session_id: str) -> StoredSession | None:
+        raise NotImplementedError
+
+    def chunk_count(self, session_id: str) -> int:
+        raise NotImplementedError
+
+    def forget(self, session_id: str) -> None:
+        raise NotImplementedError
+
+    def session_ids(self) -> list[str]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (file handles, database connections)."""
+
+
+class MemoryJournalStore(JournalStore):
+    """In-process store: survives worker crashes (the journal lives in
+    the parent), not parent restarts.  The reference semantics the
+    durable backends must match, and the zero-IO baseline."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, StoredSession] = {}
+
+    def _entry(self, session_id: str) -> StoredSession:
+        entry = self._sessions.get(session_id)
+        if entry is None:
+            entry = self._sessions[session_id] = StoredSession()
+        return entry
+
+    def begin(self, session_id: str, open_blob: bytes) -> None:
+        self._sessions[session_id] = StoredSession(open_blob=open_blob)
+
+    def put_snapshot(self, session_id: str, blob: bytes) -> None:
+        entry = self._entry(session_id)
+        entry.snapshot = blob
+        entry.chunks = []
+        entry.delivered = 0
+
+    def append_chunk(self, session_id: str, blob: bytes) -> None:
+        self._entry(session_id).chunks.append(blob)
+
+    def add_delivered(self, session_id: str, n: int) -> None:
+        self._entry(session_id).delivered += int(n)
+
+    def load(self, session_id: str) -> StoredSession | None:
+        entry = self._sessions.get(session_id)
+        if entry is None:
+            return None
+        return StoredSession(
+            open_blob=entry.open_blob,
+            snapshot=entry.snapshot,
+            chunks=list(entry.chunks),
+            delivered=entry.delivered,
+        )
+
+    def chunk_count(self, session_id: str) -> int:
+        entry = self._sessions.get(session_id)
+        return 0 if entry is None else len(entry.chunks)
+
+    def forget(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    def session_ids(self) -> list[str]:
+        return list(self._sessions)
+
+
+# File-store log framing: 1 record-type byte + u32 LE payload length.
+_LOG_HEADER = struct.Struct("<cI")
+_REC_CHUNK = b"C"
+_REC_DELIVERED = b"D"
+_DELIVERED_PAYLOAD = struct.Struct("<q")
+
+
+def _encode_token(session_id: str) -> str:
+    """Filename-safe reversible encoding of a session id."""
+    raw = base64.urlsafe_b64encode(session_id.encode("utf-8"))
+    return raw.decode("ascii").rstrip("=")
+
+
+def _decode_token(token: str) -> str:
+    padded = token + "=" * (-len(token) % 4)
+    return base64.urlsafe_b64decode(padded.encode("ascii")).decode("utf-8")
+
+
+class FileJournalStore(JournalStore):
+    """File-per-session store under one directory.
+
+    Layout (``<token>`` is the url-safe base64 of the session id):
+
+    * ``<token>.meta`` — the ``begin`` blob (open kwargs);
+    * ``<token>.snapshot`` — the latest snapshot blob, replaced
+      atomically (write-to-temp + :func:`os.replace`);
+    * ``<token>.log`` — framed append-only records since the snapshot:
+      ``C`` (a chunk blob) and ``D`` (a delivered-count delta).  The
+      log is truncated by :meth:`put_snapshot`, which also resets the
+      delivered count — both live in the log, so one truncate keeps
+      them consistent.
+
+    A half-written trailing record (the parent died mid-append) is
+    dropped at :meth:`load`; everything before it recovers.  With
+    ``sync=True`` every append is fsynced (worker crashes — the threat
+    model here — do not need it: the journal lives in the parent).
+    """
+
+    def __init__(self, root: str, *, sync: bool = False):
+        self.root = str(root)
+        self.sync = bool(sync)
+        os.makedirs(self.root, exist_ok=True)
+        self._logs: dict[str, object] = {}  # open append handles
+        self._counts: dict[str, int] = {}
+
+    def _path(self, session_id: str, suffix: str) -> str:
+        return os.path.join(self.root, _encode_token(session_id) + suffix)
+
+    def _log_handle(self, session_id: str):
+        handle = self._logs.get(session_id)
+        if handle is None or handle.closed:
+            handle = open(self._path(session_id, ".log"), "ab")
+            self._logs[session_id] = handle
+        return handle
+
+    def _append(self, session_id: str, rec_type: bytes, payload: bytes) -> None:
+        handle = self._log_handle(session_id)
+        handle.write(_LOG_HEADER.pack(rec_type, len(payload)))
+        handle.write(payload)
+        handle.flush()
+        if self.sync:
+            os.fsync(handle.fileno())
+
+    def _close_log(self, session_id: str) -> None:
+        handle = self._logs.pop(session_id, None)
+        if handle is not None and not handle.closed:
+            handle.close()
+
+    def _write_atomic(self, path: str, blob: bytes) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            if self.sync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def begin(self, session_id: str, open_blob: bytes) -> None:
+        self._write_atomic(self._path(session_id, ".meta"), open_blob)
+        self._remove(self._path(session_id, ".snapshot"))
+        self._close_log(session_id)
+        open(self._path(session_id, ".log"), "wb").close()  # fresh history
+        self._counts[session_id] = 0
+
+    def put_snapshot(self, session_id: str, blob: bytes) -> None:
+        # Snapshot first, then truncate: if the process dies between
+        # the two, recovery replays pre-snapshot chunks onto the new
+        # snapshot — a superset replay the next snapshot corrects.
+        # (The threat model is worker death; the parent owns this
+        # store, so the window is theoretical.)
+        self._write_atomic(self._path(session_id, ".snapshot"), blob)
+        self._close_log(session_id)
+        open(self._path(session_id, ".log"), "wb").close()
+        self._counts[session_id] = 0
+
+    def append_chunk(self, session_id: str, blob: bytes) -> None:
+        self._append(session_id, _REC_CHUNK, blob)
+        if session_id in self._counts:
+            self._counts[session_id] += 1
+        else:
+            self.chunk_count(session_id)  # lazy scan includes this append
+
+    def add_delivered(self, session_id: str, n: int) -> None:
+        self._append(session_id, _REC_DELIVERED, _DELIVERED_PAYLOAD.pack(int(n)))
+
+    def _read_log(self, session_id: str) -> tuple[list[bytes], int]:
+        path = self._path(session_id, ".log")
+        chunks: list[bytes] = []
+        delivered = 0
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            return chunks, delivered
+        offset, size = 0, len(data)
+        while offset + _LOG_HEADER.size <= size:
+            rec_type, length = _LOG_HEADER.unpack_from(data, offset)
+            offset += _LOG_HEADER.size
+            if offset + length > size:
+                break  # half-written trailing record: drop it
+            payload = data[offset : offset + length]
+            offset += length
+            if rec_type == _REC_CHUNK:
+                chunks.append(payload)
+            elif rec_type == _REC_DELIVERED:
+                delivered += _DELIVERED_PAYLOAD.unpack(payload)[0]
+        return chunks, delivered
+
+    def _read_blob(self, path: str) -> bytes | None:
+        try:
+            with open(path, "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return None
+
+    def load(self, session_id: str) -> StoredSession | None:
+        meta = self._read_blob(self._path(session_id, ".meta"))
+        snapshot = self._read_blob(self._path(session_id, ".snapshot"))
+        chunks, delivered = self._read_log(session_id)
+        if meta is None and snapshot is None and not chunks:
+            return None
+        return StoredSession(
+            open_blob=meta, snapshot=snapshot, chunks=chunks, delivered=delivered
+        )
+
+    def chunk_count(self, session_id: str) -> int:
+        count = self._counts.get(session_id)
+        if count is None:
+            count = len(self._read_log(session_id)[0])
+            self._counts[session_id] = count
+        return count
+
+    @staticmethod
+    def _remove(path: str) -> None:
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+
+    def forget(self, session_id: str) -> None:
+        self._close_log(session_id)
+        for suffix in (".meta", ".snapshot", ".log"):
+            self._remove(self._path(session_id, suffix))
+        self._counts.pop(session_id, None)
+
+    def session_ids(self) -> list[str]:
+        tokens: dict[str, None] = {}  # ordered de-dup across suffixes
+        for name in sorted(os.listdir(self.root)):
+            for suffix in (".meta", ".snapshot", ".log"):
+                if name.endswith(suffix):
+                    tokens.setdefault(name[: -len(suffix)], None)
+                    break
+        ids = []
+        for token in tokens:
+            try:
+                ids.append(_decode_token(token))
+            except (ValueError, UnicodeDecodeError):  # pragma: no cover
+                continue  # not one of ours
+        return ids
+
+    def close(self) -> None:
+        for session_id in list(self._logs):
+            self._close_log(session_id)
+
+
+class SqliteJournalStore(JournalStore):
+    """Single-file sqlite store: one ``sessions`` row per session plus
+    an append-only ``chunks`` table, everything transactional.
+
+    Default pragmas favor the actual threat model (worker death, not
+    host death): the journal lives in the parent process, so
+    ``synchronous=OFF`` skips the per-append fsync.  ``sync=True``
+    turns full fsync durability back on for host-crash tolerance.
+    """
+
+    def __init__(self, path: str, *, sync: bool = False):
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._db = sqlite3.connect(self.path)
+        self._db.execute(
+            "PRAGMA synchronous = " + ("FULL" if sync else "OFF")
+        )
+        self._db.execute("PRAGMA journal_mode = " + ("DELETE" if sync else "MEMORY"))
+        self._db.execute(
+            "CREATE TABLE IF NOT EXISTS sessions ("
+            " session_id TEXT PRIMARY KEY,"
+            " open_blob BLOB,"
+            " snapshot BLOB,"
+            " delivered INTEGER NOT NULL DEFAULT 0)"
+        )
+        self._db.execute(
+            "CREATE TABLE IF NOT EXISTS chunks ("
+            " seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " session_id TEXT NOT NULL,"
+            " blob BLOB NOT NULL)"
+        )
+        self._db.execute(
+            "CREATE INDEX IF NOT EXISTS chunks_by_session"
+            " ON chunks (session_id, seq)"
+        )
+        self._db.commit()
+
+    def begin(self, session_id: str, open_blob: bytes) -> None:
+        with self._db:
+            self._db.execute(
+                "INSERT OR REPLACE INTO sessions"
+                " (session_id, open_blob, snapshot, delivered)"
+                " VALUES (?, ?, NULL, 0)",
+                (session_id, open_blob),
+            )
+            self._db.execute(
+                "DELETE FROM chunks WHERE session_id = ?", (session_id,)
+            )
+
+    def put_snapshot(self, session_id: str, blob: bytes) -> None:
+        with self._db:
+            updated = self._db.execute(
+                "UPDATE sessions SET snapshot = ?, delivered = 0"
+                " WHERE session_id = ?",
+                (blob, session_id),
+            ).rowcount
+            if not updated:
+                self._db.execute(
+                    "INSERT INTO sessions"
+                    " (session_id, open_blob, snapshot, delivered)"
+                    " VALUES (?, NULL, ?, 0)",
+                    (session_id, blob),
+                )
+            self._db.execute(
+                "DELETE FROM chunks WHERE session_id = ?", (session_id,)
+            )
+
+    def _ensure_row(self, session_id: str) -> None:
+        self._db.execute(
+            "INSERT OR IGNORE INTO sessions (session_id) VALUES (?)",
+            (session_id,),
+        )
+
+    def append_chunk(self, session_id: str, blob: bytes) -> None:
+        with self._db:
+            self._ensure_row(session_id)
+            self._db.execute(
+                "INSERT INTO chunks (session_id, blob) VALUES (?, ?)",
+                (session_id, blob),
+            )
+
+    def add_delivered(self, session_id: str, n: int) -> None:
+        with self._db:
+            self._ensure_row(session_id)
+            self._db.execute(
+                "UPDATE sessions SET delivered = delivered + ?"
+                " WHERE session_id = ?",
+                (int(n), session_id),
+            )
+
+    def load(self, session_id: str) -> StoredSession | None:
+        row = self._db.execute(
+            "SELECT open_blob, snapshot, delivered FROM sessions"
+            " WHERE session_id = ?",
+            (session_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        chunks = [
+            blob
+            for (blob,) in self._db.execute(
+                "SELECT blob FROM chunks WHERE session_id = ? ORDER BY seq",
+                (session_id,),
+            )
+        ]
+        return StoredSession(
+            open_blob=row[0], snapshot=row[1], chunks=chunks, delivered=row[2]
+        )
+
+    def chunk_count(self, session_id: str) -> int:
+        (count,) = self._db.execute(
+            "SELECT COUNT(*) FROM chunks WHERE session_id = ?", (session_id,)
+        ).fetchone()
+        return count
+
+    def forget(self, session_id: str) -> None:
+        with self._db:
+            self._db.execute(
+                "DELETE FROM sessions WHERE session_id = ?", (session_id,)
+            )
+            self._db.execute(
+                "DELETE FROM chunks WHERE session_id = ?", (session_id,)
+            )
+
+    def session_ids(self) -> list[str]:
+        return [
+            session_id
+            for (session_id,) in self._db.execute(
+                "SELECT session_id FROM sessions ORDER BY rowid"
+            )
+        ]
+
+    def close(self) -> None:
+        self._db.close()
+
+
+@dataclass(frozen=True)
+class RecoveredSession:
+    """Everything :meth:`SessionJournal.recover` knows about a session:
+    how it was opened, its last snapshot (if any), the chunks accepted
+    since, and how many post-snapshot events the caller already holds
+    (replay must skip exactly that prefix)."""
+
+    session_id: str
+    open_kwargs: dict | None
+    export: SessionExport | None
+    chunks: list[np.ndarray]
+    delivered: int
+
+
+class SessionJournal:
+    """The write-ahead policy over a :class:`JournalStore`.
+
+    Owns the pickling and the snapshot cadence; the gateways call the
+    hooks (:meth:`open` / :meth:`log_chunk` / :meth:`delivered` /
+    :meth:`snapshot` / :meth:`forget`) and the supervisor calls
+    :meth:`recover`.  ``snapshot_every`` bounds replay length: once a
+    session's post-snapshot chunk log reaches it,
+    :meth:`wants_snapshot` asks the owning gateway for a fresh
+    :class:`~repro.serving.gateway.SessionExport`, which truncates the
+    log — recovery cost stays O(``snapshot_every``) chunks per session
+    no matter how long it lives.
+    """
+
+    def __init__(self, store: JournalStore, *, snapshot_every: int = 64):
+        validate_at_least("snapshot_every", snapshot_every)
+        self.store = store
+        self.snapshot_every = int(snapshot_every)
+
+    # -- write-ahead hooks (called by the gateways) ----------------------
+
+    def open(self, session_id: str, open_kwargs: dict | None) -> None:
+        """Record a fresh session and how to reopen it."""
+        self.store.begin(
+            session_id, pickle.dumps(open_kwargs or {}, _PICKLE_PROTOCOL)
+        )
+
+    def log_chunk(self, session_id: str, chunk) -> None:
+        """Append one accepted chunk (write-ahead: call before the
+        chunk is applied / shipped)."""
+        arr = np.asarray(chunk, dtype=float)
+        self.store.append_chunk(
+            session_id, pickle.dumps(arr, _PICKLE_PROTOCOL)
+        )
+
+    def delivered(self, session_id: str, n: int) -> None:
+        """Count events returned to the caller since the last snapshot
+        (recovery re-delivers everything *after* this prefix)."""
+        if n:
+            self.store.add_delivered(session_id, n)
+
+    def snapshot(self, session_id: str, export: SessionExport) -> None:
+        """Replace the snapshot; the chunk log and delivered counter
+        restart empty (the export subsumes them)."""
+        self.store.put_snapshot(
+            session_id, pickle.dumps(export, _PICKLE_PROTOCOL)
+        )
+
+    def wants_snapshot(self, session_id: str) -> bool:
+        """Has the post-snapshot chunk log reached the cadence bound?"""
+        return self.store.chunk_count(session_id) >= self.snapshot_every
+
+    def forget(self, session_id: str) -> None:
+        """Drop a session that no longer needs recovery (closed,
+        evicted, or released to another gateway)."""
+        self.store.forget(session_id)
+
+    # -- recovery --------------------------------------------------------
+
+    def recover(self, session_id: str) -> RecoveredSession | None:
+        """Load one session's recovery state (``None`` if unknown)."""
+        stored = self.store.load(session_id)
+        if stored is None:
+            return None
+        return RecoveredSession(
+            session_id=session_id,
+            open_kwargs=(
+                pickle.loads(stored.open_blob)
+                if stored.open_blob is not None
+                else None
+            ),
+            export=(
+                pickle.loads(stored.snapshot)
+                if stored.snapshot is not None
+                else None
+            ),
+            chunks=[pickle.loads(blob) for blob in stored.chunks],
+            delivered=int(stored.delivered),
+        )
+
+    def session_ids(self) -> list[str]:
+        """Every journaled session id (survivors of a restart included)."""
+        return self.store.session_ids()
+
+    def close(self) -> None:
+        self.store.close()
+
+
+def open_journal(
+    path: str,
+    backend: str = "file",
+    *,
+    snapshot_every: int = 64,
+    sync: bool = False,
+) -> SessionJournal:
+    """Build a :class:`SessionJournal` over a named backend.
+
+    ``"file"`` journals into the directory ``path``; ``"sqlite"`` into
+    ``<path>/journal.sqlite3`` (or ``path`` itself when it names a
+    file); ``"memory"`` ignores ``path``.  The ``repro serve
+    --journal DIR --journal-backend B --snapshot-every N`` flags map
+    straight onto this.
+    """
+    if backend == "file":
+        store: JournalStore = FileJournalStore(path, sync=sync)
+    elif backend == "sqlite":
+        db_path = path
+        if not os.path.splitext(path)[1]:
+            db_path = os.path.join(path, "journal.sqlite3")
+        store = SqliteJournalStore(db_path, sync=sync)
+    elif backend == "memory":
+        store = MemoryJournalStore()
+    else:
+        raise ValueError(
+            f"journal backend must be one of {JOURNAL_BACKENDS}, got {backend!r}"
+        )
+    return SessionJournal(store, snapshot_every=snapshot_every)
+
+
+class SupervisedGateway:
+    """Crash-durable front over a :class:`ShardedGateway` worker pool.
+
+    Construction wires a :class:`SessionJournal` into a new
+    :class:`ShardedGateway` (all ``**gateway_kwargs`` pass through:
+    ``workers``, ``placement``, QoS, backpressure, ...), then guards
+    the whole session surface: any call that hits a dead worker
+    (:class:`~repro.serving.sharded.WorkerCrashError` — ``kill -9``,
+    OOM, a broken pipe) triggers recovery and is retried transparently.
+
+    Recovery, per crash:
+
+    1. every worker whose process is no longer alive (plus the one the
+       failing call touched) is respawned **in place** — same index,
+       fresh empty process — via
+       :meth:`ShardedGateway.respawn_worker`;
+    2. every session the dead workers owned (plus any journaled
+       session no worker owns — a move interrupted mid-import) is
+       rebuilt: import its last snapshot (or re-open), replay the
+       logged chunks, force a flush, and keep every replayed event
+       past the journal's ``delivered`` count as the session's owed
+       backlog.  Chunk-invariance makes the rebuilt stream bit-exact;
+    3. the retried call completes against the healed pool.  A chunk
+       whose journal entry landed before the crash is *not* re-sent
+       (the replay already applied it — re-ingesting would
+       double-apply); the retry drains events instead.
+
+    Recovery reads the journal but never writes it, so a second crash
+    mid-recovery restarts it from the same durable state.
+
+    ``check_workers()`` runs the same sweep proactively (a supervisor
+    loop's heartbeat); on a journal directory that survived a full
+    process restart it also rebuilds every journaled session from disk.
+
+    Parameters
+    ----------
+    journal:
+        A :class:`SessionJournal`, a bare :class:`JournalStore`, or a
+        path (journaled via :func:`open_journal`'s ``"file"`` backend).
+    snapshot_every:
+        Snapshot cadence override (chunks between snapshots).
+    max_recover_attempts:
+        Crash-recovery rounds one call may consume before the
+        :class:`~repro.serving.sharded.WorkerCrashError` propagates
+        (workers dying faster than they can be respawned).
+    on_recover:
+        Optional ``hook(dead_workers, recovered_session_ids)`` called
+        after each recovery round.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        fs: float,
+        *,
+        journal,
+        snapshot_every: int | None = None,
+        max_recover_attempts: int = 8,
+        on_recover=None,
+        **gateway_kwargs,
+    ):
+        validate_at_least("max_recover_attempts", max_recover_attempts)
+        self._owns_journal = False
+        if isinstance(journal, SessionJournal):
+            self.journal = journal
+        elif isinstance(journal, JournalStore):
+            self.journal = SessionJournal(journal)
+        else:
+            self.journal = open_journal(os.fspath(journal))
+            self._owns_journal = True
+        if snapshot_every is not None:
+            validate_at_least("snapshot_every", snapshot_every)
+            self.journal.snapshot_every = int(snapshot_every)
+        self.max_recover_attempts = int(max_recover_attempts)
+        self.on_recover = on_recover
+        self.n_recoveries = 0
+        self.n_sessions_recovered = 0
+        self._gateway = ShardedGateway(
+            classifier, fs, journal=self.journal, **gateway_kwargs
+        )
+
+    @property
+    def gateway(self) -> ShardedGateway:
+        """The supervised pool (escape hatch for tests/introspection)."""
+        return self._gateway
+
+    def __getattr__(self, name: str):
+        # Read-only surface (workers, placement, session_ids, ...)
+        # delegates; the crash-guarded methods are defined explicitly.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._gateway, name)
+
+    # -- the crash guard -------------------------------------------------
+
+    def _call(self, fn, *args, **kwargs):
+        attempts = 0
+        while True:
+            try:
+                return fn(*args, **kwargs)
+            except WorkerCrashError as crash:
+                attempts += 1
+                if attempts > self.max_recover_attempts:
+                    raise
+                if crash.chunk_journaled and crash.session_id is not None:
+                    # The chunk is durable and recovery replays it —
+                    # re-sending would double-apply.  The retry only
+                    # drains the session's events.
+                    fn, args, kwargs = (
+                        self._drain_session, (crash.session_id,), {},
+                    )
+                try:
+                    self._recover_from(crash)
+                except WorkerCrashError:
+                    # Another worker died mid-recovery.  The journal is
+                    # untouched; the retried call crashes again and
+                    # re-enters recovery with a fresh liveness scan.
+                    pass
+
+    def _drain_session(self, session_id: str) -> list:
+        gw = self._gateway
+        if session_id not in gw._owner:
+            self._recover_from(None)  # finish an interrupted recovery
+        return gw.poll(session_id)
+
+    def _recover_from(self, crash: WorkerCrashError | None) -> int:
+        """One recovery round: respawn every dead worker, rebuild every
+        lost session.  Returns the number of sessions recovered."""
+        gw = self._gateway
+        dead = set()
+        if crash is not None:
+            dead.add(crash.worker)
+        for index, proc in enumerate(gw._procs):
+            if getattr(proc, "pid", None) is not None and not proc.is_alive():
+                dead.add(index)
+        if dead and isinstance(gw._conns[sorted(dead)[0]], _InlineWorker):
+            raise RuntimeError("cannot recover inline workers")
+        lost: list[tuple[str, object]] = []
+        for index in sorted(dead):
+            for session_id in gw.sessions_on(index):
+                # Parent-side state of the dead worker's sessions is
+                # stale: undelivered buffered events regenerate on
+                # replay, the inbox restarts empty (its audit carries).
+                lost.append((session_id, gw._inboxes.get(session_id)))
+                gw._owner.pop(session_id, None)
+                gw._events.pop(session_id, None)
+                gw._errors.pop(session_id, None)
+                inbox = gw._inboxes.pop(session_id, None)
+                if inbox is not None:
+                    inbox.close()
+            gw.respawn_worker(index)
+        known = {session_id for session_id, _ in lost}
+        for session_id in self.journal.session_ids():
+            if session_id not in gw._owner and session_id not in known:
+                # Journaled but owned by nobody: a migration the crash
+                # interrupted between release and import, or a session
+                # persisted by a previous process (full restart).
+                lost.append((session_id, None))
+        recovered = []
+        for session_id, old_inbox in lost:
+            if self._recover_session(session_id, old_inbox):
+                recovered.append(session_id)
+        if dead or recovered:
+            self.n_recoveries += 1
+            self.n_sessions_recovered += len(recovered)
+            if self.on_recover is not None:
+                self.on_recover(sorted(dead), recovered)
+        return len(recovered)
+
+    def _recover_session(self, session_id: str, old_inbox=None) -> bool:
+        """Rebuild one session from its journal: snapshot import (or
+        re-open), chunk replay, forced flush.  Replayed events past the
+        journal's delivered count become the session's owed backlog.
+        Never writes the journal — idempotent under repeated crashes."""
+        gw, journal = self._gateway, self.journal
+        rec = journal.recover(session_id)
+        if rec is None:
+            return False
+        # Scrub any stale half-recovered copy a previously interrupted
+        # recovery left behind (placement may pick a different target
+        # this round).
+        for index in range(gw.workers):
+            try:
+                gw._request(index, ("release", session_id))
+            except KeyError:
+                pass
+        target = gw._place(session_id)
+        if rec.export is not None:
+            gw._request(target, ("import", session_id, rec.export))
+        else:
+            gw._request(target, ("open", session_id, rec.open_kwargs or {}))
+        replayed: list = []
+        for chunk in rec.chunks:
+            replayed.extend(gw._request(target, ("ingest", session_id, chunk)))
+        # The original flushes rode other sessions' shared-clock ticks;
+        # a solo replay must force the tail out (flush boundaries never
+        # change event content — the pinned invariance).
+        gw._request(target, ("flush", None))
+        replayed.extend(gw._request(target, ("poll", session_id)))
+        if len(replayed) < rec.delivered:  # pragma: no cover - guard
+            raise RuntimeError(
+                f"journal replay of session {session_id!r} produced "
+                f"{len(replayed)} events, fewer than the {rec.delivered} "
+                "already delivered — journal accounting is broken"
+            )
+        gw._register(session_id, target)
+        if old_inbox is not None and session_id in gw._inboxes:
+            gw._inboxes[session_id].carry_audit(old_inbox)
+        residue = replayed[rec.delivered :]
+        if residue:
+            gw._events[session_id] = residue
+        return True
+
+    def check_workers(self) -> int:
+        """Proactive sweep: respawn dead workers, rebuild their (and
+        any orphaned journaled) sessions.  Returns sessions recovered.
+        Call it from a supervisor loop / after a full restart."""
+        attempts = 0
+        while True:
+            try:
+                return self._recover_from(None)
+            except WorkerCrashError:
+                attempts += 1
+                if attempts > self.max_recover_attempts:
+                    raise
+
+    # -- the guarded session surface -------------------------------------
+
+    def open_session(self, session_id: str, **kwargs) -> None:
+        """Open a session (crash-guarded); see
+        :meth:`ShardedGateway.open_session`."""
+        return self._call(self._gateway.open_session, session_id, **kwargs)
+
+    def ingest(self, session_id: str, chunk) -> list:
+        """Journal one chunk, ship it, return resolved events.
+
+        The chunk is durable when this returns — a worker crash at any
+        point afterwards recovers it by replay.  This is the
+        acknowledged-prefix contract the chaos suite pins."""
+        return self._call(self._gateway.ingest, session_id, chunk)
+
+    def poll(self, session_id: str) -> list:
+        """Drain a session's events (crash-guarded)."""
+        return self._call(self._gateway.poll, session_id)
+
+    def close_session(self, session_id: str) -> list:
+        """End a session; its journal entry is dropped with it."""
+        return self._call(self._gateway.close_session, session_id)
+
+    def export_session(self, session_id: str) -> SessionExport:
+        """Capture a session (also refreshes its journal snapshot)."""
+        return self._call(self._gateway.export_session, session_id)
+
+    def release_session(self, session_id: str) -> SessionExport:
+        """Capture and remove a session (journal entry dropped)."""
+        return self._call(self._gateway.release_session, session_id)
+
+    def import_session(self, export: SessionExport, session_id=None) -> str:
+        """Resume an exported session (journaled as a fresh snapshot)."""
+        return self._call(self._gateway.import_session, export, session_id)
+
+    def migrate_session(self, session_id: str, worker: int) -> None:
+        """Move a session between workers; the move carries the journal
+        (its capture doubles as a snapshot)."""
+        return self._call(self._gateway.migrate_session, session_id, worker)
+
+    def flush(self) -> int:
+        """Force a batched classifier pass on every worker."""
+        return self._call(self._gateway.flush)
+
+    def take_evicted(self) -> dict[str, list]:
+        """Evicted sessions' final event sequences (crash-guarded)."""
+        return self._call(self._gateway.take_evicted)
+
+    def add_worker(self) -> int:
+        """Grow the supervised pool by one worker."""
+        return self._call(self._gateway.add_worker)
+
+    def retire_worker(self, worker: int) -> int:
+        """Drain and reap one worker (crash-guarded)."""
+        return self._call(self._gateway.retire_worker, worker)
+
+    def stats(self) -> dict:
+        """Pool statistics plus the supervisor's recovery counters
+        (``recoveries``, ``sessions_recovered``, ``respawns``)."""
+        totals = self._call(self._gateway.stats)
+        totals["recoveries"] = self.n_recoveries
+        totals["sessions_recovered"] = self.n_sessions_recovered
+        totals["respawns"] = self._gateway.n_respawns
+        return totals
+
+    # -- lifecycle -------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Reap the pool.  The journal persists (that is the point) —
+        sessions still open recover via :meth:`check_workers` on a new
+        instance over the same store; the store is closed only if this
+        wrapper created it from a path."""
+        self._gateway.shutdown()
+        if self._owns_journal:
+            self.journal.close()
+
+    def __enter__(self) -> "SupervisedGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def recover_sessions(journal: SessionJournal, gateway) -> dict[str, list]:
+    """Rebuild every journaled session on a fresh gateway (the
+    full-process-restart path, for any gateway tier).
+
+    For each journaled session: import its snapshot (or re-open it),
+    replay the logged chunks through the gateway's public surface,
+    force a flush, and collect the replayed events.  Returns the
+    per-session events *beyond* the journal's delivered count — the
+    backlog the previous process accepted but never handed out; events
+    before it were already delivered and are skipped (never
+    re-delivered).
+
+    If ``gateway`` journals into the same journal, the rebuilt
+    sessions are re-journaled consistently as a side effect (import
+    snapshots, replayed chunk log, delivered counts) — the normal way
+    to keep durability across restarts.
+    """
+    backlog: dict[str, list] = {}
+    for session_id in journal.session_ids():
+        rec = journal.recover(session_id)
+        if rec is None:  # pragma: no cover - concurrent forget
+            continue
+        if rec.export is not None:
+            gateway.import_session(rec.export, session_id)
+        else:
+            gateway.open_session(session_id, **(rec.open_kwargs or {}))
+        events: list = []
+        for chunk in rec.chunks:
+            events.extend(gateway.ingest(session_id, chunk))
+        flush = getattr(gateway, "flush_batch", None)
+        if flush is None:
+            flush = getattr(gateway, "flush", None)
+        if flush is not None:
+            flush()
+        events.extend(gateway.poll(session_id))
+        if len(events) < rec.delivered:  # pragma: no cover - guard
+            raise RuntimeError(
+                f"journal replay of session {session_id!r} produced "
+                f"{len(events)} events, fewer than the {rec.delivered} "
+                "already delivered — journal accounting is broken"
+            )
+        backlog[session_id] = events[rec.delivered :]
+    return backlog

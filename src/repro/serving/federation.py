@@ -72,7 +72,7 @@ from dataclasses import dataclass
 from repro.serving.autoscale import AutoBalancer
 from repro.serving.executors import validate_placement
 from repro.serving.gateway import StreamGateway
-from repro.serving.net.client import GatewayClient
+from repro.serving.net.client import GatewayClient, RemoteError
 from repro.serving.net.server import GatewayServer
 from repro.serving.sharded import ShardedGateway
 
@@ -80,9 +80,15 @@ __all__ = ["FederatedGateway", "HostProcess", "spawn_host"]
 
 
 def _endpoint(spec) -> tuple[str, int]:
-    """Normalize one host endpoint: ``"host:port"`` or ``(host, port)``."""
+    """Normalize one host endpoint: ``"host:port"`` or ``(host, port)``.
+
+    Bracketed IPv6 literals (``"[::1]:9000"``) parse to the bare
+    address (``"::1"``) — the form the socket layer connects to.
+    """
     if isinstance(spec, str):
         host, _, port = spec.rpartition(":")
+        if host.startswith("[") and host.endswith("]"):
+            host = host[1:-1]
         if not host or not port.isdigit():
             raise ValueError(f"endpoint must be 'host:port', got {spec!r}")
         return host, int(port)
@@ -234,6 +240,10 @@ class FederatedGateway:
         except KeyError:
             raise KeyError(f"no open session {session_id!r}") from None
 
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("gateway is shut down")
+
     def _take_residue(self, session_id: str) -> list:
         events = self._residue.pop(session_id, None)
         return events if events is not None else []
@@ -249,6 +259,7 @@ class FederatedGateway:
         host: int | None = None,
     ) -> None:
         """Open a session on its policy-placed (or explicit) host."""
+        self._check_open()
         if session_id in self._owner:
             raise ValueError(f"session {session_id!r} is already open")
         index = self._place(session_id) if host is None else self._validate_host(host)
@@ -302,6 +313,7 @@ class FederatedGateway:
         :class:`~repro.serving.autoscale.AutoBalancer` is this call
         driven by the fleet load statistics.
         """
+        self._check_open()
         index = self._owner_or_raise(session_id)
         target = self._validate_host(host)
         if target == index:
@@ -321,6 +333,7 @@ class FederatedGateway:
         index.  The new host starts empty — the across-host balancer
         migrates load onto it, and ``least-loaded`` placement favors
         it for new sessions immediately."""
+        self._check_open()
         host, port = _endpoint(endpoint)
         client = GatewayClient(host, port, **self._client_kwargs)
         client.connect()
@@ -340,6 +353,7 @@ class FederatedGateway:
         one shift down by one.  The rolling-restart primitive: drain,
         restart the box, :meth:`add_host` it back.
         """
+        self._check_open()
         index = self._validate_host(host)
         if self.hosts == 1:
             raise ValueError("cannot retire the last host")
@@ -347,7 +361,20 @@ class FederatedGateway:
         for session_id in self.sessions_on(index):
             if self._owner.get(session_id) != index:
                 continue  # closed under us mid-drain
-            self._move(session_id, index, self._place(session_id, exclude=index))
+            try:
+                self._move(session_id, index, self._place(session_id, exclude=index))
+            except (KeyError, RemoteError) as exc:
+                # Evicted/closed server-side between the sessions_on
+                # snapshot and the wire capture — the same race
+                # ShardedGateway.retire_worker guards.  Skip the
+                # session and keep draining; anything else is a real
+                # failure and aborts the drain.
+                if isinstance(exc, RemoteError) and "no open session" not in str(exc):
+                    raise
+                self._clients[index].discard_session(session_id)
+                self._owner.pop(session_id, None)
+                self._residue.pop(session_id, None)
+                continue
             moved += 1
         client = self._clients.pop(index)
         client.close()
@@ -372,8 +399,11 @@ class FederatedGateway:
         count this router's own cross-host moves and host
         attach/retire events (each host's rollup keeps its own
         within-host counters).  The schema is pinned by a regression
-        test so fleet policy inputs cannot silently drift.
+        test so fleet policy inputs cannot silently drift.  After
+        :meth:`shutdown` this raises a clean ``RuntimeError`` instead
+        of failing on a dead client connection.
         """
+        self._check_open()
         per_host = [client.stats() for client in self._clients]
         totals = {
             key: sum(stats[key] for stats in per_host)
@@ -400,6 +430,10 @@ class FederatedGateway:
         self._closed = True
         for client in self._clients:
             client.close()
+        # The routing maps go with the connections: n_sessions must
+        # read 0 on a shut-down front door, not a stale census.
+        self._owner.clear()
+        self._residue.clear()
 
     def __enter__(self) -> "FederatedGateway":
         return self

@@ -322,6 +322,14 @@ class StreamGateway:
         Optional :class:`GatewayGroup`.  Member gateways share one
         cross-gateway batch and tick clock, so one flush classifies
         every member's pending beats in a single ``predict`` call.
+    journal:
+        Optional :class:`repro.serving.durability.SessionJournal`.
+        When set, every ingested chunk is write-ahead journaled, the
+        journal snapshot refreshes on its cadence (a synchronized
+        :class:`SessionExport` capture), delivered events are counted
+        against it, and closed/evicted/released sessions drop their
+        entries — so :func:`repro.serving.durability.recover_sessions`
+        can rebuild every open session bit-exactly after a crash.
 
     Notes
     -----
@@ -350,6 +358,7 @@ class StreamGateway:
         overhead_bytes: int = 2,
         coalesce: int = 1,
         group: GatewayGroup | None = None,
+        journal=None,
     ):
         validate_at_least("max_batch", max_batch)
         validate_at_least("max_latency_ticks", max_latency_ticks)
@@ -361,6 +370,7 @@ class StreamGateway:
         self.max_latency_ticks = int(max_latency_ticks)
         self.evict_after_ticks = evict_after_ticks
         self.on_evict = on_evict
+        self.journal = journal
         self._node_kwargs = dict(
             n_leads=n_leads,
             lead=lead,
@@ -444,6 +454,14 @@ class StreamGateway:
                 last_active=self._clock.tick,
             ),
         )
+        if self.journal is not None:
+            self.journal.open(
+                session_id,
+                {
+                    "max_latency_ticks": max_latency_ticks,
+                    "evict_after_ticks": evict_after_ticks,
+                },
+            )
 
     def ingest(self, session_id: str, chunk: np.ndarray) -> list[StreamBeatEvent]:
         """Feed one chunk of raw samples; return the session's new events.
@@ -457,6 +475,10 @@ class StreamGateway:
         order).
         """
         session = self._get(session_id)
+        if self.journal is not None:
+            # Write-ahead: the chunk is durable before it is applied,
+            # so the acknowledged prefix survives a process crash.
+            self.journal.log_chunk(session_id, chunk)
         session.events.extend(session.node.push(chunk))
         self._collect(session_id, session)
         clock = self._clock
@@ -465,7 +487,9 @@ class StreamGateway:
         if len(self._batch) >= self.max_batch or self._latency_budget_hit():
             self.flush_batch()
         self._evict_idle()
-        return session.drain()
+        if self.journal is not None and self.journal.wants_snapshot(session_id):
+            self._journal_snapshot(session_id)
+        return self._deliver(session_id, session.drain())
 
     def _latency_budget_hit(self) -> bool:
         """Has any session's oldest pending beat outlived its budget?
@@ -512,7 +536,7 @@ class StreamGateway:
 
     def poll(self, session_id: str) -> list[StreamBeatEvent]:
         """Drain the session's queued events without ingesting samples."""
-        return self._get(session_id).drain()
+        return self._deliver(session_id, self._get(session_id).drain())
 
     def close_session(self, session_id: str) -> list[StreamBeatEvent]:
         """End a session; return the remainder of its event sequence.
@@ -528,6 +552,8 @@ class StreamGateway:
         self.flush_batch()
         session.events.extend(session.node.finalize())
         self._remove_session(session_id)
+        if self.journal is not None:  # an ended session needs no recovery
+            self.journal.forget(session_id)
         return session.drain()
 
     def flush_batch(self) -> int:
@@ -576,13 +602,19 @@ class StreamGateway:
         """
         session = self._get(session_id)
         self.flush_batch()
-        return SessionExport(
+        export = SessionExport(
             session_id=session_id,
             snapshot=session.node.snapshot(),
             events=session.drain(),
             max_latency_ticks=session.latency_budget,
             evict_after_ticks=session.evict_after,
         )
+        if self.journal is not None:
+            # The capture doubles as a snapshot; its drained events go
+            # to the caller, so they count as delivered against it.
+            self.journal.snapshot(session_id, export)
+            self.journal.delivered(session_id, len(export.events))
+        return export
 
     def release_session(self, session_id: str) -> SessionExport:
         """Capture a live session for migration and remove it here.
@@ -594,6 +626,8 @@ class StreamGateway:
         """
         export = self.export_session(session_id)
         self._remove_session(session_id)
+        if self.journal is not None:  # the session now lives elsewhere
+            self.journal.forget(session_id)
         return export
 
     def import_session(self, export: SessionExport, session_id: str | None = None) -> str:
@@ -617,7 +651,40 @@ class StreamGateway:
                 last_active=self._clock.tick,
             ),
         )
+        if self.journal is not None:
+            self.journal.snapshot(session_id, export)
         return session_id
+
+    def _deliver(self, session_id: str, events: list) -> list:
+        """Hand drained events to the caller, counting them in the
+        journal — crash recovery re-delivers everything *except* this
+        prefix."""
+        if events and self.journal is not None and session_id in self._sessions:
+            self.journal.delivered(session_id, len(events))
+        return events
+
+    def _journal_snapshot(self, session_id: str) -> None:
+        """Refresh one session's journal snapshot, truncating its chunk
+        log (the cadence bound on replay length).  Pending
+        classifications flush first so no in-flight handles cross the
+        capture; the session's undrained events stay queued here *and*
+        inside the snapshot — consistent, because the fresh snapshot's
+        delivered count restarts at zero with them still undelivered.
+        """
+        session = self._sessions.get(session_id)
+        if session is None:  # pragma: no cover - evicted under the cadence
+            return
+        self.flush_batch()
+        self.journal.snapshot(
+            session_id,
+            SessionExport(
+                session_id=session_id,
+                snapshot=session.node.snapshot(),
+                events=list(session.events),
+                max_latency_ticks=session.latency_budget,
+                evict_after_ticks=session.evict_after,
+            ),
+        )
 
     def _add_session(self, session_id: str, session: _Session) -> None:
         self._sessions[session_id] = session

@@ -397,6 +397,17 @@ class GatewayClient:
         del self._sessions[session_id]
         return events
 
+    def discard_session(self, session_id: str) -> None:
+        """Drop a session's client-side state without touching the wire.
+
+        For sessions the *server* already ended (evicted, closed on
+        its side): there is nothing left to close remotely, but the
+        local replay/delivery state must not linger into a resume or a
+        reused id.  Unknown ids are ignored.
+        """
+        self._sessions.pop(session_id, None)
+        self._errors.pop(session_id, None)
+
     # -- cross-host migration + fleet stats ------------------------------
 
     def migrate_out(self, session_id: str) -> MigratedSession:
@@ -652,23 +663,35 @@ class GatewayClient:
         self._teardown()
         self.n_reconnects += 1
         self._connect_raw()
-        for session_id, sess in self._sessions.items():
-            self._send_payload(
-                wire.encode_resume(session_id, sess.events_received)
-            )
-            resume_ok = self._wait_for("resume_ok", session_id)
-            next_seq = resume_ok.next_seq
-            sess.seq_next = max(sess.seq_next, next_seq)
-            sess.pending = deque(
-                (seq, chunk) for seq, chunk in sess.pending if seq >= next_seq
-            )
-            for seq, chunk in sess.pending:
+        try:
+            for session_id, sess in self._sessions.items():
                 self._send_payload(
-                    wire.encode_ingest(
-                        session_id, seq, sess.events_received, chunk
-                    )
+                    wire.encode_resume(session_id, sess.events_received)
                 )
-                self.n_retransmitted += 1
+                resume_ok = self._wait_for("resume_ok", session_id)
+                next_seq = resume_ok.next_seq
+                sess.seq_next = max(sess.seq_next, next_seq)
+                sess.pending = deque(
+                    (seq, chunk) for seq, chunk in sess.pending if seq >= next_seq
+                )
+                for seq, chunk in sess.pending:
+                    self._send_payload(
+                        wire.encode_ingest(
+                            session_id, seq, sess.events_received, chunk
+                        )
+                    )
+                    self.n_retransmitted += 1
+        except _ConnectionLost as exc:
+            # A second transport failure mid-resume surfaces here with
+            # the *private* retry signal still in flight; callers of
+            # the public surface (ingest, poll, _pump) re-raise what
+            # lands here verbatim, so convert to the public error at
+            # this boundary like the handshake path does.
+            self._teardown()
+            raise ConnectError(
+                f"connection to {self.host}:{self.port} lost again while "
+                f"resuming sessions: {exc}"
+            ) from None
 
     def _send_payload(self, payload: bytes, *, buffered: bool = False) -> None:
         if self._sock is None:

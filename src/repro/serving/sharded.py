@@ -54,6 +54,16 @@ QoS settings (per-session latency budgets, idle eviction) are forwarded
 to the worker gateways; evicted sessions' final event sequences travel
 back with the next response from that worker and reach the parent's
 ``on_evict`` hook / :meth:`ShardedGateway.take_evicted`.
+
+Durability: with a ``journal``
+(:class:`repro.serving.durability.SessionJournal`) attached, every
+accepted chunk is journaled *before* it is shipped, snapshots refresh
+on the journal's cadence, and ownership moves carry the journal.  A
+dead worker (``kill -9``, broken pipe) surfaces as
+:class:`WorkerCrashError`;
+:class:`~repro.serving.durability.SupervisedGateway` catches it,
+respawns the worker in place (:meth:`ShardedGateway.respawn_worker`)
+and replays snapshot+log to recover its sessions bit-exactly.
 """
 
 from __future__ import annotations
@@ -76,7 +86,37 @@ from repro.serving.executors import (
 )
 from repro.serving.gateway import GatewayGroup, SessionExport, StreamGateway
 
-__all__ = ["SessionInbox", "ShardedGateway"]
+__all__ = ["SessionInbox", "ShardedGateway", "WorkerCrashError"]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died under a call (``kill -9``, OOM, broken
+    pipe).
+
+    Raised by the parent when the command pipe breaks or hits EOF.
+    ``worker`` is the pool index of the dead worker.  ``session_id`` /
+    ``chunk_journaled`` are set by ``ingest`` when the crash happened
+    *after* the chunk was journaled: the chunk is durable and recovery
+    will replay it, so the supervisor must **not** re-send it (that
+    would double-apply) — it retries as a drain instead.  Sessions the
+    dead worker owned are lost unless a journal +
+    :class:`~repro.serving.durability.SupervisedGateway` recovers them.
+    """
+
+    def __init__(
+        self,
+        worker: int,
+        cause: BaseException | None = None,
+        *,
+        session_id: str | None = None,
+        chunk_journaled: bool = False,
+    ):
+        detail = f": {cause!r}" if cause is not None else ""
+        super().__init__(f"worker {worker} crashed{detail}")
+        self.worker = worker
+        self.cause = cause
+        self.session_id = session_id
+        self.chunk_journaled = chunk_journaled
 
 
 class SessionInbox:
@@ -165,6 +205,15 @@ class SessionInbox:
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+
+    def carry_audit(self, previous: "SessionInbox") -> None:
+        """Inherit a predecessor inbox's full audit (migration /
+        recovery): shed count, accept count, and high-water mark — the
+        counters are per *session*, not per placement."""
+        with self._cond:
+            self.n_dropped = previous.n_dropped
+            self.n_accepted = previous.n_accepted
+            self.high_water = max(self.high_water, previous.high_water)
 
 
 class _WorkerState:
@@ -359,6 +408,14 @@ class ShardedGateway:
     mp_context:
         Optional :mod:`multiprocessing` start method (e.g. ``"fork"``,
         ``"spawn"``); default is the platform's.
+    journal:
+        Optional :class:`repro.serving.durability.SessionJournal`.
+        When set, accepted chunks are write-ahead journaled, snapshots
+        refresh on the journal's cadence, migrations carry the
+        journal, and closed/evicted/released sessions drop their
+        entries — everything
+        :class:`~repro.serving.durability.SupervisedGateway` needs to
+        recover a crashed worker's sessions bit-exactly.
 
     Use as a context manager (or call :meth:`shutdown`) so the worker
     processes are reaped.
@@ -379,6 +436,7 @@ class ShardedGateway:
         inbox_policy: str = "block",
         worker_mode: str = "process",
         mp_context: str | None = None,
+        journal=None,
         n_leads: int = 1,
         lead: int = 0,
         decimation: int = 4,
@@ -404,6 +462,7 @@ class ShardedGateway:
         self.inbox_policy = inbox_policy
         self.worker_mode = worker_mode
         self.on_evict = on_evict
+        self.journal = journal
         gateway_kwargs = dict(
             max_batch=max_batch,
             max_latency_ticks=max_latency_ticks,
@@ -432,16 +491,16 @@ class ShardedGateway:
         self._rr_next = 0
         self.n_migrations = 0
         self.n_scale_events = 0
+        self.n_respawns = 0
         self._closed = False
 
-    def _spawn_worker(self) -> None:
+    def _make_worker(self) -> tuple:
+        """Build one worker's (connection, process) pair."""
         if self._group is not None:
             state = _WorkerState(
                 self._classifier, self.fs, self._gateway_kwargs, group=self._group
             )
-            self._conns.append(_InlineWorker(state))
-            self._procs.append(_InlineProcess())
-            return
+            return _InlineWorker(state), _InlineProcess()
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_worker_main,
@@ -450,8 +509,42 @@ class ShardedGateway:
         )
         proc.start()
         child_conn.close()
-        self._conns.append(parent_conn)
+        return parent_conn, proc
+
+    def _spawn_worker(self) -> None:
+        conn, proc = self._make_worker()
+        self._conns.append(conn)
         self._procs.append(proc)
+
+    def respawn_worker(self, worker: int) -> int:
+        """Replace a dead worker in place: same index, fresh process.
+
+        The crashed worker's sessions are *not* restored here — the
+        new process starts empty; session recovery (snapshot + replay)
+        is :class:`~repro.serving.durability.SupervisedGateway`'s job.
+        The caller must already have dropped the parent-side state of
+        the sessions the dead worker owned.
+        """
+        if self._closed:
+            raise RuntimeError("gateway is shut down")
+        index = self._validate_worker(worker)
+        conn, proc = self._conns[index], self._procs[index]
+        if isinstance(conn, _InlineWorker):
+            raise RuntimeError(
+                "inline workers run in the calling process and cannot "
+                "crash independently; respawn_worker requires "
+                "worker_mode='process'"
+            )
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+        self._conns[index], self._procs[index] = self._make_worker()
+        self.n_respawns += 1
+        return index
 
     # -- session surface -------------------------------------------------
 
@@ -522,6 +615,8 @@ class ShardedGateway:
         }
         self._request(index, ("open", session_id, qos))
         self._register(session_id, index)
+        if self.journal is not None:
+            self.journal.open(session_id, qos)
 
     def ingest(self, session_id: str, chunk: np.ndarray) -> list:
         """Ship one chunk to the owning worker; return resolved events.
@@ -545,9 +640,27 @@ class ShardedGateway:
             if session_id not in self._owner:  # evicted while blocked
                 raise KeyError(f"no open session {session_id!r}")
             if not accepted:
-                return self._events.pop(session_id, [])
-        self._conns[index].send(("ingest", session_id, np.asarray(chunk, dtype=float)))
-        return self._events.pop(session_id, [])
+                return self._take_events(session_id)
+        arr = np.asarray(chunk, dtype=float)
+        if self.journal is None:
+            self._send(index, ("ingest", session_id, arr))
+        else:
+            # Write-ahead: the chunk is durable before it is shipped,
+            # so the caller's acknowledged prefix survives any crash
+            # from here on.  A crash past this point is therefore
+            # marked chunk_journaled — the supervisor must not re-send
+            # the chunk (recovery replays it; re-sending would
+            # double-apply), it retries the call as a drain.
+            self.journal.log_chunk(session_id, arr)
+            try:
+                self._send(index, ("ingest", session_id, arr))
+                if self.journal.wants_snapshot(session_id):
+                    self._journal_snapshot(session_id)
+            except WorkerCrashError as crash:
+                crash.session_id = session_id
+                crash.chunk_journaled = True
+                raise
+        return self._take_events(session_id)
 
     def poll(self, session_id: str) -> list:
         """Drain the session's queued events without ingesting samples.
@@ -558,7 +671,7 @@ class ShardedGateway:
         """
         index = self._owner_or_raise(session_id)
         value = self._request(index, ("poll", session_id))
-        return self._events.pop(session_id, []) + value
+        return self._take_events(session_id, value)
 
     def close_session(self, session_id: str) -> list:
         """End a session; wait for and return the rest of its events."""
@@ -569,6 +682,8 @@ class ShardedGateway:
         # this very session; its final events are the authoritative tail.
         events += self._evicted.pop(session_id, [])
         self._unregister(session_id)
+        if self.journal is not None:  # an ended session needs no recovery
+            self.journal.forget(session_id)
         return events
 
     def export_session(self, session_id: str) -> SessionExport:
@@ -581,7 +696,13 @@ class ShardedGateway:
         """
         index = self._owner_or_raise(session_id)
         export = self._request(index, ("export", session_id))
-        return self._merge_buffer(session_id, export)
+        export = self._merge_buffer(session_id, export)
+        if self.journal is not None:
+            # The capture doubles as a snapshot; its drained events go
+            # to the caller, so they count as delivered against it.
+            self.journal.snapshot(session_id, export)
+            self.journal.delivered(session_id, len(export.events))
+        return export
 
     def release_session(self, session_id: str) -> SessionExport:
         """Capture a live session for migration and remove it here."""
@@ -589,6 +710,8 @@ class ShardedGateway:
         export = self._request(index, ("release", session_id))
         export = self._merge_buffer(session_id, export)
         self._unregister(session_id)
+        if self.journal is not None:  # the session now lives elsewhere
+            self.journal.forget(session_id)
         return export
 
     def import_session(self, export: SessionExport, session_id: str | None = None) -> str:
@@ -599,6 +722,8 @@ class ShardedGateway:
         index = self._place(session_id)
         self._request(index, ("import", session_id, export))
         self._register(session_id, index)
+        if self.journal is not None:
+            self.journal.snapshot(session_id, export)
         return session_id
 
     def migrate_session(self, session_id: str, worker: int) -> None:
@@ -627,9 +752,13 @@ class ShardedGateway:
         self._unregister(session_id)
         self._request(target, ("import", session_id, export))
         self._register(session_id, target)
+        if self.journal is not None:
+            # The ownership move carries the journal: the capture is
+            # the new snapshot, so recovery replays onto the new owner.
+            self.journal.snapshot(session_id, export)
         if old_inbox is not None and session_id in self._inboxes:
-            # The shedding audit survives rebalancing.
-            self._inboxes[session_id].n_dropped = old_inbox.n_dropped
+            # The full backpressure audit survives rebalancing.
+            self._inboxes[session_id].carry_audit(old_inbox)
         self.n_migrations += 1
 
     # -- elastic pool ----------------------------------------------------
@@ -843,13 +972,70 @@ class ShardedGateway:
         if inbox is not None:
             inbox.close()  # a producer blocked on it must not wait forever
 
+    def _send(self, index: int, request: tuple) -> None:
+        """Ship one command; a broken pipe means the worker died."""
+        try:
+            self._conns[index].send(request)
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise WorkerCrashError(index, exc) from exc
+
+    def _recv(self, index: int) -> tuple:
+        """Read one response; EOF / a broken pipe means the worker died.
+
+        A killed worker's already-sent responses stay readable until
+        the pipe drains, so events it resolved before dying are still
+        delivered — the crash surfaces only once the buffer is empty.
+        """
+        try:
+            return self._conns[index].recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerCrashError(index, exc) from exc
+
+    def _poll_conn(self, index: int) -> bool:
+        try:
+            return self._conns[index].poll()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise WorkerCrashError(index, exc) from exc
+
+    def _take_events(self, session_id: str, extra: list | None = None) -> list:
+        """Pop a session's parent-buffered events (plus ``extra``) for
+        the caller, counting them as delivered in the journal — crash
+        recovery must re-deliver everything *except* this prefix."""
+        events = self._events.pop(session_id, [])
+        if extra:
+            events = events + list(extra)
+        if events and self.journal is not None and session_id in self._owner:
+            self.journal.delivered(session_id, len(events))
+        return events
+
+    def _journal_snapshot(self, session_id: str) -> None:
+        """Refresh one session's journal snapshot, truncating its chunk
+        log (the cadence bound on replay length).  The synchronized
+        export drains pending events; they return to the parent buffer
+        — still owed to the caller, and covered by the fresh snapshot
+        (whose delivered count restarts at zero with them undelivered).
+        """
+        index = self._owner.get(session_id)
+        if index is None:  # pragma: no cover - evicted under the cadence
+            return
+        try:
+            export = self._request(index, ("export", session_id))
+        except KeyError:
+            if session_id in self._owner:
+                raise
+            return  # evicted by an interleaved response mid-snapshot
+        export = self._merge_buffer(session_id, export)
+        self.journal.snapshot(session_id, export)
+        if export.events:
+            self._events[session_id] = list(export.events)
+
     def _request(self, index: int, request: tuple):
         """Send one synchronous command; handle interleaved pipelined
         responses until this command's (FIFO-ordered) answer arrives."""
         op = request[0]
-        self._conns[index].send(request)
+        self._send(index, request)
         while True:
-            response = self._conns[index].recv()
+            response = self._recv(index)
             if response[0] == op:
                 self._note_evictions(response[3])
                 status, value = response[2]
@@ -870,13 +1056,12 @@ class ShardedGateway:
         guaranteed to make progress because the worker consumes its
         command queue in order.
         """
-        conn = self._conns[index]
         handled = False
-        if block and not conn.poll():
-            self._handle(conn.recv())
+        if block and not self._poll_conn(index):
+            self._handle(self._recv(index))
             handled = True
-        while conn.poll():
-            self._handle(conn.recv())
+        while self._poll_conn(index):
+            self._handle(self._recv(index))
             handled = True
         return handled
 
@@ -911,6 +1096,8 @@ class ShardedGateway:
                 continue
             final = self._events.pop(session_id, []) + list(events)
             self._unregister(session_id)
+            if self.journal is not None:  # an evicted session is final
+                self.journal.forget(session_id)
             self._evicted[session_id] = final
             if self.on_evict is not None:
                 self.on_evict(session_id, final)

@@ -1,0 +1,602 @@
+"""Durability tier: journal stores, write-ahead semantics, supervision.
+
+Three layers under test, bottom-up:
+
+* the :class:`JournalStore` backends (memory / file-per-session /
+  sqlite) behind one behavioural contract, including reopen
+  persistence and torn-tail tolerance for the durable two;
+* :class:`SessionJournal` — the write-ahead policy: snapshot cadence,
+  delivered-count accounting, recovery records;
+* :class:`SupervisedGateway` — deterministic ``kill -9`` of a worker
+  mid-stream, proactive ``check_workers`` sweeps, full-process restart
+  via :func:`recover_sessions`, always asserting the recovery
+  contract: per-session event sequences bit-exact with a standalone
+  ``StreamingNode`` (``test_durability_chaos.py`` stresses the same
+  invariant under seeded random kill schedules).
+"""
+
+import os
+import pickle
+import signal
+
+import numpy as np
+import pytest
+
+from repro.ecg.synth import RecordSynthesizer, SynthesisConfig
+from repro.serving import (
+    FileJournalStore,
+    MemoryJournalStore,
+    SessionJournal,
+    ShardedGateway,
+    SqliteJournalStore,
+    StreamGateway,
+    SupervisedGateway,
+    open_journal,
+    recover_sessions,
+)
+from repro.serving.gateway import SessionExport
+
+N_LEADS = 1
+FS = 360.0
+
+
+@pytest.fixture(scope="module")
+def records():
+    return [
+        RecordSynthesizer(SynthesisConfig(n_leads=N_LEADS), seed=s).synthesize(
+            10.0, class_mix={"N": 0.6, "V": 0.3, "L": 0.1}, name=f"dur-{s}"
+        )
+        for s in (71, 72)
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference_events(records, embedded_classifier, standalone_events):
+    return [
+        standalone_events(embedded_classifier, record, FS, N_LEADS)
+        for record in records
+    ]
+
+
+BACKENDS = ("memory", "file", "sqlite")
+
+
+def make_store(backend, tmp_path):
+    if backend == "memory":
+        return MemoryJournalStore()
+    if backend == "file":
+        return FileJournalStore(str(tmp_path / "journal"))
+    return SqliteJournalStore(str(tmp_path / "journal.sqlite3"))
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request, tmp_path):
+    store = make_store(request.param, tmp_path)
+    yield store
+    store.close()
+
+
+class TestJournalStores:
+    """One behavioural contract across every backend."""
+
+    def test_round_trip(self, store):
+        store.begin("s", b"open-kwargs")
+        store.append_chunk("s", b"c0")
+        store.append_chunk("s", b"c1")
+        store.add_delivered("s", 3)
+        store.add_delivered("s", 2)
+        loaded = store.load("s")
+        assert loaded.open_blob == b"open-kwargs"
+        assert loaded.snapshot is None
+        assert loaded.chunks == [b"c0", b"c1"]
+        assert loaded.delivered == 5
+        assert store.chunk_count("s") == 2
+        assert store.session_ids() == ["s"]
+
+    def test_snapshot_truncates_log_and_delivered(self, store):
+        store.begin("s", b"meta")
+        store.append_chunk("s", b"c0")
+        store.add_delivered("s", 4)
+        store.put_snapshot("s", b"snap-1")
+        loaded = store.load("s")
+        assert loaded.snapshot == b"snap-1"
+        assert loaded.chunks == []
+        assert loaded.delivered == 0
+        assert store.chunk_count("s") == 0
+        store.append_chunk("s", b"c1")
+        assert store.load("s").chunks == [b"c1"]
+
+    def test_begin_resets_history(self, store):
+        store.begin("s", b"old")
+        store.append_chunk("s", b"c0")
+        store.put_snapshot("s", b"snap")
+        store.begin("s", b"new")
+        loaded = store.load("s")
+        assert loaded.open_blob == b"new"
+        assert loaded.snapshot is None
+        assert loaded.chunks == []
+        assert loaded.delivered == 0
+
+    def test_forget_and_unknown(self, store):
+        assert store.load("nope") is None
+        assert store.chunk_count("nope") == 0
+        store.begin("s", b"meta")
+        store.append_chunk("s", b"c0")
+        store.forget("s")
+        assert store.load("s") is None
+        assert store.session_ids() == []
+        store.forget("s")  # idempotent
+
+    def test_multiple_sessions_are_independent(self, store):
+        store.begin("a", b"ma")
+        store.begin("b", b"mb")
+        store.append_chunk("a", b"ca")
+        store.add_delivered("b", 7)
+        assert sorted(store.session_ids()) == ["a", "b"]
+        assert store.load("a").chunks == [b"ca"]
+        assert store.load("a").delivered == 0
+        assert store.load("b").chunks == []
+        assert store.load("b").delivered == 7
+
+
+class TestDurableStorePersistence:
+    """file/sqlite journals survive a store (process) teardown."""
+
+    @pytest.mark.parametrize("backend", ["file", "sqlite"])
+    def test_reopen_sees_everything(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.begin("s", b"meta")
+        store.append_chunk("s", b"c0")
+        store.put_snapshot("s", b"snap")
+        store.append_chunk("s", b"c1")
+        store.add_delivered("s", 2)
+        store.close()
+        reopened = make_store(backend, tmp_path)
+        loaded = reopened.load("s")
+        assert loaded.open_blob == b"meta"
+        assert loaded.snapshot == b"snap"
+        assert loaded.chunks == [b"c1"]
+        assert loaded.delivered == 2
+        assert reopened.chunk_count("s") == 1
+        assert reopened.session_ids() == ["s"]
+        reopened.close()
+
+    def test_file_store_drops_torn_trailing_record(self, tmp_path):
+        store = make_store("file", tmp_path)
+        store.begin("s", b"meta")
+        store.append_chunk("s", b"complete")
+        store.close()
+        log = tmp_path / "journal"
+        (log_path,) = [p for p in log.iterdir() if p.suffix == ".log"]
+        with open(log_path, "ab") as fh:
+            fh.write(b"C\x40\x00\x00\x00half-writ")  # 64-byte record, cut off
+        reopened = make_store("file", tmp_path)
+        assert reopened.load("s").chunks == [b"complete"]
+        reopened.close()
+
+    def test_file_store_tokenizes_hostile_session_ids(self, tmp_path):
+        store = make_store("file", tmp_path)
+        sid = "fleet/node#7 é"
+        store.begin(sid, b"meta")
+        store.append_chunk(sid, b"c0")
+        assert store.session_ids() == [sid]
+        assert store.load(sid).chunks == [b"c0"]
+        store.close()
+        reopened = make_store("file", tmp_path)
+        assert reopened.session_ids() == [sid]
+        reopened.close()
+
+    def test_sqlite_sync_mode_constructs(self, tmp_path):
+        store = SqliteJournalStore(str(tmp_path / "j.sqlite3"), sync=True)
+        store.begin("s", b"meta")
+        assert store.load("s").open_blob == b"meta"
+        store.close()
+
+
+class TestSessionJournal:
+    def test_snapshot_cadence(self):
+        journal = SessionJournal(MemoryJournalStore(), snapshot_every=3)
+        journal.open("s", {"max_latency_ticks": 4})
+        for i in range(2):
+            journal.log_chunk("s", np.zeros(5))
+            assert not journal.wants_snapshot("s")
+        journal.log_chunk("s", np.zeros(5))
+        assert journal.wants_snapshot("s")
+        journal.snapshot("s", SessionExport(session_id="s", snapshot=None))
+        assert not journal.wants_snapshot("s")
+
+    def test_recover_record(self):
+        journal = SessionJournal(MemoryJournalStore())
+        journal.open("s", {"evict_after_ticks": 9})
+        journal.log_chunk("s", [1.0, 2.0])
+        journal.delivered("s", 2)
+        journal.delivered("s", 0)  # zero deltas are elided
+        rec = journal.recover("s")
+        assert rec.session_id == "s"
+        assert rec.open_kwargs == {"evict_after_ticks": 9}
+        assert rec.export is None
+        assert len(rec.chunks) == 1
+        np.testing.assert_array_equal(rec.chunks[0], [1.0, 2.0])
+        assert rec.chunks[0].dtype == np.float64
+        assert rec.delivered == 2
+        assert journal.recover("unknown") is None
+
+    def test_snapshot_subsumes_log(self):
+        journal = SessionJournal(MemoryJournalStore())
+        journal.open("s", None)
+        journal.log_chunk("s", [1.0])
+        journal.delivered("s", 1)
+        export = SessionExport(session_id="s", snapshot=None)
+        journal.snapshot("s", export)
+        rec = journal.recover("s")
+        assert rec.export.session_id == "s"
+        assert rec.chunks == []
+        assert rec.delivered == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="snapshot_every"):
+            SessionJournal(MemoryJournalStore(), snapshot_every=0)
+
+    def test_open_journal_backends(self, tmp_path):
+        for backend in BACKENDS:
+            journal = open_journal(
+                str(tmp_path / backend), backend, snapshot_every=5
+            )
+            assert journal.snapshot_every == 5
+            journal.open("s", None)
+            assert journal.session_ids() == ["s"]
+            journal.close()
+        assert os.path.exists(tmp_path / "sqlite" / "journal.sqlite3")
+        explicit = open_journal(str(tmp_path / "named.db"), "sqlite")
+        explicit.close()
+        assert os.path.exists(tmp_path / "named.db")
+        with pytest.raises(ValueError, match="memory"):
+            open_journal(str(tmp_path), "redis")
+
+
+def feed(gateway, sid, signal, block, start=0, stop=None):
+    """Ingest ``signal[start:stop]`` in ``block``-sample chunks."""
+    events, i = [], start
+    stop = len(signal) if stop is None else stop
+    while i < stop:
+        events += gateway.ingest(sid, signal[i : i + min(block, stop - i)])
+        i += block
+    return events
+
+
+def kill_worker(supervised, index):
+    proc = supervised.gateway._procs[index]
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(5.0)
+
+
+class TestSupervisedRecovery:
+    """Deterministic worker kills; the chaos suite randomizes them."""
+
+    def test_kill_mid_stream_recovers_bit_exact(
+        self, records, embedded_classifier, reference_events,
+        assert_events_equal, tmp_path,
+    ):
+        record = records[0]
+        block = int(0.4 * FS)
+        journal = open_journal(str(tmp_path), "file", snapshot_every=4)
+        with SupervisedGateway(
+            embedded_classifier, FS, journal=journal, workers=2,
+            n_leads=N_LEADS, max_batch=8,
+        ) as gateway:
+            gateway.open_session("p")
+            events = feed(
+                gateway, "p", record.signal, block, stop=record.n_samples // 2
+            )
+            kill_worker(gateway, gateway.worker_of("p"))
+            events += feed(
+                gateway, "p", record.signal, block, start=record.n_samples // 2
+            )
+            events += gateway.close_session("p")
+            stats = gateway.stats()
+        assert_events_equal(reference_events[0], events)
+        assert stats["recoveries"] >= 1
+        assert stats["sessions_recovered"] >= 1
+        assert stats["respawns"] >= 1
+
+    def test_recovery_without_snapshot_replays_from_open(
+        self, records, embedded_classifier, reference_events,
+        assert_events_equal,
+    ):
+        """snapshot_every larger than the stream: recovery has no
+        snapshot and must rebuild from open kwargs + full chunk log."""
+        record = records[1]
+        block = int(0.5 * FS)
+        with SupervisedGateway(
+            embedded_classifier, FS, journal=MemoryJournalStore(),
+            snapshot_every=10_000, workers=2, n_leads=N_LEADS,
+        ) as gateway:
+            gateway.open_session("p")
+            events = feed(
+                gateway, "p", record.signal, block, stop=record.n_samples // 3
+            )
+            assert gateway.journal.recover("p").export is None
+            kill_worker(gateway, gateway.worker_of("p"))
+            events += feed(
+                gateway, "p", record.signal, block, start=record.n_samples // 3
+            )
+            events += gateway.close_session("p")
+        assert_events_equal(reference_events[1], events)
+
+    def test_check_workers_is_proactive(
+        self, records, embedded_classifier, reference_events,
+        assert_events_equal,
+    ):
+        """A supervisor heartbeat heals the pool before any session
+        call touches the dead worker."""
+        record = records[0]
+        block = int(0.5 * FS)
+        with SupervisedGateway(
+            embedded_classifier, FS, journal=MemoryJournalStore(),
+            snapshot_every=3, workers=2, n_leads=N_LEADS,
+        ) as gateway:
+            gateway.open_session("p")
+            events = feed(
+                gateway, "p", record.signal, block, stop=record.n_samples // 2
+            )
+            victim = gateway.worker_of("p")
+            kill_worker(gateway, victim)
+            assert gateway.check_workers() == 1
+            assert not gateway.gateway._procs[victim] is None
+            assert gateway.gateway._procs[victim].is_alive()
+            assert gateway.check_workers() == 0  # idempotent when healthy
+            events += feed(
+                gateway, "p", record.signal, block, start=record.n_samples // 2
+            )
+            events += gateway.close_session("p")
+        assert_events_equal(reference_events[0], events)
+
+    def test_kill_both_workers_with_two_sessions(
+        self, records, embedded_classifier, reference_events,
+        assert_events_equal,
+    ):
+        block = int(0.4 * FS)
+        with SupervisedGateway(
+            embedded_classifier, FS, journal=MemoryJournalStore(),
+            snapshot_every=5, workers=2, n_leads=N_LEADS, max_batch=8,
+        ) as gateway:
+            collected = {}
+            for i, record in enumerate(records):
+                gateway.open_session(f"s{i}")
+                collected[f"s{i}"] = feed(
+                    gateway, f"s{i}", record.signal, block,
+                    stop=record.n_samples // 2,
+                )
+            for index in range(2):
+                kill_worker(gateway, index)
+            for i, record in enumerate(records):
+                collected[f"s{i}"] += feed(
+                    gateway, f"s{i}", record.signal, block,
+                    start=record.n_samples // 2,
+                )
+                collected[f"s{i}"] += gateway.close_session(f"s{i}")
+        for i, expected in enumerate(reference_events):
+            assert_events_equal(expected, collected[f"s{i}"])
+
+    def test_migration_carries_the_journal(
+        self, records, embedded_classifier, reference_events,
+        assert_events_equal,
+    ):
+        """Moving a session between workers refreshes its snapshot, so
+        killing the *new* owner still recovers bit-exactly."""
+        record = records[0]
+        block = int(0.4 * FS)
+        with SupervisedGateway(
+            embedded_classifier, FS, journal=MemoryJournalStore(),
+            snapshot_every=10_000, workers=2, n_leads=N_LEADS,
+        ) as gateway:
+            gateway.open_session("p")
+            events = feed(
+                gateway, "p", record.signal, block, stop=record.n_samples // 2
+            )
+            origin = gateway.worker_of("p")
+            gateway.migrate_session("p", 1 - origin)
+            assert gateway.journal.recover("p").export is not None
+            kill_worker(gateway, 1 - origin)
+            events += feed(
+                gateway, "p", record.signal, block, start=record.n_samples // 2
+            )
+            events += gateway.close_session("p")
+        assert_events_equal(reference_events[0], events)
+
+    def test_close_and_release_forget_the_journal(
+        self, records, embedded_classifier,
+    ):
+        with SupervisedGateway(
+            embedded_classifier, FS, journal=MemoryJournalStore(),
+            workers=2, n_leads=N_LEADS,
+        ) as gateway:
+            gateway.open_session("a")
+            gateway.open_session("b")
+            gateway.ingest("a", records[0].signal[: int(FS)])
+            assert sorted(gateway.journal.session_ids()) == ["a", "b"]
+            gateway.close_session("a")
+            assert gateway.journal.session_ids() == ["b"]
+            export = gateway.release_session("b")
+            assert gateway.journal.session_ids() == []
+            sid = gateway.import_session(export)
+            assert sid == "b"
+            assert gateway.journal.session_ids() == ["b"]
+            gateway.close_session("b")
+
+    def test_inline_workers_are_not_recoverable(self, embedded_classifier):
+        with SupervisedGateway(
+            embedded_classifier, FS, journal=MemoryJournalStore(),
+            workers=2, worker_mode="inline", n_leads=N_LEADS,
+        ) as gateway:
+            with pytest.raises(RuntimeError, match="inline"):
+                gateway.gateway.respawn_worker(0)
+            assert gateway.check_workers() == 0  # nothing dead, no-op
+
+    def test_stats_and_construction_variants(
+        self, embedded_classifier, tmp_path,
+    ):
+        with SupervisedGateway(
+            embedded_classifier, FS, journal=str(tmp_path / "j"),
+            workers=2, n_leads=N_LEADS,
+        ) as gateway:
+            assert isinstance(gateway.journal, SessionJournal)
+            stats = gateway.stats()
+            assert stats["recoveries"] == 0
+            assert stats["sessions_recovered"] == 0
+            assert stats["respawns"] == 0
+            assert stats["workers"] == 2
+        with pytest.raises(ValueError, match="max_recover_attempts"):
+            SupervisedGateway(
+                embedded_classifier, FS, journal=MemoryJournalStore(),
+                max_recover_attempts=0,
+            )
+
+    def test_private_attribute_access_stays_private(
+        self, embedded_classifier,
+    ):
+        with SupervisedGateway(
+            embedded_classifier, FS, journal=MemoryJournalStore(),
+            workers=1, n_leads=N_LEADS,
+        ) as gateway:
+            with pytest.raises(AttributeError):
+                gateway._no_such_thing
+
+
+class TestRestartRecovery:
+    """Full-process restarts: the journal outlives the gateway."""
+
+    def test_supervised_restart_over_the_same_store(
+        self, records, embedded_classifier, reference_events,
+        assert_events_equal, tmp_path,
+    ):
+        record = records[0]
+        block = int(0.4 * FS)
+        half = record.n_samples // 2
+        events = []
+        journal = open_journal(str(tmp_path), "file", snapshot_every=4)
+        with SupervisedGateway(
+            embedded_classifier, FS, journal=journal, workers=2,
+            n_leads=N_LEADS,
+        ) as gateway:
+            gateway.open_session("p")
+            events += feed(gateway, "p", record.signal, block, stop=half)
+            # shutdown() reaps the pool but keeps the journal: this is
+            # the crash/restart boundary.
+        journal.close()
+        journal = open_journal(str(tmp_path), "file", snapshot_every=4)
+        with SupervisedGateway(
+            embedded_classifier, FS, journal=journal, workers=2,
+            n_leads=N_LEADS,
+        ) as gateway:
+            assert gateway.check_workers() == 1  # the orphaned session
+            events += gateway.poll("p")  # backlog accepted pre-restart
+            events += feed(gateway, "p", record.signal, block, start=half)
+            events += gateway.close_session("p")
+        journal.close()
+        assert_events_equal(reference_events[0], events)
+
+    @pytest.mark.parametrize("backend", ["file", "sqlite"])
+    def test_recover_sessions_on_a_stream_gateway(
+        self, backend, records, embedded_classifier, reference_events,
+        assert_events_equal, tmp_path,
+    ):
+        """The single-process restart path: recover_sessions rebuilds
+        journaled sessions on any gateway tier, here a StreamGateway
+        journaling into the same store (so durability continues)."""
+        record = records[1]
+        block = int(0.5 * FS)
+        third = record.n_samples // 3
+        journal = open_journal(str(tmp_path), backend, snapshot_every=3)
+        first = StreamGateway(
+            embedded_classifier, FS, n_leads=N_LEADS, journal=journal
+        )
+        first.open_session("p", max_latency_ticks=4)
+        events = feed(first, "p", record.signal, block, stop=third)
+        del first  # simulated crash: no close, no export
+        journal.close()
+
+        journal = open_journal(str(tmp_path), backend, snapshot_every=3)
+        second = StreamGateway(
+            embedded_classifier, FS, n_leads=N_LEADS, journal=journal
+        )
+        backlog = recover_sessions(journal, second)
+        assert set(backlog) == {"p"}
+        events += backlog["p"]
+        events += feed(second, "p", record.signal, block, start=third)
+        events += second.close_session("p")
+        journal.close()
+        assert_events_equal(reference_events[1], events)
+
+    def test_recover_sessions_on_a_sharded_gateway(
+        self, records, embedded_classifier, reference_events,
+        assert_events_equal, tmp_path,
+    ):
+        record = records[0]
+        block = int(0.5 * FS)
+        half = record.n_samples // 2
+        journal = open_journal(str(tmp_path), "file", snapshot_every=4)
+        with ShardedGateway(
+            embedded_classifier, FS, workers=2, n_leads=N_LEADS,
+            journal=journal,
+        ) as first:
+            first.open_session("p")
+            events = feed(first, "p", record.signal, block, stop=half)
+        journal.close()
+
+        journal = open_journal(str(tmp_path), "file", snapshot_every=4)
+        with ShardedGateway(
+            embedded_classifier, FS, workers=2, n_leads=N_LEADS,
+            journal=journal,
+        ) as second:
+            backlog = recover_sessions(journal, second)
+            events += backlog["p"]
+            events += feed(second, "p", record.signal, block, start=half)
+            events += second.close_session("p")
+        journal.close()
+        assert_events_equal(reference_events[0], events)
+
+
+class TestShardedJournalHooks:
+    """The sharded gateway's journal bookkeeping, without a supervisor."""
+
+    def test_counters_survive_migration(
+        self, records, embedded_classifier,
+    ):
+        """Satellite regression: ``_move`` must carry the inbox audit
+        trail (n_accepted / n_dropped / high_water), not just drops."""
+        record = records[0]
+        with ShardedGateway(
+            embedded_classifier, FS, workers=2, n_leads=N_LEADS,
+            inbox_capacity=64,
+        ) as gateway:
+            gateway.open_session("p")
+            for i in range(3):
+                gateway.ingest(
+                    "p", record.signal[i * 100 : (i + 1) * 100]
+                )
+            before = gateway._inboxes["p"]
+            accepted, high = before.n_accepted, before.high_water
+            assert accepted == 3
+            gateway.migrate_session("p", 1 - gateway.worker_of("p"))
+            after = gateway._inboxes["p"]
+            assert after is not before
+            assert after.n_accepted == accepted
+            assert after.high_water >= high
+            assert after.n_dropped == before.n_dropped
+            gateway.close_session("p")
+
+    def test_eviction_forgets_the_journal(self, embedded_classifier):
+        journal = SessionJournal(MemoryJournalStore())
+        with ShardedGateway(
+            embedded_classifier, FS, workers=1, n_leads=N_LEADS,
+            journal=journal, evict_after_ticks=2,
+        ) as gateway:
+            gateway.open_session("idle")
+            gateway.open_session("busy")
+            for i in range(8):
+                gateway.ingest("busy", np.zeros(64))
+            gateway.flush()  # synchronous: drains the eviction notice
+            assert "idle" not in gateway.session_ids()
+            assert journal.session_ids() == ["busy"]
+            gateway.close_session("busy")

@@ -12,6 +12,7 @@ invariant under seeded interleavings.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.serving import (
@@ -69,12 +70,34 @@ class TestEndpointParsing:
     def test_host_port_string(self):
         assert _endpoint("127.0.0.1:9000") == ("127.0.0.1", 9000)
 
+    def test_hostname_string(self):
+        assert _endpoint("edge-box.lan:7001") == ("edge-box.lan", 7001)
+
     def test_tuple(self):
         assert _endpoint(("box", "9000")) == ("box", 9000)
+
+    def test_bracketed_ipv6_drops_the_brackets(self):
+        # "[::1]:9000" must parse to the bare address the socket layer
+        # can actually connect to, not keep the brackets.
+        assert _endpoint("[::1]:9000") == ("::1", 9000)
+        assert _endpoint("[fe80::2]:7000") == ("fe80::2", 7000)
+
+    def test_unbracketed_ipv6_splits_on_last_colon(self):
+        assert _endpoint("::1:9000") == ("::1", 9000)
 
     def test_missing_port_rejected(self):
         with pytest.raises(ValueError, match="host:port"):
             _endpoint("lonely-host")
+
+    def test_bracketed_ipv6_without_port_rejected(self):
+        with pytest.raises(ValueError, match="host:port"):
+            _endpoint("[::1]")
+
+    def test_non_numeric_port_rejected(self):
+        with pytest.raises(ValueError, match="host:port"):
+            _endpoint("box:http")
+        with pytest.raises(ValueError, match="host:port"):
+            _endpoint("[::1]:")
 
     def test_empty_host_rejected(self):
         with pytest.raises(ValueError, match="host:port"):
@@ -387,3 +410,60 @@ class TestTwoLevelBalancing:
         finally:
             handle.stop()
         assert ticks["n"] == n_ingests // 4
+
+
+class TestShutdownGuards:
+    """The front door refuses cleanly after shutdown() — no call may
+    reach a dead client connection or leave stale routing state."""
+
+    def test_surface_raises_cleanly_after_shutdown(self, two_hosts):
+        fed = FederatedGateway([h.address for h in two_hosts], window=4)
+        fed.open_session("s")
+        fed.shutdown()
+        assert fed.n_sessions == 0  # routing maps cleared, not stale
+        calls = {
+            "open_session": lambda: fed.open_session("t"),
+            "migrate_session": lambda: fed.migrate_session("s", 1),
+            "add_host": lambda: fed.add_host(two_hosts[0].address),
+            "retire_host": lambda: fed.retire_host(0),
+            "stats": fed.stats,
+        }
+        for name, call in calls.items():
+            with pytest.raises(RuntimeError, match="gateway is shut down"):
+                call()
+        fed.shutdown()  # still idempotent
+
+
+class TestRetireHostRaces:
+    def test_retire_host_skips_sessions_evicted_server_side(
+        self, embedded_classifier,
+    ):
+        """Satellite regression: a session the backend evicted between
+        the drain's census and its wire capture must be skipped (like
+        ShardedGateway.retire_worker), not abort the drain."""
+        evicting = StreamGateway(
+            embedded_classifier, FS, n_leads=1, max_batch=8,
+            max_latency_ticks=2, evict_after_ticks=2,
+        )
+        handle = serve_in_thread(evicting)
+        other = start_host(embedded_classifier)
+        try:
+            with FederatedGateway(
+                [handle.address, other.address], window=4
+            ) as fed:
+                fed.open_session("idle", host=0)
+                fed.open_session("busy", host=0)
+                # Ticks from the busy session evict "idle" server-side;
+                # the front door's census still lists it.
+                for i in range(8):
+                    fed.ingest("busy", np.zeros(64))
+                assert set(fed.sessions_on(0)) == {"idle", "busy"}
+                moved = fed.retire_host(0)
+                assert moved == 1  # busy migrated; idle skipped
+                assert "idle" not in fed.session_ids()
+                assert fed.host_of("busy") == 0  # indices shifted down
+                fed.ingest("busy", np.zeros(64))
+                fed.close_session("busy")
+        finally:
+            handle.stop()
+            other.stop()

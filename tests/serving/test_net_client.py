@@ -408,3 +408,63 @@ class TestLifecycle:
         client.open_session("s")
         with pytest.raises(ValueError, match="already open"):
             client.open_session("s")
+
+
+class TestDoubleTransportFailure:
+    """A second connection death *during* resume must surface as the
+    public ``ConnectError``, never the private retry signal."""
+
+    @staticmethod
+    def _double_kill_client():
+        clock = FakeClock()
+        peer1 = FakePeer()
+
+        class ResumeKilledPeer(FakePeer):
+            def handle(self, message):
+                if isinstance(message, wire.Resume):
+                    raise OSError("connection reset mid-resume")
+                super().handle(message)
+
+        sockets = []
+
+        def factory(address, timeout):
+            peer = peer1 if not sockets else ResumeKilledPeer()
+            sockets.append(FakeSocket(peer, clock))
+            return sockets[-1]
+
+        client = make_client(clock, factory)
+        client.connect()
+        client.open_session("s")
+        client.ingest("s", np.zeros(8))
+        sockets[0].closed = True  # first transport death
+        return client
+
+    def test_ingest_surfaces_public_connect_error(self):
+        client = self._double_kill_client()
+        # Reconnect succeeds (HELLO/HELLO_OK on socket 2), then the
+        # RESUME send dies: the boundary converts to ConnectError.
+        with pytest.raises(ConnectError, match="lost again while resuming"):
+            client.ingest("s", np.ones(8))
+        assert not client.connected
+
+    def test_poll_surfaces_public_connect_error(self):
+        client = self._double_kill_client()
+        with pytest.raises(ConnectError, match="lost again while resuming"):
+            client.poll("s")
+        assert not client.connected
+
+
+class TestDiscardSession:
+    def test_discard_drops_local_state_without_wire_traffic(self):
+        clock = FakeClock()
+        peer = FakePeer()
+        client = make_client(clock, scripted_factory(clock, peer))
+        client.connect()
+        client.open_session("s")
+        client.ingest("s", np.zeros(4))
+        frames_before = len(peer.received)
+        client.discard_session("s")
+        assert len(peer.received) == frames_before  # nothing sent
+        with pytest.raises(KeyError, match="no open session"):
+            client.ingest("s", np.zeros(4))
+        client.discard_session("unknown")  # unknown ids are ignored

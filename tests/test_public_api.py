@@ -71,6 +71,7 @@ PUBLIC_MODULES = [
     "repro.experiments.table3",
     "repro.serving",
     "repro.serving.autoscale",
+    "repro.serving.durability",
     "repro.serving.engine",
     "repro.serving.executors",
     "repro.serving.federation",
