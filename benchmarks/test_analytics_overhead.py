@@ -1,0 +1,107 @@
+"""Streaming-analytics tax on the live gateway hot path.
+
+One fleet, two replays: six high-rate (~140 bpm, classification-heavy)
+sessions stream through a plain :class:`StreamGateway` and then
+through the same gateway with the full ``default_pipeline`` attached
+to every session — incremental RR statistics, cadenced spectral HRV,
+tachy/brady episode machines and arrhythmia-run aggregation, folded
+once per batched flush.
+
+The event sequences must be bit-identical (analytics are a pure
+consumer of the event bus, never a participant in classification),
+and the analytics rollup must account for every served beat.  Both
+events/sec figures and their ratio land in ``benchmark.extra_info``
+(the ``BENCH_*.json`` artifact).  Under
+``REPRO_BENCH_ASSERT_ANALYTICS=1`` (the CI analytics job) the full
+pipeline must hold >= 0.9x plain-gateway throughput — the O(1)-per-beat
+acceptance gate of the analytics tier.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.ecg.synth import RecordSynthesizer, RhythmConfig, SynthesisConfig
+from repro.serving import StreamGateway, default_pipeline
+from repro.serving.gateway import serve_round_robin
+
+FS = 360.0
+GATEWAY_KWARGS = dict(n_leads=1, max_batch=256, max_latency_ticks=24)
+
+
+@pytest.fixture(scope="module")
+def analytics_sessions():
+    """Six high-rate (~140 bpm) live sessions: the densest beat-event
+    stream the synthesizer produces, so per-beat analytics cost has
+    nowhere to hide behind DSP time."""
+    config = SynthesisConfig(n_leads=1, rhythm=RhythmConfig(mean_rr=0.42))
+    return [
+        RecordSynthesizer(config, seed=70 + s).synthesize(30.0) for s in range(6)
+    ]
+
+
+def _keyed(per_session):
+    return {
+        sid: [(e.peak, e.label, e.flagged, e.tx_bytes) for e in events]
+        for sid, events in per_session.items()
+    }
+
+
+def test_gateway_analytics_overhead(
+    benchmark, bench_embedded_classifier, analytics_sessions
+):
+    records = analytics_sessions
+    streams = {f"s{i}": record.signal for i, record in enumerate(records)}
+    block = int(1.0 * FS)
+
+    def run(analytics):
+        gateway = StreamGateway(
+            bench_embedded_classifier, FS, analytics=analytics,
+            **GATEWAY_KWARGS,
+        )
+        events = serve_round_robin(gateway, streams, block)
+        return events, gateway.stats()["analytics"], gateway.take_summaries()
+
+    # -- baseline: plain gateway, min of 3 -----------------------------
+    plain_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        plain_events, _, _ = run(analytics=None)
+        plain_times.append(time.perf_counter() - start)
+    plain_s = min(plain_times)
+
+    # -- full analytics pipeline on every session ----------------------
+    analytics_events, rollup, summaries = benchmark(
+        lambda: run(analytics=default_pipeline)
+    )
+    analytics_s = benchmark.stats.stats.min
+
+    # Analytics are a pure event-bus consumer: bit-identical events.
+    assert _keyed(analytics_events) == _keyed(plain_events)
+    n_events = sum(len(events) for events in analytics_events.values())
+    assert n_events > 250
+    # ... and the rollup accounts for every served beat.
+    assert rollup["sessions"] == len(records)
+    assert rollup["beats"] == n_events
+    assert set(summaries) == set(streams)
+
+    ratio = plain_s / analytics_s
+    benchmark.extra_info["n_sessions"] = len(records)
+    benchmark.extra_info["n_events"] = n_events
+    benchmark.extra_info["n_episodes"] = rollup["episodes"]
+    benchmark.extra_info["plain_events_per_s"] = n_events / plain_s
+    benchmark.extra_info["analytics_events_per_s"] = n_events / analytics_s
+    benchmark.extra_info["analytics_vs_plain"] = ratio
+
+    print("\n=== streaming-analytics tax (full default pipeline) ===")
+    print(f"plain gateway : {n_events / plain_s:10.0f} events/s")
+    print(f"with analytics: {n_events / analytics_s:10.0f} events/s "
+          f"({ratio:.2f}x of plain; {rollup['episodes']} episodes, "
+          f"{rollup['alerts']} alerts)")
+
+    if os.environ.get("REPRO_BENCH_ASSERT_ANALYTICS") == "1":
+        # The acceptance gate of the analytics tier: O(1)-per-beat
+        # operators folded once per flush may cost at most 10% of
+        # gateway throughput.
+        assert ratio >= 0.9

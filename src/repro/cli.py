@@ -271,6 +271,12 @@ def cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_latency_ticks=args.max_latency_ticks,
     )
+    if args.analytics:
+        from repro.serving import default_pipeline
+
+        # The factory (not an instance) ships to process workers, so
+        # every session builds its own operator set worker-side.
+        gateway_kwargs["analytics"] = default_pipeline
 
     from contextlib import nullcontext
 
@@ -378,11 +384,21 @@ def cmd_serve(args) -> int:
                 )
         else:
             n_classified, n_flushes = gateway.n_classified, gateway.n_flushes
+        rollup = gateway.stats().get("analytics") if args.analytics else None
+        summaries = dict(gateway.take_summaries()) if args.analytics else {}
 
     for record in records:
         session = events[record.name]
         flagged = sum(1 for e in session if e.flagged)
-        print(f"  {record.name}: {len(session)} beats, {flagged} flagged abnormal")
+        line = f"  {record.name}: {len(session)} beats, {flagged} flagged abnormal"
+        summary = summaries.get(record.name)
+        if summary is not None:
+            rr = summary["operators"].get("rr", {})
+            hr = rr.get("mean_hr_bpm")
+            line += (
+                f"; HR {hr:.0f} bpm" if hr is not None else ""
+            ) + f", {summary['n_episodes']} episode(s)"
+        print(line)
     total = sum(len(session) for session in events.values())
     signal_s = sum(r.n_samples for r in records) / fs
     print(
@@ -392,6 +408,15 @@ def cmd_serve(args) -> int:
         f"{n_classified} beats classified in {n_flushes} batched "
         f"passes ({n_classified / max(1, n_flushes):.1f} beats/pass)"
     )
+    if rollup is not None:
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(rollup["by_kind"].items())
+        ) or "none"
+        print(
+            f"analytics: {rollup['beats']} beats folded across "
+            f"{rollup['sessions']} session(s), {rollup['episodes']} "
+            f"episode(s) ({kinds}), {rollup['alerts']} alert(s)"
+        )
     if profiler is not None:
         import pstats
 
@@ -426,6 +451,10 @@ def _serve_listen(args, classifier) -> int:
         max_batch=args.max_batch,
         max_latency_ticks=args.max_latency_ticks,
     )
+    if args.analytics:
+        from repro.serving import default_pipeline
+
+        gateway_kwargs["analytics"] = default_pipeline
     journal = None
     if args.journal is not None:
         journal = open_journal(
@@ -521,6 +550,7 @@ def cmd_connect(args) -> int:
             chunk=chunk,
             target_eps=args.target_eps,
             nominal_eps=nominal_eps if args.target_eps is not None else None,
+            collect_analytics=args.analytics,
         )
     finally:
         client.close()
@@ -534,6 +564,21 @@ def cmd_connect(args) -> int:
         f"p50 {report.p50_ms:.1f} ms / p99 {report.p99_ms:.1f} ms, "
         f"{'sustained' if report.sustained else 'UNSUSTAINED'}"
     )
+    if args.analytics:
+        rollup = report.analytics
+        if rollup is None:
+            print("analytics: server reported no rollup (serve without "
+                  "--analytics?)")
+        else:
+            kinds = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(rollup["by_kind"].items())
+            ) or "none"
+            print(
+                f"analytics (server-side): {rollup['beats']} beats across "
+                f"{rollup['sessions']} session(s), {rollup['episodes']} "
+                f"episode(s) ({kinds}), {rollup['alerts']} alert(s)"
+            )
     return 0
 
 
@@ -891,6 +936,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--snapshot-every", type=int, default=64,
                        help="journal snapshot cadence in accepted chunks per "
                             "session (bounds recovery replay length)")
+    serve.add_argument("--analytics", action="store_true",
+                       help="attach the default streaming-analytics pipeline "
+                            "(RR stats, HRV, rate/arrhythmia episodes) to "
+                            "every session and print the fleet rollup")
     serve.add_argument("--listen", default=None, metavar="HOST:PORT",
                        help="expose the gateway on a TCP socket (zero-copy "
                             "framed protocol) instead of replaying a local "
@@ -988,6 +1037,10 @@ def build_parser() -> argparse.ArgumentParser:
     connect.add_argument("--target-eps", type=float, default=None,
                          help="pace the replay at this offered events/s "
                               "(default: unpaced, as fast as accepted)")
+    connect.add_argument("--analytics", action="store_true",
+                         help="fetch and print the server-side streaming-"
+                              "analytics rollup after the replay (pair with "
+                              "'repro serve --listen --analytics')")
     connect.add_argument("--seed", type=int, default=7)
     connect.set_defaults(fn=cmd_connect)
 

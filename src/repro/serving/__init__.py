@@ -43,6 +43,15 @@ once; this package is that workload's engine, in two shapes:
   and a :class:`SupervisedGateway` that detects worker death, respawns
   the worker and replays snapshot+log to recover every lost session
   bit-exactly — chunk-invariance as the recovery contract.
+* **Analytics** (:mod:`repro.serving.analytics`): composable O(1)
+  per-beat streaming operators over the gateway's beat-event bus —
+  incremental RR statistics (:class:`RRStats`), frequency-domain HRV
+  on a cadence (:class:`HRVSpectral`), tachy/brady episode detection
+  with onset/offset hysteresis (:class:`RateEpisodes`) and flagged-run
+  aggregation (:class:`ArrhythmiaEpisodes`) — folded once per gateway
+  flush into per-session :class:`AnalyticsPipeline` state that rides
+  :class:`SessionExport` bit-exactly and rolls up through every tier's
+  ``stats()`` (:func:`merge_rollups`).
 * **Federation** (:mod:`repro.serving.federation`):
   :class:`FederatedGateway` routes sessions across N gateway hosts —
   cross-host placement (:data:`PLACEMENTS`), wire-level live migration
@@ -57,6 +66,17 @@ the :mod:`~repro.serving.net` subpackage is that transport when the
 producer is on another host.
 """
 
+from repro.serving.analytics import (
+    AnalyticsPipeline,
+    ArrhythmiaEpisodes,
+    Episode,
+    HRVSpectral,
+    RateEpisodes,
+    RRStats,
+    default_pipeline,
+    empty_rollup,
+    merge_rollups,
+)
 from repro.serving.autoscale import (
     AutoBalancer,
     Autoscaler,
@@ -102,9 +122,12 @@ __all__ = [
     "EXECUTORS",
     "INBOX_POLICIES",
     "PLACEMENTS",
+    "AnalyticsPipeline",
+    "ArrhythmiaEpisodes",
     "AutoBalancer",
     "Autoscaler",
     "BeatBatch",
+    "Episode",
     "FederatedGateway",
     "FileJournalStore",
     "FleetTrace",
@@ -112,9 +135,12 @@ __all__ = [
     "HostProcess",
     "GatewayGroup",
     "GatewayServer",
+    "HRVSpectral",
     "JournalStore",
     "LoadgenReport",
     "MemoryJournalStore",
+    "RRStats",
+    "RateEpisodes",
     "ServingEngine",
     "SessionExport",
     "SessionInbox",
@@ -126,7 +152,10 @@ __all__ = [
     "SupervisedGateway",
     "WorkerCrashError",
     "classify_streams",
+    "default_pipeline",
+    "empty_rollup",
     "find_max_sustained",
+    "merge_rollups",
     "open_journal",
     "recover_sessions",
     "replay_fleet",

@@ -726,6 +726,7 @@ class SupervisedGateway:
         self.on_recover = on_recover
         self.n_recoveries = 0
         self.n_sessions_recovered = 0
+        self.n_evictions_salvaged = 0
         self._gateway = ShardedGateway(
             classifier, fs, journal=self.journal, **gateway_kwargs
         )
@@ -788,6 +789,13 @@ class SupervisedGateway:
             raise RuntimeError("cannot recover inline workers")
         lost: list[tuple[str, object]] = []
         for index in sorted(dead):
+            # Salvage first: a killed worker's already-written responses
+            # stay readable until its pipe drains.  Eviction notices in
+            # there carry final event sequences the worker-side gateway
+            # has already drained — without this pass they die with the
+            # connection (respawn_worker closes it unread) and the
+            # journal would resurrect the evicted session as live.
+            self.n_evictions_salvaged += self._salvage_responses(index)
             for session_id in gw.sessions_on(index):
                 # Parent-side state of the dead worker's sessions is
                 # stale: undelivered buffered events regenerate on
@@ -817,6 +825,46 @@ class SupervisedGateway:
             if self.on_recover is not None:
                 self.on_recover(sorted(dead), recovered)
         return len(recovered)
+
+    def _salvage_responses(self, index: int) -> int:
+        """Drain whatever a dead worker managed to write before dying.
+
+        Eviction notices are delivered for real (``take_evicted()`` /
+        ``on_evict``, journal entry dropped so recovery does not
+        resurrect a session the worker already closed) and analytics
+        alerts / final summaries are folded in.  Pipelined ingest
+        payloads route into the normal parent buffers: a session this
+        same salvage batch *evicts* needs them merged ahead of the
+        eviction notice's tail, while a session that gets *recovered*
+        has its copy scrubbed below and regenerated by replay (the
+        journal's delivered counter only covers events the caller
+        actually took).  Returns the number of evicted sessions whose
+        final sequences were saved.  Tolerant of a pipe that breaks
+        mid-read (the crash can truncate anything).
+        """
+        gw = self._gateway
+        conn = gw._conns[index]
+        salvaged = 0
+        while True:
+            try:
+                if not conn.poll():
+                    break
+                response = conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                break
+            try:
+                op, session_id, (status, value), evictions, aux = response
+            except (TypeError, ValueError, IndexError):
+                continue  # pragma: no cover - truncated frame
+            salvaged += sum(1 for sid, _ in evictions if sid in gw._owner)
+            gw._note_evictions(evictions)
+            gw._note_aux(aux)
+            if op == "ingest" and status == "ok":
+                if session_id in gw._owner:
+                    gw._events.setdefault(session_id, []).extend(value)
+                elif session_id in gw._evicted:
+                    gw._evicted[session_id].extend(value)
+        return salvaged
 
     def _recover_session(self, session_id: str, old_inbox=None) -> bool:
         """Rebuild one session from its journal: snapshot import (or
@@ -923,6 +971,14 @@ class SupervisedGateway:
         """Evicted sessions' final event sequences (crash-guarded)."""
         return self._call(self._gateway.take_evicted)
 
+    def take_alerts(self) -> list:
+        """Fleet-wide analytics alerts (crash-guarded)."""
+        return self._call(self._gateway.take_alerts)
+
+    def take_summaries(self) -> dict[str, dict]:
+        """Final analytics summaries (crash-guarded)."""
+        return self._call(self._gateway.take_summaries)
+
     def add_worker(self) -> int:
         """Grow the supervised pool by one worker."""
         return self._call(self._gateway.add_worker)
@@ -933,11 +989,13 @@ class SupervisedGateway:
 
     def stats(self) -> dict:
         """Pool statistics plus the supervisor's recovery counters
-        (``recoveries``, ``sessions_recovered``, ``respawns``)."""
+        (``recoveries``, ``sessions_recovered``, ``respawns``,
+        ``evictions_salvaged``)."""
         totals = self._call(self._gateway.stats)
         totals["recoveries"] = self.n_recoveries
         totals["sessions_recovered"] = self.n_sessions_recovered
         totals["respawns"] = self._gateway.n_respawns
+        totals["evictions_salvaged"] = self.n_evictions_salvaged
         return totals
 
     # -- lifecycle -------------------------------------------------------

@@ -69,6 +69,7 @@ import multiprocessing
 import zlib
 from dataclasses import dataclass
 
+from repro.serving.analytics import merge_rollups
 from repro.serving.autoscale import AutoBalancer
 from repro.serving.executors import validate_placement
 from repro.serving.gateway import StreamGateway
@@ -411,6 +412,9 @@ class FederatedGateway:
                 "n_sessions", "n_queued", "n_flushes", "n_classified", "n_evicted"
             )
         }
+        totals["analytics"] = merge_rollups(
+            stats.get("analytics") for stats in per_host
+        )
         totals["per_host"] = per_host
         totals["hosts"] = self.hosts
         totals["migrations"] = self.n_migrations

@@ -50,15 +50,27 @@ Per-session QoS overrides the global flush policy:
   finalization) and the complete remaining event sequence goes to the
   ``on_evict`` hook and :meth:`take_evicted` — well-formed, never
   silently dropped.
+
+Sessions can attach a :mod:`repro.serving.analytics` pipeline
+(``open_session(..., analytics=[...])``, or the gateway-wide
+``analytics=`` default): finalized events additionally fold through
+the session's streaming operators in **one batched update pass per
+gateway flush**, closed episodes surface through ``on_alert`` /
+:meth:`StreamGateway.take_alerts`, closed/evicted sessions leave a
+final summary in :meth:`StreamGateway.take_summaries`, and pipeline
+state rides :class:`SessionExport` so analytics migrate bit-exactly
+mid-episode.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.dsp.streaming import NodeSnapshot, StreamBeatEvent, StreamingNode
+from repro.serving.analytics import AnalyticsPipeline, empty_rollup
 from repro.serving.executors import validate_at_least
 
 __all__ = [
@@ -192,7 +204,10 @@ class SessionExport:
     """Picklable capture of one live gateway session (for migration).
 
     Carries the session's QoS settings too, so a migrated session keeps
-    its latency budget and eviction threshold on the receiving gateway.
+    its latency budget and eviction threshold on the receiving gateway —
+    and its live :class:`~repro.serving.analytics.AnalyticsPipeline`
+    (``analytics``), so streaming operators resume mid-episode with
+    bit-exact state.
     """
 
     session_id: str
@@ -200,12 +215,16 @@ class SessionExport:
     events: list[StreamBeatEvent] = field(default_factory=list)
     max_latency_ticks: int | None = None
     evict_after_ticks: int | None = None
+    analytics: AnalyticsPipeline | None = None
 
 
 class _Session:
     """Gateway-side bookkeeping for one open session."""
 
-    __slots__ = ("node", "events", "latency_budget", "evict_after", "last_active")
+    __slots__ = (
+        "node", "events", "latency_budget", "evict_after", "last_active",
+        "analytics", "analytics_pending",
+    )
 
     def __init__(
         self,
@@ -214,12 +233,17 @@ class _Session:
         latency_budget: int | None = None,
         evict_after: int | None = None,
         last_active: int = 0,
+        analytics: AnalyticsPipeline | None = None,
     ):
         self.node = node
         self.events: list[StreamBeatEvent] = list(events or [])
         self.latency_budget = latency_budget
         self.evict_after = evict_after
         self.last_active = last_active
+        self.analytics = analytics
+        # Finalized events the pipeline has not folded yet; drained in
+        # one batched update pass per gateway flush.
+        self.analytics_pending: list[StreamBeatEvent] = []
 
     def drain(self) -> list[StreamBeatEvent]:
         events = self.events
@@ -311,7 +335,23 @@ class StreamGateway:
     on_evict:
         Optional ``hook(session_id, events)`` called when a session is
         evicted, with its complete remaining event sequence (identical
-        to what :meth:`close_session` would have returned).
+        to what :meth:`close_session` would have returned).  A raising
+        hook never loses events or aborts the eviction scan: the
+        events are stored for :meth:`take_evicted` first, every stale
+        session is still evicted, and the first hook error re-raises
+        after the scan completes.
+    analytics:
+        Default analytics for every session: a list of
+        :mod:`repro.serving.analytics` operator prototypes (deep-copied
+        per session) or a zero-argument factory returning one (e.g.
+        :func:`repro.serving.analytics.default_pipeline`).  ``None``
+        (default) attaches nothing; per-session ``analytics=`` passed
+        to :meth:`open_session` overrides it (``[]`` opts a session
+        out).
+    on_alert:
+        Optional ``hook(session_id, episode)`` called for every
+        :class:`~repro.serving.analytics.Episode` an analytics
+        pipeline closes (also queued for :meth:`take_alerts`).
     n_leads / lead / decimation / window / detector_config /
     delineation_config / overhead_bytes / coalesce:
         Per-session :class:`~repro.dsp.streaming.StreamingNode`
@@ -349,6 +389,8 @@ class StreamGateway:
         max_latency_ticks: int = 8,
         evict_after_ticks: int | None = None,
         on_evict=None,
+        analytics=None,
+        on_alert=None,
         n_leads: int = 1,
         lead: int = 0,
         decimation: int = 4,
@@ -370,6 +412,8 @@ class StreamGateway:
         self.max_latency_ticks = int(max_latency_ticks)
         self.evict_after_ticks = evict_after_ticks
         self.on_evict = on_evict
+        self.analytics = analytics
+        self.on_alert = on_alert
         self.journal = journal
         self._node_kwargs = dict(
             n_leads=n_leads,
@@ -394,9 +438,18 @@ class StreamGateway:
             self._batch = BeatBatch()
             self._clock = _Clock()
         self._evicted: dict[str, list[StreamBeatEvent]] = {}
+        # Sessions whose analytics pipeline has unfolded events; drained
+        # in one batched pass per flush (see _drain_analytics).
+        self._analytics_dirty: dict[str, _Session] = {}
+        self._alerts: list[tuple[str, object]] = []
+        self._summaries: dict[str, dict] = {}
+        # Rollup accumulator for closed/evicted analytics sessions
+        # (live sessions are summed on demand in analytics_rollup).
+        self._an_closed = empty_rollup()
         self.n_flushes = 0
         self.n_classified = 0
         self.n_evicted = 0
+        self.n_alerts = 0
 
     @property
     def n_sessions(self) -> int:
@@ -418,6 +471,7 @@ class StreamGateway:
         *,
         max_latency_ticks: int | None = None,
         evict_after_ticks: int | None = None,
+        analytics=None,
     ) -> None:
         """Start a new live session, optionally with its own QoS.
 
@@ -432,6 +486,11 @@ class StreamGateway:
         evict_after_ticks:
             Per-session idle-eviction threshold (>= 1); overrides the
             gateway-wide ``evict_after_ticks`` default.
+        analytics:
+            Per-session analytics: a list of operator prototypes
+            (deep-copied, so the caller's instances stay pristine) or
+            a zero-argument factory.  ``None`` inherits the
+            gateway-wide default; ``[]`` opts this session out.
         """
         if session_id in self._sessions:
             raise ValueError(f"session {session_id!r} is already open")
@@ -452,6 +511,7 @@ class StreamGateway:
                     else self.evict_after_ticks
                 ),
                 last_active=self._clock.tick,
+                analytics=self._build_pipeline(analytics),
             ),
         )
         if self.journal is not None:
@@ -460,8 +520,24 @@ class StreamGateway:
                 {
                     "max_latency_ticks": max_latency_ticks,
                     "evict_after_ticks": evict_after_ticks,
+                    "analytics": analytics,
                 },
             )
+
+    def _build_pipeline(self, spec) -> AnalyticsPipeline | None:
+        """Resolve an ``analytics=`` spec into a fresh per-session
+        pipeline (``None`` = inherit the gateway default, ``[]`` =
+        none, factory = call it, list = deep-copy the prototypes)."""
+        if spec is None:
+            spec = self.analytics
+        if spec is None:
+            return None
+        if callable(spec):
+            spec = spec()
+        operators = copy.deepcopy(list(spec))
+        if not operators:
+            return None
+        return AnalyticsPipeline(operators, self.fs)
 
     def ingest(self, session_id: str, chunk: np.ndarray) -> list[StreamBeatEvent]:
         """Feed one chunk of raw samples; return the session's new events.
@@ -479,7 +555,7 @@ class StreamGateway:
             # Write-ahead: the chunk is durable before it is applied,
             # so the acknowledged prefix survives a process crash.
             self.journal.log_chunk(session_id, chunk)
-        session.events.extend(session.node.push(chunk))
+        self._feed(session_id, session, session.node.push(chunk))
         self._collect(session_id, session)
         clock = self._clock
         clock.tick += 1
@@ -521,12 +597,25 @@ class StreamGateway:
             for session_id, session in self._evictable.items()
             if tick - session.last_active >= session.evict_after
         ]
+        # Exception-safe delivery: events land in the take_evicted()
+        # store *before* the user hook runs, every stale session is
+        # evicted even if a hook raises, and the first hook error
+        # re-raises only after the scan completes — a crashing hook
+        # can never lose a final event sequence or starve a peer
+        # session's eviction.
+        hook_error: Exception | None = None
         for session_id in stale:
             events = self.close_session(session_id)
             self._evicted[session_id] = events
             self.n_evicted += 1
             if self.on_evict is not None:
-                self.on_evict(session_id, events)
+                try:
+                    self.on_evict(session_id, events)
+                except Exception as exc:
+                    if hook_error is None:
+                        hook_error = exc
+        if hook_error is not None:
+            raise hook_error
 
     def take_evicted(self) -> dict[str, list[StreamBeatEvent]]:
         """Final event sequences of evicted sessions; clears the store."""
@@ -547,10 +636,12 @@ class StreamGateway:
         path, and removes the session.
         """
         session = self._get(session_id)
-        session.events.extend(session.node.finish_input())
+        self._feed(session_id, session, session.node.finish_input())
         self._collect(session_id, session)
         self.flush_batch()
-        session.events.extend(session.node.finalize())
+        self._feed(session_id, session, session.node.finalize())
+        if session.analytics is not None:
+            self._finalize_analytics(session_id, session)
         self._remove_session(session_id)
         if self.journal is not None:  # an ended session needs no recovery
             self.journal.forget(session_id)
@@ -566,6 +657,7 @@ class StreamGateway:
         """
         session_ids, handles, rows = self._batch.drain()
         if rows is None:
+            self._drain_analytics()
             return 0
         labels = np.asarray(self.classifier.predict(rows))
         # Group per session, preserving extraction order within each.
@@ -573,20 +665,148 @@ class StreamGateway:
         for session_id, handle, label in zip(session_ids, handles, labels):
             per_session.setdefault(session_id, []).append((handle, label))
         for session_id, resolved in per_session.items():
-            session = self._find_session(session_id)
+            owner, session = self._find_owner(session_id)
             if session is None:  # closed mid-flight; nothing to route to
                 continue
-            session.events.extend(session.node.deliver(resolved))
+            owner._feed(session_id, session, session.node.deliver(resolved))
         self.n_flushes += 1
         self.n_classified += len(handles)
+        self._drain_analytics()
         return len(handles)
 
     def _find_session(self, session_id: str) -> _Session | None:
         """Resolve a flushed session id — ours, or a group peer's."""
+        return self._find_owner(session_id)[1]
+
+    def _find_owner(self, session_id: str):
+        """Resolve a flushed session id to ``(owner_gateway, session)``
+        — ours, or a group peer's (``(None, None)`` when closed)."""
         session = self._sessions.get(session_id)
-        if session is None and self.group is not None:
-            session = self.group.find_session(session_id)
-        return session
+        if session is not None:
+            return self, session
+        if self.group is not None:
+            for gateway in self.group.gateways:
+                session = gateway._sessions.get(session_id)
+                if session is not None:
+                    return gateway, session
+        return None, None
+
+    def _feed(self, session_id: str, session: _Session, events: list) -> None:
+        """Append newly finalized events to the session, queueing them
+        for its analytics pipeline (folded at the next batched drain,
+        not per event)."""
+        if not events:
+            return
+        session.events.extend(events)
+        if session.analytics is not None:
+            session.analytics_pending.extend(events)
+            self._analytics_dirty[session_id] = session
+
+    def _drain_analytics(self) -> None:
+        """Fold every dirty session's pending events through its
+        pipeline — **one batched update pass per gateway flush**, the
+        analytics analogue of the batched classifier (group mode
+        drains every member, mirroring the shared-batch flush)."""
+        gateways = self.group.gateways if self.group is not None else (self,)
+        for gateway in gateways:
+            if not gateway._analytics_dirty:
+                continue
+            dirty = gateway._analytics_dirty
+            gateway._analytics_dirty = {}
+            for session_id, session in dirty.items():
+                pending = session.analytics_pending
+                session.analytics_pending = []
+                closed = session.analytics.update(pending)
+                if closed:
+                    gateway._alert(session_id, closed)
+
+    def _alert(self, session_id: str, episodes: list) -> None:
+        """Queue closed episodes for :meth:`take_alerts` and fire the
+        ``on_alert`` hook."""
+        for episode in episodes:
+            self._alerts.append((session_id, episode))
+        self.n_alerts += len(episodes)
+        if self.on_alert is not None:
+            for episode in episodes:
+                self.on_alert(session_id, episode)
+
+    def _finalize_analytics(self, session_id: str, session: _Session) -> None:
+        """Close a session's pipeline at end of stream: fold any
+        remainder, close open episodes, record the final summary and
+        fold the session into the closed-rollup accumulator."""
+        pipeline = session.analytics
+        pending = session.analytics_pending
+        session.analytics_pending = []
+        self._analytics_dirty.pop(session_id, None)
+        closed = pipeline.update(pending)
+        closed += pipeline.finalize()
+        if closed:
+            self._alert(session_id, closed)
+        self._summaries[session_id] = pipeline.summary()
+        rollup = self._an_closed
+        rollup["sessions"] += 1
+        rollup["beats"] += pipeline.n_beats
+        rollup["episodes"] += pipeline.n_episodes
+        for kind, count in pipeline.episodes_by_kind.items():
+            rollup["by_kind"][kind] = rollup["by_kind"].get(kind, 0) + count
+
+    def take_alerts(self) -> list:
+        """Closed ``(session_id, Episode)`` alerts since the last take;
+        clears the queue (the pull-based twin of ``on_alert``)."""
+        alerts = self._alerts
+        self._alerts = []
+        return alerts
+
+    def take_summaries(self) -> dict[str, dict]:
+        """Final analytics summaries of sessions closed or evicted
+        since the last take; clears the store."""
+        summaries = self._summaries
+        self._summaries = {}
+        return summaries
+
+    def analytics_rollup(self) -> dict:
+        """JSON-able fleet-rollup block of ``stats()["analytics"]``:
+        closed-session accumulator plus the live pipelines' folded
+        state (sessions / beats / episodes / alerts / by_kind)."""
+        closed = self._an_closed
+        total = {
+            "sessions": closed["sessions"],
+            "beats": closed["beats"],
+            "episodes": closed["episodes"],
+            "alerts": self.n_alerts,
+            "by_kind": dict(closed["by_kind"]),
+        }
+        for session in self._sessions.values():
+            pipeline = session.analytics
+            if pipeline is None:
+                continue
+            total["sessions"] += 1
+            total["beats"] += pipeline.n_beats
+            total["episodes"] += pipeline.n_episodes
+            for kind, count in pipeline.episodes_by_kind.items():
+                total["by_kind"][kind] = total["by_kind"].get(kind, 0) + count
+        return total
+
+    def stats(self) -> dict:
+        """Schema-pinned stats dict, shaped like the sharded tier's
+        (``workers == 1``) so every serving surface — the net server's
+        STATS frame, the federation rollup, ``worker_loads`` — reads
+        any gateway the same way."""
+        worker = {
+            "n_sessions": self.n_sessions,
+            "n_queued": self.n_queued,
+            "n_flushes": self.n_flushes,
+            "n_classified": self.n_classified,
+            "n_evicted": self.n_evicted,
+            "analytics": self.analytics_rollup(),
+        }
+        return {
+            **worker,
+            "per_worker": [worker],
+            "workers": 1,
+            "migrations": 0,
+            "scale_events": 0,
+        }
 
     def export_session(self, session_id: str) -> SessionExport:
         """Capture a live session for migration; the session stays open.
@@ -602,12 +822,16 @@ class StreamGateway:
         """
         session = self._get(session_id)
         self.flush_batch()
+        # flush_batch drained this session's analytics, so the deep-
+        # copied pipeline is consistent with every event appended so
+        # far — the importing gateway resumes the fold mid-episode.
         export = SessionExport(
             session_id=session_id,
             snapshot=session.node.snapshot(),
             events=session.drain(),
             max_latency_ticks=session.latency_budget,
             evict_after_ticks=session.evict_after,
+            analytics=copy.deepcopy(session.analytics),
         )
         if self.journal is not None:
             # The capture doubles as a snapshot; its drained events go
@@ -641,6 +865,10 @@ class StreamGateway:
         if session_id in self._sessions:
             raise ValueError(f"session {session_id!r} is already open")
         node = StreamingNode.restore(self.classifier, export.snapshot)
+        # Deep-copy so importing the same export twice (or keeping it
+        # around) never aliases live pipeline state; the export's
+        # events were already folded by the exporter, so they are NOT
+        # re-fed here.
         self._add_session(
             session_id,
             _Session(
@@ -649,6 +877,7 @@ class StreamGateway:
                 latency_budget=export.max_latency_ticks,
                 evict_after=export.evict_after_ticks,
                 last_active=self._clock.tick,
+                analytics=copy.deepcopy(export.analytics),
             ),
         )
         if self.journal is not None:
@@ -683,6 +912,7 @@ class StreamGateway:
                 events=list(session.events),
                 max_latency_ticks=session.latency_budget,
                 evict_after_ticks=session.evict_after,
+                analytics=session.analytics,
             ),
         )
 
@@ -694,6 +924,7 @@ class StreamGateway:
     def _remove_session(self, session_id: str) -> None:
         self._sessions.pop(session_id)
         self._evictable.pop(session_id, None)
+        self._analytics_dirty.pop(session_id, None)
 
     def _get(self, session_id: str) -> _Session:
         try:

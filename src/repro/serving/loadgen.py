@@ -165,6 +165,11 @@ class LoadgenReport:
         Per-session event lists (complete sequences, bit-exact with a
         standalone node — the replay only changes *when* chunks are
         offered, never their content or order).
+    analytics:
+        The target's fleet analytics rollup (``stats()["analytics"]``)
+        captured after the replay, when requested via
+        ``replay_fleet(..., collect_analytics=True)`` and the target
+        exposes it; ``None`` otherwise.
     """
 
     target_eps: float | None
@@ -177,6 +182,7 @@ class LoadgenReport:
     wall_s: float
     scheduled_s: float
     events: dict[str, list] = field(repr=False, default_factory=dict)
+    analytics: dict | None = None
 
 
 def replay_fleet(
@@ -189,6 +195,7 @@ def replay_fleet(
     nominal_eps: float | None = None,
     tolerance: float = 0.1,
     on_round=None,
+    collect_analytics: bool = False,
 ) -> LoadgenReport:
     """Replay a fleet through a live ingest target at a controlled rate.
 
@@ -235,6 +242,11 @@ def replay_fleet(
         :class:`~repro.serving.autoscale.AutoBalancer` ticks through
         when the target is a
         :class:`~repro.serving.federation.FederatedGateway`.
+    collect_analytics:
+        Capture the target's ``stats()["analytics"]`` rollup into
+        :attr:`LoadgenReport.analytics` after the replay completes
+        (every tier — gateway, sharded, supervised, net client,
+        federation — answers the same schema-pinned block).
     """
     streams = {sid: np.asarray(x) for sid, x in streams.items()}
     if chunk < 1:
@@ -288,6 +300,11 @@ def replay_fleet(
         returned = target.close_session(session_id)
         _note(session_id, returned, time.perf_counter())
     wall_s = time.perf_counter() - start
+    analytics = None
+    if collect_analytics:
+        stats_fn = getattr(target, "stats", None)
+        if stats_fn is not None:
+            analytics = stats_fn().get("analytics")
 
     max_rounds = max(
         (len(x) + chunk - 1) // chunk for x in streams.values()
@@ -311,6 +328,7 @@ def replay_fleet(
         wall_s=float(wall_s),
         scheduled_s=float(scheduled_s),
         events=events,
+        analytics=analytics,
     )
 
 

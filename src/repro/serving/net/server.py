@@ -57,6 +57,7 @@ import socket
 import threading
 from dataclasses import dataclass, field, replace
 
+from repro.serving.analytics import empty_rollup
 from repro.serving.net import protocol as wire
 
 __all__ = ["GatewayServer", "ServerHandle", "serve_in_thread"]
@@ -537,12 +538,16 @@ class GatewayServer:
             stats = stats_fn()
         else:
             g = self.gateway
+            rollup_fn = getattr(g, "analytics_rollup", None)
             worker = {
                 "n_sessions": g.n_sessions,
                 "n_queued": g.n_queued,
                 "n_flushes": g.n_flushes,
                 "n_classified": g.n_classified,
                 "n_evicted": g.n_evicted,
+                "analytics": (
+                    rollup_fn() if rollup_fn is not None else empty_rollup()
+                ),
             }
             stats = dict(worker)
             stats["per_worker"] = [worker]

@@ -84,6 +84,7 @@ from repro.serving.executors import (
     validate_worker_mode,
     validate_workers,
 )
+from repro.serving.analytics import merge_rollups
 from repro.serving.gateway import GatewayGroup, SessionExport, StreamGateway
 
 __all__ = ["SessionInbox", "ShardedGateway", "WorkerCrashError"]
@@ -223,11 +224,13 @@ class _WorkerState:
     *process* loop (:func:`_worker_main`) drives it over a pipe, and
     the *inline* mode (:class:`_InlineWorker`) drives it directly in
     the parent process.  Requests map to gateway calls; the response
-    is ``(op, session_id, payload, evictions)`` where ``payload`` is
-    ``("ok", value)`` or ``("err", exception)``.  Evictions that fired
-    while handling a request (the gateway's idle clock advances on its
-    own ingest ticks) ride along on the response, each as a complete
-    ``(session_id, events)`` final sequence.
+    is ``(op, session_id, payload, evictions, aux)`` where ``payload``
+    is ``("ok", value)`` or ``("err", exception)``.  Evictions that
+    fired while handling a request (the gateway's idle clock advances
+    on its own ingest ticks) ride along on the response, each as a
+    complete ``(session_id, events)`` final sequence; ``aux`` is the
+    analytics side-channel ``(alerts, summaries)`` drained from the
+    worker gateway the same way.
     """
 
     def __init__(self, classifier, fs: float, gateway_kwargs: dict, group=None):
@@ -277,6 +280,7 @@ class _WorkerState:
                     "n_flushes": gateway.n_flushes,
                     "n_classified": gateway.n_classified,
                     "n_evicted": gateway.n_evicted,
+                    "analytics": gateway.analytics_rollup(),
                 }
             else:
                 raise ValueError(f"unknown worker op {op!r}")
@@ -286,7 +290,8 @@ class _WorkerState:
         new_evictions, self._evictions = self._evictions, []
         self._evicted_ids.update(sid for sid, _ in new_evictions)
         gateway.take_evicted()  # delivered via the response instead
-        return (op, session_id, payload, new_evictions)
+        aux = (gateway.take_alerts(), gateway.take_summaries())
+        return (op, session_id, payload, new_evictions, aux)
 
 
 def _worker_main(conn, classifier, fs: float, gateway_kwargs: dict) -> None:
@@ -299,7 +304,7 @@ def _worker_main(conn, classifier, fs: float, gateway_kwargs: dict) -> None:
         except EOFError:  # parent died; nothing left to serve
             break
         if request[0] == "stop":
-            conn.send(("stop", None, ("ok", None), []))
+            conn.send(("stop", None, ("ok", None), [], ([], {})))
             break
         conn.send(state.handle(request))
     conn.close()
@@ -324,7 +329,7 @@ class _InlineWorker:
 
     def send(self, request: tuple) -> None:
         if request[0] == "stop":
-            self._responses.append(("stop", None, ("ok", None), []))
+            self._responses.append(("stop", None, ("ok", None), [], ([], {})))
             return
         self._responses.append(self._state.handle(request))
 
@@ -371,10 +376,15 @@ class ShardedGateway:
     Parameters
     ----------
     classifier / fs / max_batch / max_latency_ticks /
-    evict_after_ticks / on_evict / node configuration:
+    evict_after_ticks / on_evict / analytics / on_alert /
+    node configuration:
         As for :class:`~repro.serving.gateway.StreamGateway`; applied
         per worker (each worker's gateway batches and flushes its own
-        sessions — one batched classifier pass per worker per tick).
+        sessions — one batched classifier pass per worker per tick;
+        analytics fold worker-side in one batched pass per flush, and
+        alerts / final summaries travel back on the response
+        side-channel to :meth:`take_alerts` / :meth:`take_summaries`
+        and the parent ``on_alert`` hook).
     workers:
         Initial worker process count (>= 1).  The pool is elastic:
         :meth:`add_worker` / :meth:`retire_worker` grow and shrink it
@@ -432,6 +442,8 @@ class ShardedGateway:
         max_latency_ticks: int = 8,
         evict_after_ticks: int | None = None,
         on_evict=None,
+        analytics=None,
+        on_alert=None,
         inbox_capacity: int | None = None,
         inbox_policy: str = "block",
         worker_mode: str = "process",
@@ -462,11 +474,16 @@ class ShardedGateway:
         self.inbox_policy = inbox_policy
         self.worker_mode = worker_mode
         self.on_evict = on_evict
+        self.on_alert = on_alert
         self.journal = journal
         gateway_kwargs = dict(
             max_batch=max_batch,
             max_latency_ticks=max_latency_ticks,
             evict_after_ticks=evict_after_ticks,
+            # The gateway-wide analytics default ships to every worker
+            # at spawn (operator prototypes / factory must pickle);
+            # alerts and summaries travel back on the aux side-channel.
+            analytics=analytics,
             n_leads=n_leads,
             lead=lead,
             decimation=decimation,
@@ -488,10 +505,13 @@ class ShardedGateway:
         self._inboxes: dict[str, SessionInbox] = {}
         self._evicted: dict[str, list] = {}
         self._errors: dict[str, Exception] = {}
+        self._alerts: list[tuple[str, object]] = []
+        self._summaries: dict[str, dict] = {}
         self._rr_next = 0
         self.n_migrations = 0
         self.n_scale_events = 0
         self.n_respawns = 0
+        self.n_alerts = 0
         self._closed = False
 
     def _make_worker(self) -> tuple:
@@ -599,12 +619,16 @@ class ShardedGateway:
         *,
         max_latency_ticks: int | None = None,
         evict_after_ticks: int | None = None,
+        analytics=None,
         worker: int | None = None,
     ) -> None:
         """Open a session on its policy-placed (or explicit) worker.
 
-        The QoS keywords are forwarded to the worker gateway's
-        :meth:`~repro.serving.gateway.StreamGateway.open_session`.
+        The QoS and ``analytics`` keywords are forwarded to the worker
+        gateway's
+        :meth:`~repro.serving.gateway.StreamGateway.open_session`
+        (per-session analytics specs ride the command pipe, so the
+        operator prototypes must pickle).
         """
         if session_id in self._owner:
             raise ValueError(f"session {session_id!r} is already open")
@@ -612,6 +636,7 @@ class ShardedGateway:
         qos = {
             "max_latency_ticks": max_latency_ticks,
             "evict_after_ticks": evict_after_ticks,
+            "analytics": analytics,
         }
         self._request(index, ("open", session_id, qos))
         self._register(session_id, index)
@@ -861,6 +886,22 @@ class ShardedGateway:
         self._evicted = {}
         return evicted
 
+    def take_alerts(self) -> list:
+        """Closed ``(session_id, Episode)`` analytics alerts, fleet-wide;
+        clears the queue."""
+        self._drain(block=False)
+        alerts = self._alerts
+        self._alerts = []
+        return alerts
+
+    def take_summaries(self) -> dict[str, dict]:
+        """Final analytics summaries of closed/evicted sessions,
+        fleet-wide; clears the store."""
+        self._drain(block=False)
+        summaries = self._summaries
+        self._summaries = {}
+        return summaries
+
     def stats(self) -> dict:
         """Aggregate + per-worker gateway statistics (synchronizes).
 
@@ -884,6 +925,9 @@ class ShardedGateway:
             key: sum(stats[key] for stats in per_worker)
             for key in ("n_sessions", "n_queued", "n_flushes", "n_classified", "n_evicted")
         }
+        totals["analytics"] = merge_rollups(
+            stats.get("analytics") for stats in per_worker
+        )
         totals["per_worker"] = per_worker
         totals["workers"] = self.workers
         totals["migrations"] = self.n_migrations
@@ -955,6 +999,7 @@ class ShardedGateway:
             events=buffered + list(export.events),
             max_latency_ticks=export.max_latency_ticks,
             evict_after_ticks=export.evict_after_ticks,
+            analytics=export.analytics,
         )
 
     def _register(self, session_id: str, index: int) -> None:
@@ -1038,6 +1083,7 @@ class ShardedGateway:
             response = self._recv(index)
             if response[0] == op:
                 self._note_evictions(response[3])
+                self._note_aux(response[4])
                 status, value = response[2]
                 if status == "err":
                     raise value
@@ -1075,8 +1121,9 @@ class ShardedGateway:
         pairing.  It is parked instead and raised by the erroring
         session's next call (:meth:`_owner_or_raise`).
         """
-        op, session_id, (status, value), evictions = response
+        op, session_id, (status, value), evictions, aux = response
         self._note_evictions(evictions)
+        self._note_aux(aux)
         if op != "ingest":  # pragma: no cover - protocol guard
             raise RuntimeError(f"unexpected unsolicited {op!r} response")
         inbox = self._inboxes.get(session_id)
@@ -1089,6 +1136,21 @@ class ShardedGateway:
             self._events.setdefault(session_id, []).extend(value)
         elif session_id in self._evicted:
             self._evicted[session_id].extend(value)
+
+    def _note_aux(self, aux: tuple) -> None:
+        """Fold one response's analytics side-channel into the parent
+        buffers: alerts queue for :meth:`take_alerts` (and fire the
+        parent ``on_alert`` hook), summaries merge for
+        :meth:`take_summaries`."""
+        alerts, summaries = aux
+        if alerts:
+            self._alerts.extend(alerts)
+            self.n_alerts += len(alerts)
+            if self.on_alert is not None:
+                for session_id, episode in alerts:
+                    self.on_alert(session_id, episode)
+        if summaries:
+            self._summaries.update(summaries)
 
     def _note_evictions(self, evictions: list) -> None:
         for session_id, events in evictions:

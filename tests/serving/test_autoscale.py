@@ -445,6 +445,7 @@ class TestStatsSchema:
     """
 
     TOTALS = ("n_sessions", "n_queued", "n_flushes", "n_classified", "n_evicted")
+    ANALYTICS = ("sessions", "beats", "episodes", "alerts", "by_kind")
 
     def test_schema_keys_types_and_consistency(self, record, embedded_classifier):
         fs = record.fs
@@ -460,7 +461,7 @@ class TestStatsSchema:
             stats = gateway.stats()
 
             expected = set(self.TOTALS) | {
-                "per_worker", "workers", "migrations", "scale_events"
+                "analytics", "per_worker", "workers", "migrations", "scale_events"
             }
             assert set(stats) == expected
             assert stats["workers"] == gateway.workers == 4
@@ -469,9 +470,19 @@ class TestStatsSchema:
             for key in ("workers", "migrations", "scale_events", *self.TOTALS):
                 assert isinstance(stats[key], int), key
                 assert stats[key] >= 0, key
+            for block in [stats["analytics"]] + [
+                w["analytics"] for w in stats["per_worker"]
+            ]:
+                assert set(block) == set(self.ANALYTICS)
+                for key in ("sessions", "beats", "episodes", "alerts"):
+                    assert isinstance(block[key], int), key
+                    assert block[key] >= 0, key
+                assert isinstance(block["by_kind"], dict)
             for worker_stats in stats["per_worker"]:
-                assert set(worker_stats) == set(self.TOTALS)
+                assert set(worker_stats) == set(self.TOTALS) | {"analytics"}
                 for key, value in worker_stats.items():
+                    if key == "analytics":
+                        continue
                     assert isinstance(value, int), key
                     assert value >= 0, key
             # Sum-over-workers consistency: every total is its column sum.

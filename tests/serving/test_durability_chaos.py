@@ -203,3 +203,80 @@ class TestKillChaos:
             standalone_events(embedded_classifier, record, FS, N_LEADS),
             [event for batch in events for event in batch],
         )
+
+
+class TestEvictionSalvageChaos:
+    """Kill a worker *between* evicting a session and the parent
+    reading the response that carries the final events.
+
+    A worker-side idle eviction rides the next pipelined response; if
+    the worker dies before the parent drains it, those final events
+    used to vanish — neither ``take_evicted()`` nor recovery would
+    ever see them (the journal entry still existed, but a recovery
+    *resurrecting* the session would contradict the worker's completed
+    close).  Recovery now salvages the dead worker's buffered
+    responses first: the eviction is delivered for real, counted in
+    ``evictions_salvaged``, and the session stays closed.
+    """
+
+    @pytest.mark.parametrize("backend", ["file", "sqlite"])
+    @pytest.mark.chaos_seeds(0, 1)
+    def test_kill_between_evict_and_delivery(
+        self, backend, chaos_seed, records, embedded_classifier,
+        assert_events_equal, standalone_events, tmp_path,
+    ):
+        rng = np.random.default_rng(9500 + chaos_seed)
+        # A large snapshot cadence: a mid-ingest snapshot is a
+        # synchronous request that would drain the pipe and deliver
+        # the eviction the ordinary way, defusing the race under test.
+        journal = make_journal(backend, tmp_path, snapshot_every=64)
+        stale_upto = int(rng.integers(1000, 3000))
+        with SupervisedGateway(
+            embedded_classifier, FS, journal=journal, workers=2,
+            n_leads=N_LEADS, max_batch=int(rng.integers(4, 24)),
+        ) as gateway:
+            # Both sessions pinned to worker 0 so the busy session's
+            # ingests advance the stale one's idle clock.
+            gateway.open_session("stale", worker=0, evict_after_ticks=1)
+            gateway.open_session("busy", worker=0)
+            events = [gateway.ingest("stale", records[0].signal[:stale_upto])]
+            # Synchronize (poll drains every buffered response), so
+            # exactly ONE pipelined response is outstanding next — the
+            # busy ingest whose worker-side tick evicts the stale
+            # session.  poll(10.0) below then guarantees the buffered
+            # response is the one carrying the eviction notice.
+            events.append(gateway.poll("stale"))
+            busy_chunks = chunk_queue(records[1], rng)
+            events.append(gateway.ingest("busy", busy_chunks[0]))
+            fed = len(busy_chunks[0])
+            # Wait for the worker to write the (undrained) response,
+            # then kill it before anything reads the pipe.
+            conn = gateway.gateway._conns[0]
+            assert conn.poll(10.0)
+            assert sigkill(gateway, 0)
+            assert gateway.check_workers() >= 1  # busy recovered
+            # The salvaged eviction reached the caller surface ...
+            evicted = gateway.take_evicted()
+            assert "stale" in evicted
+            assert_events_equal(
+                standalone_events(
+                    embedded_classifier, records[0], FS, N_LEADS,
+                    upto=stale_upto,
+                ),
+                events[0] + events[1] + evicted["stale"],
+            )
+            assert gateway.stats()["evictions_salvaged"] >= 1
+            # ... and recovery did not resurrect the closed session.
+            assert "stale" not in gateway.gateway._owner
+            assert "stale" not in journal.session_ids()
+            # The surviving session continues bit-exactly to the end.
+            for chunk in busy_chunks[1:]:
+                events.append(gateway.ingest("busy", chunk))
+                fed += len(chunk)
+            events.append(gateway.close_session("busy"))
+            assert fed == records[1].n_samples
+            assert_events_equal(
+                standalone_events(embedded_classifier, records[1], FS, N_LEADS),
+                [e for batch in events[2:] for e in batch],
+            )
+        journal.close()

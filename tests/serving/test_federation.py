@@ -30,11 +30,11 @@ CHUNK = 256
 
 FLEET_KEYS = {
     "n_sessions", "n_queued", "n_flushes", "n_classified", "n_evicted",
-    "per_host", "hosts", "migrations", "scale_events",
+    "analytics", "per_host", "hosts", "migrations", "scale_events",
 }
 HOST_KEYS = {
     "n_sessions", "n_queued", "n_flushes", "n_classified", "n_evicted",
-    "per_worker", "workers", "migrations", "scale_events",
+    "analytics", "per_worker", "workers", "migrations", "scale_events",
 }
 
 

@@ -70,6 +70,7 @@ PUBLIC_MODULES = [
     "repro.experiments.table2",
     "repro.experiments.table3",
     "repro.serving",
+    "repro.serving.analytics",
     "repro.serving.autoscale",
     "repro.serving.durability",
     "repro.serving.engine",
